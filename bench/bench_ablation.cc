@@ -1,0 +1,195 @@
+/**
+ * @file
+ * Ablations of the design choices DESIGN.md calls out:
+ *
+ *  1. Speculative prefetch (section IV-B): Compiler vs Optimized PTX
+ *     vs Prefetching on the throughput copy kernel.
+ *  2. Host transfer batching (section V): page-fault storm with
+ *     batching on vs off.
+ *  3. Short vs long apointers: fault-heavy page walk under both
+ *     layouts.
+ *  4. TLB vs TLB-less on a hot-page fault workload.
+ */
+
+#include "bench_common.hh"
+
+namespace ap::bench {
+namespace {
+
+using core::AccessMode;
+using core::AptrKind;
+using core::AptrVec;
+using sim::Addr;
+using sim::kWarpSize;
+using sim::LaneArray;
+
+// ---------------------------------------------------------------------
+// 1. Access-mode ablation on the copy kernel (like Table II).
+// ---------------------------------------------------------------------
+
+double
+copyThroughput(AccessMode mode)
+{
+    constexpr int kBlocks = 26;
+    constexpr int kWarpsPerBlock = 32;
+    constexpr size_t kBytesPerWarp = 16 * 1024;
+    const size_t total =
+        size_t(kBlocks) * kWarpsPerBlock * kBytesPerWarp;
+
+    core::GvmConfig g;
+    g.mode = mode;
+    Stack st(g, gpufs::Config{}, 3 * total + (size_t(64) << 20));
+    Addr src = st.dev->mem().alloc(total, 4096);
+    Addr dst = st.dev->mem().alloc(total, 4096);
+    const size_t iters = kBytesPerWarp / (kWarpSize * 4);
+
+    sim::Cycles cycles = st.dev->launch(
+        kBlocks, kWarpsPerBlock, [&](sim::Warp& w) {
+            auto ps = AptrVec<uint32_t>::mapDirect(w, *st.rt, src, total,
+                                                   core::kPermRead);
+            auto pd = AptrVec<uint32_t>::mapDirect(
+                w, *st.rt, dst, total,
+                core::kPermRead | core::kPermWrite);
+            LaneArray<int64_t> seek;
+            for (int l = 0; l < kWarpSize; ++l)
+                seek[l] = int64_t(w.globalWarpId()) * (kBytesPerWarp / 4) +
+                          l;
+            ps.addPerLane(w, seek);
+            pd.addPerLane(w, seek);
+            for (size_t i = 0; i < iters; ++i) {
+                w.issue(2);
+                auto v = ps.read(w);
+                pd.write(w, v);
+                if (i + 1 < iters) {
+                    ps.add(w, kWarpSize);
+                    pd.add(w, kWarpSize);
+                }
+            }
+            ps.destroy(w);
+            pd.destroy(w);
+        });
+    return gbPerSec(static_cast<double>(total), cycles,
+                    st.dev->costModel());
+}
+
+// ---------------------------------------------------------------------
+// 2. Batching ablation: a major-fault storm.
+// ---------------------------------------------------------------------
+
+sim::Cycles
+faultStorm(bool batching)
+{
+    gpufs::Config fscfg;
+    fscfg.numFrames = 8192;
+    fscfg.stagingSlots = 256;
+    Stack st(core::GvmConfig{}, fscfg, size_t(256) << 20);
+    st.io->setBatching(batching);
+    constexpr int kPages = 4096;
+    hostio::FileId f = st.bs.create("storm.bin", kPages * 4096ull);
+
+    return st.dev->launch(16, 16, [&](sim::Warp& w) {
+        auto p = core::gvmmap<uint32_t>(w, *st.rt, kPages * 4096ull,
+                                        hostio::O_GRDONLY, f, 0);
+        int per_warp = kPages / (16 * 16);
+        LaneArray<int64_t> seek;
+        for (int l = 0; l < kWarpSize; ++l)
+            seek[l] = int64_t(w.globalWarpId()) * per_warp * 1024 + l;
+        p.addPerLane(w, seek);
+        for (int i = 0; i < per_warp; ++i) {
+            (void)p.read(w);
+            if (i + 1 < per_warp)
+                p.add(w, 1024);
+        }
+        p.destroy(w);
+    });
+}
+
+// ---------------------------------------------------------------------
+// 3+4. Kind and TLB ablation: fault-heavy hot-page loop.
+// ---------------------------------------------------------------------
+
+sim::Cycles
+hotFaults(AptrKind kind, bool tlb)
+{
+    core::GvmConfig g;
+    g.kind = kind;
+    g.useTlb = tlb;
+    gpufs::Config fscfg;
+    fscfg.numFrames = 1024;
+    Stack st(g, fscfg, size_t(128) << 20);
+    constexpr int kPages = 4;
+    hostio::FileId f = st.bs.create("hot.bin", kPages * 4096ull);
+
+    // One threadblock walking a small hot page set: every read faults
+    // through the TLB (or page table), and every linked pointer then
+    // crosses a page boundary — the transition whose cost depends on
+    // the translation-field layout.
+    return st.dev->launch(1, 32, [&](sim::Warp& w) {
+        auto p = core::gvmmap<uint32_t>(w, *st.rt, kPages * 4096ull,
+                                        hostio::O_GRDONLY, f, 0);
+        p.addPerLane(w, LaneArray<int64_t>::iota(0));
+        for (int i = 0; i < 64; ++i) {
+            (void)p.read(w); // fault: TLB or page table
+            if (i % kPages == kPages - 1)
+                p.add(w, -int64_t(kPages - 1) * 1024); // wrap around
+            else
+                p.add(w, 1024); // linked crossing: unlink slow path
+        }
+        p.destroy(w);
+    });
+}
+
+void
+run()
+{
+    banner("Ablation 1: apointer implementation mode, copy throughput");
+    TextTable t1;
+    t1.header({"mode", "copy GB/s"});
+    for (AccessMode m : {AccessMode::Compiler, AccessMode::OptimizedPtx,
+                         AccessMode::Prefetch})
+        t1.row({core::modeName(m),
+                TextTable::num(copyThroughput(m), 1)});
+    t1.print(std::cout);
+
+    banner("Ablation 2: host transfer batching (major-fault storm of "
+           "4096 x 4KB pages)");
+    TextTable t2;
+    t2.header({"batching", "cycles", "speedup"});
+    sim::Cycles off = faultStorm(false);
+    sim::Cycles on = faultStorm(true);
+    t2.row({"off (1 DMA per page)", TextTable::num(off, 0), "1.00x"});
+    t2.row({"on (aggregated DMAs)", TextTable::num(on, 0),
+            TextTable::num(off / on, 2) + "x"});
+    t2.print(std::cout);
+
+    banner("Ablation 3/4: translation layout and TLB on hot-page "
+           "faults");
+    TextTable t3;
+    t3.header({"configuration", "cycles"});
+    t3.row({"long, no TLB",
+            TextTable::num(hotFaults(AptrKind::Long, false), 0)});
+    t3.row({"long, TLB",
+            TextTable::num(hotFaults(AptrKind::Long, true), 0)});
+    t3.row({"short, no TLB",
+            TextTable::num(hotFaults(AptrKind::Short, false), 0)});
+    t3.row({"short, TLB",
+            TextTable::num(hotFaults(AptrKind::Short, true), 0)});
+    t3.print(std::cout);
+    std::cout << "\nShort apointers make the unlink transition cheaper "
+                 "(the xAddress stays in the register); with a whole "
+                 "threadblock hammering a few entries, TLB lock "
+                 "contention erases its page-table savings — the "
+                 "paper's own conclusion that the TLB-less design is "
+                 "best in practice (section III-E). Fig. 7 shows the "
+                 "regimes where the TLB does win.\n";
+}
+
+} // namespace
+} // namespace ap::bench
+
+int
+main()
+{
+    ap::bench::run();
+    return 0;
+}

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Shared plumbing for the paper-reproduction bench harnesses: a full
+ * simulated stack (device + backing store + host I/O + GPUfs +
+ * ActivePointers runtime) and formatting helpers.
+ */
+
+#ifndef AP_BENCH_BENCH_COMMON_HH
+#define AP_BENCH_BENCH_COMMON_HH
+
+#include <cstdio>
+#include <iostream>
+#include <memory>
+#include <string>
+
+#include "core/vm.hh"
+#include "util/table.hh"
+
+namespace ap::bench {
+
+/** One fully-wired simulation stack. */
+struct Stack
+{
+    explicit Stack(core::GvmConfig gcfg = core::GvmConfig{},
+                   gpufs::Config fscfg = gpufs::Config{},
+                   size_t dev_mem = size_t(256) << 20,
+                   sim::CostModel cm = sim::CostModel{})
+    {
+        dev = std::make_unique<sim::Device>(cm, dev_mem);
+        io = std::make_unique<hostio::HostIoEngine>(*dev, bs);
+        fs = std::make_unique<gpufs::GpuFs>(*dev, *io, fscfg);
+        rt = std::make_unique<core::GvmRuntime>(*fs, gcfg);
+    }
+
+    hostio::BackingStore bs;
+    std::unique_ptr<sim::Device> dev;
+    std::unique_ptr<hostio::HostIoEngine> io;
+    std::unique_ptr<gpufs::GpuFs> fs;
+    std::unique_ptr<core::GvmRuntime> rt;
+};
+
+/** Print a section banner. */
+inline void
+banner(const std::string& title)
+{
+    std::cout << "\n=== " << title << " ===\n\n";
+}
+
+/** GB/s implied by bytes moved in a cycle count. */
+inline double
+gbPerSec(double bytes, sim::Cycles cycles, const sim::CostModel& cm)
+{
+    return bytes / cm.toSeconds(cycles) / 1e9;
+}
+
+} // namespace ap::bench
+
+#endif // AP_BENCH_BENCH_COMMON_HH

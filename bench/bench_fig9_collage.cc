@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Reproduces paper Figure 9: end-to-end image-collage performance of
+ * the four implementations (CPU-only, CPU+GPU, GPUfs, GPUfs +
+ * ActivePointers), normalized runtime per input block, over inputs of
+ * growing size and data reuse. Also reproduces the section VI-E
+ * unaligned-records result with --unaligned.
+ */
+
+#include <cstring>
+
+#include "bench_common.hh"
+#include "collage/collage.hh"
+
+namespace ap::bench {
+namespace {
+
+using namespace ap::collage;
+
+struct InputSpec
+{
+    const char* name;
+    uint32_t blocks;
+    double reuse;
+};
+
+const InputSpec kInputs[] = {
+    {"small", 512, 2.0},
+    {"medium", 1536, 8.0},
+    {"large", 3072, 32.0},
+    {"huge", 12288, 256.0},
+};
+
+DatasetParams
+datasetParams(uint32_t record_size)
+{
+    DatasetParams dp;
+    dp.numImages = 2048;
+    dp.numBuckets = 64; // ~32 candidates per bucket
+    dp.recordSize = record_size;
+    return dp;
+}
+
+void
+runAligned()
+{
+    banner("Figure 9: collage runtime per input block, normalized to "
+           "the CPU baseline (lower is better)");
+
+    TextTable t;
+    t.header({"input", "blocks", "reuse", "CPU", "CPU+GPU", "GPUfs",
+              "GPUfs+APtr", "| GPUfs speedup vs CPU",
+              "vs CPU+GPU", "APtr overhead"});
+
+    for (const InputSpec& spec : kInputs) {
+        cpu::CpuModel cm;
+        // The largest input's candidate working set brushes against
+        // the page cache capacity, exercising eviction (paper: "some
+        // data gets evicted ... no significant slowdown").
+        uint32_t frames = spec.blocks >= 6144 ? 2048 : 4096;
+
+        // CPU baseline (needs only host data).
+        hostio::BackingStore bs0;
+        Dataset ds0 = Dataset::build(bs0, datasetParams(4096));
+        InputParams ip;
+        ip.numBlocks = spec.blocks;
+        ip.reuse = spec.reuse;
+        CollageInput in = makeInput(ds0, ip);
+        CollageResult r_cpu = runCpu(ds0, in, cm);
+
+        // CPU+GPU hybrid.
+        Stack st1;
+        Dataset ds1 = Dataset::build(st1.bs, datasetParams(4096));
+        CollageResult r_hyb = runHybrid(*st1.dev, ds1, in, cm);
+
+        // GPUfs (gmmap) and GPUfs+apointers, each on a fresh stack.
+        auto run_fs = [&](bool use_aptr) {
+            gpufs::Config fscfg;
+            fscfg.numFrames = frames;
+            Stack st(core::GvmConfig{}, fscfg, size_t(320) << 20);
+            Dataset ds = Dataset::build(st.bs, datasetParams(4096));
+            return runGpufs(*st.rt, ds, in, use_aptr);
+        };
+        CollageResult r_fs = run_fs(false);
+        CollageResult r_ap = run_fs(true);
+
+        AP_ASSERT(r_cpu.choice == r_hyb.choice &&
+                      r_cpu.choice == r_fs.choice &&
+                      r_cpu.choice == r_ap.choice,
+                  "implementations disagree on the collage");
+
+        auto norm = [&](const CollageResult& r) {
+            return TextTable::num(r.seconds / r_cpu.seconds, 2);
+        };
+        t.row({spec.name, std::to_string(spec.blocks),
+               TextTable::num(spec.reuse, 0), norm(r_cpu), norm(r_hyb),
+               norm(r_fs), norm(r_ap),
+               "| x" + TextTable::num(r_cpu.seconds / r_fs.seconds, 2),
+               "x" + TextTable::num(r_hyb.seconds / r_fs.seconds, 2),
+               TextTable::pct(r_ap.seconds / r_fs.seconds - 1, true, 1)});
+    }
+    t.print(std::cout);
+    std::cout << "\nPaper reference: GPUfs averages 1.6x over the CPU "
+                 "and 2.6x over CPU+GPU for large inputs (up to 2.6x / "
+                 "3.9x); apointers add <1% over GPUfs.\n";
+}
+
+void
+runUnaligned()
+{
+    banner("Section VI-E, unaligned access: 3 KB records without page "
+           "alignment");
+    cpu::CpuModel cm;
+
+    InputParams ip;
+    ip.numBlocks = 1536;
+    ip.reuse = 8.0;
+
+    hostio::BackingStore bs0;
+    Dataset ds0 = Dataset::build(bs0, datasetParams(3072));
+    CollageInput in = makeInput(ds0, ip);
+    CollageResult r_cpu = runCpu(ds0, in, cm);
+
+    gpufs::Config fscfg;
+    fscfg.numFrames = 4096;
+    Stack st(core::GvmConfig{}, fscfg, size_t(320) << 20);
+    Dataset ds = Dataset::build(st.bs, datasetParams(3072));
+    CollageResult r_ap = runGpufs(*st.rt, ds, in, true);
+    AP_ASSERT(r_cpu.choice == r_ap.choice,
+              "unaligned apointer run disagrees with the CPU");
+
+    std::printf("CPU: %.3f ms, GPUfs+APtr: %.3f ms (identical "
+                "results)\n",
+                r_cpu.seconds * 1e3, r_ap.seconds * 1e3);
+    std::cout << "The apointer code is unchanged for unaligned "
+                 "records; the gmmap-based implementation cannot run "
+                 "them (see Collage.UnalignedRecordsWorkOnly"
+                 "ThroughApointers in the tests).\n";
+}
+
+} // namespace
+} // namespace ap::bench
+
+int
+main(int argc, char** argv)
+{
+    bool unaligned_only =
+        argc > 1 && std::strcmp(argv[1], "--unaligned") == 0;
+    if (!unaligned_only)
+        ap::bench::runAligned();
+    ap::bench::runUnaligned();
+    return 0;
+}

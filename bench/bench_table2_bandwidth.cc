@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Reproduces paper Table II: memory bandwidth of a device-to-device
+ * copy kernel through apointers vs. the cudaMemcpyDeviceToDevice
+ * baseline (152 GB/s on the paper's K80).
+ *
+ * Methodology per section VI-A: 52 threadblocks x 32 warps saturate
+ * the GPU; each warp copies a contiguous chunk with 4-byte or 8-byte
+ * per-lane accesses; apointer results use the Compiler implementation
+ * (the paper reports hand-optimized PTX is within 1%).
+ */
+
+#include "bench_common.hh"
+
+namespace ap::bench {
+namespace {
+
+using core::AccessMode;
+using core::AptrVec;
+using sim::Addr;
+using sim::kWarpSize;
+using sim::LaneArray;
+
+constexpr int kBlocks = 52;
+constexpr int kWarpsPerBlock = 32;
+constexpr size_t kBytesPerWarp = 32 * 1024;
+
+/** 8-byte load unit. */
+struct U8
+{
+    uint32_t lo, hi;
+};
+
+/** Raw-pointer copy: the stand-in for cudaMemcpyDeviceToDevice. */
+template <typename T>
+double
+copyRaw(Stack& st, Addr src, Addr dst)
+{
+    const size_t iters = kBytesPerWarp / (kWarpSize * sizeof(T));
+    sim::Cycles cycles = st.dev->launch(
+        kBlocks, kWarpsPerBlock, [&](sim::Warp& w) {
+            Addr s = src + w.globalWarpId() * kBytesPerWarp;
+            Addr d = dst + w.globalWarpId() * kBytesPerWarp;
+            for (size_t i = 0; i < iters; ++i) {
+                w.issue(2); // loop + address arithmetic
+                LaneArray<Addr> sa, da;
+                for (int l = 0; l < kWarpSize; ++l) {
+                    sa[l] = s + (i * kWarpSize + l) * sizeof(T);
+                    da[l] = d + (i * kWarpSize + l) * sizeof(T);
+                }
+                auto v = w.loadGlobal<T>(sa);
+                w.storeGlobal<T>(da, v);
+            }
+        });
+    double copied =
+        static_cast<double>(kBlocks) * kWarpsPerBlock * kBytesPerWarp;
+    return gbPerSec(copied, cycles, st.dev->costModel());
+}
+
+/** Apointer copy: identical kernel, apointers instead of pointers. */
+template <typename T>
+double
+copyAptr(Stack& st, Addr src, Addr dst, size_t total)
+{
+    const size_t iters = kBytesPerWarp / (kWarpSize * sizeof(T));
+    sim::Cycles cycles = st.dev->launch(
+        kBlocks, kWarpsPerBlock, [&](sim::Warp& w) {
+            auto ps = AptrVec<T>::mapDirect(w, *st.rt, src, total,
+                                            core::kPermRead);
+            auto pd = AptrVec<T>::mapDirect(
+                w, *st.rt, dst, total,
+                core::kPermRead | core::kPermWrite);
+            int64_t start = static_cast<int64_t>(
+                w.globalWarpId() * kBytesPerWarp / sizeof(T));
+            LaneArray<int64_t> seek;
+            for (int l = 0; l < kWarpSize; ++l)
+                seek[l] = start + l;
+            ps.addPerLane(w, seek);
+            pd.addPerLane(w, seek);
+            for (size_t i = 0; i < iters; ++i) {
+                w.issue(2);
+                auto v = ps.read(w);
+                pd.write(w, v);
+                if (i + 1 < iters) {
+                    ps.add(w, kWarpSize);
+                    pd.add(w, kWarpSize);
+                }
+            }
+            ps.destroy(w);
+            pd.destroy(w);
+        });
+    double copied =
+        static_cast<double>(kBlocks) * kWarpsPerBlock * kBytesPerWarp;
+    return gbPerSec(copied, cycles, st.dev->costModel());
+}
+
+void
+run()
+{
+    banner("Table II: memory-copy bandwidth in GB/s (higher is better)");
+    const size_t total =
+        static_cast<size_t>(kBlocks) * kWarpsPerBlock * kBytesPerWarp;
+
+    auto makeStack = [&](bool rw) {
+        core::GvmConfig g;
+        g.mode = AccessMode::Compiler;
+        g.permChecks = rw;
+        return std::make_unique<Stack>(g, gpufs::Config{},
+                                       size_t(3) * total);
+    };
+
+    auto st0 = makeStack(false);
+    Addr src = st0->dev->mem().alloc(total, 4096);
+    Addr dst = st0->dev->mem().alloc(total, 4096);
+    double base = copyRaw<uint32_t>(*st0, src, dst);
+    double a4 = copyAptr<uint32_t>(*st0, src, dst, total);
+    double a8 = copyAptr<U8>(*st0, src, dst, total);
+
+    auto st1 = makeStack(true);
+    Addr src1 = st1->dev->mem().alloc(total, 4096);
+    Addr dst1 = st1->dev->mem().alloc(total, 4096);
+    double a4rw = copyAptr<uint32_t>(*st1, src1, dst1, total);
+
+    auto pct = [&](double v) {
+        return TextTable::num(v, 1) + " GB/s (" +
+               TextTable::pct(v / base, false, 1) + ")";
+    };
+
+    TextTable t;
+    t.header({"Implementation", "4-byte", "4-byte+rw", "8-byte"});
+    t.row({"Raw copy baseline", TextTable::num(base, 1) + " GB/s", "-",
+           "-"});
+    t.row({"Compiler", pct(a4), pct(a4rw), pct(a8)});
+    t.print(std::cout);
+
+    std::cout << "\nPaper reference: baseline 152 GB/s "
+                 "(cudaMemcpyDeviceToDevice); Compiler apointers "
+                 "99.7 GB/s (65.4%), 97.7 (64.1%) with rw, 148.7 "
+                 "(97.6%) with 8-byte accesses.\n";
+}
+
+} // namespace
+} // namespace ap::bench
+
+int
+main()
+{
+    ap::bench::run();
+    return 0;
+}

@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Extension bench: the paper's central architectural argument
+ * (Figures 1 vs 2 and section I). Compares page-fault handling under
+ * the CPU-centric VM design (faults forwarded to the CPU driver,
+ * hardware translation on hits) against the GPU-centric ActivePointers
+ * design (faults handled on the GPU, batched host DMA, software
+ * translation on hits), as the number of concurrently faulting warps
+ * grows.
+ *
+ * Expected shape: CPU-centric wins on pure hit latency (hardware
+ * translation is free) but its fault path saturates the few CPU
+ * handler contexts; the GPU-centric design pays a small software
+ * translation tax yet scales fault handling with the GPU's own
+ * parallelism.
+ */
+
+#include "bench_common.hh"
+#include "gpufs/cpu_centric_vm.hh"
+
+namespace ap::bench {
+namespace {
+
+using sim::Addr;
+using sim::kWarpSize;
+using sim::LaneArray;
+
+constexpr int kPagesPerWarp = 8;
+constexpr size_t kPage = 4096;
+
+struct Point
+{
+    sim::Cycles cold;
+    sim::Cycles warm;
+};
+
+/** GPU-centric: apointers over GPUfs. */
+Point
+gpuCentric(int blocks, int warps_per_block)
+{
+    int warps = blocks * warps_per_block;
+    gpufs::Config fscfg;
+    fscfg.numFrames = warps * kPagesPerWarp + 2048;
+    fscfg.stagingSlots = 512;
+    Stack st(core::GvmConfig{}, fscfg, size_t(512) << 20);
+    hostio::FileId f =
+        st.bs.create("vm.bin", size_t(warps) * kPagesPerWarp * kPage);
+
+    auto kernel = [&](sim::Warp& w) {
+        auto p = core::gvmmap<uint32_t>(
+            w, *st.rt, size_t(warps) * kPagesPerWarp * kPage,
+            hostio::O_GRDONLY, f, 0);
+        LaneArray<int64_t> seek;
+        for (int l = 0; l < kWarpSize; ++l)
+            seek[l] =
+                int64_t(w.globalWarpId()) * kPagesPerWarp * 1024 + l;
+        p.addPerLane(w, seek);
+        for (int i = 0; i < kPagesPerWarp; ++i) {
+            (void)p.read(w);
+            if (i + 1 < kPagesPerWarp)
+                p.add(w, 1024);
+        }
+        p.destroy(w);
+    };
+    Point pt;
+    pt.cold = st.dev->launch(blocks, warps_per_block, kernel);
+    pt.warm = st.dev->launch(blocks, warps_per_block, kernel);
+    return pt;
+}
+
+/** CPU-centric: hardware VM, faults to the host driver. */
+Point
+cpuCentric(int blocks, int warps_per_block)
+{
+    int warps = blocks * warps_per_block;
+    Stack st(core::GvmConfig{}, gpufs::Config{}, size_t(512) << 20);
+    hostio::FileId f =
+        st.bs.create("vm.bin", size_t(warps) * kPagesPerWarp * kPage);
+    gpufs::CpuCentricVm vm(*st.dev, *st.io,
+                           warps * kPagesPerWarp + 2048);
+
+    auto kernel = [&](sim::Warp& w) {
+        for (int i = 0; i < kPagesPerWarp; ++i) {
+            uint64_t page =
+                uint64_t(w.globalWarpId()) * kPagesPerWarp + i;
+            Addr base = vm.translate(w, f, page);
+            auto addrs = LaneArray<Addr>::iota(base, 4);
+            (void)w.loadGlobal<uint32_t>(addrs);
+        }
+    };
+    Point pt;
+    pt.cold = st.dev->launch(blocks, warps_per_block, kernel);
+    pt.warm = st.dev->launch(blocks, warps_per_block, kernel);
+    return pt;
+}
+
+void
+run()
+{
+    banner("Extension: GPU-centric (Fig. 2) vs CPU-centric (Fig. 1) "
+           "VM management — cycles per faulted page");
+
+    TextTable t;
+    t.header({"warps", "faults", "CPU-centric cold", "GPU-centric cold",
+              "| GPU adv.", "CPU-centric warm", "GPU-centric warm"});
+    for (int blocks : {1, 2, 4, 8, 16, 26}) {
+        int warps = blocks * 32;
+        double faults = double(warps) * kPagesPerWarp;
+        Point cpu = cpuCentric(blocks, 32);
+        Point gpu = gpuCentric(blocks, 32);
+        t.row({std::to_string(warps),
+               std::to_string(static_cast<long>(faults)),
+               TextTable::num(cpu.cold / faults, 0),
+               TextTable::num(gpu.cold / faults, 0),
+               "| x" + TextTable::num(cpu.cold / gpu.cold, 2),
+               TextTable::num(cpu.warm / faults, 0),
+               TextTable::num(gpu.warm / faults, 0)});
+    }
+    t.print(std::cout);
+    std::cout
+        << "\nThe CPU-centric design serves hits for free (hardware "
+           "translation) but serializes fault handling on a few host "
+           "driver contexts; the GPU-centric design pays the software-"
+           "translation tax on warm accesses yet keeps fault cost flat "
+           "as parallelism grows (batched DMA + on-GPU handling) — the "
+           "scalability argument of paper section I.\n";
+}
+
+} // namespace
+} // namespace ap::bench
+
+int
+main()
+{
+    ap::bench::run();
+    return 0;
+}

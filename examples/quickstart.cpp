@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Quickstart: the paper's Figure 3 example, end to end.
+ *
+ * Builds the simulated stack, creates a host file, launches a GPU
+ * kernel that maps the file with gvmmap(), reads and writes it through
+ * an active pointer (taking page faults handled on the GPU), and shows
+ * the write persisting back to the host file.
+ */
+
+#include <cstdio>
+
+#include "core/vm.hh"
+
+using namespace ap;
+
+int
+main()
+{
+    // ---- Host-side setup: a device, host "RAMfs", GPUfs, runtime.
+    sim::Device dev;
+    hostio::BackingStore ramfs;
+    hostio::HostIoEngine io(dev, ramfs);
+    gpufs::GpuFs fs(dev, io, gpufs::Config{});
+    core::GvmRuntime rt(fs); // defaults: prefetching, long, TLB-less
+
+    // A 1 MB file of float values 0, 1, 2, ...
+    const size_t n = 256 * 1024;
+    hostio::FileId fd = ramfs.create("data.bin", n * sizeof(float));
+    for (size_t i = 0; i < n; ++i) {
+        float v = static_cast<float>(i);
+        ramfs.pwrite(fd, &v, sizeof(v), i * sizeof(v));
+    }
+
+    // ---- GPU kernel: one warp, standard pointer semantics.
+    dev.launch(1, 1, [&](sim::Warp& w) {
+        // APtr<float> ptr = gvmmap(size, O_RDWR, fd, 0);
+        auto ptr = core::gvmmap<float>(w, rt, n * sizeof(float),
+                                       hostio::O_GRDWR, fd, 0);
+
+        ptr.add(w, 10); // ptr += 10: pointer arithmetics
+        auto f1 = ptr.read(w); // page fault on the first access
+        std::printf("[gpu] *ptr (all lanes at offset 10) = %.1f\n",
+                    f1[0]);
+
+        // Per-lane strides work too: lane l looks at element 10 + l.
+        ptr.addPerLane(w, sim::LaneArray<int64_t>::iota(0));
+        auto f2 = ptr.read(w); // fault-free: the page is linked
+        std::printf("[gpu] lane 0 sees %.1f, lane 31 sees %.1f\n",
+                    f2[0], f2[31]);
+
+        // *ptr = 25: page-fault free write through the linked pointer.
+        ptr.write(w, sim::LaneArray<float>::broadcast(25.0f));
+
+        ptr.destroy(w); // leaves scope: unlinked, references dropped
+    });
+
+    // ---- The write is visible on the host after writeback.
+    fs.cache().flushDirtyHost();
+    float v = 0;
+    ramfs.pread(fd, &v, sizeof(v), 10 * sizeof(float));
+    std::printf("[host] file[10] after GPU write = %.1f (expected "
+                "25.0)\n",
+                v);
+
+    std::printf("[stats] major faults: %llu, minor faults: %llu, "
+                "simulated kernel time: %.1f us\n",
+                (unsigned long long)dev.stats().counter(
+                    "gpufs.major_faults"),
+                (unsigned long long)dev.stats().counter(
+                    "gpufs.minor_faults"),
+                dev.toSeconds(dev.engine().now()) * 1e6);
+    return 0;
+}

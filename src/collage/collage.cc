@@ -1,0 +1,440 @@
+#include "collage/collage.hh"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "util/logging.hh"
+
+namespace ap::collage {
+
+using core::AptrVec;
+using sim::Addr;
+using sim::kWarpSize;
+using sim::LaneArray;
+using sim::Warp;
+
+namespace {
+
+/** Warps per threadblock for the collage kernels. */
+constexpr int kCollageWarpsPerBlock = 8;
+
+/** float words per histogram record body. */
+constexpr int kHistWords = kBins;
+
+/** Records are streamed with 16-byte vector loads (like the paper's
+ * 16-byte batched loads of section VI-B). */
+struct F4
+{
+    float v[4];
+};
+
+/** 16-byte loads per record. */
+constexpr int kRecF4 = kHistWords / 4;
+
+/** Grid size for one warp per input block. */
+int
+gridBlocks(uint32_t num_blocks)
+{
+    return static_cast<int>(
+        (num_blocks + kCollageWarpsPerBlock - 1) / kCollageWarpsPerBlock);
+}
+
+/** Input pixels + (optionally) the LSH bucket index, on the device. */
+struct DeviceInput
+{
+    Addr pixels = 0;
+    Addr bucketOffs = 0; ///< prefix offsets, tables*numBuckets+1 words
+    Addr bucketIds = 0;
+    sim::Cycles uploadCycles = 0;
+};
+
+/**
+ * Copy the input (and bucket index) into device memory, charging one
+ * PCIe transfer per buffer.
+ */
+DeviceInput
+upload(sim::Device& dev, const Dataset& ds, const CollageInput& in,
+       bool with_index)
+{
+    const sim::CostModel& cm = dev.costModel();
+    DeviceInput d;
+    size_t pixel_bytes = in.pixels.size() * 4;
+    d.pixels = dev.mem().alloc(pixel_bytes, 4096);
+    for (size_t i = 0; i < in.pixels.size(); ++i)
+        dev.mem().store<uint32_t>(d.pixels + i * 4, in.pixels[i]);
+    double bytes = static_cast<double>(pixel_bytes);
+
+    if (with_index) {
+        uint32_t cells = static_cast<uint32_t>(ds.buckets.size());
+        std::vector<uint32_t> offs(cells + 1, 0);
+        size_t total = 0;
+        for (uint32_t c = 0; c < cells; ++c) {
+            offs[c] = static_cast<uint32_t>(total);
+            total += ds.buckets[c].size();
+        }
+        offs[cells] = static_cast<uint32_t>(total);
+        d.bucketOffs = dev.mem().alloc((cells + 1) * 4, 256);
+        d.bucketIds = dev.mem().alloc(std::max<size_t>(total, 1) * 4, 256);
+        for (uint32_t c = 0; c <= cells; ++c)
+            dev.mem().store<uint32_t>(d.bucketOffs + c * 4, offs[c]);
+        size_t k = 0;
+        for (uint32_t c = 0; c < cells; ++c)
+            for (uint32_t id : ds.buckets[c])
+                dev.mem().store<uint32_t>(d.bucketIds + (k++) * 4, id);
+        bytes += (cells + 1 + total) * 4.0;
+    }
+    d.uploadCycles = cm.pcieLatency + bytes / cm.pcieBytesPerCycle;
+    return d;
+}
+
+/**
+ * Device stage: read one block's pixels and build its histogram.
+ * Charged per the kernel's real work; functional result is exact.
+ */
+std::vector<float>
+kernelBlockHistogram(Warp& w, Addr pixels, uint32_t blk)
+{
+    std::vector<uint32_t> px(kBlockPixels);
+    Addr base = pixels + static_cast<Addr>(blk) * kBlockPixels * 4;
+    for (int it = 0; it < kBlockPixels / kWarpSize; ++it) {
+        LaneArray<Addr> a;
+        for (int l = 0; l < kWarpSize; ++l)
+            a[l] = base + (it * kWarpSize + l) * 4;
+        auto v = w.loadGlobal<uint32_t>(a);
+        // Three scratchpad bin increments per pixel.
+        w.issue(6);
+        for (int l = 0; l < kWarpSize; ++l)
+            px[it * kWarpSize + l] = v[l];
+    }
+    std::vector<float> hist(kBins);
+    blockHistogram(px.data(), hist.data());
+    return hist;
+}
+
+/** Device stage: charge the LSH key computation for all tables. */
+void
+chargeLsh(Warp& w, const Dataset& ds)
+{
+    // 2*K*kBins flops per table, 32 lanes, ~2 flops per instruction,
+    // plus the reduction shuffles.
+    int per_table = static_cast<int>(ds.lsh.flopsPerQueryTable() /
+                                     kWarpSize / 2) +
+                    10;
+    for (int t = 0; t < ds.lsh.tables(); ++t)
+        w.issue(per_table);
+}
+
+/** Device stage: fetch the candidate id list of one block. */
+std::vector<uint32_t>
+kernelCandidates(Warp& w, const Dataset& ds,
+                 const std::vector<float>& hist)
+{
+    std::vector<uint32_t> cand = candidatesOf(ds, hist.data());
+    // Two offset reads per table plus the id list itself.
+    w.issue(4 * ds.lsh.tables());
+    w.chargeGlobalRead(64.0 * ds.lsh.tables());
+    w.chargeGlobalRead(static_cast<double>(cand.size()) * 4.0);
+    return cand;
+}
+
+/**
+ * Device stage: the distance computation over one already-loaded
+ * record. The loaded bytes come from the implementation's own data
+ * path, so a bug in the page cache or apointers shows up as a wrong
+ * collage, not just wrong timing.
+ */
+float
+kernelDistance(Warp& w, const std::vector<float>& hist,
+               const std::vector<float>& rec)
+{
+    // 3 flops per bin across 32 lanes + final butterfly reduction.
+    w.issue(kHistWords / kWarpSize * 3 + 10);
+    return histDistance(hist.data(), rec.data());
+}
+
+/** Track the running argmin (ties: lowest id). */
+void
+takeBest(uint32_t cand, float dist, uint32_t& best, float& best_dist)
+{
+    if (best == UINT32_MAX || dist < best_dist ||
+        (dist == best_dist && cand < best)) {
+        best = cand;
+        best_dist = dist;
+    }
+}
+
+} // namespace
+
+std::vector<uint32_t>
+candidatesOf(const Dataset& ds, const float* hist)
+{
+    std::vector<uint32_t> cand;
+    for (int t = 0; t < ds.lsh.tables(); ++t) {
+        const auto& b = ds.bucket(t, ds.lsh.bucketOf(hist, t));
+        cand.insert(cand.end(), b.begin(), b.end());
+    }
+    return cand;
+}
+
+uint32_t
+bestCandidate(const Dataset& ds, const float* hist,
+              const std::vector<uint32_t>& candidates)
+{
+    uint32_t best = UINT32_MAX;
+    float best_dist = 0;
+    for (uint32_t c : candidates) {
+        float d = histDistance(hist, ds.histogram(c));
+        takeBest(c, d, best, best_dist);
+    }
+    return best;
+}
+
+CollageResult
+runCpu(const Dataset& ds, const CollageInput& in, const cpu::CpuModel& cm)
+{
+    CollageResult r;
+    r.choice.resize(in.numBlocks, UINT32_MAX);
+    cpu::CpuCost cost;
+
+    std::vector<float> hist(kBins);
+    for (uint32_t blk = 0; blk < in.numBlocks; ++blk) {
+        const uint32_t* px =
+            in.pixels.data() + static_cast<size_t>(blk) * kBlockPixels;
+        blockHistogram(px, hist.data());
+        // Histogram: 3 scalar increments per pixel + the pixel reads.
+        cost.addScalarOps(kBlockPixels * 4.0);
+        cost.addBytes(kBlockPixels * 4.0);
+
+        cost.addVectorFlops(ds.lsh.flopsPerQueryTable() *
+                            ds.lsh.tables());
+        auto cand = candidatesOf(ds, hist.data());
+        for (uint32_t c : cand) {
+            (void)c;
+            // The mmap'd dataset streams each scanned record through
+            // the vector units (3 flops/bin); repeated candidates come
+            // out of the cache hierarchy.
+            cost.addVectorFlops(3.0 * kBins);
+            cost.addScanBytes(kBins * 4.0);
+        }
+        r.candidatesScanned += cand.size();
+        r.choice[blk] = bestCandidate(ds, hist.data(), cand);
+    }
+    r.seconds = cost.seconds(cm);
+    return r;
+}
+
+CollageResult
+runHybrid(sim::Device& dev, const Dataset& ds, const CollageInput& in,
+          const cpu::CpuModel& cm)
+{
+    CollageResult r;
+    r.choice.resize(in.numBlocks, UINT32_MAX);
+    const sim::CostModel& gcm = dev.costModel();
+
+    // The input is processed in chunks: the candidate blob of a whole
+    // large input does not fit GPU memory, and the CPU gather stage
+    // pipelines per chunk. Deduplication only happens *within* a
+    // chunk — the hybrid has no page cache, so records shared across
+    // chunks are re-read and re-transferred every time. This is the
+    // structural disadvantage vs. GPUfs that Fig. 9 exposes as data
+    // reuse grows.
+    constexpr uint32_t kChunkBlocks = 128;
+
+    // ---- Upload input pixels (no index: the CPU owns the buckets).
+    DeviceInput d = upload(dev, ds, in, /*with_index=*/false);
+    Addr out = dev.mem().alloc(in.numBlocks * 4, 256);
+    // Reusable device blob arena, one chunk's candidates at a time.
+    size_t blob_capacity = 0;
+    Addr blob = 0;
+    sim::Cycles total = d.uploadCycles;
+
+    std::vector<std::vector<float>> hists(in.numBlocks);
+    for (uint32_t chunk0 = 0; chunk0 < in.numBlocks;
+         chunk0 += kChunkBlocks) {
+        uint32_t chunk_n =
+            std::min(kChunkBlocks, in.numBlocks - chunk0);
+
+        // ---- Kernel 1: histograms + LSH keys for this chunk.
+        total += dev.launch(
+            gridBlocks(chunk_n), kCollageWarpsPerBlock, [&](Warp& w) {
+                uint32_t blk =
+                    chunk0 + static_cast<uint32_t>(w.globalWarpId());
+                if (blk >= chunk0 + chunk_n)
+                    return;
+                auto hist = kernelBlockHistogram(w, d.pixels, blk);
+                chargeLsh(w, ds);
+                w.chargeGlobalWrite(ds.lsh.tables() * 4.0);
+                hists[blk] = std::move(hist);
+            });
+
+        // ---- Keys back to the host.
+        total += gcm.pcieLatency + chunk_n * ds.lsh.tables() * 4.0 /
+                                       gcm.pcieBytesPerCycle;
+
+        // ---- CPU stage: gather, dedup (within the chunk), read the
+        //      candidate records from the host file system.
+        cpu::CpuCost host;
+        std::vector<std::vector<uint32_t>> cand(chunk_n);
+        std::unordered_map<uint32_t, uint32_t> blob_index;
+        std::vector<uint32_t> blob_images;
+        for (uint32_t i = 0; i < chunk_n; ++i) {
+            cand[i] = candidatesOf(ds, hists[chunk0 + i].data());
+            r.candidatesScanned += cand[i].size();
+            host.addScalarOps(20.0 * cand[i].size());
+            for (uint32_t c : cand[i]) {
+                if (blob_index.emplace(c, (uint32_t)blob_images.size())
+                        .second) {
+                    blob_images.push_back(c);
+                    host.addFileReads(1);
+                    host.addBytes(ds.params.recordSize);
+                }
+            }
+        }
+        total += host.seconds(cm) * gcm.clockGhz * 1e9;
+
+        // ---- Upload this chunk's blob + candidate lists.
+        size_t blob_bytes = blob_images.size() * kHistWords * 4;
+        if (blob_bytes > blob_capacity) {
+            blob_capacity = std::max<size_t>(blob_bytes, 4);
+            blob = dev.mem().alloc(blob_capacity, 256);
+        }
+        for (size_t i = 0; i < blob_images.size(); ++i) {
+            const float* h = ds.histogram(blob_images[i]);
+            for (int k = 0; k < kHistWords; ++k)
+                dev.mem().store<float>(blob + (i * kHistWords + k) * 4,
+                                       h[k]);
+        }
+        double list_bytes = 0;
+        for (auto& c : cand)
+            list_bytes += 4.0 * c.size() + 8.0;
+        total += gcm.pcieLatency +
+                 (blob_bytes + list_bytes) / gcm.pcieBytesPerCycle;
+
+        // ---- Kernel 2: distance search over the chunk blob.
+        total += dev.launch(
+            gridBlocks(chunk_n), kCollageWarpsPerBlock, [&](Warp& w) {
+                uint32_t i = static_cast<uint32_t>(w.globalWarpId());
+                if (i >= chunk_n)
+                    return;
+                uint32_t blk = chunk0 + i;
+                uint32_t best = UINT32_MAX;
+                float best_dist = 0;
+                std::vector<float> rec(kHistWords);
+                for (uint32_t c : cand[i]) {
+                    uint32_t slot = blob_index[c];
+                    Addr rbase =
+                        blob + static_cast<Addr>(slot) * kHistWords * 4;
+                    for (int it = 0; it * kWarpSize < kRecF4; ++it) {
+                        LaneArray<Addr> a;
+                        for (int l = 0; l < kWarpSize; ++l)
+                            a[l] = rbase + (it * kWarpSize + l) * 16;
+                        auto v = w.loadGlobal<F4>(a);
+                        for (int l = 0; l < kWarpSize; ++l)
+                            for (int k = 0; k < 4; ++k)
+                                rec[(it * kWarpSize + l) * 4 + k] =
+                                    v[l].v[k];
+                    }
+                    float dist = kernelDistance(w, hists[blk], rec);
+                    takeBest(c, dist, best, best_dist);
+                }
+                w.storeScalar<uint32_t>(out + blk * 4, best);
+                r.choice[blk] = best;
+            });
+    }
+
+    r.seconds = gcm.toSeconds(total);
+    return r;
+}
+
+CollageResult
+runGpufs(core::GvmRuntime& rt, const Dataset& ds, const CollageInput& in,
+         bool use_aptr)
+{
+    sim::Device& dev = rt.fs().device();
+    gpufs::GpuFs& fs = rt.fs();
+    const sim::CostModel& gcm = dev.costModel();
+    if (!use_aptr)
+        AP_ASSERT(ds.params.recordSize == fs.pageSize(),
+                  "the gmmap implementation requires page-aligned "
+                  "records (the paper's unaligned variant needs "
+                  "apointers)");
+
+    CollageResult r;
+    r.choice.resize(in.numBlocks, UINT32_MAX);
+
+    DeviceInput d = upload(dev, ds, in, /*with_index=*/true);
+    Addr out = dev.mem().alloc(in.numBlocks * 4, 256);
+    sim::Cycles total = d.uploadCycles;
+
+    uint64_t file_bytes =
+        static_cast<uint64_t>(ds.params.numImages) * ds.params.recordSize;
+
+    total += dev.launch(
+        gridBlocks(in.numBlocks), kCollageWarpsPerBlock, [&](Warp& w) {
+            uint32_t blk = static_cast<uint32_t>(w.globalWarpId());
+            if (blk >= in.numBlocks)
+                return;
+            auto hist = kernelBlockHistogram(w, d.pixels, blk);
+            chargeLsh(w, ds);
+            auto cand = kernelCandidates(w, ds, hist);
+            r.candidatesScanned += cand.size();
+
+            // The whole dataset is mapped once per warp (apointers).
+            AptrVec<F4> map;
+            if (use_aptr)
+                map = core::gvmmap<F4>(w, rt, file_bytes,
+                                       hostio::O_GRDONLY, ds.histFile, 0);
+
+            uint32_t best = UINT32_MAX;
+            float best_dist = 0;
+            std::vector<float> rec(kHistWords);
+            for (uint32_t c : cand) {
+                uint64_t roff = ds.recordOffset(c);
+                if (use_aptr) {
+                    // Per-lane strided 16 B reads via active pointers.
+                    auto q = map.copyUnlinked(w);
+                    LaneArray<int64_t> seek;
+                    for (int l = 0; l < kWarpSize; ++l)
+                        seek[l] = static_cast<int64_t>(roff / 16) + l;
+                    q.addPerLane(w, seek);
+                    for (int it = 0; it * kWarpSize < kRecF4; ++it) {
+                        auto v = q.read(w);
+                        for (int l = 0; l < kWarpSize; ++l)
+                            for (int k = 0; k < 4; ++k)
+                                rec[(it * kWarpSize + l) * 4 + k] =
+                                    v[l].v[k];
+                        if ((it + 1) * kWarpSize < kRecF4)
+                            q.add(w, kWarpSize);
+                    }
+                    q.destroy(w);
+                } else {
+                    // gmmap the record's page and read it raw.
+                    Addr rbase =
+                        fs.gmmap(w, ds.histFile, roff, hostio::O_GRDONLY);
+                    for (int it = 0; it * kWarpSize < kRecF4; ++it) {
+                        LaneArray<Addr> a;
+                        for (int l = 0; l < kWarpSize; ++l)
+                            a[l] = rbase + (it * kWarpSize + l) * 16;
+                        auto v = w.loadGlobal<F4>(a);
+                        for (int l = 0; l < kWarpSize; ++l)
+                            for (int k = 0; k < 4; ++k)
+                                rec[(it * kWarpSize + l) * 4 + k] =
+                                    v[l].v[k];
+                    }
+                    fs.gmunmap(w, ds.histFile, roff);
+                }
+                float dist = kernelDistance(w, hist, rec);
+                takeBest(c, dist, best, best_dist);
+            }
+            if (use_aptr)
+                map.destroy(w);
+            w.storeScalar<uint32_t>(out + blk * 4, best);
+        });
+
+    for (uint32_t blk = 0; blk < in.numBlocks; ++blk)
+        r.choice[blk] = dev.mem().load<uint32_t>(out + blk * 4);
+    r.seconds = gcm.toSeconds(total);
+    return r;
+}
+
+} // namespace ap::collage

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * The four image-collage implementations evaluated in paper Fig. 9:
+ *
+ *  1. CPU-only     — 12-core AVX baseline (analytic roofline timing)
+ *  2. CPU+GPU      — GPU computes LSH keys, CPU gathers candidates and
+ *                    re-invokes the GPU to search them (no GPUfs)
+ *  3. GPUfs        — everything in one GPU kernel, candidates read
+ *                    through gmmap on the page cache
+ *  4. GPUfs+APtr   — as GPUfs, but the whole dataset file is mapped
+ *                    once with gvmmap and accessed via active pointers
+ *
+ * All four produce bit-identical winner indices; only their costs
+ * differ. Implementation 3 requires page-aligned (4 KB) records;
+ * implementation 4 also works with packed 3 KB records — the paper's
+ * unaligned-access usability result.
+ */
+
+#ifndef AP_COLLAGE_COLLAGE_HH
+#define AP_COLLAGE_COLLAGE_HH
+
+#include "collage/dataset.hh"
+#include "core/vm.hh"
+#include "cpu/cpu_model.hh"
+
+namespace ap::collage {
+
+/** Result of one collage run. */
+struct CollageResult
+{
+    /** Winning dataset image per block; UINT32_MAX if no candidate. */
+    std::vector<uint32_t> choice;
+
+    /** End-to-end time in seconds (model time, both CPU and GPU). */
+    double seconds = 0;
+
+    /** Total candidate histograms scanned (cost diagnostics). */
+    uint64_t candidatesScanned = 0;
+};
+
+/** Reference winner computation (shared by every implementation). */
+uint32_t bestCandidate(const Dataset& ds, const float* hist,
+                       const std::vector<uint32_t>& candidates);
+
+/** Candidate ids of a block histogram, in table order (with dups). */
+std::vector<uint32_t> candidatesOf(const Dataset& ds, const float* hist);
+
+/** Implementation 1: CPU-only (TBB + AVX model). */
+CollageResult runCpu(const Dataset& ds, const CollageInput& in,
+                     const cpu::CpuModel& cm);
+
+/**
+ * Implementation 2: CPU+GPU split. Uses @p dev for the two kernels and
+ * @p cm for the host gather stage between them.
+ */
+CollageResult runHybrid(sim::Device& dev, const Dataset& ds,
+                        const CollageInput& in, const cpu::CpuModel& cm);
+
+/**
+ * Implementations 3 and 4: all stages in one GPU kernel, candidates
+ * read through the page cache.
+ *
+ * @param rt       the ActivePointers runtime (supplies device + GPUfs;
+ *                 the dataset files must live in its backing store)
+ * @param use_aptr false = gmmap per record (requires 4 KB records),
+ *                 true = one gvmmap of the whole file + apointers
+ */
+CollageResult runGpufs(core::GvmRuntime& rt, const Dataset& ds,
+                       const CollageInput& in, bool use_aptr);
+
+} // namespace ap::collage
+
+#endif // AP_COLLAGE_COLLAGE_HH

@@ -1,0 +1,161 @@
+#include "collage/dataset.hh"
+
+#include <cmath>
+#include <cstring>
+
+#include "util/logging.hh"
+#include "util/rng.hh"
+
+namespace ap::collage {
+
+namespace {
+
+/**
+ * Generate one image's histogram: three independent channel
+ * distributions, each a mixture of a few peaks, scaled so every
+ * channel's bins sum to kBlockPixels. Matching the scale of block
+ * histograms keeps queries and dataset records directly comparable.
+ */
+void
+generateHistogram(SplitMix64& rng, float* hist)
+{
+    for (int c = 0; c < 3; ++c) {
+        float* h = hist + c * 256;
+        double total = 0;
+        int peaks = 2 + static_cast<int>(rng.nextBounded(3));
+        std::vector<double> weight(256, 0.01);
+        for (int p = 0; p < peaks; ++p) {
+            int center = static_cast<int>(rng.nextBounded(256));
+            double sigma = 4 + rng.nextFloat() * 24;
+            double amp = 0.2 + rng.nextFloat();
+            for (int b = 0; b < 256; ++b) {
+                double d = (b - center) / sigma;
+                weight[b] += amp * std::exp(-0.5 * d * d);
+            }
+        }
+        for (int b = 0; b < 256; ++b)
+            total += weight[b];
+        for (int b = 0; b < 256; ++b)
+            h[b] = static_cast<float>(weight[b] / total * kBlockPixels);
+    }
+}
+
+/** Sample a channel level from a histogram treated as a distribution. */
+int
+sampleLevel(SplitMix64& rng, const float* channel_hist)
+{
+    float target = rng.nextFloat() * kBlockPixels;
+    float acc = 0;
+    for (int b = 0; b < 256; ++b) {
+        acc += channel_hist[b];
+        if (acc >= target)
+            return b;
+    }
+    return 255;
+}
+
+} // namespace
+
+Dataset
+Dataset::build(hostio::BackingStore& bs, const DatasetParams& p)
+{
+    AP_ASSERT(p.recordSize >= kBins * sizeof(float),
+              "record too small for a histogram");
+    Dataset ds;
+    ds.params = p;
+    uint32_t nb = p.numBuckets ? p.numBuckets
+                               : std::max(1u, p.numImages / 8);
+    ds.lsh = Lsh(p.lshTables, p.lshProjections, p.lshWidth, nb, p.seed);
+
+    SplitMix64 rng(p.seed * 0x9e3779b9ULL + 1);
+    ds.hists.resize(static_cast<size_t>(p.numImages) * kBins);
+    for (uint32_t i = 0; i < p.numImages; ++i)
+        generateHistogram(rng, ds.hists.data() +
+                                   static_cast<size_t>(i) * kBins);
+
+    // Histogram record file (page-padded or packed).
+    ds.histFile = bs.create("collage_hist.bin",
+                            static_cast<size_t>(p.numImages) *
+                                p.recordSize);
+    for (uint32_t i = 0; i < p.numImages; ++i)
+        bs.pwrite(ds.histFile, ds.histogram(i), kBins * sizeof(float),
+                  ds.recordOffset(i));
+
+    // LSH bucket index.
+    ds.buckets.assign(static_cast<size_t>(p.lshTables) * nb, {});
+    for (uint32_t i = 0; i < p.numImages; ++i)
+        for (int t = 0; t < p.lshTables; ++t)
+            ds.buckets[static_cast<size_t>(t) * nb +
+                       ds.lsh.bucketOf(ds.histogram(i), t)]
+                .push_back(i);
+    return ds;
+}
+
+CollageInput
+makeInput(const Dataset& ds, const InputParams& p)
+{
+    AP_ASSERT(p.reuse >= 1.0, "reuse must be at least 1");
+    CollageInput in;
+    in.numBlocks = p.numBlocks;
+    in.reuse = p.reuse;
+    in.pixels.resize(static_cast<size_t>(p.numBlocks) * kBlockPixels);
+
+    SplitMix64 rng(p.seed * 77 + 13);
+    uint32_t distinct = std::max<uint32_t>(
+        1, static_cast<uint32_t>(p.numBlocks / p.reuse));
+
+    // Real images contain repeated content: blocks with identical
+    // pixels recur across the input (sky, walls, textures), and it is
+    // exactly this repetition that produces the data reuse the paper
+    // annotates in Fig. 9. We synthesize it structurally: `distinct`
+    // block patterns are sampled from dataset images, and every input
+    // block copies one pattern, giving an average reuse of
+    // numBlocks/distinct.
+    std::vector<std::vector<uint32_t>> patterns(distinct);
+    for (uint32_t d = 0; d < distinct; ++d) {
+        uint32_t img =
+            static_cast<uint32_t>(rng.nextBounded(ds.params.numImages));
+        const float* h = ds.histogram(img);
+        patterns[d].resize(kBlockPixels);
+        for (int i = 0; i < kBlockPixels; ++i) {
+            int r = sampleLevel(rng, h);
+            int g = sampleLevel(rng, h + 256);
+            int b = sampleLevel(rng, h + 512);
+            patterns[d][i] = (static_cast<uint32_t>(r) << 16) |
+                             (static_cast<uint32_t>(g) << 8) |
+                             static_cast<uint32_t>(b);
+        }
+    }
+    for (uint32_t blk = 0; blk < p.numBlocks; ++blk) {
+        const auto& pat = patterns[rng.nextBounded(distinct)];
+        std::memcpy(in.pixels.data() +
+                        static_cast<size_t>(blk) * kBlockPixels,
+                    pat.data(), kBlockPixels * 4);
+    }
+    return in;
+}
+
+void
+blockHistogram(const uint32_t* pixels, float* hist)
+{
+    std::memset(hist, 0, kBins * sizeof(float));
+    for (int i = 0; i < kBlockPixels; ++i) {
+        uint32_t px = pixels[i];
+        hist[(px >> 16) & 0xff] += 1.0f;
+        hist[256 + ((px >> 8) & 0xff)] += 1.0f;
+        hist[512 + (px & 0xff)] += 1.0f;
+    }
+}
+
+float
+histDistance(const float* a, const float* b)
+{
+    float d = 0;
+    for (int i = 0; i < kBins; ++i) {
+        float x = a[i] - b[i];
+        d += x * x;
+    }
+    return d;
+}
+
+} // namespace ap::collage

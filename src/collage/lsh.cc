@@ -1,0 +1,43 @@
+#include "collage/lsh.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+#include "util/rng.hh"
+
+namespace ap::collage {
+
+Lsh::Lsh(int tables, int projections, float width, uint32_t num_buckets,
+         uint64_t seed)
+    : nTables(tables), nProj(projections), quantWidth(width),
+      nBuckets(num_buckets)
+{
+    AP_ASSERT(tables > 0 && projections > 0 && num_buckets > 0,
+              "degenerate LSH configuration");
+    SplitMix64 rng(seed);
+    proj.resize(static_cast<size_t>(tables) * projections * kBins);
+    bias.resize(static_cast<size_t>(tables) * projections);
+    for (auto& v : proj)
+        v = rng.nextGaussian();
+    for (auto& b : bias)
+        b = rng.nextFloat() * quantWidth;
+}
+
+uint32_t
+Lsh::bucketOf(const float* hist, int t) const
+{
+    uint64_t h = 1469598103934665603ULL; // FNV offset basis
+    for (int j = 0; j < nProj; ++j) {
+        const float* a = projection(t, j);
+        float dot = 0;
+        for (int i = 0; i < kBins; ++i)
+            dot += hist[i] * a[i];
+        int64_t key = static_cast<int64_t>(
+            std::floor((dot + bias[static_cast<size_t>(t) * nProj + j]) /
+                       quantWidth));
+        h = (h ^ static_cast<uint64_t>(key)) * 1099511628211ULL;
+    }
+    return static_cast<uint32_t>(h % nBuckets);
+}
+
+} // namespace ap::collage

@@ -1,0 +1,605 @@
+/**
+ * @file
+ * ActivePointers: the paper's primary contribution. An AptrVec<T> is a
+ * warp's worth of per-thread apointers (one per lane, lockstep), each
+ * carrying a 64-bit translation field that would live in a hardware
+ * register on a real GPU. Dereferencing a linked apointer is
+ * page-fault free and needs no table lookup; unlinked apointers fault
+ * into the GPU-resident handler, which performs warp-level translation
+ * aggregation (paper Listing 1): subgroups of lanes faulting on the
+ * same page elect a leader via ballot/ffs/shfl, the leader alone
+ * touches the shared page cache (deadlock freedom), and the page
+ * reference count is bumped once by the subgroup size.
+ *
+ * State machine (paper Figure 4): uninitialized -> unlinked (gvmmap or
+ * assignment) -> linked (first access) -> unlinked (pointer arithmetic
+ * crossing a page boundary, assignment, destruction).
+ */
+
+#ifndef AP_CORE_APTR_HH
+#define AP_CORE_APTR_HH
+
+#include "core/runtime.hh"
+#include "core/translation.hh"
+
+namespace ap::core {
+
+/**
+ * A warp-wide vector of active pointers to elements of type T. All
+ * methods must be called by the warp as a whole (lockstep), mirroring
+ * how per-thread apointer code executes on real SIMT hardware.
+ */
+template <typename T>
+class AptrVec
+{
+  public:
+    /** Creates an uninitialized apointer (paper Figure 4). */
+    AptrVec() = default;
+
+    /**
+     * gvmmap: map @p length bytes of file @p f starting at @p f_offset
+     * into avirtual memory and return an unlinked apointer to the
+     * start of the region, in every lane.
+     *
+     * @param w        calling warp
+     * @param rt       translation-layer runtime
+     * @param f        backing file
+     * @param f_offset byte offset of the mapping within the file
+     * @param length   mapping length in bytes
+     * @param perm     kPermRead / kPermWrite combination
+     */
+    static AptrVec
+    map(sim::Warp& w, GvmRuntime& rt, hostio::FileId f, uint64_t f_offset,
+        uint64_t length, uint64_t perm)
+    {
+        AP_ASSERT(f >= 0, "gvmmap of invalid file");
+        AP_ASSERT(length > 0, "gvmmap of empty region");
+        const size_t page = rt.pageSize();
+        if (rt.config().kind == AptrKind::Short) {
+            // Short apointers reach 2^28 file pages (section IV-B).
+            AP_ASSERT(fitsBits((f_offset + length - 1) / page,
+                               kShortXpageWidth),
+                      "file too large for short apointers");
+        } else {
+            AP_ASSERT(fitsBits(f_offset + length - 1, kLongPayloadWidth),
+                      "file too large for long apointers");
+        }
+
+        AptrVec p;
+        p.rt_ = &rt;
+        p.file = f;
+        p.mapOffset = f_offset;
+        p.mapLength = length;
+        p.perm = perm;
+        for (int l = 0; l < sim::kWarpSize; ++l)
+            p.field[l] = p.packUnlinked(f_offset);
+        // gvmmap itself: argument marshalling and field construction.
+        w.issue(6);
+        w.stats().inc("core.gvmmaps");
+        return p;
+    }
+
+    /**
+     * Map an anonymous, swap-backed region: pages are zero-filled on
+     * first touch with no host transfer, and dirty pages spill to the
+     * runtime's swap file under memory pressure — scratch memory
+     * larger than the page cache (and than GPU memory), paged on
+     * demand.
+     *
+     * @param w      calling warp
+     * @param rt     translation-layer runtime (owns the swap file)
+     * @param length region length in bytes
+     */
+    static AptrVec
+    mapAnonymous(sim::Warp& w, GvmRuntime& rt, uint64_t length)
+    {
+        uint64_t off = rt.swapAlloc(length);
+        AptrVec p = map(w, rt, rt.swapFileId(), off, length,
+                        kPermRead | kPermWrite);
+        p.zeroFill = true;
+        return p;
+    }
+
+    /**
+     * Map a raw region of GPU global memory (no file, no page cache).
+     * This is the setup of the paper's section VI-A/B microbenchmarks:
+     * "apointers initialized to map a region in the GPU global memory
+     * ... calls to the GPUfs layer are excluded". Faults still run the
+     * full aggregation and translation logic, but resolve to
+     * base + page * pageSize with no reference counting.
+     */
+    static AptrVec
+    mapDirect(sim::Warp& w, GvmRuntime& rt, sim::Addr base,
+              uint64_t length, uint64_t perm)
+    {
+        AP_ASSERT(base % rt.pageSize() == 0,
+                  "direct mapping must be page aligned");
+        AptrVec p;
+        p.rt_ = &rt;
+        p.file = kDirectFile;
+        p.directBase = base;
+        p.mapOffset = 0;
+        p.mapLength = length;
+        p.perm = perm;
+        for (int l = 0; l < sim::kWarpSize; ++l)
+            p.field[l] = p.packUnlinked(0);
+        w.issue(6);
+        return p;
+    }
+
+    /** True once map()/assignment initialized this apointer. */
+    bool initialized() const { return rt_ != nullptr; }
+
+    /** True iff lane @p lane holds a valid translation. */
+    bool linked(int lane) const { return translationValid(field[lane]); }
+
+    /** Current file byte offset lane @p lane points at. */
+    uint64_t
+    fileOffset(int lane) const
+    {
+        const uint64_t t = field[lane];
+        const uint64_t page = rt_->pageSize();
+        if (rt_->config().kind == AptrKind::Short)
+            return shortXpage(t) * page + shortOff(t);
+        if (translationValid(t))
+            return curXpage[lane] * page + longPayload(t) % page;
+        return longPayload(t);
+    }
+
+    /**
+     * Pointer arithmetic: advance every lane by @p delta elements
+     * (ptr += delta). Lanes that stay within their page remain linked;
+     * lanes that cross a page boundary transition to unlinked and
+     * return their page references (paper Figure 4).
+     */
+    void
+    add(sim::Warp& w, int64_t delta)
+    {
+        addBytes(w, sim::LaneArray<int64_t>::broadcast(
+                        delta * static_cast<int64_t>(sizeof(T))),
+                 sim::kFullMask);
+    }
+
+    /** Per-lane pointer arithmetic (in elements). */
+    void
+    addPerLane(sim::Warp& w, const sim::LaneArray<int64_t>& delta,
+               sim::LaneMask mask = sim::kFullMask)
+    {
+        sim::LaneArray<int64_t> bytes;
+        for (int l = 0; l < sim::kWarpSize; ++l)
+            bytes[l] = delta[l] * static_cast<int64_t>(sizeof(T));
+        addBytes(w, bytes, mask);
+    }
+
+    /**
+     * Assignment semantics: the copy starts unlinked at the same
+     * positions and holds no references ("an apointer transitions to
+     * the unlinked state when it is assigned from another apointer").
+     */
+    AptrVec
+    copyUnlinked(sim::Warp& w) const
+    {
+        AptrVec p;
+        p.rt_ = rt_;
+        p.file = file;
+        p.directBase = directBase;
+        p.zeroFill = zeroFill;
+        p.mapOffset = mapOffset;
+        p.mapLength = mapLength;
+        p.perm = perm;
+        for (int l = 0; l < sim::kWarpSize; ++l)
+            p.field[l] = p.packUnlinked(fileOffset(l));
+        w.issue(4);
+        return p;
+    }
+
+    /**
+     * End of scope: unlink every lane (releasing references) and
+     * return to the uninitialized state. Must be called before the
+     * apointer is abandoned; ScopedAptr automates this.
+     */
+    void
+    destroy(sim::Warp& w)
+    {
+        if (!initialized())
+            return;
+        sim::LaneMask linked_lanes = 0;
+        for (int l = 0; l < sim::kWarpSize; ++l)
+            if (translationValid(field[l]))
+                linked_lanes |= 1u << l;
+        if (linked_lanes)
+            releaseLanes(w, linked_lanes);
+        rt_ = nullptr;
+        file = -1;
+        field = {};
+    }
+
+    /**
+     * Dereference for read: *ptr on every lane in @p mask. Lanes with
+     * valid translations never diverge; any invalid lane routes the
+     * warp through the aggregated fault handler first.
+     */
+    sim::LaneArray<T>
+    read(sim::Warp& w, sim::LaneMask mask = sim::kFullMask)
+    {
+        AP_ASSERT(initialized(), "dereference of uninitialized apointer");
+        const AptrCosts& c = rt_->costs();
+        if (rt_->config().permChecks)
+            checkPerm(w, kPermRead);
+        w.issue(c.derefSetup);
+
+        if (rt_->config().mode == AccessMode::Prefetch) {
+            // Speculative prefetch (section IV-B): issue the load for
+            // currently-linked lanes in parallel with the valid vote.
+            sim::LaneMask valid_mask = validMask() & mask;
+            sim::PendingLoad<T> pending;
+            if (valid_mask)
+                pending =
+                    w.loadGlobalAsync<T>(aphysAddrs(), valid_mask);
+            bool fault = voteFault(w, mask);
+            w.issue(c.derefCheck);
+            if (!fault) {
+                w.waitUntil(pending.readyAt);
+                return pending.value;
+            }
+            pageFault(w, mask);
+            return w.loadGlobal<T>(aphysAddrs(), mask);
+        }
+
+        // Non-speculative: checks complete before the access issues.
+        w.issue(c.derefCheck);
+        if (voteFault(w, mask))
+            pageFault(w, mask);
+        return w.loadGlobal<T>(aphysAddrs(), mask);
+    }
+
+    /** Dereference for write: *ptr = v on every lane in @p mask. */
+    void
+    write(sim::Warp& w, const sim::LaneArray<T>& v,
+          sim::LaneMask mask = sim::kFullMask)
+    {
+        AP_ASSERT(initialized(), "dereference of uninitialized apointer");
+        const AptrCosts& c = rt_->costs();
+        if (rt_->config().permChecks)
+            checkPerm(w, kPermWrite);
+        w.issue(c.derefSetup + c.derefCheck);
+        if (voteFault(w, mask))
+            pageFault(w, mask);
+        w.storeGlobal<T>(aphysAddrs(), v, mask);
+    }
+
+    /** Mapping length in bytes. */
+    uint64_t length() const { return mapLength; }
+
+    /** Backing file. */
+    hostio::FileId backingFile() const { return file; }
+
+  private:
+    /** Pack an unlinked translation at absolute file offset @p off. */
+    uint64_t
+    packUnlinked(uint64_t off) const
+    {
+        if (rt_->config().kind == AptrKind::Short) {
+            const uint64_t page = rt_->pageSize();
+            return packShort(0, off / page,
+                             static_cast<uint32_t>(off % page), perm,
+                             false);
+        }
+        return packLongUnlinked(off, perm);
+    }
+
+    /** True when this apointer maps raw GPU memory (no page cache). */
+    bool isDirect() const { return file == kDirectFile; }
+
+    /** Pack a linked translation: page at @p frame_addr, offset @p off. */
+    uint64_t
+    packLinked(sim::Addr frame_addr, uint64_t xpage, uint32_t off) const
+    {
+        if (rt_->config().kind == AptrKind::Short) {
+            const uint64_t page = rt_->pageSize();
+            // Frame numbers are relative to the page-cache frame array,
+            // or to the mapping base for direct mappings.
+            sim::Addr frame0 =
+                isDirect() ? directBase : rt_->fs().cache().frameAddr(0);
+            uint32_t frame =
+                static_cast<uint32_t>((frame_addr - frame0) / page);
+            return packShort(frame, xpage, off, perm, true);
+        }
+        return packLongLinked(frame_addr + off, perm);
+    }
+
+    /** Aphysical address each lane points at (linked lanes only). */
+    sim::LaneArray<sim::Addr>
+    aphysAddrs() const
+    {
+        sim::LaneArray<sim::Addr> a{};
+        const uint64_t page = rt_->pageSize();
+        const sim::Addr frame0 =
+            isDirect() ? directBase : rt_->fs().cache().frameAddr(0);
+        for (int l = 0; l < sim::kWarpSize; ++l) {
+            const uint64_t t = field[l];
+            if (!translationValid(t))
+                continue;
+            if (rt_->config().kind == AptrKind::Short)
+                a[l] = frame0 + shortFrame(t) * page + shortOff(t);
+            else
+                a[l] = longPayload(t);
+        }
+        return a;
+    }
+
+    /** Bitmask of lanes holding valid translations. */
+    sim::LaneMask
+    validMask() const
+    {
+        sim::LaneMask m = 0;
+        for (int l = 0; l < sim::kWarpSize; ++l)
+            if (translationValid(field[l]))
+                m |= 1u << l;
+        return m;
+    }
+
+    /** The warp-wide "is there any page fault" vote (one __all). */
+    bool
+    voteFault(sim::Warp& w, sim::LaneMask mask)
+    {
+        sim::LaneArray<int> valid;
+        for (int l = 0; l < sim::kWarpSize; ++l)
+            valid[l] = translationValid(field[l]) ? 1 : 0;
+        return !w.all(valid, mask);
+    }
+
+    /** Fatal on permission violation (the "rw" check). */
+    void
+    checkPerm(sim::Warp& w, uint64_t need)
+    {
+        w.issue(rt_->costs().permCheck);
+        if (!(perm & need))
+            fatal("apointer permission violation: access needs ", need,
+                  ", mapping grants ", perm);
+    }
+
+    /**
+     * The translation aggregation loop, paper Listing 1. Runs until no
+     * lane in @p mask is unlinked. Each iteration: ballot the faulting
+     * lanes, elect a leader (__ffs), broadcast its target page
+     * (__shfl), form the same-page subgroup (__ballot + __popc), have
+     * the leader acquire the page with the aggregated reference count,
+     * then link the whole subgroup.
+     */
+    void
+    pageFault(sim::Warp& w, sim::LaneMask mask)
+    {
+        const AptrCosts& c = rt_->costs();
+        gpufs::PageCache& cache = rt_->fs().cache();
+        const uint64_t page = rt_->pageSize();
+        const bool writable = (perm & kPermWrite) != 0;
+        w.stats().inc("core.fault_entries");
+
+        for (;;) {
+            sim::LaneArray<int> invalid;
+            for (int l = 0; l < sim::kWarpSize; ++l)
+                invalid[l] = !translationValid(field[l]) ? 1 : 0;
+            uint32_t want = w.ballot(invalid, mask);
+            w.issue(c.aggregationIter);
+            if (want == 0)
+                break;
+            int leader = sim::ffs32(want) - 1;
+
+            // Broadcast the leader's backing-store address and form
+            // the subgroup of lanes faulting on the same page.
+            sim::LaneArray<uint64_t> xpage;
+            for (int l = 0; l < sim::kWarpSize; ++l)
+                xpage[l] = fileOffset(l) / page;
+            uint64_t lead_xpage = w.shfl(xpage, leader);
+            sim::LaneArray<int> same;
+            for (int l = 0; l < sim::kWarpSize; ++l)
+                same[l] = invalid[l] && xpage[l] == lead_xpage;
+            uint32_t group = w.ballot(same, mask);
+            int count = sim::popc32(group);
+
+            // Bounds check against the mapping (fault-path only).
+            for (int l = 0; l < sim::kWarpSize; ++l) {
+                if (!(group & (1u << l)))
+                    continue;
+                uint64_t off = fileOffset(l);
+                if (off < mapOffset || off >= mapOffset + mapLength)
+                    fatal("apointer fault out of mapped region: offset ",
+                          off, " not in [", mapOffset, ", ",
+                          mapOffset + mapLength, ")");
+            }
+
+            if (isDirect()) {
+                // Raw-memory mapping: translate without the page cache.
+                sim::Addr frame_addr = directBase + lead_xpage * page;
+                w.issue(c.faultLink);
+                for (int l = 0; l < sim::kWarpSize; ++l) {
+                    if (!(group & (1u << l)))
+                        continue;
+                    uint32_t off =
+                        static_cast<uint32_t>(fileOffset(l) % page);
+                    field[l] = packLinked(frame_addr, lead_xpage, off);
+                    curXpage[l] = lead_xpage;
+                    refViaTlb[l] = 0;
+                }
+                w.stats().inc("core.pages_linked");
+                continue;
+            }
+
+            gpufs::PageKey key = gpufs::makePageKey(file, lead_xpage);
+            sim::Addr frame_addr = 0;
+            bool via_tlb = false;
+            SoftTlb* tlb = rt_->tlbFor(w);
+            if (tlb) {
+                if (!tlb->lookupAndRef(w, key, count, frame_addr)) {
+                    gpufs::AcquireResult r = cache.acquirePage(
+                        w, key, count, writable, zeroFill);
+                    frame_addr = r.frameAddr;
+                    via_tlb = tlb->insertAfterAcquire(w, key, frame_addr,
+                                                      count, cache);
+                } else {
+                    via_tlb = true;
+                }
+            } else {
+                gpufs::AcquireResult r = cache.acquirePage(
+                    w, key, count, writable, zeroFill);
+                frame_addr = r.frameAddr;
+            }
+
+            // Link the subgroup: install translations in registers.
+            w.issue(c.faultLink);
+            for (int l = 0; l < sim::kWarpSize; ++l) {
+                if (!(group & (1u << l)))
+                    continue;
+                uint32_t off =
+                    static_cast<uint32_t>(fileOffset(l) % page);
+                field[l] = packLinked(frame_addr, lead_xpage, off);
+                curXpage[l] = lead_xpage;
+                refViaTlb[l] = via_tlb ? 1 : 0;
+            }
+            w.stats().inc("core.pages_linked");
+        }
+    }
+
+    /**
+     * Release the references of @p lanes (all linked), aggregated by
+     * (page, tlb-routing) subgroups with a leader per subgroup, the
+     * mirror image of the fault aggregation.
+     */
+    void
+    releaseLanes(sim::Warp& w, sim::LaneMask lanes)
+    {
+        if (isDirect())
+            return; // no references are held on raw-memory mappings
+        const AptrCosts& c = rt_->costs();
+        gpufs::PageCache& cache = rt_->fs().cache();
+        SoftTlb* tlb = rt_->tlbFor(w);
+        const uint64_t page = rt_->pageSize();
+
+        while (lanes) {
+            int leader = sim::ffs32(lanes) - 1;
+            uint64_t lead_xpage = fileOffset(leader) / page;
+            bool via = refViaTlb[leader] != 0;
+            sim::LaneMask group = 0;
+            for (int l = 0; l < sim::kWarpSize; ++l) {
+                if (!(lanes & (1u << l)))
+                    continue;
+                if (fileOffset(l) / page == lead_xpage &&
+                    (refViaTlb[l] != 0) == via)
+                    group |= 1u << l;
+            }
+            int count = sim::popc32(group);
+            w.issue(c.aggregationIter);
+
+            gpufs::PageKey key = gpufs::makePageKey(file, lead_xpage);
+            if (via) {
+                AP_ASSERT(tlb != nullptr, "TLB ref without TLB");
+                bool ok = tlb->unref(w, key, count, cache);
+                AP_ASSERT(ok, "TLB lost a counted entry");
+            } else {
+                cache.releasePage(w, key, count);
+            }
+            lanes &= ~group;
+            w.stats().inc("core.pages_unlinked");
+        }
+    }
+
+    /** Shared implementation of pointer arithmetic (byte deltas). */
+    void
+    addBytes(sim::Warp& w, const sim::LaneArray<int64_t>& delta,
+             sim::LaneMask mask)
+    {
+        AP_ASSERT(initialized(), "arithmetic on uninitialized apointer");
+        const AptrCosts& c = rt_->costs();
+        const uint64_t page = rt_->pageSize();
+        w.issue(c.increment);
+
+        // Identify linked lanes whose new position leaves their page.
+        sim::LaneMask crossing = 0;
+        sim::LaneArray<uint64_t> new_off;
+        for (int l = 0; l < sim::kWarpSize; ++l) {
+            uint64_t off = fileOffset(l);
+            new_off[l] = off;
+            if (!(mask & (1u << l)) || delta[l] == 0)
+                continue;
+            new_off[l] = off + static_cast<uint64_t>(delta[l]);
+            if (translationValid(field[l]) &&
+                new_off[l] / page != off / page)
+                crossing |= 1u << l;
+        }
+
+        if (crossing) {
+            // Slow path: crossing lanes unlink, returning references.
+            w.issue(c.unlinkExtra);
+            releaseLanes(w, crossing);
+        }
+
+        for (int l = 0; l < sim::kWarpSize; ++l) {
+            if (!(mask & (1u << l)) || new_off[l] == fileOffset(l))
+                continue;
+            if (crossing & (1u << l)) {
+                field[l] = packUnlinked(new_off[l]);
+            } else if (translationValid(field[l])) {
+                // Stay linked: bump the in-page offset.
+                if (rt_->config().kind == AptrKind::Short) {
+                    field[l] = packShort(
+                        shortFrame(field[l]), shortXpage(field[l]),
+                        static_cast<uint32_t>(new_off[l] % page), perm,
+                        true);
+                } else {
+                    uint64_t aphys =
+                        longPayload(field[l]) +
+                        static_cast<uint64_t>(delta[l]);
+                    field[l] = packLongLinked(aphys, perm);
+                }
+            } else {
+                field[l] = packUnlinked(new_off[l]);
+            }
+        }
+    }
+
+    // --- register state (one 64-bit translation field per lane) ------
+    sim::LaneArray<uint64_t> field{};
+
+    /** Sentinel file id marking a direct (raw GPU memory) mapping. */
+    static constexpr hostio::FileId kDirectFile = -2;
+
+    // --- metadata: local memory, touched only on slow paths ----------
+    GvmRuntime* rt_ = nullptr;
+    hostio::FileId file = -1;
+    sim::Addr directBase = 0;
+    bool zeroFill = false;
+    uint64_t mapOffset = 0;
+    uint64_t mapLength = 0;
+    uint64_t perm = 0;
+    sim::LaneArray<uint64_t> curXpage{};
+    sim::LaneArray<uint8_t> refViaTlb{};
+};
+
+/**
+ * RAII helper that destroys an apointer when the enclosing scope ends,
+ * mirroring "ptr destroyed and unlinked" in the paper's Figure 3
+ * example.
+ */
+template <typename T>
+class ScopedAptr
+{
+  public:
+    ScopedAptr(sim::Warp& w, AptrVec<T> p) : w_(&w), ptr(std::move(p)) {}
+    ~ScopedAptr() { ptr.destroy(*w_); }
+
+    ScopedAptr(const ScopedAptr&) = delete;
+    ScopedAptr& operator=(const ScopedAptr&) = delete;
+
+    /** The managed apointer. */
+    AptrVec<T>& operator*() { return ptr; }
+    AptrVec<T>* operator->() { return &ptr; }
+
+  private:
+    sim::Warp* w_;
+    AptrVec<T> ptr;
+};
+
+} // namespace ap::core
+
+#endif // AP_CORE_APTR_HH

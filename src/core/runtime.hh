@@ -1,0 +1,118 @@
+/**
+ * @file
+ * The ActivePointers runtime: configuration (implementation mode,
+ * pointer kind, TLB policy, permission checks) and the glue between
+ * apointers, the per-threadblock TLB, and the GPUfs page cache.
+ */
+
+#ifndef AP_CORE_RUNTIME_HH
+#define AP_CORE_RUNTIME_HH
+
+#include "core/access_mode.hh"
+#include "core/tlb.hh"
+#include "gpufs/gpufs.hh"
+
+namespace ap::core {
+
+/** Translation-layer policy knobs. */
+struct GvmConfig
+{
+    /** Which apointer implementation to model (Table I variants). */
+    AccessMode mode = AccessMode::Prefetch;
+
+    /** Translation-field layout. */
+    AptrKind kind = AptrKind::Long;
+
+    /** Use the per-threadblock software TLB (the paper's best results
+     * are TLB-less, section VI-C). */
+    bool useTlb = false;
+
+    /** TLB entries per threadblock when useTlb is set. */
+    uint32_t tlbEntries = 32;
+
+    /** Verify page access permissions on every access (the "rw"
+     * variants of Tables I and II; disabled by default as in the
+     * paper's main experiments). */
+    bool permChecks = false;
+};
+
+/**
+ * Runtime shared by all apointers of a simulation. Host-constructed;
+ * device code reaches it through the apointers themselves.
+ */
+class GvmRuntime
+{
+  public:
+    /**
+     * @param fs  the GPUfs instance backing avirtual memory
+     * @param cfg policy knobs
+     */
+    GvmRuntime(gpufs::GpuFs& fs, const GvmConfig& cfg = GvmConfig{})
+        : fs_(&fs), cfg_(cfg), costs_(costsFor(cfg.mode, cfg.kind))
+    {
+        AP_ASSERT(fs.pageSize() == 4096,
+                  "short apointer layout assumes 4 KB pages");
+    }
+
+    /** The GPUfs layer. */
+    gpufs::GpuFs& fs() { return *fs_; }
+
+    /** Policy in force. */
+    const GvmConfig& config() const { return cfg_; }
+
+    /** Instruction-cost table for the configured mode/kind. */
+    const AptrCosts& costs() const { return costs_; }
+
+    /** Page size of the backing page cache. */
+    size_t pageSize() const { return fs_->pageSize(); }
+
+    /**
+     * The calling warp's threadblock TLB; created lazily on first use.
+     * @return nullptr when the TLB is disabled
+     */
+    SoftTlb*
+    tlbFor(sim::Warp& w)
+    {
+        if (!cfg_.useTlb)
+            return nullptr;
+        sim::ThreadBlock& tb = w.block();
+        if (!tb.tlbSlot) {
+            tb.tlbSlot = std::make_shared<SoftTlb>(
+                tb, cfg_.tlbEntries, cfg_.kind,
+                w.costModel().scratchLatency);
+        }
+        return static_cast<SoftTlb*>(tb.tlbSlot.get());
+    }
+
+    /**
+     * Reserve @p bytes of swap space for an anonymous mapping. The
+     * swap file backs zero-fill-on-demand pages and receives evicted
+     * dirty pages; it is created lazily in the host backing store.
+     *
+     * @return byte offset of the reservation within the swap file
+     */
+    uint64_t
+    swapAlloc(uint64_t bytes)
+    {
+        hostio::BackingStore& bs = fs_->io().store();
+        if (swapFile < 0) {
+            swapFile = bs.create(".gvm_swap", 0);
+        }
+        uint64_t off = roundUp(bs.size(swapFile), fs_->pageSize());
+        bs.truncate(swapFile, off + roundUp(bytes, fs_->pageSize()));
+        return off;
+    }
+
+    /** The swap file descriptor (valid after the first swapAlloc). */
+    hostio::FileId swapFileId() const { return swapFile; }
+
+  private:
+    gpufs::GpuFs* fs_;
+    GvmConfig cfg_;
+    AptrCosts costs_;
+    hostio::FileId swapFile = -1;
+};
+
+} // namespace ap::core
+
+#endif // AP_CORE_RUNTIME_HH

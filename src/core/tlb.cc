@@ -1,0 +1,133 @@
+#include "core/tlb.hh"
+
+#include "util/rng.hh"
+
+namespace ap::core {
+
+SoftTlb::SoftTlb(sim::ThreadBlock& tb, uint32_t n_entries, AptrKind kind,
+                 sim::Cycles lock_latency)
+    : nEntries(n_entries)
+{
+    AP_ASSERT(n_entries > 0, "TLB needs at least one entry");
+    // Scratchpad accounting per paper section IV-D: 12 B (short) /
+    // 20 B (long) per entry plus a 4 B entry lock.
+    size_t entry_bytes = (kind == AptrKind::Short ? 12 : 20) + 4;
+    tb.scratchAlloc(n_entries * entry_bytes);
+    entries.reserve(n_entries);
+    for (uint32_t i = 0; i < n_entries; ++i)
+        entries.emplace_back(lock_latency);
+}
+
+uint32_t
+SoftTlb::slotOf(gpufs::PageKey key) const
+{
+    return static_cast<uint32_t>(hashMix64(key) % nEntries);
+}
+
+bool
+SoftTlb::lookupAndRef(sim::Warp& w, gpufs::PageKey key, int n,
+                      sim::Addr& frame_addr)
+{
+    Entry& e = entries[slotOf(key)];
+    // Hash + scratchpad probe.
+    w.issue(3);
+    w.chargeSharedRead();
+    if (e.key != key + 1) {
+        w.stats().inc("core.tlb_misses");
+        return false;
+    }
+    e.lock.acquire(w);
+    if (e.key != key + 1) {
+        // Raced with a discard between probe and lock.
+        e.lock.release(w);
+        w.stats().inc("core.tlb_misses");
+        return false;
+    }
+    e.count += n;
+    frame_addr = e.frameAddr;
+    w.chargeSharedWrite();
+    e.lock.release(w);
+    w.stats().inc("core.tlb_hits");
+    return true;
+}
+
+bool
+SoftTlb::insertAfterAcquire(sim::Warp& w, gpufs::PageKey key,
+                            sim::Addr frame_addr, int n,
+                            gpufs::PageCache& cache)
+{
+    Entry& e = entries[slotOf(key)];
+    e.lock.acquire(w);
+    w.chargeSharedRead();
+    if (e.key == key + 1) {
+        // Another warp installed the same page meanwhile: merge.
+        e.count += n;
+        e.ptRefs += n;
+        w.chargeSharedWrite();
+        e.lock.release(w);
+        return true;
+    }
+    if (e.count > 0) {
+        // Conflict with a counted entry: evicting it would lose its
+        // count, so this page bypasses the TLB (section III-E).
+        e.lock.release(w);
+        w.stats().inc("core.tlb_bypasses");
+        return false;
+    }
+    if (e.key != 0) {
+        // Count-zero victim: return its page-table references and
+        // discard the stale mapping.
+        AP_ASSERT(e.ptRefs > 0, "counted-out TLB entry without refs");
+        gpufs::PageKey old_key = e.key - 1;
+        int old_refs = e.ptRefs;
+        e.key = 0;
+        e.ptRefs = 0;
+        cache.releasePage(w, old_key, old_refs);
+        w.stats().inc("core.tlb_evictions");
+    }
+    e.key = key + 1;
+    e.frameAddr = frame_addr;
+    e.count = n;
+    e.ptRefs = n;
+    w.chargeSharedWrite();
+    e.lock.release(w);
+    return true;
+}
+
+bool
+SoftTlb::unref(sim::Warp& w, gpufs::PageKey key, int n,
+               gpufs::PageCache& cache)
+{
+    Entry& e = entries[slotOf(key)];
+    w.issue(3);
+    e.lock.acquire(w);
+    if (e.key != key + 1) {
+        e.lock.release(w);
+        return false;
+    }
+    AP_ASSERT(e.count >= n, "TLB count underflow");
+    e.count -= n;
+    w.chargeSharedWrite();
+    if (e.count == 0) {
+        // Discard the mapping and return the aggregated references
+        // (the proactive-decrement heuristic of section III-B).
+        int refs = e.ptRefs;
+        gpufs::PageKey k = e.key - 1;
+        e.key = 0;
+        e.ptRefs = 0;
+        e.lock.release(w);
+        cache.releasePage(w, k, refs);
+        return true;
+    }
+    e.lock.release(w);
+    return true;
+}
+
+int
+SoftTlb::countOfHost(gpufs::PageKey key) const
+{
+    const Entry& e = entries[slotOf(key)];
+    return e.key == key + 1 ? e.count : -1;
+}
+
+} // namespace ap::core

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * The per-threadblock software TLB (paper sections III-E and IV-D): a
+ * direct-mapped concurrent hash table living in scratchpad memory. In
+ * addition to cached mappings it keeps a *threadblock-private*
+ * reference count per page and acts as a reference-count aggregator
+ * (like sloppy counters), so repeated faults on a hot page never touch
+ * the global page table.
+ *
+ * Complications faithfully modeled (section III-E):
+ *  - an entry with a nonzero count cannot be evicted on conflict
+ *    (the count would be lost); conflicting pages bypass the TLB and
+ *    update the page table directly,
+ *  - when a count drops to zero the cached mapping is discarded and the
+ *    page-table references are returned, keeping refcounts exact.
+ */
+
+#ifndef AP_CORE_TLB_HH
+#define AP_CORE_TLB_HH
+
+#include <vector>
+
+#include "core/access_mode.hh"
+#include "gpufs/page_cache.hh"
+#include "sim/sync.hh"
+
+namespace ap::core {
+
+/** The software TLB of one threadblock. */
+class SoftTlb
+{
+  public:
+    /**
+     * Reserve scratchpad space and build the table.
+     * @param tb       owning threadblock (scratchpad accounting)
+     * @param n_entries table size (direct-mapped)
+     * @param kind     apointer kind (entry size: 12 B short, 20 B long,
+     *                 plus a 4 B lock each, per paper section IV-D)
+     * @param lock_latency cost of an entry-lock operation
+     */
+    SoftTlb(sim::ThreadBlock& tb, uint32_t n_entries, AptrKind kind,
+            sim::Cycles lock_latency);
+
+    /**
+     * Probe for @p key and, on a hit, add @p n to the block-private
+     * count — no page-table access at all, the TLB's whole purpose.
+     *
+     * @param[out] frame_addr frame address of the cached mapping
+     * @return true on hit
+     */
+    bool lookupAndRef(sim::Warp& w, gpufs::PageKey key, int n,
+                      sim::Addr& frame_addr);
+
+    /**
+     * After the caller acquired @p n page-table references for @p key,
+     * try to install/merge the mapping.
+     *
+     * @return true if the TLB absorbed the references (unlink must go
+     *         through unref()); false if the slot conflicts with a
+     *         counted entry and the references stay direct
+     */
+    bool insertAfterAcquire(sim::Warp& w, gpufs::PageKey key,
+                            sim::Addr frame_addr, int n,
+                            gpufs::PageCache& cache);
+
+    /**
+     * Return @p n block-private references for @p key. When the count
+     * reaches zero, the held page-table references are released and
+     * the mapping is discarded.
+     *
+     * @return true if the TLB accounted the unref (it must, when the
+     *         references were taken via the TLB)
+     */
+    bool unref(sim::Warp& w, gpufs::PageKey key, int n,
+               gpufs::PageCache& cache);
+
+    /** Number of entries. */
+    uint32_t size() const { return nEntries; }
+
+    /** Host-side: block-private count of @p key (tests). */
+    int countOfHost(gpufs::PageKey key) const;
+
+  private:
+    struct Entry
+    {
+        explicit Entry(sim::Cycles lock_latency) : lock(lock_latency) {}
+
+        gpufs::PageKey key = 0;  ///< key+1; 0 = empty
+        sim::Addr frameAddr = 0;
+        int count = 0;   ///< block-private references
+        int ptRefs = 0;  ///< page-table references held on behalf
+        sim::DeviceLock lock;
+    };
+
+    uint32_t slotOf(gpufs::PageKey key) const;
+
+    uint32_t nEntries;
+    std::vector<Entry> entries;
+};
+
+} // namespace ap::core
+
+#endif // AP_CORE_TLB_HH

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * The gvmmap()/gvmunmap() virtual-memory-management entry points, with
+ * the argument order of the paper's Figure 3 example:
+ *
+ *   APtr<float> ptr = gvmmap(size, O_RDONLY, fd, foffset);
+ */
+
+#ifndef AP_CORE_VM_HH
+#define AP_CORE_VM_HH
+
+#include "core/aptr.hh"
+
+namespace ap::core {
+
+/**
+ * Map a file region into avirtual memory and return an unlinked
+ * apointer to its start (every lane points at the region start; use
+ * addPerLane for per-lane strides).
+ *
+ * @param w        calling warp
+ * @param rt       translation-layer runtime
+ * @param length   mapping length in bytes
+ * @param prot     hostio::O_GRDONLY / O_GRDWR (translated to perm bits)
+ * @param fd       backing file
+ * @param f_offset byte offset of the mapping within the file
+ */
+template <typename T>
+AptrVec<T>
+gvmmap(sim::Warp& w, GvmRuntime& rt, uint64_t length, uint32_t prot,
+       hostio::FileId fd, uint64_t f_offset)
+{
+    uint64_t perm = kPermRead;
+    if (prot & hostio::O_GWRONLY)
+        perm |= kPermWrite;
+    return AptrVec<T>::map(w, rt, fd, f_offset, length, perm);
+}
+
+/**
+ * Anonymous mapping: zero-filled, swap-backed scratch memory paged on
+ * demand (can exceed the page cache and GPU memory). Read-write.
+ *
+ * @param w      calling warp
+ * @param rt     translation-layer runtime
+ * @param length mapping length in bytes
+ */
+template <typename T>
+AptrVec<T>
+gvmmapAnon(sim::Warp& w, GvmRuntime& rt, uint64_t length)
+{
+    return AptrVec<T>::mapAnonymous(w, rt, length);
+}
+
+/**
+ * Unmap: release any references the apointer holds and return it to
+ * the uninitialized state (equivalent to AptrVec::destroy).
+ */
+template <typename T>
+void
+gvmunmap(sim::Warp& w, AptrVec<T>& ptr)
+{
+    ptr.destroy(w);
+}
+
+} // namespace ap::core
+
+#endif // AP_CORE_VM_HH

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * GPUfs page-cache configuration, defaults per paper section V:
+ * 4 KB pages, a hash table 16x the number of frames, fine-grain
+ * per-bucket locks, and host-side transfer batching.
+ */
+
+#ifndef AP_GPUFS_CONFIG_HH
+#define AP_GPUFS_CONFIG_HH
+
+#include <cstddef>
+#include <cstdint>
+
+namespace ap::gpufs {
+
+/** Page-cache geometry and policy knobs. */
+struct Config
+{
+    /** Page size in bytes (the paper uses 4 KB throughout). */
+    size_t pageSize = 4096;
+
+    /** Number of page frames in the GPU page cache. */
+    uint32_t numFrames = 4096;
+
+    /**
+     * Page-table entries per frame; the paper sets the table to be 16x
+     * the number of pages for a ~3% collision rate.
+     */
+    uint32_t entriesPerFrame = 16;
+
+    /** Entries per hash bucket (one bucket = one lock). */
+    uint32_t bucketEntries = 8;
+
+    /** Staging-area slots for host->GPU page transfers. */
+    uint32_t stagingSlots = 128;
+
+    /** Number of buckets in the page table. */
+    uint32_t
+    numBuckets() const
+    {
+        return numFrames * entriesPerFrame / bucketEntries;
+    }
+};
+
+} // namespace ap::gpufs
+
+#endif // AP_GPUFS_CONFIG_HH

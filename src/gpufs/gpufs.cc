@@ -1,0 +1,45 @@
+#include "gpufs/gpufs.hh"
+
+#include <algorithm>
+
+namespace ap::gpufs {
+
+void
+GpuFs::gread(sim::Warp& w, hostio::FileId f, uint64_t off, size_t len,
+             sim::Addr dst)
+{
+    size_t done = 0;
+    while (done < len) {
+        uint64_t cur = off + done;
+        uint64_t page_no = cur / pageSize();
+        size_t in_page = cur % pageSize();
+        size_t chunk = std::min(len - done, pageSize() - in_page);
+
+        PageKey key = makePageKey(f, page_no);
+        AcquireResult r = cache_.acquirePage(w, key, 1, false);
+        w.copyGlobal(dst + done, r.frameAddr + in_page, chunk);
+        cache_.releasePage(w, key, 1);
+        done += chunk;
+    }
+}
+
+void
+GpuFs::gwrite(sim::Warp& w, hostio::FileId f, uint64_t off, size_t len,
+              sim::Addr src)
+{
+    size_t done = 0;
+    while (done < len) {
+        uint64_t cur = off + done;
+        uint64_t page_no = cur / pageSize();
+        size_t in_page = cur % pageSize();
+        size_t chunk = std::min(len - done, pageSize() - in_page);
+
+        PageKey key = makePageKey(f, page_no);
+        AcquireResult r = cache_.acquirePage(w, key, 1, true);
+        w.copyGlobal(r.frameAddr + in_page, src + done, chunk);
+        cache_.releasePage(w, key, 1);
+        done += chunk;
+    }
+}
+
+} // namespace ap::gpufs

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * The GPUfs-style file API exposed to device code (paper section V):
+ * warp-level gopen/gread/gwrite plus the gmmap/gmunmap page-mapping
+ * calls that the ActivePointers layer builds on. All calls are made by
+ * the warp as a unit, matching GPUfs's warp-level API.
+ */
+
+#ifndef AP_GPUFS_GPUFS_HH
+#define AP_GPUFS_GPUFS_HH
+
+#include <string>
+
+#include "gpufs/page_cache.hh"
+
+namespace ap::gpufs {
+
+/**
+ * The GPU file system layer: a page cache over a host backing store.
+ * One instance per Device; live for the duration of the simulation.
+ */
+class GpuFs
+{
+  public:
+    /**
+     * @param dev simulated GPU
+     * @param io  host I/O engine (owns batching policy)
+     * @param cfg page-cache geometry
+     */
+    GpuFs(sim::Device& dev, hostio::HostIoEngine& io, const Config& cfg)
+        : dev_(&dev), io_(&io), cache_(dev, io, cfg)
+    {
+    }
+
+    /** Page size in force. */
+    size_t pageSize() const { return cache_.config().pageSize; }
+
+    /**
+     * Device-side open: an RPC to the host file system.
+     * @return file descriptor, or -1 if the file does not exist
+     */
+    hostio::FileId
+    gopen(sim::Warp& w, const std::string& name)
+    {
+        return static_cast<hostio::FileId>(io_->rpc(
+            w, [this, name] { return io_->store().open(name); }));
+    }
+
+    /**
+     * Map the page containing @p offset of file @p f, taking one page
+     * reference (the paper's gmmap: "locks the page up in the page
+     * table ... and brings the data from the host if necessary").
+     *
+     * @param w      calling warp
+     * @param f      file
+     * @param offset byte offset within the file
+     * @param prot   O_GRDONLY / O_GRDWR
+     * @return device address corresponding to @p offset
+     */
+    sim::Addr
+    gmmap(sim::Warp& w, hostio::FileId f, uint64_t offset, uint32_t prot)
+    {
+        uint64_t page_no = offset / pageSize();
+        AcquireResult r = cache_.acquirePage(
+            w, makePageKey(f, page_no), 1,
+            (prot & hostio::O_GWRONLY) != 0);
+        return r.frameAddr + offset % pageSize();
+    }
+
+    /** Drop the reference taken by gmmap on @p offset's page. */
+    void
+    gmunmap(sim::Warp& w, hostio::FileId f, uint64_t offset)
+    {
+        cache_.releasePage(w, makePageKey(f, offset / pageSize()), 1);
+    }
+
+    /**
+     * Warp-level file read through the page cache: acquires each
+     * covered page, copies into the destination buffer, releases.
+     */
+    void gread(sim::Warp& w, hostio::FileId f, uint64_t off, size_t len,
+               sim::Addr dst);
+
+    /** Warp-level file write through the page cache. */
+    void gwrite(sim::Warp& w, hostio::FileId f, uint64_t off, size_t len,
+                sim::Addr src);
+
+    /**
+     * Advisory prefetch (madvise(WILLNEED) for GPU mappings): start
+     * asynchronous host transfers for every absent page of the range
+     * without blocking the calling warp. Subsequent accesses take
+     * minor faults (or briefly wait on the in-flight transfer).
+     */
+    void
+    gmadvise(sim::Warp& w, hostio::FileId f, uint64_t off, size_t len)
+    {
+        uint64_t first = off / pageSize();
+        uint64_t last = (off + len - 1) / pageSize();
+        for (uint64_t p = first; p <= last; ++p)
+            cache_.prefetchPage(w, makePageKey(f, p));
+    }
+
+    /** The page cache (used by the ActivePointers fault handler). */
+    PageCache& cache() { return cache_; }
+
+    /** The host I/O engine. */
+    hostio::HostIoEngine& io() { return *io_; }
+
+    /** The simulated device. */
+    sim::Device& device() { return *dev_; }
+
+  private:
+    sim::Device* dev_;
+    hostio::HostIoEngine* io_;
+    PageCache cache_;
+};
+
+} // namespace ap::gpufs
+
+#endif // AP_GPUFS_GPUFS_HH

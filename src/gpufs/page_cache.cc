@@ -1,0 +1,481 @@
+#include "gpufs/page_cache.hh"
+
+#include <algorithm>
+
+#include "sim/device.hh"
+
+namespace ap::gpufs {
+
+namespace {
+
+constexpr uint32_t kDirtyFlag = 1u;
+
+} // namespace
+
+PageCache::PageCache(sim::Device& dev_, hostio::HostIoEngine& io_,
+                     const Config& cfg_)
+    : dev(&dev_), io(&io_), cfg(cfg_), pt(dev_, cfg_)
+{
+    framesBase = dev->mem().alloc(
+        static_cast<size_t>(cfg.numFrames) * cfg.pageSize, cfg.pageSize);
+    metaBase =
+        dev->mem().alloc(cfg.numFrames * sizeof(FrameMeta), 128);
+    stagingBase = dev->mem().alloc(
+        static_cast<size_t>(cfg.stagingSlots) * cfg.pageSize,
+        cfg.pageSize);
+
+    freeFrames.reserve(cfg.numFrames);
+    for (uint32_t f = cfg.numFrames; f-- > 0;)
+        freeFrames.push_back(f);
+    freeStaging.reserve(cfg.stagingSlots);
+    for (uint32_t s = cfg.stagingSlots; s-- > 0;)
+        freeStaging.push_back(s);
+}
+
+AcquireResult
+PageCache::acquirePage(sim::Warp& w, PageKey key, int count, bool writable,
+                       bool zero_fill)
+{
+    AP_ASSERT(count > 0, "acquire with non-positive count");
+    const sim::Cycles trace_t0 = w.now();
+    for (int attempt = 0;; ++attempt) {
+        AP_ASSERT(attempt < 10000, "livelock acquiring page ", key);
+
+        sim::Addr ea = pt.probe(w, key);
+        if (ea != 0) {
+            // --------------------------------------------------------
+            // Minor fault: page resident. Take references with CAS so
+            // the eviction claim (refcount 0 -> -1) excludes us.
+            // --------------------------------------------------------
+            sim::Addr rca = PageTable::refcountAddr(ea);
+            bool got_ref = false;
+            for (int spin = 0; spin < 64 && !got_ref; ++spin) {
+                int32_t rc = w.mem().load<int32_t>(rca);
+                if (rc < 0)
+                    break; // entry is being evicted; re-probe
+                if (w.atomicCas<int32_t>(rca, rc, rc + count) == rc)
+                    got_ref = true;
+            }
+            if (!got_ref) {
+                w.issue(4);
+                continue;
+            }
+            // ABA guard: the slot may have been recycled for another
+            // page between the probe and the CAS.
+            if (w.mem().load<uint64_t>(ea) != key + 1) {
+                for (;;) {
+                    int32_t rc = w.mem().load<int32_t>(rca);
+                    AP_ASSERT(rc >= count, "refcount underflow on undo");
+                    if (w.atomicCas<int32_t>(rca, rc, rc - count) == rc)
+                        break;
+                }
+                continue;
+            }
+            // Wait for a concurrent loader to finish the transfer.
+            Pte e = pt.readEntry(w, ea);
+            while (e.state != static_cast<uint32_t>(PteState::Ready)) {
+                w.chargeGlobalRead(32);
+                w.stall(200);
+                e = pt.readEntry(w, ea);
+            }
+            if (writable) {
+                FrameMeta fm = w.mem().load<FrameMeta>(metaAddr(e.frame));
+                if (!(fm.flags & kDirtyFlag)) {
+                    fm.flags |= kDirtyFlag;
+                    w.mem().store(metaAddr(e.frame), fm);
+                    w.chargeGlobalWrite(sizeof(FrameMeta));
+                }
+            }
+            dev->stats().inc("gpufs.minor_faults");
+            dev->tracer().span(
+                w.globalWarpId(), "fault",
+                "minor pg" + std::to_string(pageKeyPageNo(key)),
+                trace_t0, w.now());
+            return AcquireResult{frameAddr(e.frame), e.frame, false};
+        }
+
+        // ------------------------------------------------------------
+        // Major fault: allocate a frame, insert a Loading entry under
+        // the bucket lock, fetch the data, publish Ready.
+        // ------------------------------------------------------------
+        uint32_t frame = allocFrame(w);
+        uint32_t b = pt.bucketOf(key);
+        sim::DeviceLock& lk = pt.bucketLock(b);
+        lk.acquire(w);
+
+        // Re-probe under the lock: someone may have inserted first.
+        w.chargeGlobalRead(
+            static_cast<double>(cfg.bucketEntries * sizeof(Pte)));
+        sim::Addr empty = 0;
+        uint32_t empty_slot = 0;
+        bool lost_race = false;
+        for (uint32_t s = 0; s < cfg.bucketEntries; ++s) {
+            sim::Addr cea = pt.entryAddr(b, s);
+            uint64_t tk = w.mem().load<uint64_t>(cea);
+            if (tk == key + 1) {
+                lost_race = true;
+                break;
+            }
+            if (tk == 0 && empty == 0) {
+                empty = cea;
+                empty_slot = s;
+            }
+        }
+        if (lost_race) {
+            lk.release(w);
+            freeFrame(w, frame);
+            continue; // take the minor-fault path
+        }
+
+        // Bucket overflow: evict an idle entry from this bucket. The
+        // 16x-sized table makes this path vanishingly rare.
+        uint32_t frame_to_recycle = UINT32_MAX;
+        PageKey recycle_key = 0;
+        bool recycle_dirty = false;
+        if (empty == 0) {
+            for (uint32_t s = 0; s < cfg.bucketEntries; ++s) {
+                sim::Addr cea = pt.entryAddr(b, s);
+                Pte e = pt.readEntry(w, cea);
+                if (e.taggedKey == 0 || e.refcount != 0 ||
+                    e.state != static_cast<uint32_t>(PteState::Ready))
+                    continue;
+                FrameMeta pre =
+                    w.mem().load<FrameMeta>(metaAddr(e.frame));
+                if (pre.flags & kDirtyFlag)
+                    continue; // dirty victims need the safe clock path
+                sim::Addr rca = PageTable::refcountAddr(cea);
+                if (w.atomicCas<int32_t>(rca, 0, -1) != 0)
+                    continue;
+                FrameMeta fm = w.mem().load<FrameMeta>(metaAddr(e.frame));
+                if (fm.flags & kDirtyFlag) {
+                    // Became dirty between the check and the claim:
+                    // unclaim and leave it to the clock path.
+                    w.mem().store<int32_t>(rca, 0);
+                    w.chargeGlobalWrite(4);
+                    continue;
+                }
+                recycle_key = e.taggedKey - 1;
+                recycle_dirty = false;
+                frame_to_recycle = e.frame;
+                fm.taggedKey = 0;
+                fm.flags = 0;
+                w.mem().store(metaAddr(e.frame), fm);
+                pt.writeEntry(w, cea, Pte{});
+                w.chargeGlobalWrite(sizeof(Pte) + sizeof(FrameMeta));
+                dev->stats().inc("gpufs.bucket_evictions");
+                empty = cea;
+                empty_slot = s;
+                break;
+            }
+            if (empty == 0)
+                fatal("page table bucket ", b,
+                      " overflow: all entries referenced; page cache too "
+                      "small for the working set");
+        }
+
+        // Insert the Loading entry and frame back-reference.
+        Pte ne;
+        ne.taggedKey = key + 1;
+        ne.frame = frame;
+        ne.refcount = count;
+        ne.state = static_cast<uint32_t>(PteState::Loading);
+        pt.writeEntry(w, empty, ne);
+        FrameMeta fm;
+        fm.taggedKey = key + 1;
+        fm.entryRef = pt.entryRef(b, empty_slot);
+        fm.flags = writable ? kDirtyFlag : 0;
+        w.mem().store(metaAddr(frame), fm);
+        w.chargeGlobalWrite(sizeof(Pte) + sizeof(FrameMeta));
+        lk.release(w);
+
+        // Writeback and recycling of an overflow victim happen outside
+        // the lock (the victim is already unreachable).
+        if (frame_to_recycle != UINT32_MAX) {
+            if (recycle_dirty)
+                writeback(w, recycle_key, frame_to_recycle);
+            freeFrame(w, frame_to_recycle);
+        }
+
+        if (zero_fill && !swappedOut.count(key)) {
+            // Anonymous first touch: a zeroed frame, no host transfer.
+            std::memset(dev->mem().raw(frameAddr(frame), cfg.pageSize),
+                        0, cfg.pageSize);
+            w.chargeGlobalWrite(static_cast<double>(cfg.pageSize));
+            dev->stats().inc("gpufs.zero_fills");
+        } else {
+            fetchPage(w, key, frame);
+        }
+
+        w.mem().store<uint32_t>(PageTable::stateAddr(empty),
+                                static_cast<uint32_t>(PteState::Ready));
+        w.chargeGlobalWrite(4);
+        dev->stats().inc("gpufs.major_faults");
+        dev->tracer().span(
+            w.globalWarpId(), "fault",
+            "major pg" + std::to_string(pageKeyPageNo(key)), trace_t0,
+            w.now());
+        return AcquireResult{frameAddr(frame), frame, true};
+    }
+}
+
+void
+PageCache::releasePage(sim::Warp& w, PageKey key, int count)
+{
+    AP_ASSERT(count > 0, "release with non-positive count");
+    sim::Addr ea = pt.probe(w, key);
+    AP_ASSERT(ea != 0, "releasing non-resident page ", key);
+    sim::Addr rca = PageTable::refcountAddr(ea);
+    for (;;) {
+        int32_t rc = w.mem().load<int32_t>(rca);
+        AP_ASSERT(rc >= count, "refcount underflow releasing page ", key,
+                  ": ", rc, " < ", count);
+        if (w.atomicCas<int32_t>(rca, rc, rc - count) == rc)
+            break;
+    }
+    dev->stats().inc("gpufs.releases");
+}
+
+void
+PageCache::prefetchPage(sim::Warp& w, PageKey key)
+{
+    AP_ASSERT(!hooks.postFetch,
+              "prefetch cannot run page-fault hooks; fault instead");
+    if (pt.probe(w, key) != 0)
+        return; // already resident or loading
+
+    uint32_t frame = allocFrame(w);
+    uint32_t b = pt.bucketOf(key);
+    sim::DeviceLock& lk = pt.bucketLock(b);
+    lk.acquire(w);
+    w.chargeGlobalRead(
+        static_cast<double>(cfg.bucketEntries * sizeof(Pte)));
+    sim::Addr empty = 0;
+    uint32_t empty_slot = 0;
+    bool present = false;
+    for (uint32_t s = 0; s < cfg.bucketEntries; ++s) {
+        sim::Addr cea = pt.entryAddr(b, s);
+        uint64_t tk = w.mem().load<uint64_t>(cea);
+        if (tk == key + 1) {
+            present = true;
+            break;
+        }
+        if (tk == 0 && empty == 0) {
+            empty = cea;
+            empty_slot = s;
+        }
+    }
+    if (present || empty == 0) {
+        // Lost the race, or the bucket is full: advisory, so give up.
+        lk.release(w);
+        freeFrame(w, frame);
+        return;
+    }
+
+    Pte ne;
+    ne.taggedKey = key + 1;
+    ne.frame = frame;
+    ne.refcount = 0;
+    ne.state = static_cast<uint32_t>(PteState::Loading);
+    pt.writeEntry(w, empty, ne);
+    FrameMeta fm;
+    fm.taggedKey = key + 1;
+    fm.entryRef = pt.entryRef(b, empty_slot);
+    fm.flags = 0;
+    w.mem().store(metaAddr(frame), fm);
+    w.chargeGlobalWrite(sizeof(Pte) + sizeof(FrameMeta));
+    lk.release(w);
+
+    hostio::FileId f = pageKeyFile(key);
+    uint64_t off = pageKeyPageNo(key) * cfg.pageSize;
+    size_t len = std::min<size_t>(cfg.pageSize, io->store().size(f) - off);
+    sim::Addr fa = frameAddr(frame);
+    size_t page_size = cfg.pageSize;
+    sim::Device* d = dev;
+    sim::Addr state_addr = PageTable::stateAddr(empty);
+    io->readToGpuAsync(
+        w, f, off, len, fa, [d, fa, len, page_size, state_addr] {
+            if (len < page_size)
+                std::memset(d->mem().raw(fa + len, page_size - len), 0,
+                            page_size - len);
+            d->mem().store<uint32_t>(
+                state_addr, static_cast<uint32_t>(PteState::Ready));
+            d->stats().inc("gpufs.prefetched_pages");
+        });
+    dev->stats().inc("gpufs.prefetch_requests");
+}
+
+uint32_t
+PageCache::allocFrame(sim::Warp& w)
+{
+    allocLock.acquire(w);
+    if (!freeFrames.empty()) {
+        uint32_t f = freeFrames.back();
+        freeFrames.pop_back();
+        w.issue(2);
+        allocLock.release(w);
+        return f;
+    }
+
+    // Clock sweep for a refcount-zero resident page.
+    const uint64_t limit = 8ULL * cfg.numFrames;
+    for (uint64_t tries = 0; tries < limit; ++tries) {
+        uint32_t f = static_cast<uint32_t>(clockHand++ % cfg.numFrames);
+        w.chargeGlobalRead(sizeof(FrameMeta));
+        FrameMeta fm = w.mem().load<FrameMeta>(metaAddr(f));
+        if (fm.taggedKey == 0)
+            continue; // free-pool or mid-recycle frame
+        sim::Addr ea = pt.entryAddrOf(fm.entryRef);
+        Pte e = pt.readEntry(w, ea);
+        if (e.taggedKey != fm.taggedKey || e.frame != f)
+            continue; // stale back-reference
+        if (e.refcount != 0 ||
+            e.state != static_cast<uint32_t>(PteState::Ready))
+            continue;
+        sim::Addr rca = PageTable::refcountAddr(ea);
+        if (w.atomicCas<int32_t>(rca, 0, -1) != 0)
+            continue;
+
+        // Claimed. A dirty victim is written back BEFORE its entry
+        // disappears: while the claimed (refcount -1) entry is still
+        // visible, concurrent faults on the page spin instead of
+        // re-fetching stale bytes from the backing store — otherwise
+        // the in-flight writeback would be lost.
+        PageKey victim_key = e.taggedKey - 1;
+        bool dirty = (fm.flags & kDirtyFlag) != 0;
+        allocLock.release(w);
+        if (dirty)
+            writeback(w, victim_key, f);
+
+        uint32_t vb = fm.entryRef / cfg.bucketEntries;
+        sim::DeviceLock& vlk = pt.bucketLock(vb);
+        vlk.acquire(w);
+        pt.writeEntry(w, ea, Pte{});
+        fm.taggedKey = 0;
+        fm.flags = 0;
+        w.mem().store(metaAddr(f), fm);
+        w.chargeGlobalWrite(sizeof(Pte) + sizeof(FrameMeta));
+        vlk.release(w);
+
+        dev->stats().inc("gpufs.evictions");
+        return f;
+    }
+    fatal("page cache thrashing: no evictable page among ", cfg.numFrames,
+          " frames (all pages pinned by active references)");
+}
+
+void
+PageCache::freeFrame(sim::Warp& w, uint32_t frame)
+{
+    allocLock.acquire(w);
+    freeFrames.push_back(frame);
+    w.issue(2);
+    allocLock.release(w);
+}
+
+void
+PageCache::writeback(sim::Warp& w, PageKey key, uint32_t frame)
+{
+    swappedOut.insert(key);
+    hostio::FileId f = pageKeyFile(key);
+    uint64_t off = pageKeyPageNo(key) * cfg.pageSize;
+    size_t len = std::min<size_t>(cfg.pageSize,
+                                  io->store().size(f) - off);
+    if (hooks.preWriteback)
+        hooks.preWriteback(&w, key, frameAddr(frame), len);
+    io->writeFromGpu(w, f, off, len, frameAddr(frame));
+    dev->stats().inc("gpufs.writebacks");
+}
+
+void
+PageCache::fetchPage(sim::Warp& w, PageKey key, uint32_t frame)
+{
+    hostio::FileId f = pageKeyFile(key);
+    uint64_t off = pageKeyPageNo(key) * cfg.pageSize;
+    AP_ASSERT(off < io->store().size(f), "page beyond EOF");
+    size_t len =
+        std::min<size_t>(cfg.pageSize, io->store().size(f) - off);
+
+    uint32_t slot = grabStagingSlot(w);
+    sim::Addr sa =
+        stagingBase + static_cast<sim::Addr>(slot) * cfg.pageSize;
+    io->readToGpu(w, f, off, len, sa);
+    // The requesting warp copies from staging into the frame (paper
+    // section V: "GPU threads that invoke the file read are responsible
+    // for moving the contents from the staging area").
+    w.copyGlobal(frameAddr(frame), sa, len);
+    if (len < cfg.pageSize)
+        std::memset(dev->mem().raw(frameAddr(frame) + len,
+                                   cfg.pageSize - len),
+                    0, cfg.pageSize - len);
+    releaseStagingSlot(w, slot);
+    if (hooks.postFetch)
+        hooks.postFetch(w, key, frameAddr(frame), len);
+}
+
+uint32_t
+PageCache::grabStagingSlot(sim::Warp& w)
+{
+    w.issue(2);
+    if (!freeStaging.empty()) {
+        uint32_t s = freeStaging.back();
+        freeStaging.pop_back();
+        return s;
+    }
+    stagingWaiters.push_back(sim::Fiber::current());
+    w.engine().block();
+    AP_ASSERT(!stagingHandoff.empty(), "staging handoff lost");
+    uint32_t s = stagingHandoff.front();
+    stagingHandoff.pop_front();
+    return s;
+}
+
+void
+PageCache::releaseStagingSlot(sim::Warp& w, uint32_t slot)
+{
+    w.issue(2);
+    if (!stagingWaiters.empty()) {
+        sim::Fiber* next = stagingWaiters.front();
+        stagingWaiters.pop_front();
+        stagingHandoff.push_back(slot);
+        w.engine().scheduleFiber(w.now(), next);
+        return;
+    }
+    freeStaging.push_back(slot);
+}
+
+void
+PageCache::flushDirtyHost()
+{
+    for (uint32_t f = 0; f < cfg.numFrames; ++f) {
+        FrameMeta fm = dev->mem().load<FrameMeta>(metaAddr(f));
+        if (fm.taggedKey == 0 || !(fm.flags & kDirtyFlag))
+            continue;
+        PageKey key = fm.taggedKey - 1;
+        hostio::FileId file = pageKeyFile(key);
+        uint64_t off = pageKeyPageNo(key) * cfg.pageSize;
+        size_t len =
+            std::min<size_t>(cfg.pageSize, io->store().size(file) - off);
+        if (hooks.preWriteback)
+            hooks.preWriteback(nullptr, key, frameAddr(f), len);
+        io->store().pwrite(file, dev->mem().raw(frameAddr(f), len), len,
+                           off);
+        swappedOut.insert(key);
+        fm.flags &= ~kDirtyFlag;
+        dev->mem().store(metaAddr(f), fm);
+    }
+}
+
+int32_t
+PageCache::residentRefcountHost(PageKey key)
+{
+    uint32_t b = pt.bucketOf(key);
+    for (uint32_t s = 0; s < cfg.bucketEntries; ++s) {
+        sim::Addr ea = pt.entryAddr(b, s);
+        Pte e = dev->mem().load<Pte>(ea);
+        if (e.taggedKey == key + 1)
+            return e.refcount;
+    }
+    return -1;
+}
+
+} // namespace ap::gpufs

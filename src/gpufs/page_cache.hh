@@ -1,0 +1,207 @@
+/**
+ * @file
+ * The GPU page cache: frames in device memory, reference-counted page
+ * acquisition with major/minor fault handling, clock eviction of
+ * refcount-zero pages, and a staging area fed by batched host DMA.
+ *
+ * Invariant (paper section III-B, "active pages with fixed mappings"):
+ * a page with refcount > 0 is never evicted, so any cached
+ * avirtual-to-aphysical translation held by a linked apointer stays
+ * valid for as long as the reference is held.
+ */
+
+#ifndef AP_GPUFS_PAGE_CACHE_HH
+#define AP_GPUFS_PAGE_CACHE_HH
+
+#include <deque>
+#include <functional>
+#include <set>
+#include <vector>
+
+#include "gpufs/page_table.hh"
+#include "hostio/host_io_engine.hh"
+
+namespace ap::gpufs {
+
+/** Result of acquiring a page. */
+struct AcquireResult
+{
+    /** Device address of the page frame's first byte. */
+    sim::Addr frameAddr = 0;
+    /** Frame index. */
+    uint32_t frame = 0;
+    /** True if the data had to be fetched from the host. */
+    bool majorFault = false;
+};
+
+/**
+ * Per-frame metadata, laid out in GPU memory. Maps a frame back to its
+ * page-table entry for the eviction clock, and tracks dirtiness for
+ * writeback.
+ */
+struct FrameMeta
+{
+    /** key+1 of the resident page; 0 when the frame is unused. */
+    uint64_t taggedKey = 0;
+    /** Back-reference: entry index in the page table. */
+    uint32_t entryRef = 0;
+    /** Bit 0: dirty. */
+    uint32_t flags = 0;
+};
+
+static_assert(sizeof(FrameMeta) == 16, "FrameMeta layout must stay 16 B");
+
+/**
+ * Custom page-fault interposition hooks (the paper's CryptFS use case:
+ * "one can build an encrypted file system for GPUs by installing custom
+ * page fault handlers for encrypting/decrypting file contents
+ * on-the-fly"). Hooks transform page data in place and charge their own
+ * simulated costs through the warp.
+ */
+struct PageHooks
+{
+    /** Runs on the fetching warp after page data lands in the frame. */
+    std::function<void(sim::Warp&, PageKey, sim::Addr frame_addr,
+                       size_t len)>
+        postFetch;
+
+    /**
+     * Runs before a dirty frame is written back. The warp pointer is
+     * null when invoked from the host-side flush.
+     */
+    std::function<void(sim::Warp*, PageKey, sim::Addr frame_addr,
+                       size_t len)>
+        preWriteback;
+};
+
+/**
+ * The page cache. All device-side methods are warp-level: they are
+ * called by the warp as a whole (in the apointer fault path, by the
+ * subgroup leader on behalf of its lanes, with an aggregated count).
+ */
+class PageCache
+{
+  public:
+    /**
+     * @param dev    simulated GPU providing memory and timing
+     * @param io     host I/O engine for major faults and writeback
+     * @param cfg    geometry/policy
+     */
+    PageCache(sim::Device& dev, hostio::HostIoEngine& io, const Config& cfg);
+
+    /** Geometry in force. */
+    const Config& config() const { return cfg; }
+
+    /** Device address of frame @p frame. */
+    sim::Addr
+    frameAddr(uint32_t frame) const
+    {
+        return framesBase + static_cast<sim::Addr>(frame) * cfg.pageSize;
+    }
+
+    /**
+     * Acquire (f, page_no), taking @p count references. Handles minor
+     * faults (page resident: refcount bump) and major faults (allocate
+     * a frame, fetch from the host through the staging area). Blocks
+     * the calling warp as required.
+     *
+     * @param w        calling warp (subgroup leader)
+     * @param key      page identity
+     * @param count    references to take (aggregated over the subgroup)
+     * @param writable whether the mapping may be written (marks dirty)
+     * @param zero_fill zero-fill-on-demand: a major fault produces a
+     *                  zeroed frame with no host transfer (anonymous /
+     *                  swap-backed mappings); evicted dirty pages still
+     *                  write back to the backing file, and re-faults of
+     *                  written-back pages read it normally
+     */
+    AcquireResult acquirePage(sim::Warp& w, PageKey key, int count,
+                              bool writable, bool zero_fill = false);
+
+    /** Host-side: true if the page was ever written back (swap test). */
+    bool
+    everWrittenHost(PageKey key) const
+    {
+        return swappedOut.count(key) != 0;
+    }
+
+    /** Drop @p count references from (f, page_no). */
+    void releasePage(sim::Warp& w, PageKey key, int count);
+
+    /**
+     * Advisory prefetch (the gmadvise/WILLNEED path): if the page is
+     * absent, allocate a frame, insert a Loading entry with zero
+     * references, and start an asynchronous host transfer directly
+     * into the frame — the calling warp does not block, and later
+     * accesses take minor faults instead of majors. No-op if the page
+     * is already present or the insertion races. Incompatible with a
+     * postFetch hook (no warp exists at completion time to charge).
+     */
+    void prefetchPage(sim::Warp& w, PageKey key);
+
+    /**
+     * Host-side: write every dirty frame back to the backing store and
+     * clear dirty bits. Functional only (no simulated time); used at
+     * teardown and by tests.
+     */
+    void flushDirtyHost();
+
+    /** Host-side: current refcount of a page, or -1 if not resident. */
+    int32_t residentRefcountHost(PageKey key);
+
+    /** The page table (exposed for tests and diagnostics). */
+    PageTable& table() { return pt; }
+
+    /** Install page-fault interposition hooks (see PageHooks). */
+    void setHooks(PageHooks h) { hooks = std::move(h); }
+
+  private:
+    /** Obtain a free frame, evicting a refcount-zero page if needed. */
+    uint32_t allocFrame(sim::Warp& w);
+
+    /** Return a frame to the free pool (lost insertion race). */
+    void freeFrame(sim::Warp& w, uint32_t frame);
+
+    /** Write a dirty frame's bytes back to its file. */
+    void writeback(sim::Warp& w, PageKey key, uint32_t frame);
+
+    /** Fetch page data from the host into @p frame via staging. */
+    void fetchPage(sim::Warp& w, PageKey key, uint32_t frame);
+
+    uint32_t grabStagingSlot(sim::Warp& w);
+    void releaseStagingSlot(sim::Warp& w, uint32_t slot);
+
+    sim::Addr metaAddr(uint32_t frame) const
+    {
+        return metaBase + static_cast<sim::Addr>(frame) * sizeof(FrameMeta);
+    }
+
+    sim::Device* dev;
+    hostio::HostIoEngine* io;
+    Config cfg;
+    PageTable pt;
+    PageHooks hooks;
+
+    sim::Addr framesBase = 0;
+    sim::Addr metaBase = 0;
+    sim::Addr stagingBase = 0;
+
+    /** Free-frame pool (device-side state mirrored host-side; pops and
+     * pushes are charged as atomic pool operations). */
+    std::vector<uint32_t> freeFrames;
+    sim::DeviceLock allocLock;
+    uint64_t clockHand = 0;
+
+    /** Staging-slot pool with a waiter queue. */
+    std::vector<uint32_t> freeStaging;
+    std::deque<sim::Fiber*> stagingWaiters;
+    std::deque<uint32_t> stagingHandoff;
+
+    /** Zero-fill pages that have been written back at least once: a
+     * re-fault must read the swap contents, not zero-fill again. */
+    std::set<PageKey> swappedOut;
+};
+
+} // namespace ap::gpufs
+
+#endif // AP_GPUFS_PAGE_CACHE_HH

@@ -1,0 +1,101 @@
+#include "hostio/backing_store.hh"
+
+#include <cstring>
+
+#include "util/logging.hh"
+
+namespace ap::hostio {
+
+FileId
+BackingStore::create(const std::string& name, size_t size)
+{
+    for (size_t i = 0; i < files.size(); ++i) {
+        if (files[i].fname == name) {
+            files[i].bytes.assign(size, 0);
+            return static_cast<FileId>(i);
+        }
+    }
+    files.push_back(File{name, std::vector<uint8_t>(size, 0)});
+    return static_cast<FileId>(files.size() - 1);
+}
+
+FileId
+BackingStore::open(const std::string& name) const
+{
+    for (size_t i = 0; i < files.size(); ++i)
+        if (files[i].fname == name)
+            return static_cast<FileId>(i);
+    return -1;
+}
+
+const BackingStore::File&
+BackingStore::get(FileId f) const
+{
+    AP_ASSERT(f >= 0 && static_cast<size_t>(f) < files.size(),
+              "bad file id ", f);
+    return files[f];
+}
+
+BackingStore::File&
+BackingStore::get(FileId f)
+{
+    AP_ASSERT(f >= 0 && static_cast<size_t>(f) < files.size(),
+              "bad file id ", f);
+    return files[f];
+}
+
+size_t
+BackingStore::size(FileId f) const
+{
+    return get(f).bytes.size();
+}
+
+const std::string&
+BackingStore::name(FileId f) const
+{
+    return get(f).fname;
+}
+
+void
+BackingStore::pread(FileId f, void* dst, size_t len, uint64_t off) const
+{
+    const File& file = get(f);
+    AP_ASSERT(off + len <= file.bytes.size(), "pread past EOF of ",
+              file.fname, ": ", off + len, " > ", file.bytes.size());
+    std::memcpy(dst, file.bytes.data() + off, len);
+}
+
+void
+BackingStore::pwrite(FileId f, const void* src, size_t len, uint64_t off)
+{
+    File& file = get(f);
+    AP_ASSERT(off + len <= file.bytes.size(), "pwrite past EOF of ",
+              file.fname);
+    std::memcpy(file.bytes.data() + off, src, len);
+}
+
+uint8_t*
+BackingStore::data(FileId f, uint64_t off, size_t len)
+{
+    File& file = get(f);
+    AP_ASSERT(off + len <= file.bytes.size(), "data range past EOF");
+    return file.bytes.data() + off;
+}
+
+const uint8_t*
+BackingStore::data(FileId f, uint64_t off, size_t len) const
+{
+    const File& file = get(f);
+    AP_ASSERT(off + len <= file.bytes.size(), "data range past EOF");
+    return file.bytes.data() + off;
+}
+
+void
+BackingStore::truncate(FileId f, size_t size)
+{
+    File& file = get(f);
+    if (file.bytes.size() < size)
+        file.bytes.resize(size, 0);
+}
+
+} // namespace ap::hostio

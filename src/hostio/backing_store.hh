@@ -1,0 +1,85 @@
+/**
+ * @file
+ * The host-side backing store: an in-memory file system standing in for
+ * the paper's RAMfs setup ("We store the file in CPU RAM, using RAMfs
+ * ... to measure the worst-case overheads of apointers", section VI-C).
+ *
+ * Functionally it is a flat namespace of byte files; timing of moving
+ * its bytes to/from the GPU is charged by HostIoEngine.
+ */
+
+#ifndef AP_HOSTIO_BACKING_STORE_HH
+#define AP_HOSTIO_BACKING_STORE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ap::hostio {
+
+/** Host file descriptor. Negative means invalid. */
+using FileId = int32_t;
+
+/** Open-mode flags for device-side file mapping (subset of POSIX). */
+enum OpenFlags : uint32_t {
+    O_GRDONLY = 0x1, ///< read-only mapping
+    O_GWRONLY = 0x2, ///< write-only mapping
+    O_GRDWR = 0x3,   ///< read-write mapping
+};
+
+/**
+ * An in-memory host file system. All methods are host-side and
+ * functional (zero simulated time); device-visible costs are modeled by
+ * HostIoEngine.
+ */
+class BackingStore
+{
+  public:
+    /**
+     * Create a file of @p size zero bytes. Replaces any existing file
+     * of the same name.
+     * @return descriptor of the new file
+     */
+    FileId create(const std::string& name, size_t size);
+
+    /** Look up a file by name. @return descriptor, or -1 if absent. */
+    FileId open(const std::string& name) const;
+
+    /** Size in bytes of file @p f. */
+    size_t size(FileId f) const;
+
+    /** Name of file @p f. */
+    const std::string& name(FileId f) const;
+
+    /** Number of files. */
+    size_t fileCount() const { return files.size(); }
+
+    /** Copy @p len bytes from (f, off) into @p dst. */
+    void pread(FileId f, void* dst, size_t len, uint64_t off) const;
+
+    /** Copy @p len bytes from @p src into (f, off). */
+    void pwrite(FileId f, const void* src, size_t len, uint64_t off);
+
+    /** Direct pointer into the file contents (host-side convenience). */
+    uint8_t* data(FileId f, uint64_t off, size_t len);
+    const uint8_t* data(FileId f, uint64_t off, size_t len) const;
+
+    /** Grow (never shrink) file @p f to at least @p size bytes. */
+    void truncate(FileId f, size_t size);
+
+  private:
+    struct File
+    {
+        std::string fname;
+        std::vector<uint8_t> bytes;
+    };
+
+    const File& get(FileId f) const;
+    File& get(FileId f);
+
+    std::vector<File> files;
+};
+
+} // namespace ap::hostio
+
+#endif // AP_HOSTIO_BACKING_STORE_HH

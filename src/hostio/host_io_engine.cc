@@ -1,0 +1,189 @@
+#include "hostio/host_io_engine.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace ap::hostio {
+
+HostIoEngine::HostIoEngine(sim::Device& dev_, BackingStore& store,
+                           bool batching_)
+    : dev(&dev_), store_(&store), batching(batching_),
+      pcieToGpu(dev_.costModel().pcieBytesPerCycle),
+      pcieToHost(dev_.costModel().pcieBytesPerCycle)
+{
+}
+
+void
+HostIoEngine::readToGpu(sim::Warp& w, FileId f, uint64_t off, size_t len,
+                        sim::Addr gpu_dst)
+{
+    AP_ASSERT(off + len <= store_->size(f), "device read past EOF");
+    const sim::CostModel& cm = dev->costModel();
+    sim::Engine& eng = dev->engine();
+    dev->stats().inc("hostio.read_requests");
+    dev->stats().inc("hostio.read_bytes", len);
+    // Enqueue the request into the host RPC ring (a few stores over
+    // PCIe-visible memory plus a doorbell).
+    w.issue(8);
+
+    if (!batching) {
+        // One PCIe transfer per request: each pays the full DMA setup.
+        sim::Cycles host = eng.now() + cm.hostRequestCost;
+        sim::Cycles done = pcieToGpu.acquireWithSetup(
+            host, static_cast<double>(len), cm.pcieLatency);
+        sim::Fiber* waiter = sim::Fiber::current();
+        eng.schedule(done, [this, f, off, len, gpu_dst, waiter] {
+            store_->pread(f, dev->mem().raw(gpu_dst, len), len, off);
+            dev->stats().inc("hostio.transfers");
+            waiter->resume();
+        });
+        eng.block();
+        return;
+    }
+
+    pending.push_back(Request{f, off, len, gpu_dst,
+                              sim::Fiber::current(), nullptr});
+    if (!dispatchScheduled) {
+        dispatchScheduled = true;
+        // Work-conserving aggregation: while a transfer is in flight,
+        // keep accumulating requests and dispatch them as one batch
+        // when the DMA channel frees up (the GPUfs host daemon drains
+        // its whole RPC queue per iteration).
+        sim::Cycles when = std::max(eng.now() + cm.hostBatchWindow,
+                                    pcieToGpu.freeTime());
+        eng.schedule(when, [this] { dispatchBatch(); });
+    }
+    eng.block();
+}
+
+void
+HostIoEngine::dispatchBatch()
+{
+    const sim::CostModel& cm = dev->costModel();
+    sim::Engine& eng = dev->engine();
+    dispatchScheduled = false;
+
+    std::vector<Request> reqs = std::move(pending);
+    pending.clear();
+    if (reqs.empty())
+        return;
+
+    // Split into transfers of at most maxBatchBytes.
+    size_t i = 0;
+    sim::Cycles host_free = eng.now();
+    while (i < reqs.size()) {
+        size_t j = i;
+        size_t bytes = 0;
+        while (j < reqs.size() &&
+               (j == i || bytes + reqs[j].len <= cm.maxBatchBytes)) {
+            bytes += reqs[j].len;
+            ++j;
+        }
+        // The host gathers the file contents into its staging buffer,
+        // then issues one DMA for the whole batch: one setup cost for
+        // the whole group.
+        host_free += static_cast<double>(j - i) * cm.hostRequestCost;
+        sim::Cycles done = pcieToGpu.acquireWithSetup(
+            host_free, static_cast<double>(bytes), cm.pcieLatency);
+        dev->stats().inc("hostio.transfers");
+        dev->stats().inc("hostio.batched_requests", j - i);
+        dev->tracer().span(-2, "dma",
+                           "batch x" + std::to_string(j - i) + " (" +
+                               std::to_string(bytes) + "B)",
+                           host_free, done);
+
+        std::vector<Request> group(reqs.begin() + i, reqs.begin() + j);
+        eng.schedule(done, [this, group = std::move(group)] {
+            for (const Request& r : group) {
+                store_->pread(r.file, dev->mem().raw(r.dst, r.len), r.len,
+                              r.off);
+                if (r.waiter)
+                    r.waiter->resume();
+                if (r.onDone)
+                    r.onDone();
+            }
+        });
+        i = j;
+    }
+}
+
+void
+HostIoEngine::readToGpuAsync(sim::Warp& w, FileId f, uint64_t off,
+                             size_t len, sim::Addr gpu_dst,
+                             std::function<void()> on_done)
+{
+    AP_ASSERT(off + len <= store_->size(f), "device read past EOF");
+    const sim::CostModel& cm = dev->costModel();
+    sim::Engine& eng = dev->engine();
+    dev->stats().inc("hostio.read_requests");
+    dev->stats().inc("hostio.read_bytes", len);
+    w.issue(8);
+
+    if (!batching) {
+        sim::Cycles host = eng.now() + cm.hostRequestCost;
+        sim::Cycles done = pcieToGpu.acquireWithSetup(
+            host, static_cast<double>(len), cm.pcieLatency);
+        eng.schedule(done, [this, f, off, len, gpu_dst,
+                            cb = std::move(on_done)] {
+            store_->pread(f, dev->mem().raw(gpu_dst, len), len, off);
+            dev->stats().inc("hostio.transfers");
+            cb();
+        });
+        return;
+    }
+
+    pending.push_back(
+        Request{f, off, len, gpu_dst, nullptr, std::move(on_done)});
+    if (!dispatchScheduled) {
+        dispatchScheduled = true;
+        sim::Cycles when = std::max(eng.now() + cm.hostBatchWindow,
+                                    pcieToGpu.freeTime());
+        eng.schedule(when, [this] { dispatchBatch(); });
+    }
+}
+
+void
+HostIoEngine::writeFromGpu(sim::Warp& w, FileId f, uint64_t off, size_t len,
+                           sim::Addr gpu_src)
+{
+    AP_ASSERT(off + len <= store_->size(f), "device write past EOF");
+    const sim::CostModel& cm = dev->costModel();
+    sim::Engine& eng = dev->engine();
+    dev->stats().inc("hostio.write_requests");
+    dev->stats().inc("hostio.write_bytes", len);
+
+    w.issue(8);
+    sim::Cycles host = eng.now() + cm.hostRequestCost;
+    sim::Cycles done = pcieToHost.acquireWithSetup(
+        host, static_cast<double>(len), cm.pcieLatency);
+    sim::Fiber* waiter = sim::Fiber::current();
+    eng.schedule(done, [this, f, off, len, gpu_src, waiter] {
+        store_->pwrite(f, dev->mem().raw(gpu_src, len), len, off);
+        dev->stats().inc("hostio.transfers");
+        waiter->resume();
+    });
+    eng.block();
+}
+
+int64_t
+HostIoEngine::rpc(sim::Warp& w, const std::function<int64_t()>& host_fn)
+{
+    const sim::CostModel& cm = dev->costModel();
+    sim::Engine& eng = dev->engine();
+    dev->stats().inc("hostio.rpcs");
+    w.issue(8);
+
+    int64_t result = 0;
+    sim::Fiber* waiter = sim::Fiber::current();
+    sim::Cycles done =
+        eng.now() + 2 * cm.pcieLatency + cm.hostRequestCost;
+    eng.schedule(done, [&result, &host_fn, waiter] {
+        result = host_fn();
+        waiter->resume();
+    });
+    eng.block();
+    return result;
+}
+
+} // namespace ap::hostio

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * The host I/O engine: models the GPUfs host-side daemon that services
+ * file RPCs from running GPU kernels, the PCIe bus, and the transfer
+ * batching optimization from paper section V ("Optimizing for small
+ * page size"): multiple outstanding small reads are aggregated on the
+ * host and shipped to the GPU in a single DMA transfer.
+ */
+
+#ifndef AP_HOSTIO_HOST_IO_ENGINE_HH
+#define AP_HOSTIO_HOST_IO_ENGINE_HH
+
+#include <vector>
+
+#include "hostio/backing_store.hh"
+#include "sim/device.hh"
+
+namespace ap::hostio {
+
+/**
+ * Services device-originated file reads/writes. Calls are made from
+ * inside warp fibers and block the calling warp until the data has
+ * crossed the (simulated) PCIe bus.
+ */
+class HostIoEngine
+{
+  public:
+    /**
+     * @param dev      the simulated GPU (shares its engine and memory)
+     * @param store    the host file system
+     * @param batching enable host-side aggregation of small transfers
+     */
+    HostIoEngine(sim::Device& dev, BackingStore& store,
+                 bool batching = true);
+
+    /**
+     * Read (f, off, len) from the host into device memory at @p gpu_dst.
+     * Blocks the calling warp until the bytes have landed. With
+     * batching enabled, concurrent requests within the aggregation
+     * window share one PCIe transfer.
+     */
+    void readToGpu(sim::Warp& w, FileId f, uint64_t off, size_t len,
+                   sim::Addr gpu_dst);
+
+    /**
+     * Asynchronous variant of readToGpu: enqueue the request (sharing
+     * the batching machinery) and invoke @p on_done at the simulated
+     * completion time instead of blocking the warp. Used by the
+     * prefetch (gmadvise) path.
+     */
+    void readToGpuAsync(sim::Warp& w, FileId f, uint64_t off, size_t len,
+                        sim::Addr gpu_dst, std::function<void()> on_done);
+
+    /**
+     * Write device memory (gpu_src, len) to the host file at (f, off).
+     * Blocks the calling warp until the transfer completes.
+     */
+    void writeFromGpu(sim::Warp& w, FileId f, uint64_t off, size_t len,
+                      sim::Addr gpu_src);
+
+    /**
+     * A device-to-host RPC with a tiny payload (e.g. gopen): charges a
+     * round trip and runs @p host_fn on the host at the service time.
+     * @return the value produced by @p host_fn
+     */
+    int64_t rpc(sim::Warp& w, const std::function<int64_t()>& host_fn);
+
+    /** Enable/disable batching (ablation knob). */
+    void setBatching(bool on) { batching = on; }
+
+    /** Whether batching is enabled. */
+    bool batchingEnabled() const { return batching; }
+
+    /** The backing store served by this engine. */
+    BackingStore& store() { return *store_; }
+
+  private:
+    struct Request
+    {
+        FileId file;
+        uint64_t off;
+        size_t len;
+        sim::Addr dst;
+        sim::Fiber* waiter;              ///< resumed if non-null
+        std::function<void()> onDone;    ///< called if set
+    };
+
+    void dispatchBatch();
+
+    sim::Device* dev;
+    BackingStore* store_;
+    bool batching;
+    sim::BwServer pcieToGpu;
+    sim::BwServer pcieToHost;
+    std::vector<Request> pending;
+    bool dispatchScheduled = false;
+};
+
+} // namespace ap::hostio
+
+#endif // AP_HOSTIO_HOST_IO_ENGINE_HH

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * The timing model constants for the simulated GPU.
+ *
+ * The machine modeled is one GPU of an NVIDIA Tesla K80 (GK210), the
+ * hardware used in the paper's evaluation:
+ *
+ *  - 13 SMX units, 64 warp slots each. With the paper's 32 warps per
+ *    threadblock this gives 2 resident blocks/SM, so full occupancy at
+ *    26 threadblocks, matching the paper's statement in section VI-B.
+ *  - Issue bandwidth: 6 warp-instructions per SM per cycle (192 cores
+ *    per SMX / 32 lanes), matching the paper's 2056 GIPS figure.
+ *  - Dependent-instruction latency ~8 cycles: Kepler ALU results are
+ *    available to a dependent instruction only after several cycles, so
+ *    a *single* warp executing a serial chain of N instructions takes
+ *    about 8*N cycles even though the SM issues 6/cycle across warps.
+ *    This split is what makes latency hiding emerge: one warp's
+ *    dependent stalls are filled by other warps' issues.
+ *  - Global memory: ~222-cycle load latency and 368 bytes/cycle of DRAM
+ *    traffic bandwidth (369 B/cyc = 2 * 152 GB/s / 0.823 GHz), so that a
+ *    tiled device-to-device copy baseline achieves ~152 GB/s of copy
+ *    rate, the cudaMemcpyDeviceToDevice figure the paper reports.
+ *  - PCIe: ~12 GB/s effective with a fixed per-transfer latency;
+ *    host-side batching (paper section V) amortizes the fixed cost.
+ *
+ * These constants are calibration knobs, not measurements; EXPERIMENTS.md
+ * records how well the calibrated model matches each paper result.
+ */
+
+#ifndef AP_SIM_COST_MODEL_HH
+#define AP_SIM_COST_MODEL_HH
+
+#include <cstddef>
+
+#include "sim/types.hh"
+
+namespace ap::sim {
+
+/** All timing parameters of the simulated machine. */
+struct CostModel
+{
+    /** Number of streaming multiprocessors. */
+    int numSms = 13;
+
+    /** Hardware warp contexts per SM. */
+    int warpSlotsPerSm = 64;
+
+    /** Aggregate issue bandwidth, warp-instructions per SM per cycle
+     * (K80: 192 cores/SMX / 32 lanes = 6 warp-instructions/cycle). */
+    double issuePerSmPerCycle = 6.0;
+
+    /** Serial latency of one dependent instruction within a warp. */
+    Cycles depLatencyPerInstr = 8.0;
+
+    /** Global-memory load latency (issue to data ready). */
+    Cycles memLatency = 216.0;
+
+    /** Global-memory traffic bandwidth in bytes per cycle (whole GPU). */
+    double memBytesPerCycle = 368.0;
+
+    /** Memory transaction (coalescing segment) size in bytes. */
+    unsigned memSegmentBytes = 128;
+
+    /** GPU core clock in GHz, for converting cycles to seconds. */
+    double clockGhz = 0.823;
+
+    /** Scratchpad (shared memory) load latency. */
+    Cycles scratchLatency = 28.0;
+
+    /** Scratchpad size per threadblock in bytes. */
+    size_t scratchBytesPerBlock = 48 * 1024;
+
+    /**
+     * Extra latency of a global-memory atomic over a plain load (the
+     * L2 read-modify-write turnaround).
+     */
+    Cycles atomicLatency = 40.0;
+
+    /** PCIe effective bandwidth in bytes per GPU cycle (~12 GB/s). */
+    double pcieBytesPerCycle = 14.6;
+
+    /**
+     * Fixed per-DMA-transfer cost in cycles (driver call + DMA engine
+     * programming, ~10 us). Occupies the DMA engine, so issuing many
+     * small transfers serializes on it — the cost batching amortizes.
+     */
+    Cycles pcieLatency = 8000.0;
+
+    /** Host aggregation window for batching small transfers. */
+    Cycles hostBatchWindow = 2000.0;
+
+    /** Maximum bytes the host batches into a single PCIe transfer. */
+    size_t maxBatchBytes = 1u << 20;
+
+    /** Host-side cost to gather one request into the staging buffer. */
+    Cycles hostRequestCost = 300.0;
+
+    /** Fixed cost of launching a kernel (driver + dispatch). */
+    Cycles kernelLaunchLatency = 4000.0;
+
+    /**
+     * CPU time to service one GPU page fault in the CPU-centric VM
+     * design of paper Figure 1 (interrupt, driver, page-table and
+     * hardware-VM update; ~5 us).
+     */
+    Cycles cpuFaultHandlerCost = 4000.0;
+
+    /** Concurrent fault-handling contexts in the CPU driver. */
+    int cpuFaultHandlerThreads = 4;
+
+    /** Convert an interval in cycles to seconds. */
+    double
+    toSeconds(Cycles c) const
+    {
+        return c / (clockGhz * 1e9);
+    }
+
+    /** Peak copy rate (half the traffic bandwidth) in GB/s. */
+    double
+    peakCopyGBs() const
+    {
+        return memBytesPerCycle / 2.0 * clockGhz;
+    }
+};
+
+} // namespace ap::sim
+
+#endif // AP_SIM_COST_MODEL_HH

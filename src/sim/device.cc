@@ -1,0 +1,115 @@
+#include "sim/device.hh"
+
+#include <deque>
+
+#include "sim/fiber.hh"
+#include "util/logging.hh"
+
+namespace ap::sim {
+
+Device::Device(const CostModel& cm, size_t mem_bytes)
+    : cm_(cm), mem_(mem_bytes, cm)
+{
+    AP_ASSERT(cm_.numSms > 0, "need at least one SM");
+    sms_.reserve(cm_.numSms);
+    for (int i = 0; i < cm_.numSms; ++i)
+        sms_.emplace_back(cm_.issuePerSmPerCycle);
+}
+
+/** Bookkeeping for one in-flight launch. */
+struct Device::LaunchState
+{
+    const KernelFn* fn = nullptr;
+    const BlockInitFn* blockInit = nullptr;
+    int warpsPerBlock = 0;
+    int nextBlock = 0;
+    int numBlocks = 0;
+    int liveWarps = 0;
+    int nextGlobalWarp = 0;
+    // Keep blocks, warps and fibers alive for the whole launch.
+    std::vector<std::unique_ptr<ThreadBlock>> blocks;
+    std::vector<std::unique_ptr<Warp>> warps;
+    std::vector<std::unique_ptr<Fiber>> fibers;
+};
+
+void
+Device::tryDispatch(LaunchState& ls)
+{
+    while (ls.nextBlock < ls.numBlocks) {
+        // Pick the least-loaded SM that can host a full block.
+        Sm* best = nullptr;
+        for (auto& sm : sms_) {
+            if (sm.residentWarps + ls.warpsPerBlock > cm_.warpSlotsPerSm)
+                continue;
+            if (!best || sm.residentWarps < best->residentWarps)
+                best = &sm;
+        }
+        if (!best)
+            return;
+
+        int block_id = ls.nextBlock++;
+        auto tb = std::make_unique<ThreadBlock>(
+            block_id, ls.warpsPerBlock, best, &eng_,
+            cm_.scratchBytesPerBlock);
+        best->residentWarps += ls.warpsPerBlock;
+        if (*ls.blockInit)
+            (*ls.blockInit)(*tb);
+
+        for (int wi = 0; wi < ls.warpsPerBlock; ++wi) {
+            auto warp = std::make_unique<Warp>(
+                ls.nextGlobalWarp++, wi, tb.get(), &mem_, &eng_, &cm_,
+                &stats_);
+            Warp* wp = warp.get();
+            ThreadBlock* tbp = tb.get();
+            auto fiber = std::make_unique<Fiber>([this, &ls, wp, tbp] {
+                (*ls.fn)(*wp);
+                // Warp retires: free its SM slot and try to dispatch
+                // a pending block (scheduled as an event so fiber
+                // creation happens outside this stack).
+                tbp->smRef().residentWarps--;
+                ls.liveWarps--;
+                eng_.schedule(eng_.now(), [this, &ls] { tryDispatch(ls); });
+            });
+            eng_.scheduleFiber(eng_.now(), fiber.get());
+            ls.liveWarps++;
+            ls.warps.push_back(std::move(warp));
+            ls.fibers.push_back(std::move(fiber));
+        }
+        ls.blocks.push_back(std::move(tb));
+    }
+}
+
+Cycles
+Device::launch(int num_blocks, int warps_per_block, const KernelFn& fn,
+               const BlockInitFn& block_init)
+{
+    AP_ASSERT(num_blocks > 0 && warps_per_block > 0, "empty launch");
+    if (warps_per_block > cm_.warpSlotsPerSm)
+        fatal("threadblock of ", warps_per_block,
+              " warps exceeds SM capacity ", cm_.warpSlotsPerSm);
+
+    Cycles start = eng_.now();
+
+    LaunchState ls;
+    BlockInitFn init = block_init ? block_init : [](ThreadBlock&) {};
+    ls.fn = &fn;
+    ls.blockInit = &init;
+    ls.warpsPerBlock = warps_per_block;
+    ls.numBlocks = num_blocks;
+
+    // Model driver launch latency, then start dispatching.
+    eng_.schedule(start + cm_.kernelLaunchLatency,
+                  [this, &ls] { tryDispatch(ls); });
+    eng_.run();
+
+    AP_ASSERT(ls.liveWarps == 0 && ls.nextBlock == ls.numBlocks,
+              "kernel deadlocked: ", ls.liveWarps, " warps never finished");
+    stats_.inc("sim.launches");
+    tracer_.span(-1, "kernel",
+                 "launch[" + std::to_string(num_blocks) + "x" +
+                     std::to_string(warps_per_block) + "]",
+                 start, eng_.now());
+    return eng_.now() - start;
+}
+
+} // namespace ap::sim

@@ -1,0 +1,162 @@
+/**
+ * @file
+ * The discrete-event engine that drives the whole simulation: GPU warps,
+ * the host-side DMA/batching machinery, and any auxiliary host events all
+ * share one timeline measured in GPU cycles.
+ */
+
+#ifndef AP_SIM_ENGINE_HH
+#define AP_SIM_ENGINE_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/fiber.hh"
+#include "sim/types.hh"
+#include "util/logging.hh"
+
+namespace ap::sim {
+
+/**
+ * A deterministic discrete-event scheduler. Events at equal timestamps
+ * fire in insertion order, so runs are bit-reproducible.
+ */
+class Engine
+{
+  public:
+    using Callback = std::function<void()>;
+
+    /** Current simulated time. Monotonic across kernel launches. */
+    Cycles now() const { return curTime; }
+
+    /** Schedule @p cb at time max(when, now()). */
+    void
+    schedule(Cycles when, Callback cb)
+    {
+        if (when < curTime)
+            when = curTime;
+        queue.push(Event{when, nextSeq++, std::move(cb)});
+    }
+
+    /** Schedule a fiber resume at time max(when, now()). */
+    void
+    scheduleFiber(Cycles when, Fiber* f)
+    {
+        schedule(when, [f] { f->resume(); });
+    }
+
+    /**
+     * Suspend the current fiber until @p when. Must be called from
+     * inside a fiber.
+     */
+    void
+    waitUntil(Cycles when)
+    {
+        Fiber* f = Fiber::current();
+        AP_ASSERT(f != nullptr, "waitUntil outside a fiber");
+        if (when <= curTime)
+            return;
+        scheduleFiber(when, f);
+        f->yield();
+    }
+
+    /**
+     * Suspend the current fiber with no wakeup scheduled; someone else
+     * (a lock release, a DMA completion) must resume it.
+     */
+    void
+    block()
+    {
+        Fiber* f = Fiber::current();
+        AP_ASSERT(f != nullptr, "block outside a fiber");
+        f->yield();
+    }
+
+    /** Process events until the queue drains. */
+    void
+    run()
+    {
+        while (!queue.empty()) {
+            Event ev = queue.top();
+            queue.pop();
+            AP_ASSERT(ev.when >= curTime, "time went backwards");
+            curTime = ev.when;
+            ev.cb();
+        }
+    }
+
+    /** True if no events are pending. */
+    bool idle() const { return queue.empty(); }
+
+  private:
+    struct Event
+    {
+        Cycles when;
+        uint64_t seq;
+        Callback cb;
+
+        bool
+        operator>(const Event& o) const
+        {
+            if (when != o.when)
+                return when > o.when;
+            return seq > o.seq;
+        }
+    };
+
+    std::priority_queue<Event, std::vector<Event>, std::greater<>> queue;
+    Cycles curTime = 0;
+    uint64_t nextSeq = 0;
+};
+
+/**
+ * A bandwidth server: a shared resource that transfers bytes at a fixed
+ * rate. Reservations queue FIFO; the finish time of a reservation is
+ * when its last byte has moved.
+ */
+class BwServer
+{
+  public:
+    explicit BwServer(double bytes_per_cycle)
+        : bytesPerCycle(bytes_per_cycle)
+    {
+        AP_ASSERT(bytesPerCycle > 0, "bandwidth must be positive");
+    }
+
+    /** Reserve a transfer of @p bytes not starting before @p t. */
+    Cycles
+    acquire(Cycles t, double bytes)
+    {
+        if (freeAt < t)
+            freeAt = t;
+        freeAt += bytes / bytesPerCycle;
+        return freeAt;
+    }
+
+    /**
+     * Reserve a transfer of @p bytes plus a fixed per-transfer setup
+     * occupancy (e.g. DMA engine programming). The setup occupies the
+     * server, which is exactly what transfer batching amortizes.
+     */
+    Cycles
+    acquireWithSetup(Cycles t, double bytes, Cycles setup)
+    {
+        if (freeAt < t)
+            freeAt = t;
+        freeAt += setup + bytes / bytesPerCycle;
+        return freeAt;
+    }
+
+    /** Time at which the server next becomes free. */
+    Cycles freeTime() const { return freeAt; }
+
+  private:
+    double bytesPerCycle;
+    Cycles freeAt = 0;
+};
+
+} // namespace ap::sim
+
+#endif // AP_SIM_ENGINE_HH

@@ -1,0 +1,54 @@
+#include "sim/fiber.hh"
+
+#include "util/logging.hh"
+
+namespace ap::sim {
+
+thread_local Fiber* Fiber::current_ = nullptr;
+
+Fiber::Fiber(Fn fn_, size_t stackBytes)
+    : stack(new uint8_t[stackBytes]), fn(std::move(fn_))
+{
+    AP_ASSERT(getcontext(&self) == 0, "getcontext failed");
+    self.uc_stack.ss_sp = stack.get();
+    self.uc_stack.ss_size = stackBytes;
+    self.uc_link = &ret;
+    // makecontext only passes ints portably; split the pointer.
+    auto p = reinterpret_cast<uintptr_t>(this);
+    makecontext(&self, reinterpret_cast<void (*)()>(&Fiber::trampoline), 2,
+                static_cast<unsigned>(p >> 32),
+                static_cast<unsigned>(p & 0xffffffffu));
+}
+
+void
+Fiber::trampoline(unsigned hi, unsigned lo)
+{
+    auto p = (static_cast<uintptr_t>(hi) << 32) | lo;
+    Fiber* f = reinterpret_cast<Fiber*>(p);
+    f->fn();
+    f->done = true;
+    // Returning transfers to uc_link (the resumer's context).
+    current_ = nullptr;
+}
+
+void
+Fiber::resume()
+{
+    AP_ASSERT(!done, "resume of finished fiber");
+    AP_ASSERT(current_ == nullptr, "resume from inside a fiber");
+    started = true;
+    current_ = this;
+    AP_ASSERT(swapcontext(&ret, &self) == 0, "swapcontext failed");
+    current_ = nullptr;
+}
+
+void
+Fiber::yield()
+{
+    AP_ASSERT(current_ == this, "yield of non-current fiber");
+    current_ = nullptr;
+    AP_ASSERT(swapcontext(&self, &ret) == 0, "swapcontext failed");
+    current_ = this;
+}
+
+} // namespace ap::sim

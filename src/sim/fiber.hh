@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Cooperative user-level fibers (ucontext-based).
+ *
+ * Each simulated warp runs as one fiber so that device code — including
+ * the ActivePointers translation layer and the GPUfs page-fault handler —
+ * is ordinary C++ that blocks inside simulator calls (memory accesses,
+ * locks, DMA waits) and is resumed by the event engine at the right
+ * simulated time.
+ */
+
+#ifndef AP_SIM_FIBER_HH
+#define AP_SIM_FIBER_HH
+
+#include <ucontext.h>
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+namespace ap::sim {
+
+/**
+ * A run-to-yield coroutine with its own stack. Not thread-safe: the
+ * whole simulation is single-threaded and deterministic by design.
+ */
+class Fiber
+{
+  public:
+    using Fn = std::function<void()>;
+
+    /**
+     * Create a fiber that will execute @p fn when first resumed.
+     * @param fn         body of the fiber
+     * @param stackBytes stack size; device code with the page-fault
+     *                   handler on the stack needs a comfortable margin
+     */
+    explicit Fiber(Fn fn, size_t stackBytes = 128 * 1024);
+
+    Fiber(const Fiber&) = delete;
+    Fiber& operator=(const Fiber&) = delete;
+
+    /**
+     * Switch from the scheduler into the fiber. Returns when the fiber
+     * yields or its body returns. Must not be called on a finished
+     * fiber, or from inside any fiber.
+     */
+    void resume();
+
+    /** Switch from inside the fiber back to whoever resumed it. */
+    void yield();
+
+    /** True once the fiber body has returned. */
+    bool finished() const { return done; }
+
+    /** The fiber currently executing, or nullptr in the scheduler. */
+    static Fiber* current() { return current_; }
+
+  private:
+    static void trampoline(unsigned hi, unsigned lo);
+
+    ucontext_t self{};
+    ucontext_t ret{};
+    std::unique_ptr<uint8_t[]> stack;
+    Fn fn;
+    bool done = false;
+    bool started = false;
+
+    static thread_local Fiber* current_;
+};
+
+} // namespace ap::sim
+
+#endif // AP_SIM_FIBER_HH

@@ -1,0 +1,172 @@
+/**
+ * @file
+ * The simulated GPU global memory: a real byte array (so workloads
+ * compute real results) plus a timing model (latency + a bandwidth
+ * server over DRAM traffic).
+ */
+
+#ifndef AP_SIM_MEMORY_HH
+#define AP_SIM_MEMORY_HH
+
+#include <cstring>
+#include <type_traits>
+#include <vector>
+
+#include "sim/cost_model.hh"
+#include "sim/engine.hh"
+#include "sim/types.hh"
+#include "util/bitfield.hh"
+#include "util/logging.hh"
+
+namespace ap::sim {
+
+/**
+ * Simulated device (aphysical) memory. Functional loads/stores operate
+ * on the backing array; timing methods reserve DRAM bandwidth and apply
+ * load latency. Address 0 is reserved so that 0 can act as a null
+ * aphysical address.
+ */
+class GlobalMemory
+{
+  public:
+    /**
+     * @param bytes capacity of the simulated device memory
+     * @param cm    timing constants
+     */
+    GlobalMemory(size_t bytes, const CostModel& cm)
+        : store_(bytes, 0), bw(cm.memBytesPerCycle), latency(cm.memLatency),
+          segmentBytes(cm.memSegmentBytes)
+    {
+    }
+
+    /** Capacity in bytes. */
+    size_t size() const { return store_.size(); }
+
+    /**
+     * Bump-allocate @p bytes of device memory.
+     * @param bytes size of the allocation
+     * @param align alignment, a power of two
+     * @return device address of the allocation
+     */
+    Addr
+    alloc(size_t bytes, size_t align = 256)
+    {
+        AP_ASSERT(isPowerOf2(align), "alignment must be a power of two");
+        Addr base = roundUp(brk, align);
+        if (base + bytes > store_.size())
+            fatal("device memory exhausted: need ", bytes, " bytes at ",
+                  base, ", capacity ", store_.size());
+        brk = base + bytes;
+        return base;
+    }
+
+    /** Reset the allocator (existing contents survive). */
+    void resetAllocator() { brk = 64; }
+
+    /** Functional typed load; no timing. */
+    template <typename T>
+    T
+    load(Addr a) const
+    {
+        static_assert(std::is_trivially_copyable_v<T>);
+        AP_ASSERT(a + sizeof(T) <= store_.size(),
+                  "device load out of bounds at ", a);
+        T v;
+        std::memcpy(&v, store_.data() + a, sizeof(T));
+        return v;
+    }
+
+    /** Functional typed store; no timing. */
+    template <typename T>
+    void
+    store(Addr a, const T& v)
+    {
+        static_assert(std::is_trivially_copyable_v<T>);
+        AP_ASSERT(a + sizeof(T) <= store_.size(),
+                  "device store out of bounds at ", a);
+        std::memcpy(store_.data() + a, &v, sizeof(T));
+    }
+
+    /** Raw pointer into the backing array (for DMA-style block copies). */
+    uint8_t*
+    raw(Addr a, size_t len)
+    {
+        AP_ASSERT(a + len <= store_.size(), "raw range out of bounds");
+        return store_.data() + a;
+    }
+
+    const uint8_t*
+    raw(Addr a, size_t len) const
+    {
+        AP_ASSERT(a + len <= store_.size(), "raw range out of bounds");
+        return store_.data() + a;
+    }
+
+    /**
+     * Timing: a read of @p bytes of DRAM traffic issued at @p t.
+     * @return time at which the data is available
+     */
+    Cycles
+    readDone(Cycles t, double bytes)
+    {
+        return bw.acquire(t, bytes) + latency;
+    }
+
+    /**
+     * Timing: a write of @p bytes of DRAM traffic issued at @p t.
+     * Writes are posted: the warp does not wait for them, but they
+     * consume bandwidth.
+     * @return time at which the bandwidth is released
+     */
+    Cycles
+    writeDone(Cycles t, double bytes)
+    {
+        return bw.acquire(t, bytes);
+    }
+
+    /**
+     * Count distinct coalescing segments touched by the active lanes.
+     * Each segment costs a full memSegmentBytes transaction of traffic,
+     * mirroring hardware coalescing.
+     */
+    double
+    coalescedTraffic(const LaneArray<Addr>& addrs, unsigned bytesPerLane,
+                     LaneMask mask) const
+    {
+        // Collect distinct segment ids; 32 entries max, linear scan is
+        // cheap and avoids allocation.
+        constexpr int kCap = 4 * kWarpSize;
+        Addr segs[kCap];
+        int nsegs = 0;
+        int extra = 0; // segments past dedup capacity, counted distinct
+        auto add = [&](Addr seg) {
+            for (int i = 0; i < nsegs; ++i)
+                if (segs[i] == seg)
+                    return;
+            if (nsegs < kCap)
+                segs[nsegs++] = seg;
+            else
+                ++extra;
+        };
+        for (int lane = 0; lane < kWarpSize; ++lane) {
+            if (!(mask & (1u << lane)))
+                continue;
+            Addr first = addrs[lane] / segmentBytes;
+            Addr last = (addrs[lane] + bytesPerLane - 1) / segmentBytes;
+            for (Addr s = first; s <= last; ++s)
+                add(s);
+        }
+        return static_cast<double>(nsegs + extra) * segmentBytes;
+    }
+
+  private:
+    std::vector<uint8_t> store_;
+    Addr brk = 64;
+    BwServer bw;
+    Cycles latency;
+    unsigned segmentBytes;
+};
+
+} // namespace ap::sim
+
+#endif // AP_SIM_MEMORY_HH

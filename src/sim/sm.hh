@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Streaming-multiprocessor state: the shared issue port and occupancy
+ * bookkeeping. Warps resident on an SM contend for its issue bandwidth;
+ * this contention is what bounds apointer overhead at high occupancy.
+ */
+
+#ifndef AP_SIM_SM_HH
+#define AP_SIM_SM_HH
+
+#include "sim/engine.hh"
+
+namespace ap::sim {
+
+/** Per-SM shared resources. */
+struct Sm
+{
+    /** @param issue_rate warp-instructions per cycle this SM sustains */
+    explicit Sm(double issue_rate) : issuePort(issue_rate) {}
+
+    /** Aggregate instruction-issue bandwidth server. */
+    BwServer issuePort;
+
+    /** Warp contexts currently resident. */
+    int residentWarps = 0;
+};
+
+} // namespace ap::sim
+
+#endif // AP_SIM_SM_HH

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Simulated synchronization primitives for device code. The paper's
+ * page cache uses fine-grain per-bucket locks with lock-free reads;
+ * these locks are functional across warp fibers and charge the timing
+ * model for the atomic operations a real GPU spinlock would perform.
+ */
+
+#ifndef AP_SIM_SYNC_HH
+#define AP_SIM_SYNC_HH
+
+#include <deque>
+
+#include "sim/warp.hh"
+
+namespace ap::sim {
+
+/**
+ * A device-wide mutex. FIFO handoff; the blocked warp sleeps in the
+ * event engine rather than burning issue slots (a deliberate
+ * idealization of a spinlock, noted in DESIGN.md: contention cost is
+ * modeled as atomic latency plus queueing delay).
+ */
+class DeviceLock
+{
+  public:
+    DeviceLock() = default;
+
+    /**
+     * @param latency cost of the lock's atomic operation; overrides the
+     *                global-memory atomic latency (e.g. a scratchpad
+     *                lock such as a TLB entry lock is much cheaper)
+     */
+    explicit DeviceLock(Cycles latency) : latencyOverride(latency) {}
+
+    /**
+     * Acquire the lock, blocking the calling warp until available.
+     * Charges one atomic operation.
+     */
+    void
+    acquire(Warp& w)
+    {
+        // The CAS that would take the lock (or observe it held).
+        w.stall(atomicCost(w));
+        w.issue(1);
+        w.stats().inc("sim.lock_acquires");
+        if (!held) {
+            held = true;
+            return;
+        }
+        w.stats().inc("sim.lock_contended");
+        waiters.push_back(Fiber::current());
+        w.engine().block();
+        // Ownership was handed to us by release().
+    }
+
+    /**
+     * Try to acquire without blocking. Charges one atomic operation.
+     * @return true if the lock was taken
+     */
+    bool
+    tryAcquire(Warp& w)
+    {
+        w.stall(atomicCost(w));
+        w.issue(1);
+        w.stats().inc("sim.lock_acquires");
+        if (held)
+            return false;
+        held = true;
+        return true;
+    }
+
+    /** Release the lock; wakes the oldest waiter, if any. */
+    void
+    release(Warp& w)
+    {
+        AP_ASSERT(held, "release of unheld lock");
+        w.issue(1);
+        if (waiters.empty()) {
+            held = false;
+            return;
+        }
+        Fiber* next = waiters.front();
+        waiters.pop_front();
+        // Handoff: lock stays held; the waiter resumes as owner after
+        // the release propagates.
+        w.engine().scheduleFiber(w.now() + atomicCost(w), next);
+    }
+
+    /** True if some warp currently owns the lock. */
+    bool isHeld() const { return held; }
+
+  private:
+    Cycles
+    atomicCost(Warp& w) const
+    {
+        return latencyOverride >= 0 ? latencyOverride
+                                    : w.costModel().atomicLatency;
+    }
+
+    bool held = false;
+    Cycles latencyOverride = -1;
+    std::deque<Fiber*> waiters;
+};
+
+} // namespace ap::sim
+
+#endif // AP_SIM_SYNC_HH

@@ -1,0 +1,41 @@
+#include "sim/trace.hh"
+
+namespace ap::sim {
+
+namespace {
+
+/** Minimal JSON string escape (names are simple, but be safe). */
+void
+escape(std::ostream& os, const std::string& s)
+{
+    for (char c : s) {
+        switch (c) {
+          case '"': os << "\\\""; break;
+          case '\\': os << "\\\\"; break;
+          case '\n': os << "\\n"; break;
+          default: os << c;
+        }
+    }
+}
+
+} // namespace
+
+void
+Tracer::writeJson(std::ostream& os) const
+{
+    os << "[\n";
+    bool first = true;
+    for (const Event& e : events) {
+        if (!first)
+            os << ",\n";
+        first = false;
+        os << "{\"name\":\"";
+        escape(os, e.name);
+        os << "\",\"cat\":\"" << e.category << "\",\"ph\":\"X\""
+           << ",\"ts\":" << e.start << ",\"dur\":" << (e.end - e.start)
+           << ",\"pid\":0,\"tid\":" << e.track << "}";
+    }
+    os << "\n]\n";
+}
+
+} // namespace ap::sim

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Optional event tracing in the Chrome trace-event format
+ * (chrome://tracing, Perfetto). When enabled, the simulator records
+ * spans for kernel launches, page faults, DMA transfers, and similar
+ * long-lived activities; the result visualizes latency hiding, fault
+ * aggregation, and transfer batching directly.
+ *
+ * Disabled by default and cheap to leave compiled in: every hook is a
+ * single branch on enabled().
+ */
+
+#ifndef AP_SIM_TRACE_HH
+#define AP_SIM_TRACE_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace ap::sim {
+
+/** A trace-event recorder. One per Device. */
+class Tracer
+{
+  public:
+    /** Start recording. */
+    void enable() { on = true; }
+
+    /** Stop recording (events are kept). */
+    void disable() { on = false; }
+
+    /** True while recording. */
+    bool enabled() const { return on; }
+
+    /** Number of recorded events. */
+    size_t size() const { return events.size(); }
+
+    /** Discard all recorded events. */
+    void clear() { events.clear(); }
+
+    /**
+     * Record a complete span.
+     * @param track lane of the timeline (e.g. a warp id, or a
+     *              negative id for host-side tracks)
+     * @param category short grouping tag ("mem", "fault", "dma", ...)
+     * @param name  event label
+     * @param start span start in cycles
+     * @param end   span end in cycles
+     */
+    void
+    span(int track, const char* category, std::string name, Cycles start,
+         Cycles end)
+    {
+        if (!on)
+            return;
+        events.push_back(Event{track, category, std::move(name), start,
+                               end});
+    }
+
+    /** Record an instantaneous event. */
+    void
+    instant(int track, const char* category, std::string name, Cycles at)
+    {
+        span(track, category, std::move(name), at, at);
+    }
+
+    /**
+     * Serialize in the Chrome trace-event JSON array format; cycles
+     * map to microseconds 1:1 so one tick in the viewer is one cycle.
+     */
+    void writeJson(std::ostream& os) const;
+
+  private:
+    struct Event
+    {
+        int track;
+        const char* category;
+        std::string name;
+        Cycles start;
+        Cycles end;
+    };
+
+    bool on = false;
+    std::vector<Event> events;
+};
+
+} // namespace ap::sim
+
+#endif // AP_SIM_TRACE_HH

@@ -1,0 +1,420 @@
+/**
+ * @file
+ * The warp execution context: the surface "device code" is written
+ * against. A warp is 32 lockstep lanes; per-thread values are
+ * LaneArrays, control divergence is explicit lane masks, and the CUDA
+ * warp primitives (__ballot/__all/__shfl/__ffs/__popc) the paper's
+ * Listing 1 relies on are methods here.
+ *
+ * Every method that would be an instruction on hardware charges the
+ * timing model; memory accesses additionally reserve DRAM bandwidth and
+ * pay load latency. Device code therefore gets latency hiding "for
+ * free", exactly the property the paper's evaluation leans on.
+ */
+
+#ifndef AP_SIM_WARP_HH
+#define AP_SIM_WARP_HH
+
+#include <algorithm>
+
+#include "sim/cost_model.hh"
+#include "sim/engine.hh"
+#include "sim/memory.hh"
+#include "sim/threadblock.hh"
+#include "util/stats.hh"
+
+namespace ap::sim {
+
+/** An in-flight asynchronous load (used for speculative prefetch). */
+template <typename T>
+struct PendingLoad
+{
+    /** Loaded values (snapshot at issue time). */
+    LaneArray<T> value;
+    /** Simulated time the data becomes usable. */
+    Cycles readyAt = 0;
+};
+
+/**
+ * One warp's execution context. Constructed by Device at block
+ * dispatch; device code receives a reference in its kernel functor.
+ */
+class Warp
+{
+  public:
+    /**
+     * @param global_id    warp index across the whole launch
+     * @param warp_in_block warp index within its threadblock
+     * @param tb           owning threadblock
+     * @param mem_         device global memory
+     * @param eng_         event engine
+     * @param cm_          timing constants
+     * @param stats_       launch-wide statistics sink
+     */
+    Warp(int global_id, int warp_in_block, ThreadBlock* tb,
+         GlobalMemory* mem_, Engine* eng_, const CostModel* cm_,
+         StatGroup* stats_)
+        : gid(global_id), widInBlock(warp_in_block), tb_(tb), mem_(mem_),
+          eng_(eng_), cm_(cm_), stats_(stats_)
+    {
+    }
+
+    // ------------------------------------------------------------------
+    // Identity
+    // ------------------------------------------------------------------
+
+    /** Warp index across the launch. */
+    int globalWarpId() const { return gid; }
+
+    /** Warp index within the threadblock. */
+    int warpInBlock() const { return widInBlock; }
+
+    /** The owning threadblock. */
+    ThreadBlock& block() { return *tb_; }
+
+    /** Lane indices 0..31 as a LaneArray (like threadIdx.x % 32). */
+    static LaneArray<uint32_t>
+    laneIds()
+    {
+        return LaneArray<uint32_t>::iota(0);
+    }
+
+    /** Global thread id of each lane. */
+    LaneArray<uint64_t>
+    threadIds() const
+    {
+        return LaneArray<uint64_t>::iota(
+            static_cast<uint64_t>(gid) * kWarpSize);
+    }
+
+    // ------------------------------------------------------------------
+    // Timing primitives
+    // ------------------------------------------------------------------
+
+    /** Current simulated time (the clock() intrinsic). */
+    Cycles now() const { return eng_->now(); }
+
+    /**
+     * Charge @p n warp-instructions: reserve SM issue slots and advance
+     * this warp by the serial dependent-chain latency. This is the
+     * single knob through which all apointer logic costs time.
+     */
+    void
+    issue(int n)
+    {
+        if (n <= 0)
+            return;
+        stats_->inc("sim.instructions", n);
+        Cycles t = eng_->now();
+        Cycles port = tb_->smRef().issuePort.acquire(t, n);
+        Cycles serial = t + n * cm_->depLatencyPerInstr;
+        eng_->waitUntil(std::max(port, serial));
+    }
+
+    /** Stall this warp for @p c cycles without consuming issue slots. */
+    void stall(Cycles c) { eng_->waitUntil(eng_->now() + c); }
+
+    /** Suspend until absolute time @p t. */
+    void waitUntil(Cycles t) { eng_->waitUntil(t); }
+
+    // ------------------------------------------------------------------
+    // Global memory
+    // ------------------------------------------------------------------
+
+    /**
+     * Per-lane gather load from global memory (one warp-instruction,
+     * coalesced into 128 B transactions, blocking).
+     */
+    template <typename T>
+    LaneArray<T>
+    loadGlobal(const LaneArray<Addr>& a, LaneMask m = kFullMask)
+    {
+        PendingLoad<T> p = loadGlobalAsync<T>(a, m);
+        eng_->waitUntil(p.readyAt);
+        return p.value;
+    }
+
+    /**
+     * Per-lane gather load that does not block: used to model the
+     * paper's speculative prefetch (section IV-B), where the load is
+     * issued in parallel with the warp-wide valid-bit vote.
+     */
+    template <typename T>
+    PendingLoad<T>
+    loadGlobalAsync(const LaneArray<Addr>& a, LaneMask m = kFullMask)
+    {
+        issue(1);
+        double traffic = mem_->coalescedTraffic(a, sizeof(T), m);
+        stats_->inc("sim.dram_read_bytes", (uint64_t)traffic);
+        PendingLoad<T> p;
+        p.readyAt = mem_->readDone(eng_->now(), traffic);
+        for (int lane = 0; lane < kWarpSize; ++lane)
+            if (m & (1u << lane))
+                p.value[lane] = mem_->load<T>(a[lane]);
+        return p;
+    }
+
+    /** Per-lane scatter store (posted: consumes bandwidth, no wait). */
+    template <typename T>
+    void
+    storeGlobal(const LaneArray<Addr>& a, const LaneArray<T>& v,
+                LaneMask m = kFullMask)
+    {
+        issue(1);
+        double traffic = mem_->coalescedTraffic(a, sizeof(T), m);
+        stats_->inc("sim.dram_write_bytes", (uint64_t)traffic);
+        mem_->writeDone(eng_->now(), traffic);
+        for (int lane = 0; lane < kWarpSize; ++lane)
+            if (m & (1u << lane))
+                mem_->store<T>(a[lane], v[lane]);
+    }
+
+    /** Scalar (single-lane) load, e.g. leader-only metadata reads. */
+    template <typename T>
+    T
+    loadScalar(Addr a)
+    {
+        issue(1);
+        double traffic = std::max<double>(sizeof(T), 32.0);
+        stats_->inc("sim.dram_read_bytes", (uint64_t)traffic);
+        Cycles done = mem_->readDone(eng_->now(), traffic);
+        T v = mem_->load<T>(a);
+        eng_->waitUntil(done);
+        return v;
+    }
+
+    /** Scalar (single-lane) store. */
+    template <typename T>
+    void
+    storeScalar(Addr a, const T& v)
+    {
+        issue(1);
+        double traffic = std::max<double>(sizeof(T), 32.0);
+        stats_->inc("sim.dram_write_bytes", (uint64_t)traffic);
+        mem_->writeDone(eng_->now(), traffic);
+        mem_->store<T>(a, v);
+    }
+
+    /**
+     * Warp-cooperative bulk copy within device memory (staging buffer to
+     * page frame, etc.). Charges read+write traffic and loop
+     * instructions; blocks until the data has landed.
+     */
+    void
+    copyGlobal(Addr dst, Addr src, size_t len)
+    {
+        // One iteration moves 16 B per lane.
+        int iters = static_cast<int>(
+            (len + kWarpSize * 16 - 1) / (kWarpSize * 16));
+        issue(4 * iters);
+        stats_->inc("sim.dram_read_bytes", len);
+        stats_->inc("sim.dram_write_bytes", len);
+        Cycles readDone = mem_->readDone(eng_->now(), (double)len);
+        mem_->writeDone(readDone, (double)len);
+        std::memmove(mem_->raw(dst, len), mem_->raw(src, len), len);
+        eng_->waitUntil(readDone);
+    }
+
+    // ------------------------------------------------------------------
+    // Atomics (global memory)
+    // ------------------------------------------------------------------
+
+    /** Scalar atomic add; returns the previous value. */
+    template <typename T>
+    T
+    atomicAdd(Addr a, T delta)
+    {
+        issue(1);
+        stats_->inc("sim.atomics");
+        Cycles done =
+            mem_->readDone(eng_->now(), 32.0) + cm_->atomicLatency;
+        T old = mem_->load<T>(a);
+        mem_->store<T>(a, static_cast<T>(old + delta));
+        eng_->waitUntil(done);
+        return old;
+    }
+
+    /** Scalar atomic compare-and-swap; returns the previous value. */
+    template <typename T>
+    T
+    atomicCas(Addr a, T expected, T desired)
+    {
+        issue(1);
+        stats_->inc("sim.atomics");
+        Cycles done =
+            mem_->readDone(eng_->now(), 32.0) + cm_->atomicLatency;
+        T old = mem_->load<T>(a);
+        if (old == expected)
+            mem_->store<T>(a, desired);
+        eng_->waitUntil(done);
+        return old;
+    }
+
+    /** Scalar atomic exchange; returns the previous value. */
+    template <typename T>
+    T
+    atomicExch(Addr a, T desired)
+    {
+        issue(1);
+        stats_->inc("sim.atomics");
+        Cycles done =
+            mem_->readDone(eng_->now(), 32.0) + cm_->atomicLatency;
+        T old = mem_->load<T>(a);
+        mem_->store<T>(a, desired);
+        eng_->waitUntil(done);
+        return old;
+    }
+
+    // ------------------------------------------------------------------
+    // Scratchpad (shared memory) timing charges
+    // ------------------------------------------------------------------
+
+    /**
+     * Timing-only charge for a global read whose functional effect was
+     * (or will be) applied directly through mem(). Used by concurrent
+     * data structures that must mutate several words without an
+     * intervening yield point.
+     */
+    void
+    chargeGlobalRead(double bytes)
+    {
+        issue(1);
+        stats_->inc("sim.dram_read_bytes", (uint64_t)bytes);
+        eng_->waitUntil(mem_->readDone(eng_->now(), bytes));
+    }
+
+    /** Timing-only charge for a posted global write (see above). */
+    void
+    chargeGlobalWrite(double bytes)
+    {
+        issue(1);
+        stats_->inc("sim.dram_write_bytes", (uint64_t)bytes);
+        mem_->writeDone(eng_->now(), bytes);
+    }
+
+    /**
+     * Charge the cost of a shared-memory read (the functional data lives
+     * in native block-shared structures, see ThreadBlock::user).
+     */
+    void
+    chargeSharedRead()
+    {
+        issue(1);
+        eng_->waitUntil(eng_->now() + cm_->scratchLatency);
+    }
+
+    /** Charge the cost of a shared-memory write (posted). */
+    void chargeSharedWrite() { issue(1); }
+
+    // ------------------------------------------------------------------
+    // Warp vote / shuffle primitives (one instruction each)
+    // ------------------------------------------------------------------
+
+    /** __ballot: bit i set iff lane i is active in @p m and pred true. */
+    uint32_t
+    ballot(const LaneArray<int>& pred, LaneMask m = kFullMask)
+    {
+        issue(1);
+        uint32_t r = 0;
+        for (int lane = 0; lane < kWarpSize; ++lane)
+            if ((m & (1u << lane)) && pred[lane])
+                r |= 1u << lane;
+        return r;
+    }
+
+    /** __all: true iff pred holds on every active lane. */
+    bool
+    all(const LaneArray<int>& pred, LaneMask m = kFullMask)
+    {
+        issue(1);
+        for (int lane = 0; lane < kWarpSize; ++lane)
+            if ((m & (1u << lane)) && !pred[lane])
+                return false;
+        return true;
+    }
+
+    /** __any: true iff pred holds on at least one active lane. */
+    bool
+    any(const LaneArray<int>& pred, LaneMask m = kFullMask)
+    {
+        issue(1);
+        for (int lane = 0; lane < kWarpSize; ++lane)
+            if ((m & (1u << lane)) && pred[lane])
+                return true;
+        return false;
+    }
+
+    /** __shfl: broadcast lane @p src_lane's value to all lanes. */
+    template <typename T>
+    T
+    shfl(const LaneArray<T>& v, int src_lane)
+    {
+        issue(1);
+        AP_ASSERT(src_lane >= 0 && src_lane < kWarpSize,
+                  "shfl source lane out of range");
+        return v[src_lane];
+    }
+
+    /** __shfl_xor: lane i receives the value of lane i^laneMask. */
+    template <typename T>
+    LaneArray<T>
+    shflXor(const LaneArray<T>& v, int lane_mask)
+    {
+        issue(1);
+        LaneArray<T> r;
+        for (int lane = 0; lane < kWarpSize; ++lane)
+            r[lane] = v[lane ^ lane_mask];
+        return r;
+    }
+
+    /** __shfl_down: lane i receives the value of lane i+delta (clamped). */
+    template <typename T>
+    LaneArray<T>
+    shflDown(const LaneArray<T>& v, int delta)
+    {
+        issue(1);
+        LaneArray<T> r;
+        for (int lane = 0; lane < kWarpSize; ++lane) {
+            int src = lane + delta;
+            r[lane] = v[src < kWarpSize ? src : lane];
+        }
+        return r;
+    }
+
+    /** Block-wide barrier (__syncthreads). */
+    void
+    syncThreads()
+    {
+        issue(1);
+        tb_->barrier();
+    }
+
+    // ------------------------------------------------------------------
+    // Accessors
+    // ------------------------------------------------------------------
+
+    /** Device global memory (functional access for setup helpers). */
+    GlobalMemory& mem() { return *mem_; }
+
+    /** The launch-wide statistics sink. */
+    StatGroup& stats() { return *stats_; }
+
+    /** Timing constants. */
+    const CostModel& costModel() const { return *cm_; }
+
+    /** The event engine (for blocking on external events like DMA). */
+    Engine& engine() { return *eng_; }
+
+  private:
+    int gid;
+    int widInBlock;
+    ThreadBlock* tb_;
+    GlobalMemory* mem_;
+    Engine* eng_;
+    const CostModel* cm_;
+    StatGroup* stats_;
+};
+
+} // namespace ap::sim
+
+#endif // AP_SIM_WARP_HH

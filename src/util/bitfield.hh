@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Bit-manipulation helpers used by the packed apointer translation field
+ * and the page-table hash. Modeled on gem5's base/bitfield.hh.
+ */
+
+#ifndef AP_UTIL_BITFIELD_HH
+#define AP_UTIL_BITFIELD_HH
+
+#include <cstdint>
+
+#include "util/logging.hh"
+
+namespace ap {
+
+/** Return a value with bits [n-1:0] set; n == 64 yields all ones. */
+constexpr uint64_t
+mask(unsigned n)
+{
+    return n >= 64 ? ~0ULL : (1ULL << n) - 1;
+}
+
+/**
+ * Extract bits [first+count-1 : first] of @p val.
+ *
+ * @param val   source word
+ * @param first lowest bit position of the field
+ * @param count width of the field in bits
+ */
+constexpr uint64_t
+bits(uint64_t val, unsigned first, unsigned count)
+{
+    return (val >> first) & mask(count);
+}
+
+/**
+ * Return @p val with bits [first+count-1 : first] replaced by @p field.
+ * Bits of @p field above @p count must be clear.
+ */
+constexpr uint64_t
+insertBits(uint64_t val, unsigned first, unsigned count, uint64_t field)
+{
+    const uint64_t m = mask(count) << first;
+    return (val & ~m) | ((field << first) & m);
+}
+
+/** True iff @p val fits in @p count bits. */
+constexpr bool
+fitsBits(uint64_t val, unsigned count)
+{
+    return (val & ~mask(count)) == 0;
+}
+
+/** Round @p val up to the next multiple of @p align (a power of two). */
+constexpr uint64_t
+roundUp(uint64_t val, uint64_t align)
+{
+    return (val + align - 1) & ~(align - 1);
+}
+
+/** True iff @p val is a power of two (and nonzero). */
+constexpr bool
+isPowerOf2(uint64_t val)
+{
+    return val != 0 && (val & (val - 1)) == 0;
+}
+
+/** Floor of log2; @p val must be nonzero. */
+constexpr unsigned
+floorLog2(uint64_t val)
+{
+    unsigned l = 0;
+    while (val >>= 1)
+        ++l;
+    return l;
+}
+
+} // namespace ap
+
+#endif // AP_UTIL_BITFIELD_HH

@@ -1,0 +1,48 @@
+#include "util/logging.hh"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace ap {
+namespace detail {
+
+namespace {
+
+const char*
+prefix(LogLevel level)
+{
+    switch (level) {
+      case LogLevel::Inform: return "info: ";
+      case LogLevel::Warn:   return "warn: ";
+      case LogLevel::Fatal:  return "fatal: ";
+      case LogLevel::Panic:  return "panic: ";
+    }
+    return "";
+}
+
+} // namespace
+
+void
+log(LogLevel level, const std::string& msg)
+{
+    std::FILE* out = level == LogLevel::Inform ? stdout : stderr;
+    std::fprintf(out, "%s%s\n", prefix(level), msg.c_str());
+    std::fflush(out);
+}
+
+void
+logAndDie(LogLevel level, const std::string& where, const std::string& msg)
+{
+    if (where.empty())
+        std::fprintf(stderr, "%s%s\n", prefix(level), msg.c_str());
+    else
+        std::fprintf(stderr, "%s%s: %s\n", prefix(level), where.c_str(),
+                     msg.c_str());
+    std::fflush(stderr);
+    if (level == LogLevel::Fatal)
+        std::exit(1);
+    std::abort();
+}
+
+} // namespace detail
+} // namespace ap

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Status-message and error helpers in the spirit of gem5's logging.hh.
+ *
+ * panic()  - an internal invariant of the simulator itself is broken;
+ *            aborts so a debugger/core dump can inspect the state.
+ * fatal()  - the user asked for something impossible (bad configuration,
+ *            invalid arguments); exits with an error code.
+ * warn()   - something works, but not as well as it should.
+ * inform() - plain status output.
+ */
+
+#ifndef AP_UTIL_LOGGING_HH
+#define AP_UTIL_LOGGING_HH
+
+#include <sstream>
+#include <string>
+
+namespace ap {
+
+/** Severity of a log message. */
+enum class LogLevel { Inform, Warn, Fatal, Panic };
+
+namespace detail {
+
+/** Emit a formatted message; Fatal exits, Panic aborts. */
+[[noreturn]] void logAndDie(LogLevel level, const std::string& where,
+                            const std::string& msg);
+void log(LogLevel level, const std::string& msg);
+
+/** Concatenate a parameter pack into one string via a stringstream. */
+template <typename... Args>
+std::string
+concat(Args&&... args)
+{
+    std::ostringstream os;
+    (os << ... << args);
+    return os.str();
+}
+
+} // namespace detail
+
+/** Print an informational message to stdout. */
+template <typename... Args>
+void
+inform(Args&&... args)
+{
+    detail::log(LogLevel::Inform, detail::concat(args...));
+}
+
+/** Print a warning to stderr. */
+template <typename... Args>
+void
+warn(Args&&... args)
+{
+    detail::log(LogLevel::Warn, detail::concat(args...));
+}
+
+/** Report a user-caused error and exit(1). */
+template <typename... Args>
+[[noreturn]] void
+fatal(Args&&... args)
+{
+    detail::logAndDie(LogLevel::Fatal, "", detail::concat(args...));
+}
+
+/** Report a simulator bug and abort(). */
+template <typename... Args>
+[[noreturn]] void
+panic(Args&&... args)
+{
+    detail::logAndDie(LogLevel::Panic, "", detail::concat(args...));
+}
+
+/** panic() unless the given simulator invariant holds. */
+#define AP_ASSERT(cond, ...)                                              \
+    do {                                                                  \
+        if (!(cond)) {                                                    \
+            ::ap::detail::logAndDie(                                      \
+                ::ap::LogLevel::Panic,                                    \
+                std::string(__FILE__) + ":" + std::to_string(__LINE__),   \
+                ::ap::detail::concat("assertion '" #cond "' failed: ",    \
+                                     ##__VA_ARGS__));                     \
+        }                                                                 \
+    } while (0)
+
+} // namespace ap
+
+#endif // AP_UTIL_LOGGING_HH

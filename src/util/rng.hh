@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * Every stochastic element of the reproduction (dataset generation, the
+ * "random" microbenchmark workload, LSH projections) draws from this
+ * generator so runs are bit-reproducible across machines.
+ */
+
+#ifndef AP_UTIL_RNG_HH
+#define AP_UTIL_RNG_HH
+
+#include <cstdint>
+
+namespace ap {
+
+/**
+ * SplitMix64: tiny, fast, high-quality 64-bit generator. Also used as the
+ * per-element hash in the Random workload, mirroring the paper's
+ * "generate a pseudo-random number using the element as a seed".
+ */
+class SplitMix64
+{
+  public:
+    explicit SplitMix64(uint64_t seed) : state(seed) {}
+
+    /** Next raw 64-bit value. */
+    uint64_t
+    next()
+    {
+        uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+        return z ^ (z >> 31);
+    }
+
+    /** Uniform integer in [0, bound). @p bound must be nonzero. */
+    uint64_t
+    nextBounded(uint64_t bound)
+    {
+        return next() % bound;
+    }
+
+    /** Uniform float in [0, 1). */
+    float
+    nextFloat()
+    {
+        return static_cast<float>(next() >> 40) * (1.0f / (1 << 24));
+    }
+
+    /** Approximately standard-normal float (sum of uniforms). */
+    float
+    nextGaussian()
+    {
+        float acc = 0.0f;
+        for (int i = 0; i < 12; ++i)
+            acc += nextFloat();
+        return acc - 6.0f;
+    }
+
+  private:
+    uint64_t state;
+};
+
+/** One stateless SplitMix64 step: hash a 64-bit value. */
+constexpr uint64_t
+hashMix64(uint64_t z)
+{
+    z += 0x9e3779b97f4a7c15ULL;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+} // namespace ap
+
+#endif // AP_UTIL_RNG_HH

@@ -1,0 +1,14 @@
+#include "util/stats.hh"
+
+namespace ap {
+
+void
+StatGroup::dump(std::ostream& os) const
+{
+    for (const auto& [name, value] : counters)
+        os << name << " " << value << "\n";
+    for (const auto& [name, value] : scalars)
+        os << name << " " << value << "\n";
+}
+
+} // namespace ap

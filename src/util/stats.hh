@@ -1,0 +1,82 @@
+/**
+ * @file
+ * A small named-statistics registry, in the spirit of gem5's stats
+ * package. Simulator components register counters/scalars into a
+ * StatGroup; benches and tests read or dump them.
+ */
+
+#ifndef AP_UTIL_STATS_HH
+#define AP_UTIL_STATS_HH
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+
+namespace ap {
+
+/**
+ * A flat collection of named statistics. Counters are monotonically
+ * increasing event counts; scalars are arbitrary values (e.g. peaks).
+ */
+class StatGroup
+{
+  public:
+    /** Add @p delta to counter @p name (creating it at zero). */
+    void
+    inc(const std::string& name, uint64_t delta = 1)
+    {
+        counters[name] += delta;
+    }
+
+    /** Set scalar @p name to @p value. */
+    void
+    set(const std::string& name, double value)
+    {
+        scalars[name] = value;
+    }
+
+    /** Set scalar @p name to max(current, value). */
+    void
+    setMax(const std::string& name, double value)
+    {
+        auto it = scalars.find(name);
+        if (it == scalars.end() || it->second < value)
+            scalars[name] = value;
+    }
+
+    /** Read counter @p name; returns zero if never incremented. */
+    uint64_t
+    counter(const std::string& name) const
+    {
+        auto it = counters.find(name);
+        return it == counters.end() ? 0 : it->second;
+    }
+
+    /** Read scalar @p name; returns zero if never set. */
+    double
+    scalar(const std::string& name) const
+    {
+        auto it = scalars.find(name);
+        return it == scalars.end() ? 0.0 : it->second;
+    }
+
+    /** Reset all statistics to empty. */
+    void
+    reset()
+    {
+        counters.clear();
+        scalars.clear();
+    }
+
+    /** Dump every statistic, one "name value" per line. */
+    void dump(std::ostream& os) const;
+
+  private:
+    std::map<std::string, uint64_t> counters;
+    std::map<std::string, double> scalars;
+};
+
+} // namespace ap
+
+#endif // AP_UTIL_STATS_HH

@@ -1,0 +1,59 @@
+#include "util/table.hh"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace ap {
+
+void
+TextTable::print(std::ostream& os) const
+{
+    std::vector<size_t> widths;
+    auto grow = [&](const std::vector<std::string>& cells) {
+        if (widths.size() < cells.size())
+            widths.resize(cells.size(), 0);
+        for (size_t i = 0; i < cells.size(); ++i)
+            widths[i] = std::max(widths[i], cells[i].size());
+    };
+    grow(head);
+    for (const auto& r : rows)
+        grow(r);
+
+    auto emit = [&](const std::vector<std::string>& cells) {
+        for (size_t i = 0; i < cells.size(); ++i) {
+            os << cells[i];
+            if (i + 1 < cells.size())
+                os << std::string(widths[i] - cells[i].size() + 2, ' ');
+        }
+        os << "\n";
+    };
+
+    if (!head.empty()) {
+        emit(head);
+        size_t total = 0;
+        for (size_t i = 0; i < widths.size(); ++i)
+            total += widths[i] + (i + 1 < widths.size() ? 2 : 0);
+        os << std::string(total, '-') << "\n";
+    }
+    for (const auto& r : rows)
+        emit(r);
+}
+
+std::string
+TextTable::num(double v, int prec)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", prec, v);
+    return buf;
+}
+
+std::string
+TextTable::pct(double ratio, bool sign, int prec)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%s%.*f%%", sign && ratio >= 0 ? "+" : "",
+                  prec, ratio * 100.0);
+    return buf;
+}
+
+} // namespace ap

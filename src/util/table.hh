@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Plain-text table formatting for the benchmark harnesses, so every
+ * bench binary can print rows shaped like the paper's tables/figures.
+ */
+
+#ifndef AP_UTIL_TABLE_HH
+#define AP_UTIL_TABLE_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace ap {
+
+/**
+ * A column-aligned text table. Add a header row and data rows as strings;
+ * print() pads columns to their widest cell.
+ */
+class TextTable
+{
+  public:
+    /** Set (replace) the header row. */
+    void
+    header(std::vector<std::string> cells)
+    {
+        head = std::move(cells);
+    }
+
+    /** Append one data row. */
+    void
+    row(std::vector<std::string> cells)
+    {
+        rows.push_back(std::move(cells));
+    }
+
+    /** Render the table to @p os with a separator under the header. */
+    void print(std::ostream& os) const;
+
+    /** Format a double with @p prec digits after the point. */
+    static std::string num(double v, int prec = 1);
+
+    /** Format a ratio as a percentage string, e.g. "+63%" or "64.1%". */
+    static std::string pct(double ratio, bool sign = false, int prec = 1);
+
+  private:
+    std::vector<std::string> head;
+    std::vector<std::vector<std::string>> rows;
+};
+
+} // namespace ap
+
+#endif // AP_UTIL_TABLE_HH

@@ -1,0 +1,504 @@
+#include "workloads/workloads.hh"
+
+#include <cmath>
+#include <memory>
+
+#include "util/rng.hh"
+
+namespace ap::workloads {
+
+using core::AptrVec;
+using core::GvmRuntime;
+using sim::Addr;
+using sim::kWarpSize;
+using sim::LaneArray;
+using sim::Warp;
+
+namespace {
+
+/** A 16-byte load unit (float4). */
+struct Float4
+{
+    float v[4];
+};
+
+/** Deterministic input value for global element index @p i. */
+float
+dataValue(uint64_t i)
+{
+    return static_cast<float>((i * 2654435761ULL >> 16) & 0x3ff) *
+           (1.0f / 1024.0f);
+}
+
+/** Sum of the scalar lanes of one load unit. */
+float
+foldElem(float v)
+{
+    return v;
+}
+
+float
+foldElem(const Float4& v)
+{
+    return v.v[0] + v.v[1] + v.v[2] + v.v[3];
+}
+
+/** Element-wise addition of load units (the Add workload). */
+float
+addElems(float a, float b)
+{
+    return a + b;
+}
+
+Float4
+addElems(const Float4& a, const Float4& b)
+{
+    Float4 r;
+    for (int k = 0; k < 4; ++k)
+        r.v[k] = a.v[k] + b.v[k];
+    return r;
+}
+
+/**
+ * Per-warp sequential input stream: iteration i delivers elements
+ * [start + i*32 .. start + i*32 + 31], one per lane. The accessor is
+ * where the baseline and apointer versions differ; kernels are shared.
+ */
+template <typename T>
+class Accessor
+{
+  public:
+    virtual ~Accessor() = default;
+
+    /** Read the next 32 elements and advance. */
+    virtual LaneArray<T> next(Warp& w) = 0;
+
+    /** Release any held resources (mappings, page references). */
+    virtual void finish(Warp& w) { (void)w; }
+};
+
+/** Raw device pointers (the paper's baselines). */
+template <typename T>
+class RawAccessor : public Accessor<T>
+{
+  public:
+    RawAccessor(Addr base, uint64_t start_elem)
+        : addr(base + start_elem * sizeof(T))
+    {
+    }
+
+    LaneArray<T>
+    next(Warp& w) override
+    {
+        w.issue(2); // index arithmetic of the load loop
+        LaneArray<Addr> a;
+        for (int l = 0; l < kWarpSize; ++l)
+            a[l] = addr + l * sizeof(T);
+        auto v = w.loadGlobal<T>(a);
+        addr += kWarpSize * sizeof(T);
+        return v;
+    }
+
+  private:
+    Addr addr;
+};
+
+/** Active pointers (direct GPU-memory mapping or memory-mapped file). */
+template <typename T>
+class AptrAccessor : public Accessor<T>
+{
+  public:
+    /** Direct mapping of GPU memory (Fig. 6a/6b). */
+    AptrAccessor(Warp& w, GvmRuntime& rt, Addr base, uint64_t len_bytes,
+                 uint64_t start_elem)
+        : ptr(AptrVec<T>::mapDirect(w, rt, base, len_bytes,
+                                    core::kPermRead))
+    {
+        seek(w, start_elem);
+    }
+
+    /** Memory-mapped file (Fig. 6c). */
+    AptrAccessor(Warp& w, GvmRuntime& rt, hostio::FileId f,
+                 uint64_t len_bytes, uint64_t start_elem)
+        : ptr(core::gvmmap<T>(w, rt, len_bytes, hostio::O_GRDONLY, f, 0))
+    {
+        seek(w, start_elem);
+    }
+
+    LaneArray<T>
+    next(Warp& w) override
+    {
+        auto v = ptr.read(w);
+        ptr.add(w, kWarpSize);
+        return v;
+    }
+
+    void finish(Warp& w) override { ptr.destroy(w); }
+
+  private:
+    void
+    seek(Warp& w, uint64_t start_elem)
+    {
+        LaneArray<int64_t> d;
+        for (int l = 0; l < kWarpSize; ++l)
+            d[l] = static_cast<int64_t>(start_elem) + l;
+        ptr.addPerLane(w, d);
+    }
+
+    AptrVec<T> ptr;
+};
+
+/** The Fig. 6c baseline: gmmap a page at a time, access it raw. */
+template <typename T>
+class GmmapAccessor : public Accessor<T>
+{
+  public:
+    GmmapAccessor(GvmRuntime& rt, hostio::FileId f, uint64_t start_elem)
+        : fs(&rt.fs()), file(f), elem(start_elem)
+    {
+    }
+
+    LaneArray<T>
+    next(Warp& w) override
+    {
+        const uint64_t page = fs->pageSize();
+        uint64_t off = elem * sizeof(T);
+        uint64_t page_no = off / page;
+        if (!mapped || page_no != curPage) {
+            if (mapped)
+                fs->gmunmap(w, file, curPage * page);
+            pageBase = fs->gmmap(w, file, page_no * page,
+                                 hostio::O_GRDONLY);
+            curPage = page_no;
+            mapped = true;
+        }
+        w.issue(2);
+        LaneArray<Addr> a;
+        for (int l = 0; l < kWarpSize; ++l)
+            a[l] = pageBase + off % page + l * sizeof(T);
+        auto v = w.loadGlobal<T>(a);
+        elem += kWarpSize;
+        return v;
+    }
+
+    void
+    finish(Warp& w) override
+    {
+        if (mapped)
+            fs->gmunmap(w, file, curPage * fs->pageSize());
+        mapped = false;
+    }
+
+  private:
+    gpufs::GpuFs* fs;
+    hostio::FileId file;
+    uint64_t elem;
+    uint64_t curPage = 0;
+    Addr pageBase = 0;
+    bool mapped = false;
+};
+
+/**
+ * Extra instructions charged to apointer FFT iterations, modeling the
+ * paper's "anomalous performance of FFT": NVCC reorders coefficient
+ * and input loads in the apointer build, an artifact unrelated to the
+ * translation logic (section VI-B). Without it the FFT workload would
+ * track Reduce; with it, FFT overhead stays high at all occupancies as
+ * in Fig. 6.
+ */
+constexpr int kFftCompilerArtifactInstr = 55;
+
+/** Per-kind compute step on one warp-load of values. */
+template <typename T>
+void
+computeStep(Warp& w, Kind kind, const LaneArray<T>& in,
+            LaneArray<float>& acc, bool aptr_codegen)
+{
+    LaneArray<float> v;
+    for (int l = 0; l < kWarpSize; ++l)
+        v[l] = foldElem(in[l]);
+
+    switch (kind) {
+      case Kind::Add:
+        // The second operand was already folded in by the caller.
+        w.issue(1);
+        for (int l = 0; l < kWarpSize; ++l)
+            acc[l] += v[l];
+        break;
+      case Kind::Read:
+        w.issue(1);
+        for (int l = 0; l < kWarpSize; ++l)
+            acc[l] += v[l];
+        break;
+      case Kind::Random10:
+      case Kind::Random20:
+      case Kind::Random50: {
+        int iters = kind == Kind::Random10 ? 10
+                    : kind == Kind::Random20 ? 20
+                                             : 50;
+        w.issue(3 * iters + 2);
+        for (int l = 0; l < kWarpSize; ++l) {
+            uint32_t seed;
+            float f = v[l];
+            std::memcpy(&seed, &f, 4);
+            for (int i = 0; i < iters; ++i)
+                seed = seed * 1664525u + 1013904223u;
+            acc[l] += static_cast<float>(seed & 0xff) * (1.0f / 256.0f);
+        }
+        break;
+      }
+      case Kind::Reduce: {
+        // Warp-wide sum via 5 butterfly shuffles.
+        LaneArray<float> s = v;
+        for (int m = kWarpSize / 2; m >= 1; m >>= 1) {
+            auto o = w.shflXor(s, m);
+            w.issue(1);
+            for (int l = 0; l < kWarpSize; ++l)
+                s[l] += o[l];
+        }
+        for (int l = 0; l < kWarpSize; ++l)
+            acc[l] += s[l] * (1.0f / kWarpSize);
+        w.issue(1);
+        break;
+      }
+      case Kind::Fft: {
+        // 32-point radix-2 DIF FFT across the warp; outputs are in
+        // bit-reversed order (irrelevant: we accumulate magnitudes).
+        LaneArray<float> re = v;
+        LaneArray<float> im{};
+        auto lane_id = Warp::laneIds();
+        for (int m = kWarpSize / 2; m >= 1; m >>= 1) {
+            auto pre = w.shflXor(re, m);
+            auto pim = w.shflXor(im, m);
+            // Twiddle factors come from constant memory (2 loads) and
+            // the butterfly is ~8 flops per lane.
+            w.issue(10);
+            for (int l = 0; l < kWarpSize; ++l) {
+                if (!(lane_id[l] & m)) {
+                    re[l] = re[l] + pre[l];
+                    im[l] = im[l] + pim[l];
+                } else {
+                    int k = (l & (m - 1)) * (kWarpSize / (2 * m));
+                    float ang = -2.0f * 3.14159265358979f * k /
+                                kWarpSize;
+                    float c = std::cos(ang), s = std::sin(ang);
+                    float dr = pre[l] - re[l];
+                    float di = pim[l] - im[l];
+                    re[l] = dr * c - di * s;
+                    im[l] = dr * s + di * c;
+                }
+            }
+        }
+        if (aptr_codegen)
+            w.issue(kFftCompilerArtifactInstr);
+        for (int l = 0; l < kWarpSize; ++l)
+            acc[l] += (re[l] * re[l] + im[l] * im[l]) *
+                      (1.0f / kWarpSize);
+        w.issue(2);
+        break;
+      }
+      case Kind::Bitonic: {
+        // Full 32-element bitonic sorting network via shuffles.
+        LaneArray<float> s = v;
+        auto lane_id = Warp::laneIds();
+        for (int k = 2; k <= kWarpSize; k <<= 1) {
+            for (int j = k >> 1; j > 0; j >>= 1) {
+                auto p = w.shflXor(s, j);
+                w.issue(3);
+                for (int l = 0; l < kWarpSize; ++l) {
+                    bool ascending = (lane_id[l] & k) == 0;
+                    bool lower = (lane_id[l] & j) == 0;
+                    bool take_min = lower == ascending;
+                    s[l] = take_min ? std::min(s[l], p[l])
+                                    : std::max(s[l], p[l]);
+                }
+            }
+        }
+        // Median contribution keeps the result order-sensitive.
+        auto med = w.shfl(s, kWarpSize / 2);
+        for (int l = 0; l < kWarpSize; ++l)
+            acc[l] += med;
+        w.issue(1);
+        break;
+      }
+    }
+}
+
+/** Everything a run needs; built once per device + config. */
+struct Setup
+{
+    Addr bufA = 0, bufB = 0, out = 0;
+    hostio::FileId fileA = -1, fileB = -1;
+    uint64_t elemsPerWarp = 0;
+    uint64_t totalElems = 0;
+    int totalWarps = 0;
+};
+
+template <typename T>
+Setup
+prepare(sim::Device& dev, GvmRuntime* rt, Kind kind, const RunConfig& cfg)
+{
+    Setup s;
+    s.totalWarps = cfg.numBlocks * cfg.warpsPerBlock;
+    s.elemsPerWarp =
+        static_cast<uint64_t>(cfg.elemsPerLane) * kWarpSize;
+    s.totalElems = s.elemsPerWarp * s.totalWarps;
+    size_t bytes = s.totalElems * sizeof(T);
+
+    auto fill = [&](Addr base) {
+        for (uint64_t i = 0; i < s.totalElems; ++i) {
+            if constexpr (std::is_same_v<T, float>) {
+                dev.mem().store<float>(base + i * 4, dataValue(i));
+            } else {
+                Float4 q;
+                for (int k = 0; k < 4; ++k)
+                    q.v[k] = dataValue(i * 4 + k);
+                dev.mem().store<Float4>(base + i * 16, q);
+            }
+        }
+    };
+
+    bool needs_b = kind == Kind::Add;
+    bool file_backed = cfg.access == Access::GpufsRaw ||
+                       cfg.access == Access::GpufsAptr;
+    if (file_backed) {
+        AP_ASSERT(rt != nullptr, "GPUfs access needs a runtime");
+        hostio::BackingStore& bs = rt->fs().io().store();
+        size_t fbytes = roundUp(bytes, 4096);
+        s.fileA = bs.create("workload_a.bin", fbytes);
+        s.bufA = dev.mem().alloc(fbytes, 4096);
+        fill(s.bufA);
+        bs.pwrite(s.fileA, dev.mem().raw(s.bufA, bytes), bytes, 0);
+        if (needs_b) {
+            s.fileB = bs.create("workload_b.bin", fbytes);
+            bs.pwrite(s.fileB, dev.mem().raw(s.bufA, bytes), bytes, 0);
+            s.bufB = s.bufA;
+        }
+    } else {
+        s.bufA = dev.mem().alloc(roundUp(bytes, 4096), 4096);
+        fill(s.bufA);
+        if (needs_b) {
+            // Reuse the same data for the second operand; the kernels
+            // still issue distinct loads.
+            s.bufB = dev.mem().alloc(roundUp(bytes, 4096), 4096);
+            fill(s.bufB);
+        }
+    }
+    s.out = dev.mem().alloc(s.totalWarps * sizeof(float), 256);
+    return s;
+}
+
+template <typename T>
+std::unique_ptr<Accessor<T>>
+makeAccessor(Warp& w, GvmRuntime* rt, const Setup& s, const RunConfig& cfg,
+             bool second, uint64_t start_elem)
+{
+    Addr base = second ? s.bufB : s.bufA;
+    hostio::FileId file = second ? s.fileB : s.fileA;
+    uint64_t len = s.totalElems * sizeof(T);
+    switch (cfg.access) {
+      case Access::Raw:
+        return std::make_unique<RawAccessor<T>>(base, start_elem);
+      case Access::Aptr:
+        return std::make_unique<AptrAccessor<T>>(w, *rt, base, len,
+                                                 start_elem);
+      case Access::GpufsRaw:
+        return std::make_unique<GmmapAccessor<T>>(*rt, file, start_elem);
+      case Access::GpufsAptr:
+        return std::make_unique<AptrAccessor<T>>(w, *rt, file, len,
+                                                 start_elem);
+    }
+    return nullptr;
+}
+
+template <typename T>
+RunResult
+runTyped(sim::Device& dev, GvmRuntime* rt, Kind kind, const RunConfig& cfg)
+{
+    if (cfg.access != Access::Raw)
+        AP_ASSERT(rt != nullptr, "apointer access needs a runtime");
+    Setup s = prepare<T>(dev, rt, kind, cfg);
+    const bool aptr_codegen = cfg.access == Access::Aptr ||
+                              cfg.access == Access::GpufsAptr;
+
+    RunResult r;
+    r.cycles = dev.launch(
+        cfg.numBlocks, cfg.warpsPerBlock, [&](Warp& w) {
+            uint64_t start =
+                static_cast<uint64_t>(w.globalWarpId()) * s.elemsPerWarp;
+            auto a = makeAccessor<T>(w, rt, s, cfg, false, start);
+            std::unique_ptr<Accessor<T>> b;
+            if (kind == Kind::Add)
+                b = makeAccessor<T>(w, rt, s, cfg, true, start);
+
+            LaneArray<float> acc{};
+            for (uint32_t i = 0; i < cfg.elemsPerLane; ++i) {
+                auto va = a->next(w);
+                if (b) {
+                    auto vb = b->next(w);
+                    w.issue(1);
+                    for (int l = 0; l < kWarpSize; ++l)
+                        va[l] = addElems(va[l], vb[l]);
+                }
+                computeStep<T>(w, kind, va, acc, aptr_codegen);
+            }
+            a->finish(w);
+            if (b)
+                b->finish(w);
+
+            // Reduce the accumulator and write one float per warp.
+            for (int m = kWarpSize / 2; m >= 1; m >>= 1) {
+                auto o = w.shflXor(acc, m);
+                w.issue(1);
+                for (int l = 0; l < kWarpSize; ++l)
+                    acc[l] += o[l];
+            }
+            w.storeScalar<float>(s.out + w.globalWarpId() * 4, acc[0]);
+        });
+
+    double sum = 0;
+    for (int i = 0; i < s.totalWarps; ++i)
+        sum += dev.mem().load<float>(s.out + i * 4);
+    r.checksum = sum;
+    return r;
+}
+
+} // namespace
+
+const std::vector<Kind>&
+allKinds()
+{
+    static const std::vector<Kind> kinds{
+        Kind::Add,      Kind::Read,     Kind::Random10, Kind::Random20,
+        Kind::Random50, Kind::Reduce,   Kind::Fft,      Kind::Bitonic};
+    return kinds;
+}
+
+const char*
+kindName(Kind k)
+{
+    switch (k) {
+      case Kind::Add: return "add";
+      case Kind::Read: return "read";
+      case Kind::Random10: return "random10";
+      case Kind::Random20: return "random20";
+      case Kind::Random50: return "random50";
+      case Kind::Reduce: return "reduce";
+      case Kind::Fft: return "fft";
+      case Kind::Bitonic: return "bitonic";
+    }
+    return "?";
+}
+
+RunResult
+runWorkload(sim::Device& dev, core::GvmRuntime* rt, Kind kind,
+            const RunConfig& cfg)
+{
+    AP_ASSERT(cfg.loadBytes == 4 || cfg.loadBytes == 16,
+              "load width must be 4 or 16 bytes");
+    if (cfg.loadBytes == 4)
+        return runTyped<float>(dev, rt, kind, cfg);
+    return runTyped<Float4>(dev, rt, kind, cfg);
+}
+
+} // namespace ap::workloads

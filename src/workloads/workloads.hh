@@ -1,0 +1,86 @@
+/**
+ * @file
+ * The compute-intensity microbenchmark workloads of paper section VI-B:
+ * Add, Read, Random-N, Reduce, FFT and Bitonic sort. Every workload
+ * reads its input with a configurable accessor — raw pointers, active
+ * pointers over raw GPU memory (Fig. 6a/6b), or either on top of the
+ * GPUfs page cache (Fig. 6c) — accumulates per-lane results in
+ * registers, and writes one value per warp at the end, matching the
+ * paper's "read from external memory, small output" pattern.
+ *
+ * The baseline and apointer versions execute the same kernel code; only
+ * the accessor differs, exactly as in the paper.
+ */
+
+#ifndef AP_WORKLOADS_WORKLOADS_HH
+#define AP_WORKLOADS_WORKLOADS_HH
+
+#include <string>
+#include <vector>
+
+#include "core/vm.hh"
+
+namespace ap::workloads {
+
+/** Workload kinds, in order of increasing compute intensity. */
+enum class Kind {
+    Add,      ///< element-wise addition of two vectors
+    Read,     ///< plain vector read
+    Random10, ///< read + 10 PRNG iterations per element
+    Random20, ///< read + 20 PRNG iterations
+    Random50, ///< read + 50 PRNG iterations
+    Reduce,   ///< warp-level shuffle reduction of 32-element vectors
+    Fft,      ///< warp-level 32-point FFT via shuffles
+    Bitonic,  ///< warp-level 32-element bitonic sort
+};
+
+/** All workloads, sorted by compute intensity (paper Fig. 6 order). */
+const std::vector<Kind>& allKinds();
+
+/** Display name of a workload. */
+const char* kindName(Kind k);
+
+/** How the workload reaches its data. */
+enum class Access {
+    Raw,      ///< plain pointers into GPU memory (baseline, Fig. 6a/6b)
+    Aptr,     ///< apointers direct-mapping GPU memory (Fig. 6a/6b)
+    GpufsRaw, ///< gmmap per page + raw loads (baseline of Fig. 6c)
+    GpufsAptr ///< apointers over a memory-mapped file (Fig. 6c)
+};
+
+/** One workload run's parameters. */
+struct RunConfig
+{
+    int numBlocks = 26;
+    int warpsPerBlock = 32;
+    /** Elements (of loadBytes each) processed per lane. */
+    uint32_t elemsPerLane = 256;
+    /** Per-lane load width: 4 (float) or 16 (float4). */
+    int loadBytes = 4;
+    Access access = Access::Raw;
+    uint64_t seed = 1;
+};
+
+/** Result: simulated time plus a functional checksum for verification. */
+struct RunResult
+{
+    sim::Cycles cycles = 0;
+    double checksum = 0;
+};
+
+/**
+ * Run one workload.
+ *
+ * @param dev simulated GPU (data buffers are allocated inside; use a
+ *            fresh device per run — the bump allocator is not reused)
+ * @param rt  translation runtime; required for Aptr/Gpufs* accesses
+ *            (its GpuFs supplies the page cache and backing store)
+ * @param kind workload
+ * @param cfg  run parameters
+ */
+RunResult runWorkload(sim::Device& dev, core::GvmRuntime* rt, Kind kind,
+                      const RunConfig& cfg);
+
+} // namespace ap::workloads
+
+#endif // AP_WORKLOADS_WORKLOADS_HH

@@ -1,0 +1,187 @@
+#include <gtest/gtest.h>
+
+#include "collage/dataset.hh"
+#include "util/rng.hh"
+
+namespace ap::collage {
+namespace {
+
+DatasetParams
+smallParams()
+{
+    DatasetParams p;
+    p.numImages = 256;
+    return p;
+}
+
+TEST(Lsh, DeterministicBuckets)
+{
+    Lsh a(2, 4, 64.0f, 64, 9);
+    Lsh b(2, 4, 64.0f, 64, 9);
+    std::vector<float> h(kBins);
+    for (int i = 0; i < kBins; ++i)
+        h[i] = static_cast<float>(i % 13);
+    for (int t = 0; t < 2; ++t)
+        EXPECT_EQ(a.bucketOf(h.data(), t), b.bucketOf(h.data(), t));
+}
+
+TEST(Lsh, BucketsInRange)
+{
+    Lsh lsh(2, 4, 64.0f, 37, 1);
+    SplitMix64 rng(5);
+    std::vector<float> h(kBins);
+    for (int iter = 0; iter < 200; ++iter) {
+        for (auto& v : h)
+            v = rng.nextFloat() * 10;
+        for (int t = 0; t < 2; ++t)
+            EXPECT_LT(lsh.bucketOf(h.data(), t), 37u);
+    }
+}
+
+TEST(Lsh, SimilarHistogramsCollideMoreThanRandom)
+{
+    Lsh lsh(1, 4, 64.0f, 256, 11);
+    SplitMix64 rng(3);
+    int same_collisions = 0, rand_collisions = 0;
+    const int trials = 200;
+    for (int i = 0; i < trials; ++i) {
+        std::vector<float> a(kBins), near(kBins), far(kBins);
+        for (int k = 0; k < kBins; ++k) {
+            a[k] = rng.nextFloat() * 12;
+            near[k] = a[k] + rng.nextGaussian() * 0.05f;
+            far[k] = rng.nextFloat() * 12;
+        }
+        uint32_t ba = lsh.bucketOf(a.data(), 0);
+        same_collisions += (lsh.bucketOf(near.data(), 0) == ba);
+        rand_collisions += (lsh.bucketOf(far.data(), 0) == ba);
+    }
+    EXPECT_GT(same_collisions, rand_collisions + trials / 4);
+}
+
+TEST(Dataset, BuildIsDeterministic)
+{
+    hostio::BackingStore bs1, bs2;
+    Dataset a = Dataset::build(bs1, smallParams());
+    Dataset b = Dataset::build(bs2, smallParams());
+    EXPECT_EQ(a.hists, b.hists);
+    EXPECT_EQ(a.buckets.size(), b.buckets.size());
+    for (size_t i = 0; i < a.buckets.size(); ++i)
+        EXPECT_EQ(a.buckets[i], b.buckets[i]);
+}
+
+TEST(Dataset, HistogramsScaledToBlockPixels)
+{
+    hostio::BackingStore bs;
+    Dataset ds = Dataset::build(bs, smallParams());
+    for (uint32_t i = 0; i < 16; ++i) {
+        const float* h = ds.histogram(i);
+        for (int c = 0; c < 3; ++c) {
+            float sum = 0;
+            for (int b = 0; b < 256; ++b)
+                sum += h[c * 256 + b];
+            EXPECT_NEAR(sum, kBlockPixels, 1.0);
+        }
+    }
+}
+
+TEST(Dataset, FileRecordsMatchHostHistograms)
+{
+    hostio::BackingStore bs;
+    Dataset ds = Dataset::build(bs, smallParams());
+    std::vector<float> rec(kBins);
+    for (uint32_t i : {0u, 17u, 255u}) {
+        bs.pread(ds.histFile, rec.data(), kBins * 4, ds.recordOffset(i));
+        for (int k = 0; k < kBins; ++k)
+            ASSERT_EQ(rec[k], ds.histogram(i)[k]);
+    }
+}
+
+TEST(Dataset, EveryImageIsIndexedInEveryTable)
+{
+    hostio::BackingStore bs;
+    Dataset ds = Dataset::build(bs, smallParams());
+    for (int t = 0; t < ds.params.lshTables; ++t) {
+        size_t total = 0;
+        for (uint32_t b = 0; b < ds.lsh.numBuckets(); ++b)
+            total += ds.bucket(t, b).size();
+        EXPECT_EQ(total, ds.params.numImages);
+    }
+}
+
+TEST(Dataset, UnalignedRecordsPackTightly)
+{
+    DatasetParams p = smallParams();
+    p.recordSize = 3072;
+    hostio::BackingStore bs;
+    Dataset ds = Dataset::build(bs, p);
+    EXPECT_EQ(bs.size(ds.histFile), 256u * 3072u);
+    std::vector<float> rec(kBins);
+    bs.pread(ds.histFile, rec.data(), kBins * 4, ds.recordOffset(3));
+    for (int k = 0; k < kBins; ++k)
+        ASSERT_EQ(rec[k], ds.histogram(3)[k]);
+}
+
+TEST(Input, ReuseControlsDistinctSources)
+{
+    hostio::BackingStore bs;
+    Dataset ds = Dataset::build(bs, smallParams());
+    InputParams ip;
+    ip.numBlocks = 64;
+    ip.reuse = 8.0;
+    CollageInput in = makeInput(ds, ip);
+    EXPECT_EQ(in.numBlocks, 64u);
+    EXPECT_EQ(in.pixels.size(), 64u * kBlockPixels);
+    EXPECT_DOUBLE_EQ(in.reuse, 8.0);
+}
+
+TEST(Input, BlockHistogramCounts)
+{
+    std::vector<uint32_t> px(kBlockPixels, 0x00102030);
+    std::vector<float> h(kBins);
+    blockHistogram(px.data(), h.data());
+    EXPECT_EQ(h[0x10], kBlockPixels);
+    EXPECT_EQ(h[256 + 0x20], kBlockPixels);
+    EXPECT_EQ(h[512 + 0x30], kBlockPixels);
+    float sum = 0;
+    for (float v : h)
+        sum += v;
+    EXPECT_EQ(sum, 3.0f * kBlockPixels);
+}
+
+TEST(Input, BlocksResembleTheirSourceImages)
+{
+    // A block sampled from image X should usually be closer to X than
+    // to most other images; check via the LSH bucket collision rate.
+    hostio::BackingStore bs;
+    DatasetParams dp = smallParams();
+    hostio::BackingStore bs2;
+    Dataset ds = Dataset::build(bs2, dp);
+    InputParams ip;
+    ip.numBlocks = 32;
+    ip.reuse = 1.0;
+    CollageInput in = makeInput(ds, ip);
+    std::vector<float> h(kBins);
+    int nonempty = 0;
+    for (uint32_t blk = 0; blk < in.numBlocks; ++blk) {
+        blockHistogram(in.pixels.data() +
+                           static_cast<size_t>(blk) * kBlockPixels,
+                       h.data());
+        for (int t = 0; t < ds.params.lshTables; ++t)
+            nonempty +=
+                !ds.bucket(t, ds.lsh.bucketOf(h.data(), t)).empty();
+    }
+    // Most blocks land in a populated bucket (their source's or a
+    // near one).
+    EXPECT_GT(nonempty, static_cast<int>(in.numBlocks));
+}
+
+TEST(Dataset, DistanceIsZeroOnlyForSelf)
+{
+    hostio::BackingStore bs;
+    Dataset ds = Dataset::build(bs, smallParams());
+    EXPECT_EQ(histDistance(ds.histogram(5), ds.histogram(5)), 0.0f);
+    EXPECT_GT(histDistance(ds.histogram(5), ds.histogram(6)), 0.0f);
+}
+
+} // namespace
+} // namespace ap::collage

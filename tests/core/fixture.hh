@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Shared test fixture wiring a full stack: device, backing store,
+ * host I/O, GPUfs, and the ActivePointers runtime.
+ */
+
+#ifndef AP_TESTS_CORE_FIXTURE_HH
+#define AP_TESTS_CORE_FIXTURE_HH
+
+#include <memory>
+
+#include "core/vm.hh"
+
+namespace ap::core {
+
+struct StackFixture
+{
+    explicit StackFixture(GvmConfig gcfg = GvmConfig{},
+                          uint32_t frames = 256,
+                          size_t dev_mem = size_t(64) << 20)
+    {
+        cfg.numFrames = frames;
+        dev = std::make_unique<sim::Device>(sim::CostModel{}, dev_mem);
+        io = std::make_unique<hostio::HostIoEngine>(*dev, bs);
+        fs = std::make_unique<gpufs::GpuFs>(*dev, *io, cfg);
+        rt = std::make_unique<GvmRuntime>(*fs, gcfg);
+    }
+
+    /** Create a file whose every 4-byte word holds its word index. */
+    hostio::FileId
+    makeWordFile(const std::string& name, size_t words)
+    {
+        hostio::FileId f = bs.create(name, words * 4);
+        auto* p = bs.data(f, 0, words * 4);
+        for (uint32_t i = 0; i < words; ++i)
+            std::memcpy(p + i * 4, &i, 4);
+        return f;
+    }
+
+    gpufs::Config cfg;
+    hostio::BackingStore bs;
+    std::unique_ptr<sim::Device> dev;
+    std::unique_ptr<hostio::HostIoEngine> io;
+    std::unique_ptr<gpufs::GpuFs> fs;
+    std::unique_ptr<GvmRuntime> rt;
+};
+
+} // namespace ap::core
+
+#endif // AP_TESTS_CORE_FIXTURE_HH

@@ -1,0 +1,62 @@
+#include <gtest/gtest.h>
+
+#include "core/access_mode.hh"
+
+namespace ap::core {
+namespace {
+
+TEST(AccessMode, OptimizationLadderMonotone)
+{
+    // Hand optimization must never increase any cost.
+    for (AptrKind kind : {AptrKind::Long, AptrKind::Short}) {
+        AptrCosts c = costsFor(AccessMode::Compiler, kind);
+        AptrCosts o = costsFor(AccessMode::OptimizedPtx, kind);
+        EXPECT_LE(o.derefSetup, c.derefSetup);
+        EXPECT_LE(o.derefCheck, c.derefCheck);
+        EXPECT_LE(o.permCheck, c.permCheck);
+        EXPECT_LE(o.increment, c.increment);
+        EXPECT_LE(o.unlinkExtra, c.unlinkExtra);
+        EXPECT_LE(o.faultLink, c.faultLink);
+    }
+}
+
+TEST(AccessMode, PrefetchSharesOptimizedCounts)
+{
+    // Prefetch's gain comes from overlap, not different instruction
+    // counts (section IV-B).
+    for (AptrKind kind : {AptrKind::Long, AptrKind::Short}) {
+        AptrCosts o = costsFor(AccessMode::OptimizedPtx, kind);
+        AptrCosts p = costsFor(AccessMode::Prefetch, kind);
+        EXPECT_EQ(o.derefSetup, p.derefSetup);
+        EXPECT_EQ(o.increment, p.increment);
+    }
+}
+
+TEST(AccessMode, ShortKindHasCheaperUnlink)
+{
+    // The short layout keeps the xAddress resident, so the unlink
+    // transition skips the metadata reconstruction.
+    for (AccessMode m : {AccessMode::Compiler, AccessMode::OptimizedPtx}) {
+        EXPECT_LT(costsFor(m, AptrKind::Short).unlinkExtra,
+                  costsFor(m, AptrKind::Long).unlinkExtra);
+    }
+}
+
+TEST(AccessMode, PaperIncrementRatio)
+{
+    // Paper: 18 instructions for an apointer increment vs 2 raw.
+    EXPECT_EQ(costsFor(AccessMode::Compiler, AptrKind::Long).increment,
+              18);
+}
+
+TEST(AccessMode, Names)
+{
+    EXPECT_STREQ(modeName(AccessMode::Compiler), "Compiler");
+    EXPECT_STREQ(modeName(AccessMode::OptimizedPtx), "Optimized PTX");
+    EXPECT_STREQ(modeName(AccessMode::Prefetch), "Prefetching");
+    EXPECT_STREQ(kindName(AptrKind::Long), "long");
+    EXPECT_STREQ(kindName(AptrKind::Short), "short");
+}
+
+} // namespace
+} // namespace ap::core

@@ -1,0 +1,174 @@
+#include <gtest/gtest.h>
+
+#include "fixture.hh"
+
+namespace ap::core {
+namespace {
+
+using sim::kWarpSize;
+using sim::LaneArray;
+
+TEST(Aggregation, LanesOnDistinctPagesFaultSequentially)
+{
+    StackFixture fx;
+    // 32 lanes each on their own page: 32 sequential subgroup faults.
+    hostio::FileId f = fx.makeWordFile("f", 32 * 1024);
+    fx.dev->launch(1, 1, [&](sim::Warp& w) {
+        auto p = gvmmap<uint32_t>(w, *fx.rt, 32 * 4096,
+                                  hostio::O_GRDONLY, f, 0);
+        LaneArray<int64_t> stride;
+        for (int l = 0; l < kWarpSize; ++l)
+            stride[l] = l * 1024; // one page apart
+        p.addPerLane(w, stride);
+        auto v = p.read(w);
+        for (int l = 0; l < kWarpSize; ++l)
+            EXPECT_EQ(v[l], static_cast<uint32_t>(l * 1024));
+        // Each page holds exactly one reference.
+        for (int l = 0; l < kWarpSize; ++l)
+            EXPECT_EQ(fx.fs->cache().residentRefcountHost(
+                          gpufs::makePageKey(f, l)),
+                      1);
+        p.destroy(w);
+    });
+    EXPECT_EQ(fx.dev->stats().counter("gpufs.major_faults"), 32u);
+    EXPECT_EQ(fx.dev->stats().counter("core.pages_linked"), 32u);
+}
+
+TEST(Aggregation, SubgroupsShareOneFaultPerPage)
+{
+    StackFixture fx;
+    hostio::FileId f = fx.makeWordFile("f", 8 * 1024);
+    fx.dev->launch(1, 1, [&](sim::Warp& w) {
+        auto p = gvmmap<uint32_t>(w, *fx.rt, 8 * 4096, hostio::O_GRDONLY,
+                                  f, 0);
+        // Four subgroups of 8 lanes, each on its own page.
+        LaneArray<int64_t> stride;
+        for (int l = 0; l < kWarpSize; ++l)
+            stride[l] = (l / 8) * 1024 + (l % 8);
+        p.addPerLane(w, stride);
+        auto v = p.read(w);
+        for (int l = 0; l < kWarpSize; ++l)
+            EXPECT_EQ(v[l],
+                      static_cast<uint32_t>((l / 8) * 1024 + l % 8));
+        for (int g = 0; g < 4; ++g)
+            EXPECT_EQ(fx.fs->cache().residentRefcountHost(
+                          gpufs::makePageKey(f, g)),
+                      8);
+        p.destroy(w);
+    });
+    // Exactly 4 aggregated faults, not 32.
+    EXPECT_EQ(fx.dev->stats().counter("core.pages_linked"), 4u);
+    EXPECT_EQ(fx.dev->stats().counter("gpufs.major_faults"), 4u);
+}
+
+TEST(Aggregation, MixedLinkedAndFaultingLanes)
+{
+    StackFixture fx;
+    hostio::FileId f = fx.makeWordFile("f", 8 * 1024);
+    fx.dev->launch(1, 1, [&](sim::Warp& w) {
+        auto p = gvmmap<uint32_t>(w, *fx.rt, 8 * 4096, hostio::O_GRDONLY,
+                                  f, 0);
+        p.read(w); // all lanes linked on page 0
+        // Move odd lanes to page 1; even lanes stay linked.
+        LaneArray<int64_t> delta{};
+        for (int l = 1; l < kWarpSize; l += 2)
+            delta[l] = 1024;
+        p.addPerLane(w, delta);
+        for (int l = 0; l < kWarpSize; ++l)
+            EXPECT_EQ(p.linked(l), l % 2 == 0);
+        auto v = p.read(w); // only odd lanes fault (one subgroup)
+        for (int l = 0; l < kWarpSize; ++l)
+            EXPECT_EQ(v[l], l % 2 ? 1024u : 0u);
+        EXPECT_EQ(fx.fs->cache().residentRefcountHost(
+                      gpufs::makePageKey(f, 0)),
+                  16);
+        EXPECT_EQ(fx.fs->cache().residentRefcountHost(
+                      gpufs::makePageKey(f, 1)),
+                  16);
+        p.destroy(w);
+    });
+}
+
+TEST(Aggregation, FaultHandlingIsDeadlockFreeAcrossWarps)
+{
+    // Many warps fault on overlapping page sets concurrently; the
+    // leader-only access to shared structures must never deadlock.
+    StackFixture fx(GvmConfig{}, /*frames=*/64);
+    hostio::FileId f = fx.makeWordFile("f", 256 * 1024);
+    fx.dev->launch(4, 16, [&](sim::Warp& w) {
+        auto p = gvmmap<uint32_t>(w, *fx.rt, 256 * 4096,
+                                  hostio::O_GRDONLY, f, 0);
+        SplitMix64 rng(w.globalWarpId() * 7 + 1);
+        for (int iter = 0; iter < 8; ++iter) {
+            uint64_t page = rng.nextBounded(128);
+            auto q = p.copyUnlinked(w);
+            LaneArray<int64_t> d;
+            for (int l = 0; l < kWarpSize; ++l)
+                d[l] = static_cast<int64_t>(page * 1024 + l);
+            q.addPerLane(w, d);
+            auto v = q.read(w);
+            for (int l = 0; l < kWarpSize; ++l)
+                ASSERT_EQ(v[l], static_cast<uint32_t>(page * 1024 + l));
+            q.destroy(w);
+        }
+        p.destroy(w);
+    });
+    // All references returned.
+    for (uint64_t pg = 0; pg < 128; ++pg) {
+        int rc = fx.fs->cache().residentRefcountHost(
+            gpufs::makePageKey(0, pg));
+        EXPECT_TRUE(rc <= 0) << "page " << pg << " leaked rc " << rc;
+    }
+}
+
+TEST(Aggregation, WorksInAllAccessModes)
+{
+    for (AccessMode mode : {AccessMode::Compiler, AccessMode::OptimizedPtx,
+                            AccessMode::Prefetch}) {
+        GvmConfig g;
+        g.mode = mode;
+        StackFixture fx(g);
+        hostio::FileId f = fx.makeWordFile("f", 8 * 1024);
+        fx.dev->launch(1, 2, [&](sim::Warp& w) {
+            auto p = gvmmap<uint32_t>(w, *fx.rt, 8 * 4096,
+                                      hostio::O_GRDONLY, f, 0);
+            LaneArray<int64_t> stride;
+            for (int l = 0; l < kWarpSize; ++l)
+                stride[l] = (l % 4) * 1024 + l;
+            p.addPerLane(w, stride);
+            auto v = p.read(w);
+            for (int l = 0; l < kWarpSize; ++l)
+                ASSERT_EQ(v[l],
+                          static_cast<uint32_t>((l % 4) * 1024 + l));
+            p.destroy(w);
+        });
+    }
+}
+
+TEST(Aggregation, PrefetchModeFaultStillReturnsFreshData)
+{
+    GvmConfig g;
+    g.mode = AccessMode::Prefetch;
+    StackFixture fx(g);
+    hostio::FileId f = fx.makeWordFile("f", 8 * 1024);
+    fx.dev->launch(1, 1, [&](sim::Warp& w) {
+        auto p = gvmmap<uint32_t>(w, *fx.rt, 8 * 4096, hostio::O_GRDONLY,
+                                  f, 0);
+        p.read(w); // link page 0
+        // Half the lanes cross to page 1: the prefetch covers the
+        // still-linked lanes, the fault path must fill in the rest.
+        LaneArray<int64_t> delta{};
+        for (int l = 16; l < kWarpSize; ++l)
+            delta[l] = 1024;
+        p.addPerLane(w, delta);
+        auto v = p.read(w);
+        for (int l = 0; l < 16; ++l)
+            EXPECT_EQ(v[l], 0u);
+        for (int l = 16; l < kWarpSize; ++l)
+            EXPECT_EQ(v[l], 1024u);
+        p.destroy(w);
+    });
+}
+
+} // namespace
+} // namespace ap::core

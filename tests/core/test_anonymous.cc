@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Anonymous (swap-backed, zero-fill-on-demand) mappings: scratch GPU
+ * memory larger than the page cache, paged to a swap file under
+ * pressure.
+ */
+
+#include <gtest/gtest.h>
+
+#include "fixture.hh"
+
+namespace ap::core {
+namespace {
+
+using sim::kWarpSize;
+using sim::LaneArray;
+
+TEST(Anonymous, FirstTouchIsZeroWithoutHostTransfer)
+{
+    StackFixture fx;
+    fx.dev->launch(1, 1, [&](sim::Warp& w) {
+        auto p = gvmmapAnon<uint32_t>(w, *fx.rt, 64 * 1024);
+        p.addPerLane(w, LaneArray<int64_t>::iota(0));
+        auto v = p.read(w);
+        for (int l = 0; l < kWarpSize; ++l)
+            EXPECT_EQ(v[l], 0u);
+        p.destroy(w);
+    });
+    EXPECT_GE(fx.dev->stats().counter("gpufs.zero_fills"), 1u);
+    EXPECT_EQ(fx.dev->stats().counter("hostio.read_requests"), 0u);
+}
+
+TEST(Anonymous, WriteReadRoundTrip)
+{
+    StackFixture fx;
+    fx.dev->launch(1, 1, [&](sim::Warp& w) {
+        auto p = gvmmapAnon<uint32_t>(w, *fx.rt, 64 * 1024);
+        p.addPerLane(w, LaneArray<int64_t>::iota(0));
+        LaneArray<uint32_t> v;
+        for (int l = 0; l < kWarpSize; ++l)
+            v[l] = 7000 + l;
+        p.write(w, v);
+        auto back = p.read(w);
+        for (int l = 0; l < kWarpSize; ++l)
+            EXPECT_EQ(back[l], 7000u + l);
+        p.destroy(w);
+    });
+}
+
+TEST(Anonymous, SpillsToSwapAndReloadsUnderPressure)
+{
+    // A 64-frame cache with a 192-page anonymous region: written pages
+    // must survive eviction via the swap file.
+    StackFixture fx(GvmConfig{}, /*frames=*/64);
+    const uint64_t words = 192 * 1024; // 192 pages
+    fx.dev->launch(1, 1, [&](sim::Warp& w) {
+        auto p = gvmmapAnon<uint32_t>(w, *fx.rt, words * 4);
+        // Pass 1: write page tags.
+        auto q = p.copyUnlinked(w);
+        q.addPerLane(w, LaneArray<int64_t>::iota(0));
+        for (uint64_t pg = 0; pg < 192; ++pg) {
+            LaneArray<uint32_t> v;
+            for (int l = 0; l < kWarpSize; ++l)
+                v[l] = static_cast<uint32_t>(pg * 100 + l);
+            q.write(w, v);
+            if (pg + 1 < 192)
+                q.add(w, 1024);
+        }
+        q.destroy(w);
+        // Pass 2: read everything back (most pages were evicted).
+        auto r = p.copyUnlinked(w);
+        r.addPerLane(w, LaneArray<int64_t>::iota(0));
+        for (uint64_t pg = 0; pg < 192; ++pg) {
+            auto v = r.read(w);
+            for (int l = 0; l < kWarpSize; ++l)
+                ASSERT_EQ(v[l], pg * 100 + l) << "page " << pg;
+            if (pg + 1 < 192)
+                r.add(w, 1024);
+        }
+        r.destroy(w);
+        p.destroy(w);
+    });
+    EXPECT_GE(fx.dev->stats().counter("gpufs.writebacks"), 100u);
+    EXPECT_GE(fx.dev->stats().counter("gpufs.evictions"), 100u);
+}
+
+TEST(Anonymous, RefaultAfterSwapReadsSwapNotZeros)
+{
+    StackFixture fx(GvmConfig{}, /*frames=*/16);
+    fx.dev->launch(1, 1, [&](sim::Warp& w) {
+        auto p = gvmmapAnon<uint32_t>(w, *fx.rt, 64 * 4096);
+        // Write page 0, thrash it out, read it back.
+        auto q = p.copyUnlinked(w);
+        q.add(w, 5);
+        q.write(w, LaneArray<uint32_t>::broadcast(0x1234), 0x1);
+        q.destroy(w);
+        for (uint64_t pg = 1; pg < 40; ++pg) {
+            auto t = p.copyUnlinked(w);
+            t.add(w, static_cast<int64_t>(pg) * 1024);
+            (void)t.read(w);
+            t.destroy(w);
+        }
+        auto back = p.copyUnlinked(w);
+        back.add(w, 5);
+        EXPECT_EQ(back.read(w)[0], 0x1234u);
+        back.destroy(w);
+        p.destroy(w);
+    });
+    EXPECT_TRUE(fx.fs->cache().everWrittenHost(gpufs::makePageKey(
+        fx.rt->swapFileId(), 0)));
+}
+
+TEST(Anonymous, TwoRegionsGetDisjointSwapRanges)
+{
+    StackFixture fx;
+    fx.dev->launch(1, 1, [&](sim::Warp& w) {
+        auto a = gvmmapAnon<uint32_t>(w, *fx.rt, 8 * 4096);
+        auto b = gvmmapAnon<uint32_t>(w, *fx.rt, 8 * 4096);
+        a.write(w, LaneArray<uint32_t>::broadcast(1), 0x1);
+        b.write(w, LaneArray<uint32_t>::broadcast(2), 0x1);
+        EXPECT_EQ(a.read(w)[0], 1u);
+        EXPECT_EQ(b.read(w)[0], 2u);
+        EXPECT_NE(a.fileOffset(0), b.fileOffset(0));
+        a.destroy(w);
+        b.destroy(w);
+    });
+}
+
+TEST(Anonymous, SharedAcrossWarps)
+{
+    // An anonymous region created once and shared: warp 0 creates,
+    // copies are distributed via host-visible state, everyone writes
+    // its own slot, then warp 0 sums.
+    StackFixture fx;
+    AptrVec<uint32_t> shared;
+    fx.dev->launch(1, 8, [&](sim::Warp& w) {
+        if (w.warpInBlock() == 0)
+            shared = gvmmapAnon<uint32_t>(w, *fx.rt, 4096);
+        w.syncThreads();
+        auto mine = shared.copyUnlinked(w);
+        mine.add(w, w.warpInBlock());
+        mine.write(w, sim::LaneArray<uint32_t>::broadcast(
+                           w.warpInBlock() + 1),
+                   0x1);
+        mine.destroy(w);
+        w.syncThreads();
+        if (w.warpInBlock() == 0) {
+            uint32_t sum = 0;
+            auto r = shared.copyUnlinked(w);
+            r.addPerLane(w, LaneArray<int64_t>::iota(0));
+            auto v = r.read(w);
+            for (int l = 0; l < 8; ++l)
+                sum += v[l];
+            EXPECT_EQ(sum, 1u + 2 + 3 + 4 + 5 + 6 + 7 + 8);
+            r.destroy(w);
+            shared.destroy(w);
+        }
+    });
+}
+
+} // namespace
+} // namespace ap::core

@@ -1,0 +1,350 @@
+#include <gtest/gtest.h>
+
+#include "fixture.hh"
+
+namespace ap::core {
+namespace {
+
+using sim::kWarpSize;
+using sim::LaneArray;
+
+TEST(Aptr, MapStartsUnlinked)
+{
+    StackFixture fx;
+    hostio::FileId f = fx.makeWordFile("f", 4096);
+    fx.dev->launch(1, 1, [&](sim::Warp& w) {
+        auto p = gvmmap<uint32_t>(w, *fx.rt, 4096 * 4,
+                                  hostio::O_GRDONLY, f, 0);
+        for (int l = 0; l < kWarpSize; ++l) {
+            EXPECT_FALSE(p.linked(l));
+            EXPECT_EQ(p.fileOffset(l), 0u);
+        }
+        p.destroy(w);
+    });
+}
+
+TEST(Aptr, FirstAccessFaultsAndLinks)
+{
+    StackFixture fx;
+    hostio::FileId f = fx.makeWordFile("f", 4096);
+    fx.dev->launch(1, 1, [&](sim::Warp& w) {
+        auto p = gvmmap<uint32_t>(w, *fx.rt, 4096 * 4,
+                                  hostio::O_GRDONLY, f, 0);
+        p.addPerLane(w, LaneArray<int64_t>::iota(0));
+        auto v = p.read(w);
+        for (int l = 0; l < kWarpSize; ++l) {
+            EXPECT_EQ(v[l], static_cast<uint32_t>(l));
+            EXPECT_TRUE(p.linked(l));
+        }
+        p.destroy(w);
+    });
+    // One warp, one page, 32 lanes: exactly one major fault.
+    EXPECT_EQ(fx.dev->stats().counter("gpufs.major_faults"), 1u);
+}
+
+TEST(Aptr, SecondAccessIsFaultFree)
+{
+    StackFixture fx;
+    hostio::FileId f = fx.makeWordFile("f", 4096);
+    fx.dev->launch(1, 1, [&](sim::Warp& w) {
+        auto p = gvmmap<uint32_t>(w, *fx.rt, 4096 * 4,
+                                  hostio::O_GRDONLY, f, 0);
+        p.read(w);
+        uint64_t faults = w.stats().counter("core.pages_linked");
+        p.read(w); // linked: no fault handler work
+        EXPECT_EQ(w.stats().counter("core.pages_linked"), faults);
+        p.destroy(w);
+    });
+}
+
+TEST(Aptr, AggregatedRefcountMatchesLaneCount)
+{
+    StackFixture fx;
+    hostio::FileId f = fx.makeWordFile("f", 4096);
+    fx.dev->launch(1, 1, [&](sim::Warp& w) {
+        auto p = gvmmap<uint32_t>(w, *fx.rt, 4096 * 4,
+                                  hostio::O_GRDONLY, f, 0);
+        p.read(w);
+        // All 32 lanes point into page 0: one entry, refcount 32.
+        EXPECT_EQ(fx.fs->cache().residentRefcountHost(
+                      gpufs::makePageKey(f, 0)),
+                  32);
+        p.destroy(w);
+        EXPECT_EQ(fx.fs->cache().residentRefcountHost(
+                      gpufs::makePageKey(f, 0)),
+                  0);
+    });
+}
+
+TEST(Aptr, PointerArithmeticWithinPageStaysLinked)
+{
+    StackFixture fx;
+    hostio::FileId f = fx.makeWordFile("f", 4096);
+    fx.dev->launch(1, 1, [&](sim::Warp& w) {
+        auto p = gvmmap<uint32_t>(w, *fx.rt, 4096 * 4,
+                                  hostio::O_GRDONLY, f, 0);
+        p.read(w);
+        p.add(w, 10); // +40 bytes, same page
+        for (int l = 0; l < kWarpSize; ++l)
+            EXPECT_TRUE(p.linked(l));
+        auto v = p.read(w);
+        EXPECT_EQ(v[0], 10u);
+        p.destroy(w);
+    });
+    EXPECT_EQ(fx.dev->stats().counter("gpufs.major_faults"), 1u);
+}
+
+TEST(Aptr, CrossingPageBoundaryUnlinksAndReleases)
+{
+    StackFixture fx;
+    hostio::FileId f = fx.makeWordFile("f", 8192);
+    fx.dev->launch(1, 1, [&](sim::Warp& w) {
+        auto p = gvmmap<uint32_t>(w, *fx.rt, 8192 * 4,
+                                  hostio::O_GRDONLY, f, 0);
+        p.read(w); // link page 0
+        p.add(w, 1024); // +4096 bytes: next page
+        for (int l = 0; l < kWarpSize; ++l)
+            EXPECT_FALSE(p.linked(l));
+        EXPECT_EQ(fx.fs->cache().residentRefcountHost(
+                      gpufs::makePageKey(f, 0)),
+                  0);
+        auto v = p.read(w); // fault on page 1
+        EXPECT_EQ(v[0], 1024u);
+        p.destroy(w);
+    });
+    EXPECT_EQ(fx.dev->stats().counter("gpufs.major_faults"), 2u);
+}
+
+TEST(Aptr, NegativeArithmeticWorks)
+{
+    StackFixture fx;
+    hostio::FileId f = fx.makeWordFile("f", 8192);
+    fx.dev->launch(1, 1, [&](sim::Warp& w) {
+        auto p = gvmmap<uint32_t>(w, *fx.rt, 8192 * 4,
+                                  hostio::O_GRDONLY, f, 0);
+        p.add(w, 2000);
+        auto v1 = p.read(w);
+        EXPECT_EQ(v1[0], 2000u);
+        p.add(w, -1500);
+        auto v2 = p.read(w);
+        EXPECT_EQ(v2[0], 500u);
+        p.destroy(w);
+    });
+}
+
+TEST(Aptr, AssignmentCopyIsUnlinkedAndHoldsNoRefs)
+{
+    StackFixture fx;
+    hostio::FileId f = fx.makeWordFile("f", 4096);
+    fx.dev->launch(1, 1, [&](sim::Warp& w) {
+        auto p = gvmmap<uint32_t>(w, *fx.rt, 4096 * 4,
+                                  hostio::O_GRDONLY, f, 0);
+        p.read(w);
+        auto q = p.copyUnlinked(w);
+        for (int l = 0; l < kWarpSize; ++l) {
+            EXPECT_FALSE(q.linked(l));
+            EXPECT_EQ(q.fileOffset(l), p.fileOffset(l));
+        }
+        // Only p's references are held.
+        EXPECT_EQ(fx.fs->cache().residentRefcountHost(
+                      gpufs::makePageKey(f, 0)),
+                  32);
+        auto v = q.read(w); // faults independently
+        EXPECT_EQ(v[0], 0u);
+        q.destroy(w);
+        p.destroy(w);
+    });
+}
+
+TEST(Aptr, WriteThenReadRoundTrip)
+{
+    StackFixture fx;
+    hostio::FileId f = fx.makeWordFile("f", 4096);
+    fx.dev->launch(1, 1, [&](sim::Warp& w) {
+        auto p = gvmmap<uint32_t>(w, *fx.rt, 4096 * 4, hostio::O_GRDWR,
+                                  f, 0);
+        p.addPerLane(w, LaneArray<int64_t>::iota(0));
+        LaneArray<uint32_t> vals;
+        for (int l = 0; l < kWarpSize; ++l)
+            vals[l] = 9000 + l;
+        p.write(w, vals);
+        auto v = p.read(w);
+        for (int l = 0; l < kWarpSize; ++l)
+            EXPECT_EQ(v[l], 9000u + l);
+        p.destroy(w);
+    });
+    // Dirty page must reach the backing store on flush.
+    fx.fs->cache().flushDirtyHost();
+    uint32_t word;
+    fx.bs.pread(0, &word, 4, 0);
+    EXPECT_EQ(word, 9000u);
+}
+
+TEST(Aptr, UnalignedRecordsSpanPages)
+{
+    // The paper's headline usability result (section VI-E): 3 KB
+    // records with no page alignment work unmodified.
+    StackFixture fx;
+    const size_t rec = 3072;
+    hostio::FileId f = fx.bs.create("recs", 64 * rec);
+    for (uint32_t r = 0; r < 64; ++r) {
+        uint32_t tag = 0xabc00000u + r;
+        fx.bs.pwrite(f, &tag, 4, r * rec); // tag at record start
+        fx.bs.pwrite(f, &tag, 4, r * rec + rec - 4); // and at its end
+    }
+    fx.dev->launch(1, 1, [&](sim::Warp& w) {
+        auto p = gvmmap<uint32_t>(w, *fx.rt, 64 * rec,
+                                  hostio::O_GRDONLY, f, 0);
+        for (uint32_t r = 0; r < 64; r += 7) {
+            auto q = p.copyUnlinked(w);
+            q.add(w, static_cast<int64_t>(r * rec / 4));
+            auto head = q.read(w);
+            EXPECT_EQ(head[0], 0xabc00000u + r);
+            q.add(w, static_cast<int64_t>(rec / 4 - 1));
+            auto tail = q.read(w);
+            EXPECT_EQ(tail[0], 0xabc00000u + r);
+            q.destroy(w);
+        }
+        p.destroy(w);
+    });
+}
+
+TEST(Aptr, MappingAtNonzeroFileOffset)
+{
+    StackFixture fx;
+    hostio::FileId f = fx.makeWordFile("f", 16384);
+    fx.dev->launch(1, 1, [&](sim::Warp& w) {
+        // Map the second 16 KB quarter of the file.
+        auto p = gvmmap<uint32_t>(w, *fx.rt, 16384, hostio::O_GRDONLY, f,
+                                  16384);
+        auto v = p.read(w);
+        EXPECT_EQ(v[0], 4096u); // word index at byte 16384
+        p.destroy(w);
+    });
+}
+
+TEST(Aptr, ScopedAptrReleasesOnScopeExit)
+{
+    StackFixture fx;
+    hostio::FileId f = fx.makeWordFile("f", 4096);
+    fx.dev->launch(1, 1, [&](sim::Warp& w) {
+        {
+            ScopedAptr<uint32_t> p(
+                w, gvmmap<uint32_t>(w, *fx.rt, 4096 * 4,
+                                    hostio::O_GRDONLY, f, 0));
+            p->read(w);
+            EXPECT_EQ(fx.fs->cache().residentRefcountHost(
+                          gpufs::makePageKey(f, 0)),
+                      32);
+        }
+        EXPECT_EQ(fx.fs->cache().residentRefcountHost(
+                      gpufs::makePageKey(f, 0)),
+                  0);
+    });
+}
+
+TEST(Aptr, MaskedReadOnlyTouchesActiveLanes)
+{
+    StackFixture fx;
+    hostio::FileId f = fx.makeWordFile("f", 8192);
+    fx.dev->launch(1, 1, [&](sim::Warp& w) {
+        auto p = gvmmap<uint32_t>(w, *fx.rt, 8192 * 4,
+                                  hostio::O_GRDONLY, f, 0);
+        p.addPerLane(w, LaneArray<int64_t>::iota(0));
+        auto v = p.read(w, 0x0000ffff);
+        for (int l = 0; l < 16; ++l)
+            EXPECT_EQ(v[l], static_cast<uint32_t>(l));
+        // Inactive lanes were never linked.
+        for (int l = 16; l < kWarpSize; ++l)
+            EXPECT_FALSE(p.linked(l));
+        EXPECT_EQ(fx.fs->cache().residentRefcountHost(
+                      gpufs::makePageKey(f, 0)),
+                  16);
+        p.destroy(w);
+    });
+}
+
+TEST(Aptr, PermissionCheckViolationIsFatal)
+{
+    GvmConfig g;
+    g.permChecks = true;
+    StackFixture fx(g);
+    hostio::FileId f = fx.makeWordFile("f", 4096);
+    EXPECT_DEATH(
+        fx.dev->launch(1, 1,
+                       [&](sim::Warp& w) {
+                           auto p = gvmmap<uint32_t>(
+                               w, *fx.rt, 4096 * 4, hostio::O_GRDONLY, f,
+                               0);
+                           LaneArray<uint32_t> z{};
+                           p.write(w, z); // write to read-only mapping
+                       }),
+        "permission violation");
+}
+
+TEST(Aptr, OutOfBoundsFaultIsFatal)
+{
+    StackFixture fx;
+    hostio::FileId f = fx.makeWordFile("f", 4096);
+    EXPECT_DEATH(
+        fx.dev->launch(1, 1,
+                       [&](sim::Warp& w) {
+                           auto p = gvmmap<uint32_t>(
+                               w, *fx.rt, 2048, hostio::O_GRDONLY, f, 0);
+                           p.add(w, 1024); // past the 2 KB mapping
+                           p.read(w);
+                       }),
+        "out of mapped region");
+}
+
+TEST(Aptr, ManyWarpsShareOnePageRefcountExact)
+{
+    StackFixture fx;
+    hostio::FileId f = fx.makeWordFile("f", 4096);
+    fx.dev->launch(2, 8, [&](sim::Warp& w) {
+        auto p = gvmmap<uint32_t>(w, *fx.rt, 4096 * 4,
+                                  hostio::O_GRDONLY, f, 0);
+        p.addPerLane(w, LaneArray<int64_t>::iota(0));
+        auto v = p.read(w);
+        EXPECT_EQ(v[5], 5u);
+        p.destroy(w);
+    });
+    EXPECT_EQ(
+        fx.fs->cache().residentRefcountHost(gpufs::makePageKey(f, 0)), 0);
+    EXPECT_EQ(fx.dev->stats().counter("gpufs.major_faults"), 1u);
+}
+
+TEST(Aptr, PinnedPageSurvivesCacheThrash)
+{
+    // The "active pages with fixed mappings" guarantee: while a warp
+    // keeps a linked apointer, eviction must never move the page even
+    // under heavy pressure from other pages.
+    GvmConfig g;
+    StackFixture fx(g, /*frames=*/16);
+    hostio::FileId f = fx.makeWordFile("f", 128 * 1024);
+    fx.dev->launch(1, 1, [&](sim::Warp& w) {
+        auto pinned = gvmmap<uint32_t>(w, *fx.rt, 4096, hostio::O_GRDONLY,
+                                       f, 0);
+        pinned.addPerLane(w, LaneArray<int64_t>::iota(0));
+        auto v0 = pinned.read(w); // linked, refcount 32
+        EXPECT_EQ(v0[0], 0u);
+        EXPECT_EQ(v0[31], 31u);
+        auto roam = gvmmap<uint32_t>(w, *fx.rt, 128 * 4096,
+                                     hostio::O_GRDONLY, f, 0);
+        for (int p = 0; p < 64; ++p) {
+            auto vv = roam.read(w);
+            EXPECT_EQ(vv[0], static_cast<uint32_t>(p * 1024));
+            roam.add(w, 1024);
+        }
+        // The pinned translation is still valid and correct.
+        auto v1 = pinned.read(w);
+        EXPECT_EQ(v1[0], 0u);
+        EXPECT_EQ(v1[31], 31u);
+        roam.destroy(w);
+        pinned.destroy(w);
+    });
+    EXPECT_GE(fx.dev->stats().counter("gpufs.evictions"), 1u);
+}
+
+} // namespace
+} // namespace ap::core

@@ -1,0 +1,182 @@
+/**
+ * @file
+ * Edge cases and misuse of the apointer API: empty masks, destroyed
+ * pointers, invalid mappings, reach limits of the short layout.
+ */
+
+#include <gtest/gtest.h>
+
+#include "fixture.hh"
+
+namespace ap::core {
+namespace {
+
+using sim::kWarpSize;
+using sim::LaneArray;
+
+TEST(AptrEdge, FullyMaskedReadTouchesNothing)
+{
+    StackFixture fx;
+    hostio::FileId f = fx.makeWordFile("f", 4096);
+    fx.dev->launch(1, 1, [&](sim::Warp& w) {
+        auto p = gvmmap<uint32_t>(w, *fx.rt, 4096 * 4, hostio::O_GRDONLY,
+                                  f, 0);
+        (void)p.read(w, 0x0); // no active lanes: no fault, no refs
+        for (int l = 0; l < kWarpSize; ++l)
+            EXPECT_FALSE(p.linked(l));
+        p.destroy(w);
+    });
+    EXPECT_EQ(fx.dev->stats().counter("gpufs.major_faults"), 0u);
+}
+
+TEST(AptrEdge, SingleLaneMask)
+{
+    StackFixture fx;
+    hostio::FileId f = fx.makeWordFile("f", 4096);
+    fx.dev->launch(1, 1, [&](sim::Warp& w) {
+        auto p = gvmmap<uint32_t>(w, *fx.rt, 4096 * 4, hostio::O_GRDONLY,
+                                  f, 0);
+        p.add(w, 100);
+        auto v = p.read(w, 1u << 17);
+        EXPECT_EQ(v[17], 100u);
+        EXPECT_TRUE(p.linked(17));
+        EXPECT_FALSE(p.linked(0));
+        EXPECT_EQ(fx.fs->cache().residentRefcountHost(
+                      gpufs::makePageKey(f, 0)),
+                  1);
+        p.destroy(w);
+    });
+}
+
+TEST(AptrEdge, DoubleDestroyIsSafe)
+{
+    StackFixture fx;
+    hostio::FileId f = fx.makeWordFile("f", 4096);
+    fx.dev->launch(1, 1, [&](sim::Warp& w) {
+        auto p = gvmmap<uint32_t>(w, *fx.rt, 4096 * 4, hostio::O_GRDONLY,
+                                  f, 0);
+        p.read(w);
+        p.destroy(w);
+        p.destroy(w); // idempotent
+        EXPECT_FALSE(p.initialized());
+    });
+}
+
+TEST(AptrEdge, LastPageOfMappingIsAccessible)
+{
+    StackFixture fx;
+    hostio::FileId f = fx.makeWordFile("f", 2048);
+    fx.dev->launch(1, 1, [&](sim::Warp& w) {
+        auto p = gvmmap<uint32_t>(w, *fx.rt, 2048 * 4, hostio::O_GRDONLY,
+                                  f, 0);
+        p.add(w, 2047); // last element
+        EXPECT_EQ(p.read(w, 0x1)[0], 2047u);
+        p.destroy(w);
+    });
+}
+
+TEST(AptrEdgeDeath, DereferenceUninitialized)
+{
+    StackFixture fx;
+    EXPECT_DEATH(fx.dev->launch(1, 1,
+                                [&](sim::Warp& w) {
+                                    AptrVec<uint32_t> p;
+                                    p.read(w);
+                                }),
+                 "uninitialized");
+}
+
+TEST(AptrEdgeDeath, DereferenceAfterDestroy)
+{
+    StackFixture fx;
+    hostio::FileId f = fx.makeWordFile("f", 4096);
+    EXPECT_DEATH(
+        fx.dev->launch(1, 1,
+                       [&](sim::Warp& w) {
+                           auto p = gvmmap<uint32_t>(w, *fx.rt, 4096 * 4,
+                                                     hostio::O_GRDONLY,
+                                                     f, 0);
+                           p.destroy(w);
+                           p.read(w);
+                       }),
+        "uninitialized");
+}
+
+TEST(AptrEdgeDeath, MapInvalidFile)
+{
+    StackFixture fx;
+    EXPECT_DEATH(fx.dev->launch(1, 1,
+                                [&](sim::Warp& w) {
+                                    gvmmap<uint32_t>(w, *fx.rt, 4096,
+                                                     hostio::O_GRDONLY,
+                                                     -1, 0);
+                                }),
+                 "invalid file");
+}
+
+TEST(AptrEdgeDeath, MapEmptyRegion)
+{
+    StackFixture fx;
+    hostio::FileId f = fx.makeWordFile("f", 1024);
+    EXPECT_DEATH(fx.dev->launch(1, 1,
+                                [&](sim::Warp& w) {
+                                    gvmmap<uint32_t>(w, *fx.rt, 0,
+                                                     hostio::O_GRDONLY,
+                                                     f, 0);
+                                }),
+                 "empty region");
+}
+
+TEST(AptrEdgeDeath, ShortKindReachLimit)
+{
+    GvmConfig g;
+    g.kind = AptrKind::Short;
+    StackFixture fx(g);
+    hostio::FileId f = fx.makeWordFile("f", 1024);
+    // 2^28 pages of reach: a mapping claiming to end beyond 1 TB must
+    // be rejected at gvmmap time.
+    EXPECT_DEATH(
+        fx.dev->launch(1, 1,
+                       [&](sim::Warp& w) {
+                           gvmmap<uint32_t>(w, *fx.rt, 1ull << 41,
+                                            hostio::O_GRDONLY, f, 0);
+                       }),
+        "too large for short");
+}
+
+TEST(AptrEdge, ZeroDeltaAddIsFree)
+{
+    StackFixture fx;
+    hostio::FileId f = fx.makeWordFile("f", 4096);
+    fx.dev->launch(1, 1, [&](sim::Warp& w) {
+        auto p = gvmmap<uint32_t>(w, *fx.rt, 4096 * 4, hostio::O_GRDONLY,
+                                  f, 0);
+        p.read(w);
+        p.add(w, 0);
+        for (int l = 0; l < kWarpSize; ++l)
+            EXPECT_TRUE(p.linked(l)); // no spurious unlink
+        p.destroy(w);
+    });
+}
+
+TEST(AptrEdge, BackAndForthAcrossBoundaryIsExact)
+{
+    StackFixture fx;
+    hostio::FileId f = fx.makeWordFile("f", 4096);
+    fx.dev->launch(1, 1, [&](sim::Warp& w) {
+        auto p = gvmmap<uint32_t>(w, *fx.rt, 4096 * 4, hostio::O_GRDONLY,
+                                  f, 0);
+        for (int i = 0; i < 6; ++i) {
+            p.add(w, 1023);
+            p.add(w, -1023);
+        }
+        EXPECT_EQ(p.read(w, 0x1)[0], 0u);
+        p.destroy(w);
+    });
+    // All references returned despite the churn.
+    EXPECT_EQ(
+        fx.fs->cache().residentRefcountHost(gpufs::makePageKey(0, 0)), 0);
+}
+
+} // namespace
+} // namespace ap::core

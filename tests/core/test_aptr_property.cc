@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Property-based sweep: under every (mode, kind, tlb) configuration, a
+ * randomized sequence of apointer operations must behave exactly like
+ * raw pointers into the file image, and every page reference must be
+ * returned by the end.
+ */
+
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "fixture.hh"
+
+namespace ap::core {
+namespace {
+
+using sim::kWarpSize;
+using sim::LaneArray;
+
+using Param = std::tuple<AccessMode, AptrKind, bool /*tlb*/>;
+
+class AptrProperty : public ::testing::TestWithParam<Param>
+{
+  protected:
+    GvmConfig
+    config() const
+    {
+        GvmConfig g;
+        g.mode = std::get<0>(GetParam());
+        g.kind = std::get<1>(GetParam());
+        g.useTlb = std::get<2>(GetParam());
+        return g;
+    }
+};
+
+TEST_P(AptrProperty, RandomWalkMatchesRawPointerSemantics)
+{
+    StackFixture fx(config(), /*frames=*/128);
+    const size_t words = 64 * 1024; // 256 KB file, 64 pages
+    hostio::FileId f = fx.makeWordFile("f", words);
+
+    fx.dev->launch(2, 4, [&](sim::Warp& w) {
+        auto p = gvmmap<uint32_t>(w, *fx.rt, words * 4, hostio::O_GRDONLY,
+                                  f, 0);
+        SplitMix64 rng(31 + w.globalWarpId());
+        // Reference positions per lane (in words).
+        std::array<uint64_t, kWarpSize> pos{};
+        for (int step = 0; step < 40; ++step) {
+            switch (rng.nextBounded(4)) {
+              case 0: { // uniform add
+                int64_t d = static_cast<int64_t>(rng.nextBounded(4096)) -
+                            2048;
+                // Clamp so every lane stays in bounds.
+                for (int l = 0; l < kWarpSize; ++l) {
+                    int64_t np = static_cast<int64_t>(pos[l]) + d;
+                    if (np < 0 || np >= static_cast<int64_t>(words)) {
+                        d = 0;
+                        break;
+                    }
+                }
+                p.add(w, d);
+                for (int l = 0; l < kWarpSize; ++l)
+                    pos[l] += d;
+                break;
+              }
+              case 1: { // per-lane add
+                LaneArray<int64_t> d;
+                for (int l = 0; l < kWarpSize; ++l) {
+                    int64_t dd =
+                        static_cast<int64_t>(rng.nextBounded(2048)) -
+                        1024;
+                    int64_t np = static_cast<int64_t>(pos[l]) + dd;
+                    if (np < 0 || np >= static_cast<int64_t>(words))
+                        dd = 0;
+                    d[l] = dd;
+                    pos[l] += dd;
+                }
+                p.addPerLane(w, d);
+                break;
+              }
+              case 2: { // read and verify against the reference model
+                auto v = p.read(w);
+                for (int l = 0; l < kWarpSize; ++l)
+                    ASSERT_EQ(v[l], static_cast<uint32_t>(pos[l]))
+                        << "lane " << l << " step " << step;
+                break;
+              }
+              case 3: { // assignment copy, verify, destroy
+                auto q = p.copyUnlinked(w);
+                auto v = q.read(w);
+                for (int l = 0; l < kWarpSize; ++l)
+                    ASSERT_EQ(v[l], static_cast<uint32_t>(pos[l]));
+                q.destroy(w);
+                break;
+              }
+            }
+            // Offsets the apointer reports must track the model.
+            for (int l = 0; l < kWarpSize; ++l)
+                ASSERT_EQ(p.fileOffset(l), pos[l] * 4);
+        }
+        p.destroy(w);
+    });
+
+    // No leaked references anywhere in the page table.
+    for (uint64_t pg = 0; pg < words * 4 / 4096; ++pg) {
+        int rc = fx.fs->cache().residentRefcountHost(
+            gpufs::makePageKey(f, pg));
+        ASSERT_TRUE(rc <= 0) << "page " << pg << " leaked rc " << rc;
+    }
+}
+
+TEST_P(AptrProperty, WritesLandExactlyWhereRawWritesWould)
+{
+    StackFixture fx(config(), /*frames=*/128);
+    const size_t words = 16 * 1024;
+    hostio::FileId f = fx.makeWordFile("f", words);
+    std::vector<uint32_t> shadow(words);
+    for (uint32_t i = 0; i < words; ++i)
+        shadow[i] = i;
+
+    fx.dev->launch(1, 1, [&](sim::Warp& w) {
+        auto p = gvmmap<uint32_t>(w, *fx.rt, words * 4, hostio::O_GRDWR,
+                                  f, 0);
+        SplitMix64 rng(555);
+        std::array<uint64_t, kWarpSize> pos{};
+        for (int step = 0; step < 30; ++step) {
+            LaneArray<int64_t> d;
+            for (int l = 0; l < kWarpSize; ++l) {
+                uint64_t target =
+                    rng.nextBounded(words - kWarpSize) + l;
+                d[l] = static_cast<int64_t>(target) -
+                       static_cast<int64_t>(pos[l]);
+                pos[l] = target;
+            }
+            p.addPerLane(w, d);
+            LaneArray<uint32_t> vals;
+            for (int l = 0; l < kWarpSize; ++l) {
+                vals[l] = static_cast<uint32_t>(step * 1000 + l);
+                shadow[pos[l]] = vals[l];
+            }
+            p.write(w, vals);
+        }
+        p.destroy(w);
+    });
+
+    fx.fs->cache().flushDirtyHost();
+    std::vector<uint32_t> got(words);
+    fx.bs.pread(f, got.data(), words * 4, 0);
+    for (uint32_t i = 0; i < words; ++i)
+        ASSERT_EQ(got[i], shadow[i]) << "word " << i;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllConfigs, AptrProperty,
+    ::testing::Combine(::testing::Values(AccessMode::Compiler,
+                                         AccessMode::OptimizedPtx,
+                                         AccessMode::Prefetch),
+                       ::testing::Values(AptrKind::Long, AptrKind::Short),
+                       ::testing::Bool()),
+    [](const ::testing::TestParamInfo<Param>& info) {
+        std::string name =
+            std::get<0>(info.param) == AccessMode::Compiler
+                ? "Compiler"
+                : (std::get<0>(info.param) == AccessMode::OptimizedPtx
+                       ? "OptPtx"
+                       : "Prefetch");
+        name += std::get<1>(info.param) == AptrKind::Long ? "Long"
+                                                          : "Short";
+        name += std::get<2>(info.param) ? "Tlb" : "NoTlb";
+        return name;
+    });
+
+} // namespace
+} // namespace ap::core

@@ -1,0 +1,92 @@
+#include <gtest/gtest.h>
+
+#include "core/translation.hh"
+#include "util/rng.hh"
+
+namespace ap::core {
+namespace {
+
+TEST(Translation, LongLinkedRoundTrip)
+{
+    uint64_t t = packLongLinked(0x123456789abULL, kPermRead | kPermWrite);
+    EXPECT_TRUE(translationValid(t));
+    EXPECT_EQ(translationPerm(t), kPermRead | kPermWrite);
+    EXPECT_EQ(longPayload(t), 0x123456789abULL);
+}
+
+TEST(Translation, LongUnlinkedRoundTrip)
+{
+    uint64_t t = packLongUnlinked(0xdeadbeefULL, kPermRead);
+    EXPECT_FALSE(translationValid(t));
+    EXPECT_EQ(translationPerm(t), kPermRead);
+    EXPECT_EQ(longPayload(t), 0xdeadbeefULL);
+}
+
+TEST(Translation, ShortRoundTrip)
+{
+    uint64_t t =
+        packShort(0x1fffff, 0xabcdef1, 0xfff, kPermRead, true);
+    EXPECT_TRUE(translationValid(t));
+    EXPECT_EQ(shortFrame(t), 0x1fffffu);
+    EXPECT_EQ(shortXpage(t), 0xabcdef1ULL);
+    EXPECT_EQ(shortOff(t), 0xfffu);
+    EXPECT_EQ(translationPerm(t), kPermRead);
+}
+
+TEST(Translation, ShortUnlinkedKeepsAddresses)
+{
+    // The short layout's point: both addresses stay resident even when
+    // the translation is invalid.
+    uint64_t t = packShort(77, 1234, 56, kPermWrite, false);
+    EXPECT_FALSE(translationValid(t));
+    EXPECT_EQ(shortFrame(t), 77u);
+    EXPECT_EQ(shortXpage(t), 1234ULL);
+    EXPECT_EQ(shortOff(t), 56u);
+}
+
+TEST(Translation, FieldsDoNotAlias)
+{
+    // Randomized property sweep: pack/unpack must be the identity.
+    SplitMix64 rng(2024);
+    for (int i = 0; i < 10000; ++i) {
+        uint32_t frame = static_cast<uint32_t>(
+            rng.nextBounded(1ULL << kShortFrameWidth));
+        uint64_t xpage = rng.nextBounded(1ULL << kShortXpageWidth);
+        uint32_t off = static_cast<uint32_t>(
+            rng.nextBounded(1ULL << kShortOffWidth));
+        uint64_t perm = rng.nextBounded(4);
+        bool valid = rng.nextBounded(2) != 0;
+        uint64_t t = packShort(frame, xpage, off, perm, valid);
+        ASSERT_EQ(shortFrame(t), frame);
+        ASSERT_EQ(shortXpage(t), xpage);
+        ASSERT_EQ(shortOff(t), off);
+        ASSERT_EQ(translationPerm(t), perm);
+        ASSERT_EQ(translationValid(t), valid);
+    }
+}
+
+TEST(Translation, LongPayloadSweep)
+{
+    SplitMix64 rng(7);
+    for (int i = 0; i < 10000; ++i) {
+        uint64_t payload = rng.nextBounded(1ULL << kLongPayloadWidth);
+        uint64_t perm = rng.nextBounded(4);
+        uint64_t t = packLongLinked(payload, perm);
+        ASSERT_EQ(longPayload(t), payload);
+        ASSERT_TRUE(translationValid(t));
+        ASSERT_EQ(translationPerm(t), perm);
+        t = packLongUnlinked(payload, perm);
+        ASSERT_EQ(longPayload(t), payload);
+        ASSERT_FALSE(translationValid(t));
+    }
+}
+
+TEST(Translation, ShortLayoutFillsExactly64Bits)
+{
+    EXPECT_EQ(kShortFrameWidth + kShortXpageWidth + kShortOffWidth +
+                  kPermWidth + 1,
+              64u);
+}
+
+} // namespace
+} // namespace ap::core

@@ -1,0 +1,86 @@
+#include <gtest/gtest.h>
+
+#include "cpu/cpu_model.hh"
+
+namespace ap::cpu {
+namespace {
+
+TEST(CpuModel, RooflineComputeBound)
+{
+    CpuModel m;
+    m.cores = 1;
+    m.freqGhz = 1.0;
+    m.simdFloats = 1;
+    m.vectorIpc = 1.0;
+    m.efficiency = 1.0;
+    CpuCost c;
+    c.addVectorFlops(1e9);
+    EXPECT_DOUBLE_EQ(c.seconds(m), 1.0);
+}
+
+TEST(CpuModel, RooflineMemoryBound)
+{
+    CpuModel m;
+    m.memBandwidthGBs = 10.0;
+    CpuCost c;
+    c.addBytes(10e9);
+    c.addVectorFlops(1.0); // negligible
+    EXPECT_NEAR(c.seconds(m), 1.0, 1e-9);
+}
+
+TEST(CpuModel, MaxOfComputeAndMemoryNotSum)
+{
+    CpuModel m;
+    CpuCost c;
+    c.addVectorFlops(m.vectorFlopsPerSec()); // 1 s of compute
+    c.addBytes(m.memBandwidthGBs * 1e9);     // 1 s of memory
+    EXPECT_NEAR(c.seconds(m), 1.0, 1e-9);    // overlapped
+}
+
+TEST(CpuModel, FileReadsParallelizeAcrossCores)
+{
+    CpuModel m;
+    m.cores = 12;
+    m.fileReadSeconds = 12e-6;
+    CpuCost c;
+    c.addFileReads(1000);
+    EXPECT_NEAR(c.seconds(m), 1e-3, 1e-9);
+}
+
+TEST(CpuModel, ScanBandwidthSeparateFromDram)
+{
+    CpuModel m;
+    m.memBandwidthGBs = 10.0;
+    m.scanBandwidthGBs = 100.0;
+    CpuCost a, b;
+    a.addBytes(1e9);
+    b.addScanBytes(1e9);
+    EXPECT_GT(a.seconds(m), b.seconds(m) * 5);
+}
+
+TEST(CpuModel, EfficiencyDeratesCompute)
+{
+    CpuModel full;
+    full.efficiency = 1.0;
+    CpuModel half = full;
+    half.efficiency = 0.5;
+    EXPECT_DOUBLE_EQ(full.vectorFlopsPerSec(),
+                     2.0 * half.vectorFlopsPerSec());
+}
+
+TEST(CpuModel, MergeAccumulates)
+{
+    CpuModel m;
+    CpuCost a, b;
+    a.addVectorFlops(1e9);
+    b.addVectorFlops(1e9);
+    b.addFileReads(10);
+    a.merge(b);
+    CpuCost ref;
+    ref.addVectorFlops(2e9);
+    ref.addFileReads(10);
+    EXPECT_DOUBLE_EQ(a.seconds(m), ref.seconds(m));
+}
+
+} // namespace
+} // namespace ap::cpu

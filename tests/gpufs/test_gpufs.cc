@@ -1,0 +1,132 @@
+#include <gtest/gtest.h>
+
+#include "gpufs/gpufs.hh"
+
+namespace ap::gpufs {
+namespace {
+
+struct FsFixture
+{
+    explicit FsFixture(uint32_t frames = 64)
+    {
+        cfg.numFrames = frames;
+        dev = std::make_unique<sim::Device>(sim::CostModel{}, 64 << 20);
+        io = std::make_unique<hostio::HostIoEngine>(*dev, bs);
+        fs = std::make_unique<GpuFs>(*dev, *io, cfg);
+    }
+
+    Config cfg;
+    hostio::BackingStore bs;
+    std::unique_ptr<sim::Device> dev;
+    std::unique_ptr<hostio::HostIoEngine> io;
+    std::unique_ptr<GpuFs> fs;
+};
+
+TEST(GpuFs, GopenFindsHostFiles)
+{
+    FsFixture fx;
+    fx.bs.create("alpha", 4096);
+    hostio::FileId got = -2, missing = -2;
+    fx.dev->launch(1, 1, [&](sim::Warp& w) {
+        got = fx.fs->gopen(w, "alpha");
+        missing = fx.fs->gopen(w, "beta");
+    });
+    EXPECT_EQ(got, fx.bs.open("alpha"));
+    EXPECT_EQ(missing, -1);
+}
+
+TEST(GpuFs, GmmapExposesFileBytesAtOffset)
+{
+    FsFixture fx;
+    hostio::FileId f = fx.bs.create("f", 8 * 4096);
+    fx.bs.data(f, 5000, 4)[0] = 0xAB;
+    uint8_t seen = 0;
+    fx.dev->launch(1, 1, [&](sim::Warp& w) {
+        sim::Addr a = fx.fs->gmmap(w, f, 5000, hostio::O_GRDONLY);
+        seen = w.mem().load<uint8_t>(a);
+        fx.fs->gmunmap(w, f, 5000);
+    });
+    EXPECT_EQ(seen, 0xAB);
+}
+
+TEST(GpuFs, GmmapPinsPageUntilGmunmap)
+{
+    FsFixture fx;
+    hostio::FileId f = fx.bs.create("f", 8 * 4096);
+    fx.dev->launch(1, 1, [&](sim::Warp& w) {
+        fx.fs->gmmap(w, f, 0, hostio::O_GRDONLY);
+        EXPECT_EQ(fx.fs->cache().residentRefcountHost(makePageKey(f, 0)),
+                  1);
+        fx.fs->gmunmap(w, f, 0);
+        EXPECT_EQ(fx.fs->cache().residentRefcountHost(makePageKey(f, 0)),
+                  0);
+    });
+}
+
+TEST(GpuFs, GreadCrossesPageBoundaries)
+{
+    FsFixture fx;
+    hostio::FileId f = fx.bs.create("f", 8 * 4096);
+    auto* p = fx.bs.data(f, 0, 8 * 4096);
+    for (int i = 0; i < 8 * 4096; ++i)
+        p[i] = static_cast<uint8_t>(i * 7);
+    sim::Addr dst = fx.dev->mem().alloc(10000);
+    fx.dev->launch(1, 1, [&](sim::Warp& w) {
+        fx.fs->gread(w, f, 3000, 10000, dst); // spans 4 pages
+    });
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_EQ(fx.dev->mem().load<uint8_t>(dst + i),
+                  static_cast<uint8_t>((3000 + i) * 7));
+}
+
+TEST(GpuFs, GwriteThenGreadRoundTrip)
+{
+    FsFixture fx;
+    hostio::FileId f = fx.bs.create("f", 8 * 4096);
+    sim::Addr src = fx.dev->mem().alloc(6000);
+    sim::Addr dst = fx.dev->mem().alloc(6000);
+    for (int i = 0; i < 6000; ++i)
+        fx.dev->mem().store<uint8_t>(src + i, static_cast<uint8_t>(i));
+    fx.dev->launch(1, 1, [&](sim::Warp& w) {
+        fx.fs->gwrite(w, f, 1234, 6000, src);
+        fx.fs->gread(w, f, 1234, 6000, dst);
+    });
+    for (int i = 0; i < 6000; ++i)
+        EXPECT_EQ(fx.dev->mem().load<uint8_t>(dst + i),
+                  static_cast<uint8_t>(i));
+}
+
+TEST(GpuFs, GwritePersistsAfterFlush)
+{
+    FsFixture fx;
+    hostio::FileId f = fx.bs.create("f", 4 * 4096);
+    sim::Addr src = fx.dev->mem().alloc(64);
+    fx.dev->mem().store<uint64_t>(src, 0x1122334455ULL);
+    fx.dev->launch(1, 1, [&](sim::Warp& w) {
+        fx.fs->gwrite(w, f, 4096, 64, src);
+    });
+    fx.fs->cache().flushDirtyHost();
+    uint64_t v;
+    fx.bs.pread(f, &v, 8, 4096);
+    EXPECT_EQ(v, 0x1122334455ULL);
+}
+
+TEST(GpuFs, ManyWarpsReadDisjointRegions)
+{
+    FsFixture fx;
+    hostio::FileId f = fx.bs.create("f", 64 * 4096);
+    auto* p = fx.bs.data(f, 0, 64 * 4096);
+    for (int i = 0; i < 64 * 4096; ++i)
+        p[i] = static_cast<uint8_t>(i % 251);
+    sim::Addr dst = fx.dev->mem().alloc(64 * 4096);
+    fx.dev->launch(2, 16, [&](sim::Warp& w) {
+        uint64_t off = w.globalWarpId() * 8192ULL;
+        fx.fs->gread(w, f, off, 8192, dst + off);
+    });
+    for (int i = 0; i < 64 * 4096; ++i)
+        ASSERT_EQ(fx.dev->mem().load<uint8_t>(dst + i),
+                  static_cast<uint8_t>(i % 251));
+}
+
+} // namespace
+} // namespace ap::gpufs

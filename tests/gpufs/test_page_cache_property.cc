@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Property sweep for the page cache: random interleavings of
+ * acquire/release across many warps, checked against a host-side
+ * reference model of what each warp holds. Invariants:
+ *  - acquired pages always expose the right file bytes,
+ *  - a held page is never evicted (mapping stays valid),
+ *  - total refcount equals the sum of outstanding holds,
+ *  - all refcounts return to zero at the end.
+ */
+
+#include <map>
+
+#include <gtest/gtest.h>
+
+#include "gpufs/page_cache.hh"
+
+namespace ap::gpufs {
+namespace {
+
+struct Param
+{
+    uint32_t frames;
+    int blocks;
+    int warps;
+    /** Max pages a warp may pin at once (keeps the sum of pins below
+     * the frame count so the cache can always make progress). */
+    size_t maxHold;
+};
+
+class PageCacheProperty : public ::testing::TestWithParam<Param>
+{
+};
+
+TEST_P(PageCacheProperty, RandomAcquireReleaseAgainstReferenceModel)
+{
+    const Param prm = GetParam();
+    Config cfg;
+    cfg.numFrames = prm.frames;
+    cfg.stagingSlots = 16;
+    hostio::BackingStore bs;
+    sim::Device dev(sim::CostModel{}, 96 << 20);
+    hostio::HostIoEngine io(dev, bs);
+    PageCache cache(dev, io, cfg);
+
+    const uint64_t pages = 96;
+    hostio::FileId f = bs.create("prop", pages * 4096);
+    for (uint64_t p = 0; p < pages; ++p) {
+        uint64_t tag = 0xc0de0000 + p;
+        bs.pwrite(f, &tag, 8, p * 4096);
+    }
+
+    // Host-side reference of outstanding holds per warp.
+    std::map<int, std::map<uint64_t, std::pair<int, sim::Addr>>> held;
+    std::map<uint64_t, int> total_holds;
+
+    dev.launch(prm.blocks, prm.warps, [&](sim::Warp& w) {
+        SplitMix64 rng(w.globalWarpId() * 101 + 17);
+        auto& mine = held[w.globalWarpId()];
+        for (int step = 0; step < 30; ++step) {
+            // Re-verify everything this warp holds: the frames must
+            // still contain the right data (never evicted/moved).
+            for (auto& [page, hold] : mine)
+                ASSERT_EQ(w.mem().load<uint64_t>(hold.second),
+                          0xc0de0000 + page)
+                    << "held page " << page << " moved";
+
+            bool acquire = mine.empty() || rng.nextBounded(2) == 0;
+            if (acquire && mine.size() < prm.maxHold) {
+                uint64_t page = rng.nextBounded(pages);
+                int count = 1 + static_cast<int>(rng.nextBounded(5));
+                AcquireResult r = cache.acquirePage(
+                    w, makePageKey(f, page), count, false);
+                ASSERT_EQ(w.mem().load<uint64_t>(r.frameAddr),
+                          0xc0de0000 + page);
+                auto& hold = mine[page];
+                if (hold.first == 0)
+                    hold.second = r.frameAddr;
+                else
+                    ASSERT_EQ(hold.second, r.frameAddr)
+                        << "pinned page changed frames";
+                hold.first += count;
+                total_holds[page] += count;
+            } else if (!mine.empty()) {
+                auto it = mine.begin();
+                std::advance(it, rng.nextBounded(mine.size()));
+                int count = 1 + static_cast<int>(
+                                    rng.nextBounded(it->second.first));
+                cache.releasePage(w, makePageKey(f, it->first), count);
+                it->second.first -= count;
+                total_holds[it->first] -= count;
+                if (it->second.first == 0)
+                    mine.erase(it);
+            }
+        }
+        // Drain the remaining holds.
+        for (auto& [page, hold] : mine) {
+            cache.releasePage(w, makePageKey(f, page), hold.first);
+            total_holds[page] -= hold.first;
+        }
+        mine.clear();
+    });
+
+    for (auto& [page, holds] : total_holds) {
+        EXPECT_EQ(holds, 0) << "model leak on page " << page;
+        int rc = cache.residentRefcountHost(makePageKey(f, page));
+        EXPECT_TRUE(rc <= 0) << "cache leak on page " << page << ": "
+                             << rc;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, PageCacheProperty,
+    ::testing::Values(Param{128, 1, 4, 4},  // roomy cache, few warps
+                      Param{32, 2, 8, 1},   // tight cache, eviction
+                      Param{48, 4, 8, 1},   // tight, contended
+                      Param{128, 8, 8, 1}), // many warps
+    [](const ::testing::TestParamInfo<Param>& info) {
+        return "f" + std::to_string(info.param.frames) + "b" +
+               std::to_string(info.param.blocks) + "w" +
+               std::to_string(info.param.warps);
+    });
+
+} // namespace
+} // namespace ap::gpufs

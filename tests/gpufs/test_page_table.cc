@@ -1,0 +1,85 @@
+#include <gtest/gtest.h>
+
+#include "gpufs/page_table.hh"
+#include "sim/device.hh"
+
+namespace ap::gpufs {
+namespace {
+
+TEST(PageKey, PacksAndUnpacks)
+{
+    PageKey k = makePageKey(7, 0x123456789ULL);
+    EXPECT_EQ(pageKeyFile(k), 7);
+    EXPECT_EQ(pageKeyPageNo(k), 0x123456789ULL);
+}
+
+TEST(PageKey, DistinctFilesDistinctKeys)
+{
+    EXPECT_NE(makePageKey(1, 5), makePageKey(2, 5));
+    EXPECT_NE(makePageKey(1, 5), makePageKey(1, 6));
+}
+
+TEST(PageTable, GeometryMatchesConfig)
+{
+    Config cfg;
+    cfg.numFrames = 256;
+    cfg.entriesPerFrame = 16;
+    cfg.bucketEntries = 8;
+    sim::Device dev(sim::CostModel{}, 16 << 20);
+    PageTable pt(dev, cfg);
+    EXPECT_EQ(pt.numBuckets(), 256u * 16u / 8u);
+    EXPECT_EQ(pt.bucketEntries(), 8u);
+}
+
+TEST(PageTable, EntryAddrsAreDistinctAndAligned)
+{
+    Config cfg;
+    cfg.numFrames = 64;
+    sim::Device dev(sim::CostModel{}, 16 << 20);
+    PageTable pt(dev, cfg);
+    sim::Addr a = pt.entryAddr(0, 0);
+    EXPECT_EQ(a % 128, 0u);
+    EXPECT_EQ(pt.entryAddr(0, 1), a + sizeof(Pte));
+    EXPECT_EQ(pt.entryAddr(1, 0), a + cfg.bucketEntries * sizeof(Pte));
+    EXPECT_EQ(pt.entryAddrOf(pt.entryRef(3, 5)), pt.entryAddr(3, 5));
+}
+
+TEST(PageTable, ProbeFindsInsertedKey)
+{
+    Config cfg;
+    cfg.numFrames = 64;
+    sim::Device dev(sim::CostModel{}, 16 << 20);
+    PageTable pt(dev, cfg);
+    PageKey key = makePageKey(1, 42);
+    uint32_t b = pt.bucketOf(key);
+
+    sim::Addr hit = 1, miss = 1;
+    dev.launch(1, 1, [&](sim::Warp& w) {
+        Pte e;
+        e.taggedKey = key + 1;
+        e.frame = 9;
+        pt.writeEntry(w, pt.entryAddr(b, 3), e);
+        hit = pt.probe(w, key);
+        miss = pt.probe(w, makePageKey(1, 43));
+    });
+    EXPECT_EQ(hit, pt.entryAddr(b, 3));
+    EXPECT_EQ(miss, 0u);
+}
+
+TEST(PageTable, HashSpreadsKeys)
+{
+    Config cfg;
+    cfg.numFrames = 4096;
+    sim::Device dev(sim::CostModel{}, 256 << 20);
+    PageTable pt(dev, cfg);
+    // Sequential page numbers of one file must not collide in a few
+    // buckets: count the max bucket load over 4096 sequential pages.
+    std::vector<int> load(pt.numBuckets(), 0);
+    int peak = 0;
+    for (uint64_t p = 0; p < 4096; ++p)
+        peak = std::max(peak, ++load[pt.bucketOf(makePageKey(3, p))]);
+    EXPECT_LE(peak, 6); // mean load is 0.5 at 16x sizing
+}
+
+} // namespace
+} // namespace ap::gpufs

@@ -1,0 +1,92 @@
+#include <cstring>
+
+#include <gtest/gtest.h>
+
+#include "hostio/backing_store.hh"
+
+namespace ap::hostio {
+namespace {
+
+TEST(BackingStore, CreateAndOpen)
+{
+    BackingStore bs;
+    FileId f = bs.create("data.bin", 1024);
+    EXPECT_GE(f, 0);
+    EXPECT_EQ(bs.open("data.bin"), f);
+    EXPECT_EQ(bs.open("missing"), -1);
+    EXPECT_EQ(bs.size(f), 1024u);
+    EXPECT_EQ(bs.name(f), "data.bin");
+}
+
+TEST(BackingStore, CreateReplacesExisting)
+{
+    BackingStore bs;
+    FileId f = bs.create("f", 16);
+    bs.data(f, 0, 16)[0] = 0x5a;
+    FileId g = bs.create("f", 32);
+    EXPECT_EQ(f, g);
+    EXPECT_EQ(bs.size(g), 32u);
+    EXPECT_EQ(bs.data(g, 0, 32)[0], 0); // contents reset
+}
+
+TEST(BackingStore, PreadPwriteRoundTrip)
+{
+    BackingStore bs;
+    FileId f = bs.create("f", 4096);
+    uint8_t out[128], in[128];
+    for (int i = 0; i < 128; ++i)
+        out[i] = static_cast<uint8_t>(i * 3);
+    bs.pwrite(f, out, 128, 1000);
+    bs.pread(f, in, 128, 1000);
+    EXPECT_EQ(0, std::memcmp(out, in, 128));
+}
+
+TEST(BackingStore, FilesAreZeroInitialized)
+{
+    BackingStore bs;
+    FileId f = bs.create("f", 256);
+    uint8_t buf[256];
+    bs.pread(f, buf, 256, 0);
+    for (int i = 0; i < 256; ++i)
+        EXPECT_EQ(buf[i], 0);
+}
+
+TEST(BackingStore, TruncateGrowsOnly)
+{
+    BackingStore bs;
+    FileId f = bs.create("f", 100);
+    bs.truncate(f, 200);
+    EXPECT_EQ(bs.size(f), 200u);
+    bs.truncate(f, 50);
+    EXPECT_EQ(bs.size(f), 200u);
+}
+
+TEST(BackingStore, MultipleFilesIndependent)
+{
+    BackingStore bs;
+    FileId a = bs.create("a", 64);
+    FileId b = bs.create("b", 64);
+    bs.data(a, 0, 64)[0] = 1;
+    bs.data(b, 0, 64)[0] = 2;
+    EXPECT_EQ(bs.data(a, 0, 64)[0], 1);
+    EXPECT_EQ(bs.data(b, 0, 64)[0], 2);
+    EXPECT_EQ(bs.fileCount(), 2u);
+}
+
+TEST(BackingStoreDeath, PreadPastEofPanics)
+{
+    BackingStore bs;
+    FileId f = bs.create("f", 64);
+    uint8_t buf[64];
+    EXPECT_DEATH(bs.pread(f, buf, 64, 1), "past EOF");
+}
+
+TEST(BackingStoreDeath, BadFileIdPanics)
+{
+    BackingStore bs;
+    EXPECT_DEATH(bs.size(0), "bad file id");
+    EXPECT_DEATH(bs.size(-1), "bad file id");
+}
+
+} // namespace
+} // namespace ap::hostio

@@ -1,0 +1,138 @@
+#include <gtest/gtest.h>
+
+#include "hostio/host_io_engine.hh"
+
+namespace ap::hostio {
+namespace {
+
+struct IoFixture
+{
+    sim::Device dev{sim::CostModel{}, 1 << 22};
+    BackingStore bs;
+};
+
+TEST(HostIo, ReadDeliversBytes)
+{
+    IoFixture fx;
+    FileId f = fx.bs.create("f", 8192);
+    for (int i = 0; i < 8192; ++i)
+        fx.bs.data(f, 0, 8192)[i] = static_cast<uint8_t>(i * 13);
+    HostIoEngine io(fx.dev, fx.bs);
+    sim::Addr dst = fx.dev.mem().alloc(8192);
+    fx.dev.launch(1, 1, [&](sim::Warp& w) {
+        io.readToGpu(w, f, 0, 8192, dst);
+    });
+    for (int i = 0; i < 8192; ++i)
+        EXPECT_EQ(fx.dev.mem().load<uint8_t>(dst + i),
+                  static_cast<uint8_t>(i * 13));
+}
+
+TEST(HostIo, ReadBlocksForTransferTime)
+{
+    IoFixture fx;
+    FileId f = fx.bs.create("f", 1 << 20);
+    HostIoEngine io(fx.dev, fx.bs);
+    sim::Addr dst = fx.dev.mem().alloc(1 << 20);
+    sim::Cycles dt = 0;
+    fx.dev.launch(1, 1, [&](sim::Warp& w) {
+        sim::Cycles t0 = w.now();
+        io.readToGpu(w, f, 0, 1 << 20, dst);
+        dt = w.now() - t0;
+    });
+    const sim::CostModel& cm = fx.dev.costModel();
+    // At least the PCIe serialization time of 1 MB.
+    EXPECT_GE(dt, (1 << 20) / cm.pcieBytesPerCycle);
+}
+
+TEST(HostIo, BatchingAggregatesConcurrentReads)
+{
+    IoFixture fx;
+    FileId f = fx.bs.create("f", 64 * 4096);
+    HostIoEngine io(fx.dev, fx.bs);
+    sim::Addr dst = fx.dev.mem().alloc(64 * 4096);
+    // 16 warps each read one 4 KB page concurrently.
+    fx.dev.launch(1, 16, [&](sim::Warp& w) {
+        int i = w.warpInBlock();
+        io.readToGpu(w, f, i * 4096, 4096, dst + i * 4096);
+    });
+    // All 16 requests should share very few PCIe transfers.
+    EXPECT_LE(fx.dev.stats().counter("hostio.transfers"), 2u);
+    EXPECT_EQ(fx.dev.stats().counter("hostio.read_requests"), 16u);
+}
+
+TEST(HostIo, NoBatchingIssuesOneTransferPerRead)
+{
+    IoFixture fx;
+    FileId f = fx.bs.create("f", 64 * 4096);
+    HostIoEngine io(fx.dev, fx.bs, /*batching=*/false);
+    sim::Addr dst = fx.dev.mem().alloc(64 * 4096);
+    fx.dev.launch(1, 16, [&](sim::Warp& w) {
+        int i = w.warpInBlock();
+        io.readToGpu(w, f, i * 4096, 4096, dst + i * 4096);
+    });
+    EXPECT_EQ(fx.dev.stats().counter("hostio.transfers"), 16u);
+}
+
+TEST(HostIo, BatchingIsFasterForSmallPages)
+{
+    auto run = [](bool batching) {
+        IoFixture fx;
+        FileId f = fx.bs.create("f", 256 * 4096);
+        HostIoEngine io(fx.dev, fx.bs, batching);
+        sim::Addr dst = fx.dev.mem().alloc(256 * 4096);
+        return fx.dev.launch(2, 32, [&](sim::Warp& w) {
+            for (int k = 0; k < 4; ++k) {
+                int i = w.globalWarpId() * 4 + k;
+                io.readToGpu(w, f, i * 4096, 4096, dst + i * 4096);
+            }
+        });
+    };
+    sim::Cycles batched = run(true);
+    sim::Cycles unbatched = run(false);
+    EXPECT_LT(batched, unbatched);
+}
+
+TEST(HostIo, WriteFromGpuPersists)
+{
+    IoFixture fx;
+    FileId f = fx.bs.create("f", 4096);
+    HostIoEngine io(fx.dev, fx.bs);
+    sim::Addr src = fx.dev.mem().alloc(4096);
+    for (int i = 0; i < 4096; ++i)
+        fx.dev.mem().store<uint8_t>(src + i, static_cast<uint8_t>(i));
+    fx.dev.launch(1, 1, [&](sim::Warp& w) {
+        io.writeFromGpu(w, f, 0, 4096, src);
+    });
+    for (int i = 0; i < 4096; ++i)
+        EXPECT_EQ(fx.bs.data(f, 0, 4096)[i], static_cast<uint8_t>(i));
+}
+
+TEST(HostIo, RpcRunsOnHostAndReturnsValue)
+{
+    IoFixture fx;
+    HostIoEngine io(fx.dev, fx.bs);
+    int64_t got = 0;
+    fx.dev.launch(1, 1, [&](sim::Warp& w) {
+        got = io.rpc(w, [] { return int64_t(4242); });
+    });
+    EXPECT_EQ(got, 4242);
+}
+
+TEST(HostIo, LargeReadSplitsIntoMaxBatchTransfers)
+{
+    IoFixture fx;
+    FileId f = fx.bs.create("f", 3 << 20);
+    HostIoEngine io(fx.dev, fx.bs);
+    sim::Addr dst = fx.dev.mem().alloc(3 << 20);
+    // 3 MB of 4 KB requests with a 1 MB batch limit => >= 3 transfers.
+    fx.dev.launch(1, 24, [&](sim::Warp& w) {
+        for (int k = 0; k < 32; ++k) {
+            uint64_t i = w.warpInBlock() * 32u + k;
+            io.readToGpu(w, f, i * 4096, 4096, dst + i * 4096);
+        }
+    });
+    EXPECT_GE(fx.dev.stats().counter("hostio.transfers"), 3u);
+}
+
+} // namespace
+} // namespace ap::hostio

@@ -1,0 +1,58 @@
+#include <gtest/gtest.h>
+
+#include "sim/cost_model.hh"
+
+namespace ap::sim {
+namespace {
+
+TEST(CostModel, SecondsConversion)
+{
+    CostModel cm;
+    cm.clockGhz = 1.0;
+    EXPECT_DOUBLE_EQ(cm.toSeconds(1e9), 1.0);
+    cm.clockGhz = 0.823;
+    EXPECT_NEAR(cm.toSeconds(0.823e9), 1.0, 1e-12);
+}
+
+TEST(CostModel, PeakCopyIsHalfTrafficBandwidth)
+{
+    CostModel cm;
+    // Copy rate = traffic/2: every copied byte is read once and
+    // written once.
+    double peak = cm.peakCopyGBs();
+    EXPECT_NEAR(peak, cm.memBytesPerCycle / 2.0 * cm.clockGhz, 1e-9);
+    // Calibration target: the paper's 152 GB/s cudaMemcpy baseline.
+    EXPECT_NEAR(peak, 152.0, 5.0);
+}
+
+TEST(CostModel, K80Occupancy)
+{
+    CostModel cm;
+    // 13 SMs x 64 warp slots with 32-warp blocks: full occupancy at
+    // 26 threadblocks (paper section VI-B).
+    EXPECT_EQ(cm.numSms * (cm.warpSlotsPerSm / 32), 26);
+}
+
+TEST(CostModel, FreeComputationBubble)
+{
+    CostModel cm;
+    // Paper section VI-A: ~8.6 thread-instructions per byte of
+    // memory traffic (2056 GIPS / 240 GB/s).
+    double thread_instr_per_cycle = cm.issuePerSmPerCycle * cm.numSms *
+                                    32.0;
+    double bubble = thread_instr_per_cycle / cm.memBytesPerCycle;
+    EXPECT_NEAR(bubble, 8.6, 2.0);
+}
+
+TEST(CostModel, RawReadLatencyTarget)
+{
+    CostModel cm;
+    // One issued instruction + one 128 B transaction + load latency
+    // should land at the paper's 225-cycle raw 4-byte read.
+    double lat = cm.depLatencyPerInstr + 128.0 / cm.memBytesPerCycle +
+                 cm.memLatency;
+    EXPECT_NEAR(lat, 225.0, 5.0);
+}
+
+} // namespace
+} // namespace ap::sim

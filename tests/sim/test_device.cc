@@ -1,0 +1,170 @@
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sim/device.hh"
+
+namespace ap::sim {
+namespace {
+
+TEST(Device, AllWarpsRunExactlyOnce)
+{
+    Device dev(CostModel{}, 1 << 20);
+    Addr ctr = dev.mem().alloc(8);
+    dev.mem().store<uint64_t>(ctr, 0);
+    dev.launch(10, 4, [&](Warp& w) { w.atomicAdd<uint64_t>(ctr, 1); });
+    EXPECT_EQ(dev.mem().load<uint64_t>(ctr), 40u);
+}
+
+TEST(Device, WarpIdsAreDense)
+{
+    Device dev(CostModel{}, 1 << 20);
+    std::set<int> gids;
+    std::set<std::pair<int, int>> blockWarp;
+    dev.launch(6, 3, [&](Warp& w) {
+        gids.insert(w.globalWarpId());
+        blockWarp.insert({w.block().id(), w.warpInBlock()});
+    });
+    EXPECT_EQ(gids.size(), 18u);
+    EXPECT_EQ(*gids.begin(), 0);
+    EXPECT_EQ(*gids.rbegin(), 17);
+    EXPECT_EQ(blockWarp.size(), 18u);
+}
+
+TEST(Device, OccupancyLimitsConcurrentBlocks)
+{
+    CostModel cm;
+    cm.numSms = 2;
+    cm.warpSlotsPerSm = 4;
+    Device dev(cm, 1 << 20);
+    // 4 warps/block => 1 block/SM => 2 blocks resident at once.
+    int peak = 0, cur = 0;
+    dev.launch(
+        6, 4,
+        [&](Warp& w) {
+            if (w.warpInBlock() == 0) {
+                ++cur;
+                peak = std::max(peak, cur);
+            }
+            w.stall(1000);
+            if (w.warpInBlock() == 0)
+                --cur;
+        });
+    EXPECT_EQ(peak, 2);
+}
+
+TEST(Device, MoreBlocksThanSlotsStillCompletes)
+{
+    CostModel cm;
+    cm.numSms = 1;
+    cm.warpSlotsPerSm = 2;
+    Device dev(cm, 1 << 20);
+    Addr ctr = dev.mem().alloc(8);
+    dev.mem().store<uint64_t>(ctr, 0);
+    dev.launch(20, 2, [&](Warp& w) { w.atomicAdd<uint64_t>(ctr, 1); });
+    EXPECT_EQ(dev.mem().load<uint64_t>(ctr), 40u);
+}
+
+TEST(Device, LaunchTimeIncludesLaunchLatency)
+{
+    CostModel cm;
+    Device dev(cm, 1 << 20);
+    Cycles t = dev.launch(1, 1, [](Warp&) {});
+    EXPECT_GE(t, cm.kernelLaunchLatency);
+}
+
+TEST(Device, TimeAccumulatesAcrossLaunches)
+{
+    Device dev(CostModel{}, 1 << 20);
+    dev.launch(1, 1, [](Warp& w) { w.stall(100); });
+    Cycles t1 = dev.engine().now();
+    dev.launch(1, 1, [](Warp& w) { w.stall(100); });
+    EXPECT_GT(dev.engine().now(), t1);
+}
+
+TEST(Device, SerialWavesTakeLongerThanOneWave)
+{
+    CostModel cm;
+    cm.numSms = 1;
+    cm.warpSlotsPerSm = 32;
+    Device dev(cm, 1 << 20);
+    Cycles one = dev.launch(1, 32, [](Warp& w) { w.stall(10000); });
+    Cycles four = dev.launch(4, 32, [](Warp& w) { w.stall(10000); });
+    EXPECT_GE(four, one + 3 * 10000);
+}
+
+TEST(Device, BlockInitRunsPerBlock)
+{
+    Device dev(CostModel{}, 1 << 20);
+    int inits = 0;
+    dev.launch(
+        7, 2, [](Warp&) {},
+        [&](ThreadBlock& tb) {
+            ++inits;
+            tb.user = std::make_shared<int>(tb.id());
+        });
+    EXPECT_EQ(inits, 7);
+}
+
+TEST(Device, BlockUserStateVisibleToWarps)
+{
+    Device dev(CostModel{}, 1 << 20);
+    std::vector<int> seen(4, -1);
+    dev.launch(
+        4, 2,
+        [&](Warp& w) {
+            int v = *std::static_pointer_cast<int>(w.block().user);
+            if (w.warpInBlock() == 0)
+                seen[w.block().id()] = v;
+        },
+        [](ThreadBlock& tb) {
+            tb.user = std::make_shared<int>(tb.id() * 10);
+        });
+    for (int i = 0; i < 4; ++i)
+        EXPECT_EQ(seen[i], i * 10);
+}
+
+TEST(Device, BarrierSynchronizesWarps)
+{
+    Device dev(CostModel{}, 1 << 20);
+    // Warp 0 stalls long before the barrier; all warps must leave the
+    // barrier no earlier than warp 0 arrives.
+    std::vector<Cycles> leave(8, 0);
+    Cycles slowArrive = 0;
+    dev.launch(1, 8, [&](Warp& w) {
+        if (w.warpInBlock() == 0) {
+            w.stall(50000);
+            slowArrive = w.now();
+        }
+        w.syncThreads();
+        leave[w.warpInBlock()] = w.now();
+    });
+    for (int i = 0; i < 8; ++i)
+        EXPECT_GE(leave[i], slowArrive);
+}
+
+TEST(Device, ScratchAllocatorEnforcesCapacity)
+{
+    CostModel cm;
+    cm.scratchBytesPerBlock = 1024;
+    Device dev(cm, 1 << 20);
+    dev.launch(
+        1, 1, [](Warp&) {},
+        [](ThreadBlock& tb) {
+            EXPECT_EQ(tb.scratchAlloc(512), 0u);
+            EXPECT_EQ(tb.scratchAlloc(512), 512u);
+            EXPECT_EQ(tb.scratchUsage(), 1024u);
+        });
+}
+
+TEST(Device, StatsCountInstructions)
+{
+    Device dev(CostModel{}, 1 << 20);
+    dev.stats().reset();
+    dev.launch(1, 1, [](Warp& w) { w.issue(123); });
+    EXPECT_EQ(dev.stats().counter("sim.instructions"), 123u);
+}
+
+} // namespace
+} // namespace ap::sim

@@ -1,0 +1,93 @@
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sim/engine.hh"
+
+namespace ap::sim {
+namespace {
+
+TEST(Engine, EventsFireInTimeOrder)
+{
+    Engine e;
+    std::vector<int> order;
+    e.schedule(30, [&] { order.push_back(3); });
+    e.schedule(10, [&] { order.push_back(1); });
+    e.schedule(20, [&] { order.push_back(2); });
+    e.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_DOUBLE_EQ(e.now(), 30.0);
+}
+
+TEST(Engine, TiesFireInInsertionOrder)
+{
+    Engine e;
+    std::vector<int> order;
+    for (int i = 0; i < 10; ++i)
+        e.schedule(5, [&, i] { order.push_back(i); });
+    e.run();
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(order[i], i);
+}
+
+TEST(Engine, PastEventsClampToNow)
+{
+    Engine e;
+    Cycles fired = -1;
+    e.schedule(100, [&] {
+        e.schedule(50, [&] { fired = e.now(); }); // in the past
+    });
+    e.run();
+    EXPECT_DOUBLE_EQ(fired, 100.0);
+}
+
+TEST(Engine, FiberWaitUntil)
+{
+    Engine e;
+    Cycles woke = -1;
+    Fiber f([&] {
+        e.waitUntil(500);
+        woke = e.now();
+    });
+    e.scheduleFiber(0, &f);
+    e.run();
+    EXPECT_TRUE(f.finished());
+    EXPECT_DOUBLE_EQ(woke, 500.0);
+}
+
+TEST(Engine, BlockAndExternalWake)
+{
+    Engine e;
+    Cycles woke = -1;
+    Fiber f([&] {
+        e.block();
+        woke = e.now();
+    });
+    e.scheduleFiber(0, &f);
+    e.schedule(77, [&] { f.resume(); });
+    e.run();
+    EXPECT_TRUE(f.finished());
+    EXPECT_DOUBLE_EQ(woke, 77.0);
+}
+
+TEST(Engine, BwServerSerializesTransfers)
+{
+    BwServer bw(10.0); // 10 bytes/cycle
+    EXPECT_DOUBLE_EQ(bw.acquire(0, 100), 10.0);
+    EXPECT_DOUBLE_EQ(bw.acquire(0, 100), 20.0);   // queued behind first
+    EXPECT_DOUBLE_EQ(bw.acquire(100, 50), 105.0); // idle gap skipped
+}
+
+TEST(Engine, TimeMonotonicAcrossRuns)
+{
+    Engine e;
+    e.schedule(10, [] {});
+    e.run();
+    EXPECT_DOUBLE_EQ(e.now(), 10.0);
+    e.schedule(5, [] {}); // clamped to now
+    e.run();
+    EXPECT_DOUBLE_EQ(e.now(), 10.0);
+}
+
+} // namespace
+} // namespace ap::sim

@@ -1,0 +1,87 @@
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sim/fiber.hh"
+
+namespace ap::sim {
+namespace {
+
+TEST(Fiber, RunsToCompletion)
+{
+    int x = 0;
+    Fiber f([&] { x = 42; });
+    EXPECT_FALSE(f.finished());
+    f.resume();
+    EXPECT_TRUE(f.finished());
+    EXPECT_EQ(x, 42);
+}
+
+TEST(Fiber, YieldSuspendsAndResumes)
+{
+    std::vector<int> trace;
+    Fiber f([&] {
+        trace.push_back(1);
+        Fiber::current()->yield();
+        trace.push_back(3);
+        Fiber::current()->yield();
+        trace.push_back(5);
+    });
+    f.resume();
+    trace.push_back(2);
+    f.resume();
+    trace.push_back(4);
+    f.resume();
+    EXPECT_TRUE(f.finished());
+    EXPECT_EQ(trace, (std::vector<int>{1, 2, 3, 4, 5}));
+}
+
+TEST(Fiber, CurrentTracksExecution)
+{
+    EXPECT_EQ(Fiber::current(), nullptr);
+    Fiber* seen = nullptr;
+    Fiber f([&] { seen = Fiber::current(); });
+    f.resume();
+    EXPECT_EQ(seen, &f);
+    EXPECT_EQ(Fiber::current(), nullptr);
+}
+
+TEST(Fiber, ManyInterleavedFibers)
+{
+    const int n = 100;
+    std::vector<int> counts(n, 0);
+    std::vector<std::unique_ptr<Fiber>> fs;
+    for (int i = 0; i < n; ++i) {
+        fs.push_back(std::make_unique<Fiber>([&, i] {
+            for (int k = 0; k < 3; ++k) {
+                counts[i]++;
+                Fiber::current()->yield();
+            }
+        }));
+    }
+    for (int round = 0; round < 4; ++round)
+        for (auto& f : fs)
+            if (!f->finished())
+                f->resume();
+    for (int i = 0; i < n; ++i)
+        EXPECT_EQ(counts[i], 3);
+}
+
+TEST(Fiber, LocalStateSurvivesYield)
+{
+    long result = 0;
+    Fiber f([&] {
+        long acc = 0;
+        for (int i = 1; i <= 10; ++i) {
+            acc += i;
+            Fiber::current()->yield();
+        }
+        result = acc;
+    });
+    while (!f.finished())
+        f.resume();
+    EXPECT_EQ(result, 55);
+}
+
+} // namespace
+} // namespace ap::sim

@@ -1,0 +1,60 @@
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "sim/device.hh"
+
+namespace ap::sim {
+namespace {
+
+TEST(Trace, DisabledByDefaultRecordsNothing)
+{
+    Device dev(CostModel{}, 1 << 20);
+    dev.launch(2, 2, [](Warp& w) { w.issue(10); });
+    EXPECT_EQ(dev.tracer().size(), 0u);
+}
+
+TEST(Trace, KernelSpansRecorded)
+{
+    Device dev(CostModel{}, 1 << 20);
+    dev.tracer().enable();
+    dev.launch(3, 2, [](Warp& w) { w.stall(500); });
+    ASSERT_GE(dev.tracer().size(), 1u);
+    std::ostringstream os;
+    dev.tracer().writeJson(os);
+    EXPECT_NE(os.str().find("launch[3x2]"), std::string::npos);
+    EXPECT_NE(os.str().find("\"cat\":\"kernel\""), std::string::npos);
+}
+
+TEST(Trace, JsonIsWellFormedArray)
+{
+    Device dev(CostModel{}, 1 << 20);
+    dev.tracer().enable();
+    dev.tracer().span(7, "test", "a \"quoted\" name\n", 10, 20);
+    std::ostringstream os;
+    dev.tracer().writeJson(os);
+    std::string s = os.str();
+    EXPECT_EQ(s.front(), '[');
+    EXPECT_EQ(s[s.size() - 2], ']');
+    EXPECT_NE(s.find("\\\"quoted\\\""), std::string::npos);
+    EXPECT_NE(s.find("\\n"), std::string::npos);
+    EXPECT_NE(s.find("\"ts\":10"), std::string::npos);
+    EXPECT_NE(s.find("\"dur\":10"), std::string::npos);
+    EXPECT_NE(s.find("\"tid\":7"), std::string::npos);
+}
+
+TEST(Trace, ClearAndDisable)
+{
+    Device dev(CostModel{}, 1 << 20);
+    dev.tracer().enable();
+    dev.tracer().instant(0, "x", "e", 5);
+    EXPECT_EQ(dev.tracer().size(), 1u);
+    dev.tracer().clear();
+    EXPECT_EQ(dev.tracer().size(), 0u);
+    dev.tracer().disable();
+    dev.tracer().instant(0, "x", "e", 5);
+    EXPECT_EQ(dev.tracer().size(), 0u);
+}
+
+} // namespace
+} // namespace ap::sim

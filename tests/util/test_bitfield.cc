@@ -1,0 +1,78 @@
+#include <gtest/gtest.h>
+
+#include "util/bitfield.hh"
+
+namespace ap {
+namespace {
+
+TEST(Bitfield, MaskWidths)
+{
+    EXPECT_EQ(mask(0), 0ULL);
+    EXPECT_EQ(mask(1), 1ULL);
+    EXPECT_EQ(mask(12), 0xfffULL);
+    EXPECT_EQ(mask(63), 0x7fffffffffffffffULL);
+    EXPECT_EQ(mask(64), ~0ULL);
+}
+
+TEST(Bitfield, BitsExtract)
+{
+    uint64_t v = 0xdeadbeefcafef00dULL;
+    EXPECT_EQ(bits(v, 0, 4), 0xdULL);
+    EXPECT_EQ(bits(v, 4, 8), 0x00ULL);
+    EXPECT_EQ(bits(v, 32, 32), 0xdeadbeefULL);
+    EXPECT_EQ(bits(v, 0, 64), v);
+}
+
+TEST(Bitfield, InsertBitsRoundTrip)
+{
+    uint64_t v = 0;
+    v = insertBits(v, 0, 12, 0xabc);
+    v = insertBits(v, 12, 28, 0xbadcafe);
+    v = insertBits(v, 40, 21, 0x12345);
+    v = insertBits(v, 61, 2, 0x3);
+    v = insertBits(v, 63, 1, 1);
+    EXPECT_EQ(bits(v, 0, 12), 0xabcULL);
+    EXPECT_EQ(bits(v, 12, 28), 0xbadcafeULL);
+    EXPECT_EQ(bits(v, 40, 21), 0x12345ULL);
+    EXPECT_EQ(bits(v, 61, 2), 0x3ULL);
+    EXPECT_EQ(bits(v, 63, 1), 1ULL);
+}
+
+TEST(Bitfield, InsertBitsPreservesNeighbours)
+{
+    uint64_t v = ~0ULL;
+    v = insertBits(v, 8, 8, 0);
+    EXPECT_EQ(bits(v, 0, 8), 0xffULL);
+    EXPECT_EQ(bits(v, 8, 8), 0x00ULL);
+    EXPECT_EQ(bits(v, 16, 8), 0xffULL);
+}
+
+TEST(Bitfield, FitsBits)
+{
+    EXPECT_TRUE(fitsBits(0, 1));
+    EXPECT_TRUE(fitsBits(0xfff, 12));
+    EXPECT_FALSE(fitsBits(0x1000, 12));
+    EXPECT_TRUE(fitsBits(~0ULL, 64));
+}
+
+TEST(Bitfield, RoundUp)
+{
+    EXPECT_EQ(roundUp(0, 64), 0ULL);
+    EXPECT_EQ(roundUp(1, 64), 64ULL);
+    EXPECT_EQ(roundUp(64, 64), 64ULL);
+    EXPECT_EQ(roundUp(65, 64), 128ULL);
+}
+
+TEST(Bitfield, PowerOf2AndLog2)
+{
+    EXPECT_FALSE(isPowerOf2(0));
+    EXPECT_TRUE(isPowerOf2(1));
+    EXPECT_TRUE(isPowerOf2(4096));
+    EXPECT_FALSE(isPowerOf2(4097));
+    EXPECT_EQ(floorLog2(1), 0u);
+    EXPECT_EQ(floorLog2(4096), 12u);
+    EXPECT_EQ(floorLog2(4097), 12u);
+}
+
+} // namespace
+} // namespace ap

@@ -1,0 +1,66 @@
+#include <gtest/gtest.h>
+
+#include "util/rng.hh"
+
+namespace ap {
+namespace {
+
+TEST(Rng, Deterministic)
+{
+    SplitMix64 a(42), b(42);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, SeedsDiffer)
+{
+    SplitMix64 a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        if (a.next() == b.next())
+            ++same;
+    EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, BoundedInRange)
+{
+    SplitMix64 r(7);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_LT(r.nextBounded(17), 17u);
+}
+
+TEST(Rng, FloatInUnitInterval)
+{
+    SplitMix64 r(11);
+    for (int i = 0; i < 10000; ++i) {
+        float f = r.nextFloat();
+        EXPECT_GE(f, 0.0f);
+        EXPECT_LT(f, 1.0f);
+    }
+}
+
+TEST(Rng, GaussianMoments)
+{
+    SplitMix64 r(3);
+    double sum = 0, sq = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+        double g = r.nextGaussian();
+        sum += g;
+        sq += g * g;
+    }
+    double mean = sum / n;
+    double var = sq / n - mean * mean;
+    EXPECT_NEAR(mean, 0.0, 0.05);
+    EXPECT_NEAR(var, 1.0, 0.1);
+}
+
+TEST(Rng, HashMixMatchesGenerator)
+{
+    // One stateless hash step equals one generator step from that state.
+    SplitMix64 r(123456);
+    EXPECT_EQ(r.next(), hashMix64(123456));
+}
+
+} // namespace
+} // namespace ap

@@ -1,0 +1,51 @@
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "util/stats.hh"
+
+namespace ap {
+namespace {
+
+TEST(Stats, CountersAccumulate)
+{
+    StatGroup s;
+    EXPECT_EQ(s.counter("x"), 0u);
+    s.inc("x");
+    s.inc("x", 9);
+    EXPECT_EQ(s.counter("x"), 10u);
+}
+
+TEST(Stats, ScalarsSetAndMax)
+{
+    StatGroup s;
+    s.set("a", 3.5);
+    EXPECT_DOUBLE_EQ(s.scalar("a"), 3.5);
+    s.setMax("a", 2.0);
+    EXPECT_DOUBLE_EQ(s.scalar("a"), 3.5);
+    s.setMax("a", 7.0);
+    EXPECT_DOUBLE_EQ(s.scalar("a"), 7.0);
+}
+
+TEST(Stats, ResetClearsEverything)
+{
+    StatGroup s;
+    s.inc("c", 5);
+    s.set("v", 1.0);
+    s.reset();
+    EXPECT_EQ(s.counter("c"), 0u);
+    EXPECT_DOUBLE_EQ(s.scalar("v"), 0.0);
+}
+
+TEST(Stats, DumpIsSorted)
+{
+    StatGroup s;
+    s.inc("b");
+    s.inc("a");
+    std::ostringstream os;
+    s.dump(os);
+    EXPECT_EQ(os.str(), "a 1\nb 1\n");
+}
+
+} // namespace
+} // namespace ap

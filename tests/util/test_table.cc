@@ -1,0 +1,39 @@
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "util/table.hh"
+
+namespace ap {
+namespace {
+
+TEST(Table, AlignsColumns)
+{
+    TextTable t;
+    t.header({"name", "value"});
+    t.row({"x", "12345"});
+    t.row({"longer", "1"});
+    std::ostringstream os;
+    t.print(os);
+    std::string out = os.str();
+    // Each data line starts at column 0 and the second column aligns.
+    EXPECT_NE(out.find("name    value"), std::string::npos);
+    EXPECT_NE(out.find("x       12345"), std::string::npos);
+    EXPECT_NE(out.find("longer  1"), std::string::npos);
+}
+
+TEST(Table, NumFormatting)
+{
+    EXPECT_EQ(TextTable::num(3.14159, 2), "3.14");
+    EXPECT_EQ(TextTable::num(100.0, 0), "100");
+}
+
+TEST(Table, PctFormatting)
+{
+    EXPECT_EQ(TextTable::pct(0.63, true, 0), "+63%");
+    EXPECT_EQ(TextTable::pct(0.641, false, 1), "64.1%");
+    EXPECT_EQ(TextTable::pct(-0.05, true, 0), "-5%");
+}
+
+} // namespace
+} // namespace ap
