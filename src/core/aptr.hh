@@ -457,6 +457,10 @@ class AptrVec
                 curXpage[l] = lead_xpage;
                 refViaTlb[l] = via_tlb ? 1 : 0;
             }
+            if (sim::check::SimCheck::armed)
+                sim::check::SimCheck::get().pcLink(cache.checkDomain, key,
+                                                   count, w.globalWarpId(),
+                                                   w.now());
             w.stats().inc("core.pages_linked");
         }
     }
@@ -492,6 +496,12 @@ class AptrVec
             w.issue(c.aggregationIter);
 
             gpufs::PageKey key = gpufs::makePageKey(file, lead_xpage);
+            // Unlink before the reference drop: a page must never look
+            // evictable while a lane still holds its translation.
+            if (sim::check::SimCheck::armed)
+                sim::check::SimCheck::get().pcUnlink(cache.checkDomain, key,
+                                                     count, w.globalWarpId(),
+                                                     w.now());
             if (via) {
                 AP_ASSERT(tlb != nullptr, "TLB ref without TLB");
                 bool ok = tlb->unref(w, key, count, cache);

@@ -14,8 +14,12 @@ SoftTlb::SoftTlb(sim::ThreadBlock& tb, uint32_t n_entries, AptrKind kind,
     size_t entry_bytes = (kind == AptrKind::Short ? 12 : 20) + 4;
     tb.scratchAlloc(n_entries * entry_bytes);
     entries.reserve(n_entries);
-    for (uint32_t i = 0; i < n_entries; ++i)
+    for (uint32_t i = 0; i < n_entries; ++i) {
         entries.emplace_back(lock_latency);
+        entries.back().lock.debugName =
+            "tlb[blk" + std::to_string(tb.id()) + "].entry[" +
+            std::to_string(i) + "]";
+    }
 }
 
 uint32_t

@@ -10,6 +10,15 @@ namespace {
 
 constexpr uint32_t kDirtyFlag = 1u;
 
+using sim::check::SimCheck;
+
+/** Sync channel of a PTE word (refcount/state) in @p dev's memory. */
+uint64_t
+wordChan(sim::Device* dev, sim::Addr a)
+{
+    return SimCheck::atomicChan(dev->mem().checkMemId, a);
+}
+
 } // namespace
 
 PageCache::PageCache(sim::Device& dev_, hostio::HostIoEngine& io_,
@@ -30,6 +39,7 @@ PageCache::PageCache(sim::Device& dev_, hostio::HostIoEngine& io_,
     freeStaging.reserve(cfg.stagingSlots);
     for (uint32_t s = cfg.stagingSlots; s-- > 0;)
         freeStaging.push_back(s);
+    allocLock.debugName = "pc.allocLock";
 }
 
 AcquireResult
@@ -50,7 +60,12 @@ PageCache::acquirePage(sim::Warp& w, PageKey key, int count, bool writable,
             sim::Addr rca = PageTable::refcountAddr(ea);
             bool got_ref = false;
             for (int spin = 0; spin < 64 && !got_ref; ++spin) {
-                int32_t rc = w.mem().load<int32_t>(rca);
+                int32_t rc;
+                {
+                    // The spin read is re-validated by the CAS.
+                    SimCheck::Relaxed relaxed;
+                    rc = w.mem().load<int32_t>(rca);
+                }
                 if (rc < 0)
                     break; // entry is being evicted; re-probe
                 if (w.atomicCas<int32_t>(rca, rc, rc + count) == rc)
@@ -62,23 +77,48 @@ PageCache::acquirePage(sim::Warp& w, PageKey key, int count, bool writable,
             }
             // ABA guard: the slot may have been recycled for another
             // page between the probe and the CAS.
-            if (w.mem().load<uint64_t>(ea) != key + 1) {
+            bool recycled;
+            {
+                SimCheck::Relaxed relaxed;
+                recycled = w.mem().load<uint64_t>(ea) != key + 1;
+            }
+            if (recycled) {
                 for (;;) {
-                    int32_t rc = w.mem().load<int32_t>(rca);
+                    int32_t rc;
+                    {
+                        SimCheck::Relaxed relaxed;
+                        rc = w.mem().load<int32_t>(rca);
+                    }
                     AP_ASSERT(rc >= count, "refcount underflow on undo");
                     if (w.atomicCas<int32_t>(rca, rc, rc - count) == rc)
                         break;
                 }
                 continue;
             }
-            // Wait for a concurrent loader to finish the transfer.
-            Pte e = pt.readEntry(w, ea);
+            // The references are real only once the ABA guard passed.
+            if (SimCheck::armed)
+                SimCheck::get().pcRefAdjust(checkDomain, key, count,
+                                            w.globalWarpId(), w.now());
+            // Wait for a concurrent loader to finish the transfer. The
+            // spin reads are relaxed; the acquire below pairs with the
+            // loader's release on the state word.
+            auto readEntryRelaxed = [&] {
+                SimCheck::Relaxed relaxed;
+                return pt.readEntry(w, ea);
+            };
+            Pte e = readEntryRelaxed();
             while (e.state != static_cast<uint32_t>(PteState::Ready)) {
                 w.chargeGlobalRead(32);
                 w.stall(200);
-                e = pt.readEntry(w, ea);
+                e = readEntryRelaxed();
             }
+            if (SimCheck::armed)
+                SimCheck::get().syncAcquire(
+                    wordChan(dev, PageTable::stateAddr(ea)));
             if (writable) {
+                // Idempotent lock-free RMW: concurrent faulters may all
+                // set the same dirty bit.
+                SimCheck::Relaxed relaxed;
                 FrameMeta fm = w.mem().load<FrameMeta>(metaAddr(e.frame));
                 if (!(fm.flags & kDirtyFlag)) {
                     fm.flags |= kDirtyFlag;
@@ -146,11 +186,24 @@ PageCache::acquirePage(sim::Warp& w, PageKey key, int count, bool writable,
                 sim::Addr rca = PageTable::refcountAddr(cea);
                 if (w.atomicCas<int32_t>(rca, 0, -1) != 0)
                     continue;
+                if (SimCheck::armed)
+                    SimCheck::get().pcClaim(checkDomain, e.taggedKey - 1,
+                                            w.globalWarpId(), w.now());
                 FrameMeta fm = w.mem().load<FrameMeta>(metaAddr(e.frame));
                 if (fm.flags & kDirtyFlag) {
                     // Became dirty between the check and the claim:
                     // unclaim and leave it to the clock path.
-                    w.mem().store<int32_t>(rca, 0);
+                    {
+                        SimCheck::Relaxed relaxed;
+                        w.mem().store<int32_t>(rca, 0);
+                    }
+                    if (SimCheck::armed) {
+                        SimCheck::get().syncRmw(wordChan(dev, rca));
+                        SimCheck::get().pcUnclaim(checkDomain,
+                                                  e.taggedKey - 1,
+                                                  w.globalWarpId(),
+                                                  w.now());
+                    }
                     w.chargeGlobalWrite(4);
                     continue;
                 }
@@ -161,6 +214,9 @@ PageCache::acquirePage(sim::Warp& w, PageKey key, int count, bool writable,
                 fm.flags = 0;
                 w.mem().store(metaAddr(e.frame), fm);
                 pt.writeEntry(w, cea, Pte{});
+                if (SimCheck::armed)
+                    SimCheck::get().pcRemove(checkDomain, recycle_key,
+                                             w.globalWarpId(), w.now());
                 w.chargeGlobalWrite(sizeof(Pte) + sizeof(FrameMeta));
                 dev->stats().inc("gpufs.bucket_evictions");
                 empty = cea;
@@ -180,6 +236,9 @@ PageCache::acquirePage(sim::Warp& w, PageKey key, int count, bool writable,
         ne.refcount = count;
         ne.state = static_cast<uint32_t>(PteState::Loading);
         pt.writeEntry(w, empty, ne);
+        if (SimCheck::armed)
+            SimCheck::get().pcInsert(checkDomain, key, count,
+                                     w.globalWarpId(), w.now());
         FrameMeta fm;
         fm.taggedKey = key + 1;
         fm.entryRef = pt.entryRef(b, empty_slot);
@@ -198,6 +257,9 @@ PageCache::acquirePage(sim::Warp& w, PageKey key, int count, bool writable,
 
         if (zero_fill && !swappedOut.count(key)) {
             // Anonymous first touch: a zeroed frame, no host transfer.
+            if (SimCheck::armed)
+                SimCheck::get().onWrite(dev->mem().checkMemId,
+                                        frameAddr(frame), cfg.pageSize);
             std::memset(dev->mem().raw(frameAddr(frame), cfg.pageSize),
                         0, cfg.pageSize);
             w.chargeGlobalWrite(static_cast<double>(cfg.pageSize));
@@ -206,8 +268,20 @@ PageCache::acquirePage(sim::Warp& w, PageKey key, int count, bool writable,
             fetchPage(w, key, frame);
         }
 
-        w.mem().store<uint32_t>(PageTable::stateAddr(empty),
-                                static_cast<uint32_t>(PteState::Ready));
+        // Publish Ready: a release on the state word paired with the
+        // acquire in every spinning minor faulter.
+        if (SimCheck::armed) {
+            SimCheck::get().pcReady(checkDomain, key, w.globalWarpId(),
+                                    w.now());
+            SimCheck::get().syncRelease(
+                wordChan(dev, PageTable::stateAddr(empty)));
+        }
+        {
+            SimCheck::Relaxed relaxed;
+            w.mem().store<uint32_t>(
+                PageTable::stateAddr(empty),
+                static_cast<uint32_t>(PteState::Ready));
+        }
         w.chargeGlobalWrite(4);
         dev->stats().inc("gpufs.major_faults");
         dev->tracer().span(
@@ -226,12 +300,19 @@ PageCache::releasePage(sim::Warp& w, PageKey key, int count)
     AP_ASSERT(ea != 0, "releasing non-resident page ", key);
     sim::Addr rca = PageTable::refcountAddr(ea);
     for (;;) {
-        int32_t rc = w.mem().load<int32_t>(rca);
+        int32_t rc;
+        {
+            SimCheck::Relaxed relaxed;
+            rc = w.mem().load<int32_t>(rca);
+        }
         AP_ASSERT(rc >= count, "refcount underflow releasing page ", key,
                   ": ", rc, " < ", count);
         if (w.atomicCas<int32_t>(rca, rc, rc - count) == rc)
             break;
     }
+    if (SimCheck::armed)
+        SimCheck::get().pcRefAdjust(checkDomain, key, -count,
+                                    w.globalWarpId(), w.now());
     dev->stats().inc("gpufs.releases");
 }
 
@@ -277,6 +358,9 @@ PageCache::prefetchPage(sim::Warp& w, PageKey key)
     ne.refcount = 0;
     ne.state = static_cast<uint32_t>(PteState::Loading);
     pt.writeEntry(w, empty, ne);
+    if (SimCheck::armed)
+        SimCheck::get().pcInsert(checkDomain, key, 0, w.globalWarpId(),
+                                 w.now());
     FrameMeta fm;
     fm.taggedKey = key + 1;
     fm.entryRef = pt.entryRef(b, empty_slot);
@@ -292,13 +376,27 @@ PageCache::prefetchPage(sim::Warp& w, PageKey key)
     size_t page_size = cfg.pageSize;
     sim::Device* d = dev;
     sim::Addr state_addr = PageTable::stateAddr(empty);
+    uint64_t dom = checkDomain;
     io->readToGpuAsync(
-        w, f, off, len, fa, [d, fa, len, page_size, state_addr] {
-            if (len < page_size)
+        w, f, off, len, fa, [d, fa, len, page_size, state_addr, dom, key] {
+            if (len < page_size) {
+                if (SimCheck::armed)
+                    SimCheck::get().onWrite(d->mem().checkMemId, fa + len,
+                                            page_size - len);
                 std::memset(d->mem().raw(fa + len, page_size - len), 0,
                             page_size - len);
-            d->mem().store<uint32_t>(
-                state_addr, static_cast<uint32_t>(PteState::Ready));
+            }
+            // Host-side Ready publication: release the state word so
+            // faulting warps that acquire it see the DMA'd bytes.
+            if (SimCheck::armed) {
+                SimCheck::get().pcReady(dom, key, -1, d->engine().now());
+                SimCheck::get().syncRelease(wordChan(d, state_addr));
+            }
+            {
+                SimCheck::Relaxed relaxed;
+                d->mem().store<uint32_t>(
+                    state_addr, static_cast<uint32_t>(PteState::Ready));
+            }
             d->stats().inc("gpufs.prefetched_pages");
         });
     dev->stats().inc("gpufs.prefetch_requests");
@@ -321,11 +419,21 @@ PageCache::allocFrame(sim::Warp& w)
     for (uint64_t tries = 0; tries < limit; ++tries) {
         uint32_t f = static_cast<uint32_t>(clockHand++ % cfg.numFrames);
         w.chargeGlobalRead(sizeof(FrameMeta));
-        FrameMeta fm = w.mem().load<FrameMeta>(metaAddr(f));
+        // The sweep reads entries lock-free; the CAS claim below is the
+        // only step with teeth.
+        FrameMeta fm;
+        Pte e;
+        {
+            SimCheck::Relaxed relaxed;
+            fm = w.mem().load<FrameMeta>(metaAddr(f));
+        }
         if (fm.taggedKey == 0)
             continue; // free-pool or mid-recycle frame
         sim::Addr ea = pt.entryAddrOf(fm.entryRef);
-        Pte e = pt.readEntry(w, ea);
+        {
+            SimCheck::Relaxed relaxed;
+            e = pt.readEntry(w, ea);
+        }
         if (e.taggedKey != fm.taggedKey || e.frame != f)
             continue; // stale back-reference
         if (e.refcount != 0 ||
@@ -334,6 +442,26 @@ PageCache::allocFrame(sim::Warp& w)
         sim::Addr rca = PageTable::refcountAddr(ea);
         if (w.atomicCas<int32_t>(rca, 0, -1) != 0)
             continue;
+        // ABA re-check: the slot may have been recycled for another
+        // page while the CAS was in flight (the claim then pinned the
+        // wrong entry). Nobody else can touch a claimed entry, so this
+        // re-read is stable; undo and keep sweeping on mismatch.
+        bool stale;
+        {
+            SimCheck::Relaxed relaxed;
+            Pte cur = pt.readEntry(w, ea);
+            stale = cur.taggedKey != fm.taggedKey || cur.frame != f;
+            if (stale)
+                w.mem().store<int32_t>(rca, 0);
+        }
+        if (stale) {
+            if (SimCheck::armed)
+                SimCheck::get().syncRmw(wordChan(dev, rca));
+            continue;
+        }
+        if (SimCheck::armed)
+            SimCheck::get().pcClaim(checkDomain, e.taggedKey - 1,
+                                    w.globalWarpId(), w.now());
 
         // Claimed. A dirty victim is written back BEFORE its entry
         // disappears: while the claimed (refcount -1) entry is still
@@ -350,6 +478,9 @@ PageCache::allocFrame(sim::Warp& w)
         sim::DeviceLock& vlk = pt.bucketLock(vb);
         vlk.acquire(w);
         pt.writeEntry(w, ea, Pte{});
+        if (SimCheck::armed)
+            SimCheck::get().pcRemove(checkDomain, victim_key,
+                                     w.globalWarpId(), w.now());
         fm.taggedKey = 0;
         fm.flags = 0;
         w.mem().store(metaAddr(f), fm);
@@ -403,10 +534,15 @@ PageCache::fetchPage(sim::Warp& w, PageKey key, uint32_t frame)
     // section V: "GPU threads that invoke the file read are responsible
     // for moving the contents from the staging area").
     w.copyGlobal(frameAddr(frame), sa, len);
-    if (len < cfg.pageSize)
+    if (len < cfg.pageSize) {
+        if (SimCheck::armed)
+            SimCheck::get().onWrite(dev->mem().checkMemId,
+                                    frameAddr(frame) + len,
+                                    cfg.pageSize - len);
         std::memset(dev->mem().raw(frameAddr(frame) + len,
                                    cfg.pageSize - len),
                     0, cfg.pageSize - len);
+    }
     releaseStagingSlot(w, slot);
     if (hooks.postFetch)
         hooks.postFetch(w, key, frameAddr(frame), len);
@@ -416,16 +552,22 @@ uint32_t
 PageCache::grabStagingSlot(sim::Warp& w)
 {
     w.issue(2);
+    uint32_t s;
     if (!freeStaging.empty()) {
-        uint32_t s = freeStaging.back();
+        s = freeStaging.back();
         freeStaging.pop_back();
-        return s;
+    } else {
+        stagingWaiters.push_back(sim::Fiber::current());
+        w.engine().block();
+        AP_ASSERT(!stagingHandoff.empty(), "staging handoff lost");
+        s = stagingHandoff.front();
+        stagingHandoff.pop_front();
     }
-    stagingWaiters.push_back(sim::Fiber::current());
-    w.engine().block();
-    AP_ASSERT(!stagingHandoff.empty(), "staging handoff lost");
-    uint32_t s = stagingHandoff.front();
-    stagingHandoff.pop_front();
+    // Pair with the release in releaseStagingSlot: the previous user's
+    // staging-buffer bytes happen-before ours.
+    if (SimCheck::armed)
+        SimCheck::get().syncAcquire(
+            SimCheck::objChan(checkStagingSerial, s));
     return s;
 }
 
@@ -433,6 +575,9 @@ void
 PageCache::releaseStagingSlot(sim::Warp& w, uint32_t slot)
 {
     w.issue(2);
+    if (SimCheck::armed)
+        SimCheck::get().syncRelease(
+            SimCheck::objChan(checkStagingSerial, slot));
     if (!stagingWaiters.empty()) {
         sim::Fiber* next = stagingWaiters.front();
         stagingWaiters.pop_front();
@@ -457,6 +602,9 @@ PageCache::flushDirtyHost()
             std::min<size_t>(cfg.pageSize, io->store().size(file) - off);
         if (hooks.preWriteback)
             hooks.preWriteback(nullptr, key, frameAddr(f), len);
+        if (SimCheck::armed)
+            SimCheck::get().onRead(dev->mem().checkMemId, frameAddr(f),
+                                   len);
         io->store().pwrite(file, dev->mem().raw(frameAddr(f), len), len,
                            off);
         swappedOut.insert(key);
@@ -468,6 +616,8 @@ PageCache::flushDirtyHost()
 int32_t
 PageCache::residentRefcountHost(PageKey key)
 {
+    // Diagnostic probe: may be called while the device is running.
+    SimCheck::Relaxed relaxed;
     uint32_t b = pt.bucketOf(key);
     for (uint32_t s = 0; s < cfg.bucketEntries; ++s) {
         sim::Addr ea = pt.entryAddr(b, s);

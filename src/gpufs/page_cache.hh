@@ -152,6 +152,13 @@ class PageCache
     /** The page table (exposed for tests and diagnostics). */
     PageTable& table() { return pt; }
 
+    /**
+     * simcheck identity of this cache's page domain. Never reused, so
+     * invariant shadow state cannot alias across sequentially-created
+     * caches in one process.
+     */
+    const uint64_t checkDomain = sim::check::SimCheck::nextId();
+
     /** Install page-fault interposition hooks (see PageHooks). */
     void setHooks(PageHooks h) { hooks = std::move(h); }
 
@@ -191,6 +198,9 @@ class PageCache
     std::vector<uint32_t> freeFrames;
     sim::DeviceLock allocLock;
     uint64_t clockHand = 0;
+
+    /** simcheck serial for the per-slot staging handoff channels. */
+    const uint64_t checkStagingSerial = sim::check::SimCheck::nextId();
 
     /** Staging-slot pool with a waiter queue. */
     std::vector<uint32_t> freeStaging;

@@ -13,6 +13,8 @@ PageTable::PageTable(sim::Device& dev, const Config& cfg)
         static_cast<size_t>(nBuckets) * entsPerBucket * sizeof(Pte);
     base = dev.mem().alloc(bytes, 128);
     // Device memory is zero-initialized, so all slots start empty.
+    for (uint32_t b = 0; b < nBuckets; ++b)
+        locks[b].debugName = "pt.bucket[" + std::to_string(b) + "]";
 }
 
 } // namespace ap::gpufs

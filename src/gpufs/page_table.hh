@@ -176,6 +176,10 @@ class PageTable
         // barely above one, so the traffic charge is two entries.
         w.issue(4);
         w.chargeGlobalRead(2.0 * sizeof(Pte));
+        // Lock-free by design (paper section V): concurrent bucket
+        // writers are tolerated and every hit is re-validated by the
+        // caller's CAS, so these reads are relaxed for the checker.
+        sim::check::SimCheck::Relaxed relaxed;
         for (uint32_t s = 0; s < entsPerBucket; ++s) {
             sim::Addr ea = entryAddr(b, s);
             if (w.mem().load<uint64_t>(ea) == key + 1)

@@ -2,9 +2,48 @@
 
 #include <algorithm>
 
+#include "sim/check/simcheck.hh"
 #include "util/logging.hh"
 
 namespace ap::hostio {
+
+namespace {
+
+/** Annotate a DMA landing in device memory as a host-actor write. */
+void
+noteDmaWrite(sim::Device* dev, sim::Addr dst, size_t len)
+{
+    if (sim::check::SimCheck::armed)
+        sim::check::SimCheck::get().onWrite(dev->mem().checkMemId, dst,
+                                            len);
+}
+
+/** Annotate a DMA out of device memory as a host-actor read. */
+void
+noteDmaRead(sim::Device* dev, sim::Addr src, size_t len)
+{
+    if (sim::check::SimCheck::armed)
+        sim::check::SimCheck::get().onRead(dev->mem().checkMemId, src,
+                                           len);
+}
+
+/**
+ * Resume a fiber directly from a host completion. Bypasses
+ * Engine::scheduleFiber, so the host -> fiber synchronization edge must
+ * be drawn by hand before the switch.
+ */
+void
+resumeWithEdge(sim::Fiber* f)
+{
+    if (sim::check::SimCheck::armed) {
+        auto& sc = sim::check::SimCheck::get();
+        sc.edgeToFiber(f);
+        sc.fiberResuming(f);
+    }
+    f->resume();
+}
+
+} // namespace
 
 HostIoEngine::HostIoEngine(sim::Device& dev_, BackingStore& store,
                            bool batching_)
@@ -34,9 +73,10 @@ HostIoEngine::readToGpu(sim::Warp& w, FileId f, uint64_t off, size_t len,
             host, static_cast<double>(len), cm.pcieLatency);
         sim::Fiber* waiter = sim::Fiber::current();
         eng.schedule(done, [this, f, off, len, gpu_dst, waiter] {
+            noteDmaWrite(dev, gpu_dst, len);
             store_->pread(f, dev->mem().raw(gpu_dst, len), len, off);
             dev->stats().inc("hostio.transfers");
-            waiter->resume();
+            resumeWithEdge(waiter);
         });
         eng.block();
         return;
@@ -44,6 +84,11 @@ HostIoEngine::readToGpu(sim::Warp& w, FileId f, uint64_t off, size_t len,
 
     pending.push_back(Request{f, off, len, gpu_dst,
                               sim::Fiber::current(), nullptr});
+    // The dispatch event may already be scheduled by an earlier
+    // requester; publish this requester's clock into the host channel
+    // so the batch that carries its DMA is ordered after it.
+    if (sim::check::SimCheck::armed)
+        sim::check::SimCheck::get().hostRelease();
     if (!dispatchScheduled) {
         dispatchScheduled = true;
         // Work-conserving aggregation: while a transfer is in flight,
@@ -96,10 +141,11 @@ HostIoEngine::dispatchBatch()
         std::vector<Request> group(reqs.begin() + i, reqs.begin() + j);
         eng.schedule(done, [this, group = std::move(group)] {
             for (const Request& r : group) {
+                noteDmaWrite(dev, r.dst, r.len);
                 store_->pread(r.file, dev->mem().raw(r.dst, r.len), r.len,
                               r.off);
                 if (r.waiter)
-                    r.waiter->resume();
+                    resumeWithEdge(r.waiter);
                 if (r.onDone)
                     r.onDone();
             }
@@ -126,6 +172,7 @@ HostIoEngine::readToGpuAsync(sim::Warp& w, FileId f, uint64_t off,
             host, static_cast<double>(len), cm.pcieLatency);
         eng.schedule(done, [this, f, off, len, gpu_dst,
                             cb = std::move(on_done)] {
+            noteDmaWrite(dev, gpu_dst, len);
             store_->pread(f, dev->mem().raw(gpu_dst, len), len, off);
             dev->stats().inc("hostio.transfers");
             cb();
@@ -135,6 +182,10 @@ HostIoEngine::readToGpuAsync(sim::Warp& w, FileId f, uint64_t off,
 
     pending.push_back(
         Request{f, off, len, gpu_dst, nullptr, std::move(on_done)});
+    // As in readToGpu: order this request before the (possibly
+    // already-scheduled) batch dispatch that will carry it.
+    if (sim::check::SimCheck::armed)
+        sim::check::SimCheck::get().hostRelease();
     if (!dispatchScheduled) {
         dispatchScheduled = true;
         sim::Cycles when = std::max(eng.now() + cm.hostBatchWindow,
@@ -159,9 +210,10 @@ HostIoEngine::writeFromGpu(sim::Warp& w, FileId f, uint64_t off, size_t len,
         host, static_cast<double>(len), cm.pcieLatency);
     sim::Fiber* waiter = sim::Fiber::current();
     eng.schedule(done, [this, f, off, len, gpu_src, waiter] {
+        noteDmaRead(dev, gpu_src, len);
         store_->pwrite(f, dev->mem().raw(gpu_src, len), len, off);
         dev->stats().inc("hostio.transfers");
-        waiter->resume();
+        resumeWithEdge(waiter);
     });
     eng.block();
 }
@@ -180,7 +232,7 @@ HostIoEngine::rpc(sim::Warp& w, const std::function<int64_t()>& host_fn)
         eng.now() + 2 * cm.pcieLatency + cm.hostRequestCost;
     eng.schedule(done, [&result, &host_fn, waiter] {
         result = host_fn();
-        waiter->resume();
+        resumeWithEdge(waiter);
     });
     eng.block();
     return result;

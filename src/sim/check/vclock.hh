@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Vector clocks for the happens-before analyses. Actors (warps, the
+ * host) get dense ids; a clock maps actor id -> logical time. Clocks
+ * only grow, and comparisons against absent entries read as 0.
+ */
+
+#ifndef AP_SIM_CHECK_VCLOCK_HH
+#define AP_SIM_CHECK_VCLOCK_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace ap::sim::check {
+
+/** A (actor, time) pair: the FastTrack "epoch" of one access. */
+struct Epoch
+{
+    int32_t actor = -1;
+    uint64_t time = 0;
+};
+
+/** A growable vector clock. */
+class VClock
+{
+  public:
+    /** Component for @p actor (0 if never set). */
+    uint64_t
+    get(int actor) const
+    {
+        return static_cast<size_t>(actor) < c.size() ? c[actor] : 0;
+    }
+
+    /** Set component @p actor to @p t (grows as needed). */
+    void
+    set(int actor, uint64_t t)
+    {
+        if (static_cast<size_t>(actor) >= c.size())
+            c.resize(actor + 1, 0);
+        c[actor] = t;
+    }
+
+    /** Component-wise maximum with @p o. */
+    void
+    join(const VClock& o)
+    {
+        if (o.c.size() > c.size())
+            c.resize(o.c.size(), 0);
+        for (size_t i = 0; i < o.c.size(); ++i)
+            if (o.c[i] > c[i])
+                c[i] = o.c[i];
+    }
+
+    /** True iff the access at @p e happens-before this clock's view. */
+    bool covers(const Epoch& e) const { return e.time <= get(e.actor); }
+
+    /** Drop all components (reuse without reallocation). */
+    void
+    clear()
+    {
+        c.assign(c.size(), 0);
+    }
+
+  private:
+    std::vector<uint64_t> c;
+};
+
+} // namespace ap::sim::check
+
+#endif // AP_SIM_CHECK_VCLOCK_HH

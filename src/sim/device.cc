@@ -2,18 +2,33 @@
 
 #include <deque>
 
+#include "sim/check/simcheck.hh"
 #include "sim/fiber.hh"
 #include "util/logging.hh"
 
 namespace ap::sim {
 
+namespace {
+/** Engine whose clock stamps simcheck diagnostics (latest Device). */
+Engine* checkTimeEngine = nullptr;
+} // namespace
+
 Device::Device(const CostModel& cm, size_t mem_bytes)
     : cm_(cm), mem_(mem_bytes, cm)
 {
     AP_ASSERT(cm_.numSms > 0, "need at least one SM");
+    checkTimeEngine = &eng_;
+    check::SimCheck::get().setTimeSource(
+        [] { return checkTimeEngine ? checkTimeEngine->now() : 0.0; });
     sms_.reserve(cm_.numSms);
     for (int i = 0; i < cm_.numSms; ++i)
         sms_.emplace_back(cm_.issuePerSmPerCycle);
+}
+
+Device::~Device()
+{
+    if (checkTimeEngine == &eng_)
+        checkTimeEngine = nullptr;
 }
 
 /** Bookkeeping for one in-flight launch. */
@@ -70,6 +85,12 @@ Device::tryDispatch(LaunchState& ls)
                 ls.liveWarps--;
                 eng_.schedule(eng_.now(), [this, &ls] { tryDispatch(ls); });
             });
+            // Register as an actor before the launch edge below, so the
+            // host's setup writes happen-before the warp's first access.
+            if (check::SimCheck::armed)
+                check::SimCheck::get().registerFiber(
+                    fiber.get(),
+                    "warp" + std::to_string(wp->globalWarpId()));
             eng_.scheduleFiber(eng_.now(), fiber.get());
             ls.liveWarps++;
             ls.warps.push_back(std::move(warp));

@@ -44,6 +44,8 @@ class Device
     explicit Device(const CostModel& cm = CostModel{},
                     size_t mem_bytes = size_t(256) << 20);
 
+    ~Device();
+
     /** Timing constants in force. */
     const CostModel& costModel() const { return cm_; }
 

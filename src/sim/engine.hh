@@ -13,6 +13,7 @@
 #include <queue>
 #include <vector>
 
+#include "sim/check/simcheck.hh"
 #include "sim/fiber.hh"
 #include "sim/types.hh"
 #include "util/logging.hh"
@@ -35,16 +36,33 @@ class Engine
     void
     schedule(Cycles when, Callback cb)
     {
-        if (when < curTime)
-            when = curTime;
-        queue.push(Event{when, nextSeq++, std::move(cb)});
+        // Scheduling a host-context event carries the scheduler's view
+        // into the event: release into the host channel now, join it
+        // when the event fires. Host events are sequential in the
+        // simulated machine (one host thread), so one channel suffices.
+        if (check::SimCheck::armed) {
+            check::SimCheck::get().hostRelease();
+            cb = [c = std::move(cb)] {
+                check::SimCheck::get().hostJoin();
+                c();
+            };
+        }
+        scheduleRaw(when, std::move(cb));
     }
 
     /** Schedule a fiber resume at time max(when, now()). */
     void
     scheduleFiber(Cycles when, Fiber* f)
     {
-        schedule(when, [f] { f->resume(); });
+        // Waking another fiber is a synchronization edge from the waker
+        // to the wakee; self-reschedules (waitUntil) carry no new edge.
+        if (check::SimCheck::armed && Fiber::current() != f)
+            check::SimCheck::get().edgeToFiber(f);
+        scheduleRaw(when, [f] {
+            if (check::SimCheck::armed)
+                check::SimCheck::get().fiberResuming(f);
+            f->resume();
+        });
     }
 
     /**
@@ -91,6 +109,15 @@ class Engine
     bool idle() const { return queue.empty(); }
 
   private:
+    /** Enqueue with no instrumentation (internal). */
+    void
+    scheduleRaw(Cycles when, Callback cb)
+    {
+        if (when < curTime)
+            when = curTime;
+        queue.push(Event{when, nextSeq++, std::move(cb)});
+    }
+
     struct Event
     {
         Cycles when;

@@ -12,6 +12,7 @@
 #include <type_traits>
 #include <vector>
 
+#include "sim/check/simcheck.hh"
 #include "sim/cost_model.hh"
 #include "sim/engine.hh"
 #include "sim/types.hh"
@@ -43,6 +44,14 @@ class GlobalMemory
     size_t size() const { return store_.size(); }
 
     /**
+     * Identity of this memory instance for the simcheck shadow. Serials
+     * are never reused, so shadow state from a destroyed memory cannot
+     * alias a new one in the same process (sequential tests).
+     */
+    const uint32_t checkMemId =
+        static_cast<uint32_t>(check::SimCheck::nextId());
+
+    /**
      * Bump-allocate @p bytes of device memory.
      * @param bytes size of the allocation
      * @param align alignment, a power of two
@@ -71,6 +80,8 @@ class GlobalMemory
         static_assert(std::is_trivially_copyable_v<T>);
         AP_ASSERT(a + sizeof(T) <= store_.size(),
                   "device load out of bounds at ", a);
+        if (check::SimCheck::armed)
+            check::SimCheck::get().onRead(checkMemId, a, sizeof(T));
         T v;
         std::memcpy(&v, store_.data() + a, sizeof(T));
         return v;
@@ -84,6 +95,8 @@ class GlobalMemory
         static_assert(std::is_trivially_copyable_v<T>);
         AP_ASSERT(a + sizeof(T) <= store_.size(),
                   "device store out of bounds at ", a);
+        if (check::SimCheck::armed)
+            check::SimCheck::get().onWrite(checkMemId, a, sizeof(T));
         std::memcpy(store_.data() + a, &v, sizeof(T));
     }
 

@@ -10,7 +10,9 @@
 #define AP_SIM_SYNC_HH
 
 #include <deque>
+#include <string>
 
+#include "sim/check/simcheck.hh"
 #include "sim/warp.hh"
 
 namespace ap::sim {
@@ -46,12 +48,14 @@ class DeviceLock
         w.stats().inc("sim.lock_acquires");
         if (!held) {
             held = true;
+            noteAcquired(w);
             return;
         }
         w.stats().inc("sim.lock_contended");
         waiters.push_back(Fiber::current());
         w.engine().block();
         // Ownership was handed to us by release().
+        noteAcquired(w);
     }
 
     /**
@@ -67,6 +71,7 @@ class DeviceLock
         if (held)
             return false;
         held = true;
+        noteAcquired(w);
         return true;
     }
 
@@ -76,6 +81,10 @@ class DeviceLock
     {
         AP_ASSERT(held, "release of unheld lock");
         w.issue(1);
+        // Release before any handoff so the waiter's acquire observes
+        // everything this owner did in its critical section.
+        if (check::SimCheck::armed)
+            check::SimCheck::get().onLockReleased(checkId);
         if (waiters.empty()) {
             held = false;
             return;
@@ -90,7 +99,24 @@ class DeviceLock
     /** True if some warp currently owns the lock. */
     bool isHeld() const { return held; }
 
+    /**
+     * Name shown in simcheck lock-order diagnostics (e.g.
+     * "pt.bucket[3]"). Defaults to "lock#<serial>" when unset.
+     */
+    std::string debugName;
+
   private:
+    void
+    noteAcquired(Warp& w)
+    {
+        if (check::SimCheck::armed)
+            check::SimCheck::get().onLockAcquired(checkId, debugName,
+                                                  w.globalWarpId(), w.now());
+    }
+
+    /** Never-reused serial: shadow state can't alias across tests. */
+    const uint64_t checkId = check::SimCheck::nextId();
+
     Cycles
     atomicCost(Warp& w) const
     {

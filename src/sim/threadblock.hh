@@ -10,6 +10,7 @@
 #include <memory>
 #include <vector>
 
+#include "sim/check/simcheck.hh"
 #include "sim/engine.hh"
 #include "sim/sm.hh"
 #include "sim/types.hh"
@@ -78,12 +79,21 @@ class ThreadBlock
     {
         Fiber* f = Fiber::current();
         AP_ASSERT(f != nullptr, "barrier outside a fiber");
+        // Arrival publishes this warp's clock; departure joins every
+        // arrival, so the barrier is a full synchronization point.
+        const uint64_t chan = check::SimCheck::objChan(checkSerial, 0);
+        if (check::SimCheck::armed)
+            check::SimCheck::get().syncRelease(chan);
         if (++arrived < numWarps) {
             waiters.push_back(f);
             f->yield();
+            if (check::SimCheck::armed)
+                check::SimCheck::get().syncAcquire(chan);
             return;
         }
         arrived = 0;
+        if (check::SimCheck::armed)
+            check::SimCheck::get().syncAcquire(chan);
         auto ws = std::move(waiters);
         waiters.clear();
         for (Fiber* w : ws)
@@ -105,6 +115,9 @@ class ThreadBlock
     std::shared_ptr<void> tlbSlot;
 
   private:
+    /** Never-reused serial naming this block's barrier sync channel. */
+    const uint64_t checkSerial = check::SimCheck::nextId();
+
     int blockId;
     int numWarps;
     Sm* sm;

@@ -211,6 +211,10 @@ class Warp
         stats_->inc("sim.dram_write_bytes", len);
         Cycles readDone = mem_->readDone(eng_->now(), (double)len);
         mem_->writeDone(readDone, (double)len);
+        if (check::SimCheck::armed) {
+            check::SimCheck::get().onRead(mem_->checkMemId, src, len);
+            check::SimCheck::get().onWrite(mem_->checkMemId, dst, len);
+        }
         std::memmove(mem_->raw(dst, len), mem_->raw(src, len), len);
         eng_->waitUntil(readDone);
     }
@@ -228,8 +232,15 @@ class Warp
         stats_->inc("sim.atomics");
         Cycles done =
             mem_->readDone(eng_->now(), 32.0) + cm_->atomicLatency;
-        T old = mem_->load<T>(a);
-        mem_->store<T>(a, static_cast<T>(old + delta));
+        T old;
+        {
+            // Atomics synchronize through a per-word channel; the word
+            // itself is not plain data for the race detector.
+            check::SimCheck::Relaxed relaxed;
+            old = mem_->load<T>(a);
+            mem_->store<T>(a, static_cast<T>(old + delta));
+        }
+        syncAtomic(a);
         eng_->waitUntil(done);
         return old;
     }
@@ -243,9 +254,14 @@ class Warp
         stats_->inc("sim.atomics");
         Cycles done =
             mem_->readDone(eng_->now(), 32.0) + cm_->atomicLatency;
-        T old = mem_->load<T>(a);
-        if (old == expected)
-            mem_->store<T>(a, desired);
+        T old;
+        {
+            check::SimCheck::Relaxed relaxed;
+            old = mem_->load<T>(a);
+            if (old == expected)
+                mem_->store<T>(a, desired);
+        }
+        syncAtomic(a);
         eng_->waitUntil(done);
         return old;
     }
@@ -259,8 +275,13 @@ class Warp
         stats_->inc("sim.atomics");
         Cycles done =
             mem_->readDone(eng_->now(), 32.0) + cm_->atomicLatency;
-        T old = mem_->load<T>(a);
-        mem_->store<T>(a, desired);
+        T old;
+        {
+            check::SimCheck::Relaxed relaxed;
+            old = mem_->load<T>(a);
+            mem_->store<T>(a, desired);
+        }
+        syncAtomic(a);
         eng_->waitUntil(done);
         return old;
     }
@@ -406,6 +427,15 @@ class Warp
     Engine& engine() { return *eng_; }
 
   private:
+    /** Acquire+release on the sync channel of atomic word @p a. */
+    void
+    syncAtomic(Addr a)
+    {
+        if (check::SimCheck::armed)
+            check::SimCheck::get().syncRmw(
+                check::SimCheck::atomicChan(mem_->checkMemId, a));
+    }
+
     int gid;
     int widInBlock;
     ThreadBlock* tb_;

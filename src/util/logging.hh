@@ -15,6 +15,7 @@
 
 #include <sstream>
 #include <string>
+#include <utility>
 
 namespace ap {
 
@@ -45,7 +46,8 @@ template <typename... Args>
 void
 inform(Args&&... args)
 {
-    detail::log(LogLevel::Inform, detail::concat(args...));
+    detail::log(LogLevel::Inform,
+                detail::concat(std::forward<Args>(args)...));
 }
 
 /** Print a warning to stderr. */
@@ -53,7 +55,8 @@ template <typename... Args>
 void
 warn(Args&&... args)
 {
-    detail::log(LogLevel::Warn, detail::concat(args...));
+    detail::log(LogLevel::Warn,
+                detail::concat(std::forward<Args>(args)...));
 }
 
 /** Report a user-caused error and exit(1). */
@@ -61,7 +64,8 @@ template <typename... Args>
 [[noreturn]] void
 fatal(Args&&... args)
 {
-    detail::logAndDie(LogLevel::Fatal, "", detail::concat(args...));
+    detail::logAndDie(LogLevel::Fatal, "",
+                      detail::concat(std::forward<Args>(args)...));
 }
 
 /** Report a simulator bug and abort(). */
@@ -69,7 +73,8 @@ template <typename... Args>
 [[noreturn]] void
 panic(Args&&... args)
 {
-    detail::logAndDie(LogLevel::Panic, "", detail::concat(args...));
+    detail::logAndDie(LogLevel::Panic, "",
+                      detail::concat(std::forward<Args>(args)...));
 }
 
 /** panic() unless the given simulator invariant holds. */

@@ -40,9 +40,9 @@ class StatGroup
     void
     setMax(const std::string& name, double value)
     {
-        auto it = scalars.find(name);
-        if (it == scalars.end() || it->second < value)
-            scalars[name] = value;
+        auto [it, inserted] = scalars.try_emplace(name, value);
+        if (!inserted && it->second < value)
+            it->second = value;
     }
 
     /** Read counter @p name; returns zero if never incremented. */
