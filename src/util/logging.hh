@@ -89,6 +89,23 @@ panic(Args&&... args)
         }                                                                 \
     } while (0)
 
+/**
+ * warn() unless @p cond holds, and keep going: for conditions that are
+ * suspicious but survivable (degraded configurations, soft limits).
+ * Like AP_ASSERT, the condition must be side-effect free — both macros
+ * are checked by the aplint assert-side-effect rule, and AP_CHECK
+ * conditions additionally must stay cheap enough to evaluate always.
+ */
+#define AP_CHECK(cond, ...)                                               \
+    do {                                                                  \
+        if (!(cond)) {                                                    \
+            ::ap::detail::log(                                            \
+                ::ap::LogLevel::Warn,                                     \
+                ::ap::detail::concat("check '" #cond "' failed: ",        \
+                                     ##__VA_ARGS__));                     \
+        }                                                                 \
+    } while (0)
+
 } // namespace ap
 
 #endif // AP_UTIL_LOGGING_HH

@@ -1,0 +1,202 @@
+#include "driver.hh"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+namespace fs = std::filesystem;
+
+namespace ap::lint {
+
+namespace {
+
+bool
+isSourceFile(const fs::path& p)
+{
+    const std::string ext = p.extension().string();
+    return ext == ".cc" || ext == ".hh" || ext == ".cpp" ||
+           ext == ".hpp" || ext == ".h";
+}
+
+bool
+excluded(const std::string& rel, const Options& opts)
+{
+    for (const std::string& e : opts.excludes)
+        if (rel.find(e) != std::string::npos)
+            return true;
+    return false;
+}
+
+std::string
+relativeTo(const fs::path& p, const fs::path& root)
+{
+    std::error_code ec;
+    fs::path rel = fs::relative(p, root, ec);
+    std::string s = (ec || rel.empty() ? p : rel).generic_string();
+    return s;
+}
+
+std::vector<std::string>
+collectFiles(const Options& opts)
+{
+    std::vector<std::string> files;
+    const fs::path root = opts.root;
+    for (const std::string& p : opts.paths) {
+        fs::path full = fs::path(p).is_absolute() ? fs::path(p)
+                                                  : root / p;
+        std::error_code ec;
+        if (fs::is_regular_file(full, ec)) {
+            files.push_back(full.generic_string());
+            continue;
+        }
+        if (!fs::is_directory(full, ec))
+            continue;
+        for (fs::recursive_directory_iterator
+                 it(full, fs::directory_options::skip_permission_denied,
+                    ec),
+             end;
+             it != end; it.increment(ec)) {
+            if (ec)
+                break;
+            if (it->is_regular_file(ec) && isSourceFile(it->path()))
+                files.push_back(it->path().generic_string());
+        }
+    }
+    std::sort(files.begin(), files.end());
+    files.erase(std::unique(files.begin(), files.end()), files.end());
+    return files;
+}
+
+std::string
+readFile(const std::string& path)
+{
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
+/** Mark findings covered by a (well-formed) waiver in their file. */
+void
+applyWaivers(std::vector<Finding>& findings,
+             const std::map<std::string, const FileModel*>& byPath)
+{
+    for (Finding& f : findings) {
+        if (f.rule == "waiver-syntax")
+            continue; // never waivable
+        auto it = byPath.find(f.file);
+        if (it == byPath.end())
+            continue;
+        for (const Waiver& w : it->second->waivers) {
+            if (w.malformed || w.rule != f.rule)
+                continue;
+            if (w.fileScope || w.line == f.line ||
+                w.line == f.line - 1) {
+                f.waived = true;
+                break;
+            }
+        }
+    }
+}
+
+std::string
+jsonEscape(const std::string& s)
+{
+    std::string out;
+    out.reserve(s.size() + 8);
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          case '\r': out += "\\r"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+Report
+analyze(const Options& opts)
+{
+    Report report;
+    const fs::path root = opts.root;
+
+    std::vector<FileModel> models;
+    for (const std::string& path : collectFiles(opts)) {
+        std::string rel = relativeTo(path, root);
+        if (excluded(rel, opts))
+            continue;
+        models.push_back(parseFile(rel, readFile(path)));
+        ++report.filesScanned;
+    }
+
+    GlobalModel g = buildGlobal(models, report.findings);
+    std::map<std::string, const FileModel*> byPath;
+    for (const FileModel& m : models)
+        byPath[m.path] = &m;
+    for (const FileModel& m : models)
+        runRules(m, g, report.findings);
+
+    applyWaivers(report.findings, byPath);
+    std::stable_sort(report.findings.begin(), report.findings.end(),
+                     [](const Finding& a, const Finding& b) {
+                         if (a.file != b.file)
+                             return a.file < b.file;
+                         return a.line < b.line;
+                     });
+    return report;
+}
+
+std::string
+toText(const Report& r)
+{
+    std::ostringstream os;
+    int waived = 0;
+    for (const Finding& f : r.findings) {
+        if (f.waived) {
+            ++waived;
+            continue;
+        }
+        os << f.file << ":" << f.line << ": [" << f.rule << "] "
+           << f.message << "\n";
+    }
+    os << "aplint: " << r.unwaivedCount() << " finding(s), " << waived
+       << " waived, " << r.filesScanned << " file(s) scanned\n";
+    return os.str();
+}
+
+std::string
+toJson(const Report& r)
+{
+    std::ostringstream os;
+    os << "{\n  \"filesScanned\": " << r.filesScanned << ",\n";
+    os << "  \"unwaived\": " << r.unwaivedCount() << ",\n";
+    os << "  \"findings\": [";
+    bool first = true;
+    for (const Finding& f : r.findings) {
+        os << (first ? "\n" : ",\n");
+        first = false;
+        os << "    {\"file\": \"" << jsonEscape(f.file)
+           << "\", \"line\": " << f.line << ", \"rule\": \""
+           << jsonEscape(f.rule) << "\", \"waived\": "
+           << (f.waived ? "true" : "false") << ", \"message\": \""
+           << jsonEscape(f.message) << "\"}";
+    }
+    os << (first ? "]" : "\n  ]") << "\n}\n";
+    return os.str();
+}
+
+} // namespace ap::lint

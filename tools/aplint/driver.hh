@@ -1,0 +1,53 @@
+/**
+ * @file
+ * aplint driver: walks the tree, parses every C++ source, builds the
+ * cross-file registries, runs the rules, and applies waivers. Used by
+ * both the CLI (main.cc) and the test suite.
+ */
+
+#ifndef APLINT_DRIVER_HH
+#define APLINT_DRIVER_HH
+
+#include "rules.hh"
+
+#include <string>
+#include <vector>
+
+namespace ap::lint {
+
+struct Options
+{
+    std::string root = ".";
+    /** Files or directories, relative to root (or absolute). */
+    std::vector<std::string> paths = {"src", "tests", "bench",
+                                      "examples", "tools"};
+    /** Path substrings to skip (e.g. fixture directories). */
+    std::vector<std::string> excludes;
+};
+
+struct Report
+{
+    std::vector<Finding> findings; ///< waived ones have waived=true
+    int filesScanned = 0;
+
+    int unwaivedCount() const
+    {
+        int n = 0;
+        for (const auto& f : findings)
+            n += f.waived ? 0 : 1;
+        return n;
+    }
+};
+
+/** Run the full analysis. */
+Report analyze(const Options& opts);
+
+/** Render a report, one `file:line: [rule] message` per finding. */
+std::string toText(const Report& r);
+
+/** Render a report as a JSON object for CI consumption. */
+std::string toJson(const Report& r);
+
+} // namespace ap::lint
+
+#endif // APLINT_DRIVER_HH

@@ -1,0 +1,195 @@
+#include "lexer.hh"
+
+#include <cctype>
+
+namespace ap::lint {
+
+namespace {
+
+/** Multi-character operators, longest first within a leading char. */
+const char* kOps3[] = {"<<=", ">>=", "...", "->*"};
+const char* kOps2[] = {"::", "->", "++", "--", "+=", "-=", "*=", "/=",
+                       "%=", "&=", "|=", "^=", "==", "!=", "<=", ">=",
+                       "&&", "||", "<<", ">>"};
+
+bool
+startsWith(const std::string& s, size_t i, const char* op)
+{
+    for (size_t k = 0; op[k]; ++k)
+        if (i + k >= s.size() || s[i + k] != op[k])
+            return false;
+    return true;
+}
+
+} // namespace
+
+LexResult
+lex(const std::string& src)
+{
+    LexResult out;
+    size_t i = 0;
+    int line = 1;
+    const size_t n = src.size();
+
+    auto peek = [&](size_t off = 0) -> char {
+        return i + off < n ? src[i + off] : '\0';
+    };
+
+    while (i < n) {
+        char c = src[i];
+        if (c == '\n') {
+            ++line;
+            ++i;
+            continue;
+        }
+        if (std::isspace(static_cast<unsigned char>(c))) {
+            ++i;
+            continue;
+        }
+        // Line comment.
+        if (c == '/' && peek(1) == '/') {
+            size_t j = i + 2;
+            while (j < n && src[j] != '\n')
+                ++j;
+            out.comments.push_back({src.substr(i + 2, j - i - 2), line});
+            i = j;
+            continue;
+        }
+        // Block comment.
+        if (c == '/' && peek(1) == '*') {
+            size_t j = i + 2;
+            int start = line;
+            while (j + 1 < n && !(src[j] == '*' && src[j + 1] == '/')) {
+                if (src[j] == '\n')
+                    ++line;
+                ++j;
+            }
+            out.comments.push_back(
+                {src.substr(i + 2, j - i - 2), start});
+            i = j + 2 <= n ? j + 2 : n;
+            continue;
+        }
+        // Preprocessor directive: consume the whole (continued) line.
+        // Only when # starts a line (ignoring whitespace) — otherwise
+        // it is a stringize operator inside a macro body we never see.
+        if (c == '#') {
+            size_t j = i;
+            while (j < n) {
+                if (src[j] == '\n') {
+                    if (j > 0 && src[j - 1] == '\\') {
+                        ++line;
+                        ++j;
+                        continue;
+                    }
+                    break;
+                }
+                ++j;
+            }
+            i = j;
+            continue;
+        }
+        // Raw string literal R"delim( ... )delim".
+        if (c == 'R' && peek(1) == '"') {
+            size_t j = i + 2;
+            std::string delim;
+            while (j < n && src[j] != '(')
+                delim += src[j++];
+            std::string close = ")" + delim + "\"";
+            size_t end = src.find(close, j);
+            if (end == std::string::npos)
+                end = n;
+            else
+                end += close.size();
+            int start = line;
+            for (size_t k = i; k < end; ++k)
+                if (src[k] == '\n')
+                    ++line;
+            out.tokens.push_back(
+                {Tok::String, src.substr(i, end - i), start});
+            i = end;
+            continue;
+        }
+        // String / char literal with escapes.
+        if (c == '"' || c == '\'') {
+            size_t j = i + 1;
+            int start = line;
+            while (j < n && src[j] != c) {
+                if (src[j] == '\\')
+                    ++j;
+                if (src[j] == '\n')
+                    ++line;
+                ++j;
+            }
+            ++j;
+            out.tokens.push_back(
+                {c == '"' ? Tok::String : Tok::Char,
+                 src.substr(i, std::min(j, n) - i), start});
+            i = j;
+            continue;
+        }
+        // Identifier / keyword / macro name.
+        if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+            size_t j = i;
+            while (j < n && (std::isalnum(
+                                 static_cast<unsigned char>(src[j])) ||
+                             src[j] == '_'))
+                ++j;
+            out.tokens.push_back({Tok::Ident, src.substr(i, j - i), line});
+            i = j;
+            continue;
+        }
+        // Number (incl. hex, float, digit separators, suffixes).
+        if (std::isdigit(static_cast<unsigned char>(c)) ||
+            (c == '.' && std::isdigit(
+                             static_cast<unsigned char>(peek(1))))) {
+            size_t j = i;
+            while (j < n) {
+                char d = src[j];
+                if (std::isalnum(static_cast<unsigned char>(d)) ||
+                    d == '.' || d == '\'') {
+                    ++j;
+                    continue;
+                }
+                // Exponent signs: 1e-5, 0x1p+3.
+                if ((d == '+' || d == '-') && j > i &&
+                    (src[j - 1] == 'e' || src[j - 1] == 'E' ||
+                     src[j - 1] == 'p' || src[j - 1] == 'P')) {
+                    ++j;
+                    continue;
+                }
+                break;
+            }
+            out.tokens.push_back(
+                {Tok::Number, src.substr(i, j - i), line});
+            i = j;
+            continue;
+        }
+        // Operators, longest match first.
+        bool matched = false;
+        for (const char* op : kOps3) {
+            if (startsWith(src, i, op)) {
+                out.tokens.push_back({Tok::Punct, op, line});
+                i += 3;
+                matched = true;
+                break;
+            }
+        }
+        if (matched)
+            continue;
+        for (const char* op : kOps2) {
+            if (startsWith(src, i, op)) {
+                out.tokens.push_back({Tok::Punct, op, line});
+                i += 2;
+                matched = true;
+                break;
+            }
+        }
+        if (matched)
+            continue;
+        out.tokens.push_back({Tok::Punct, std::string(1, c), line});
+        ++i;
+    }
+    return out;
+}
+
+} // namespace ap::lint

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * aplint CLI. Exit status is 0 only when the tree has zero unwaived
+ * findings, so CI can gate on it directly.
+ *
+ *   aplint [--root DIR] [--json] [--exclude SUBSTR]... [path...]
+ */
+
+#include "driver.hh"
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+int
+main(int argc, char** argv)
+{
+    ap::lint::Options opts;
+    bool json = false;
+    std::vector<std::string> paths;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--json") {
+            json = true;
+        } else if (arg == "--root" && i + 1 < argc) {
+            opts.root = argv[++i];
+        } else if (arg == "--exclude" && i + 1 < argc) {
+            opts.excludes.push_back(argv[++i]);
+        } else if (arg == "--help" || arg == "-h") {
+            std::printf(
+                "usage: aplint [--root DIR] [--json] "
+                "[--exclude SUBSTR]... [path...]\n"
+                "Lints the ActivePointers tree against the AP_* "
+                "contract annotations.\n"
+                "Default paths (relative to --root): src tests bench "
+                "examples tools\n");
+            return 0;
+        } else if (!arg.empty() && arg[0] == '-') {
+            std::fprintf(stderr, "aplint: unknown option '%s'\n",
+                         arg.c_str());
+            return 2;
+        } else {
+            paths.push_back(arg);
+        }
+    }
+    if (!paths.empty())
+        opts.paths = paths;
+
+    ap::lint::Report report = ap::lint::analyze(opts);
+    std::string out = json ? ap::lint::toJson(report)
+                           : ap::lint::toText(report);
+    std::fputs(out.c_str(), stdout);
+    return report.unwaivedCount() == 0 ? 0 : 1;
+}

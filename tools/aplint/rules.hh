@@ -1,0 +1,69 @@
+/**
+ * @file
+ * The aplint rule engine: cross-file registries built from AP_*
+ * annotations plus the per-file checks. Rule IDs (see docs/ANALYSIS.md
+ * "Static matrix"):
+ *
+ *   leader-only          AP_LEADER_ONLY callee without leader election
+ *   lockstep-divergence  AP_LOCKSTEP call under a divergent lane guard
+ *   no-yield             yielding call in AP_NO_YIELD or under a lock
+ *   lock-order           undeclared/misordered registered-lock acquire
+ *   linked-escape        AP_REQUIRES_LINKED pointer escapes its scope
+ *   assert-side-effect   AP_ASSERT/AP_CHECK condition mutates state
+ *   waiver-syntax        malformed or unknown aplint waiver comment
+ */
+
+#ifndef APLINT_RULES_HH
+#define APLINT_RULES_HH
+
+#include "parser.hh"
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace ap::lint {
+
+/** One diagnostic. */
+struct Finding
+{
+    std::string file;
+    int line = 0;
+    std::string rule;
+    std::string message;
+    bool waived = false;
+};
+
+/** Cross-file registries keyed by unqualified function name. */
+struct GlobalModel
+{
+    std::set<std::string> lockstep;       ///< AP_LOCKSTEP
+    std::set<std::string> leaderOnly;     ///< AP_LEADER_ONLY
+    std::set<std::string> electsLeader;   ///< AP_ELECTS_LEADER
+    std::set<std::string> requiresLinked; ///< AP_REQUIRES_LINKED
+    std::set<std::string> noYield;        ///< AP_NO_YIELD
+    std::set<std::string> yields;         ///< AP_YIELDS
+    /** function name -> lock classes it may acquire (AP_ACQUIRES). */
+    std::map<std::string, std::set<std::string>> acquires;
+    /** lock member/accessor name -> lock class (AP_LOCK_LEVEL). */
+    std::map<std::string, std::string> lockNames;
+    /** canonical order, outermost first; empty if no directive. */
+    std::vector<std::string> lockOrder;
+    std::map<std::string, int> lockRank;
+};
+
+/** All rule IDs aplint can emit (used to validate waivers). */
+const std::set<std::string>& knownRules();
+
+/** Merge annotations and directives from every parsed file. */
+GlobalModel buildGlobal(const std::vector<FileModel>& files,
+                        std::vector<Finding>& findings);
+
+/** Run every rule on one file against the global registries. */
+void runRules(const FileModel& file, const GlobalModel& g,
+              std::vector<Finding>& findings);
+
+} // namespace ap::lint
+
+#endif // APLINT_RULES_HH
