@@ -21,6 +21,7 @@
 
 #include "core/runtime.hh"
 #include "core/translation.hh"
+#include "util/annotations.hh"
 
 namespace ap::core {
 
@@ -50,7 +51,7 @@ class AptrVec
      */
     static AptrVec
     map(sim::Warp& w, GvmRuntime& rt, hostio::FileId f, uint64_t f_offset,
-        uint64_t length, uint64_t perm)
+        uint64_t length, uint64_t perm) AP_LOCKSTEP
     {
         AP_ASSERT(f >= 0, "gvmmap of invalid file");
         AP_ASSERT(length > 0, "gvmmap of empty region");
@@ -91,7 +92,7 @@ class AptrVec
      * @param length region length in bytes
      */
     static AptrVec
-    mapAnonymous(sim::Warp& w, GvmRuntime& rt, uint64_t length)
+    mapAnonymous(sim::Warp& w, GvmRuntime& rt, uint64_t length) AP_LOCKSTEP
     {
         uint64_t off = rt.swapAlloc(length);
         AptrVec p = map(w, rt, rt.swapFileId(), off, length,
@@ -110,7 +111,7 @@ class AptrVec
      */
     static AptrVec
     mapDirect(sim::Warp& w, GvmRuntime& rt, sim::Addr base,
-              uint64_t length, uint64_t perm)
+              uint64_t length, uint64_t perm) AP_LOCKSTEP
     {
         AP_ASSERT(base % rt.pageSize() == 0,
                   "direct mapping must be page aligned");
@@ -153,7 +154,7 @@ class AptrVec
      * return their page references (paper Figure 4).
      */
     void
-    add(sim::Warp& w, int64_t delta)
+    add(sim::Warp& w, int64_t delta) AP_LOCKSTEP
     {
         addBytes(w, sim::LaneArray<int64_t>::broadcast(
                         delta * static_cast<int64_t>(sizeof(T))),
@@ -163,7 +164,7 @@ class AptrVec
     /** Per-lane pointer arithmetic (in elements). */
     void
     addPerLane(sim::Warp& w, const sim::LaneArray<int64_t>& delta,
-               sim::LaneMask mask = sim::kFullMask)
+               sim::LaneMask mask = sim::kFullMask) AP_LOCKSTEP
     {
         sim::LaneArray<int64_t> bytes;
         for (int l = 0; l < sim::kWarpSize; ++l)
@@ -177,7 +178,7 @@ class AptrVec
      * the unlinked state when it is assigned from another apointer").
      */
     AptrVec
-    copyUnlinked(sim::Warp& w) const
+    copyUnlinked(sim::Warp& w) const AP_LOCKSTEP
     {
         AptrVec p;
         p.rt_ = rt_;
@@ -199,7 +200,7 @@ class AptrVec
      * apointer is abandoned; ScopedAptr automates this.
      */
     void
-    destroy(sim::Warp& w)
+    destroy(sim::Warp& w) AP_LOCKSTEP
     {
         if (!initialized())
             return;
@@ -221,6 +222,7 @@ class AptrVec
      */
     sim::LaneArray<T>
     read(sim::Warp& w, sim::LaneMask mask = sim::kFullMask)
+        AP_LOCKSTEP AP_YIELDS
     {
         AP_ASSERT(initialized(), "dereference of uninitialized apointer");
         const AptrCosts& c = rt_->costs();
@@ -256,7 +258,7 @@ class AptrVec
     /** Dereference for write: *ptr = v on every lane in @p mask. */
     void
     write(sim::Warp& w, const sim::LaneArray<T>& v,
-          sim::LaneMask mask = sim::kFullMask)
+          sim::LaneMask mask = sim::kFullMask) AP_LOCKSTEP AP_YIELDS
     {
         AP_ASSERT(initialized(), "dereference of uninitialized apointer");
         const AptrCosts& c = rt_->costs();
@@ -266,6 +268,24 @@ class AptrVec
         if (voteFault(w, mask))
             pageFault(w, mask);
         w.storeGlobal<T>(aphysAddrs(), v, mask);
+    }
+
+    /**
+     * Escape hatch: the raw device pointer behind lane @p lane's
+     * linked translation, for interop with code that wants a plain
+     * T* (e.g. handing a frame-resident record to a library routine).
+     * The pointer is pinned only while the lane stays linked; it must
+     * not outlive the linking scope — no returning it, no stashing it
+     * in a member (aplint rule linked-escape). Arithmetic that crosses
+     * a page, assignment, or destroy() all invalidate it.
+     */
+    const T*
+    linkedFramePtr(sim::Warp& w, int lane) const AP_REQUIRES_LINKED
+    {
+        AP_ASSERT(translationValid(field[lane]),
+                  "linkedFramePtr on unlinked lane");
+        return reinterpret_cast<const T*>(
+            w.mem().raw(aphysAddrs()[lane], sizeof(T)));
     }
 
     /** Mapping length in bytes. */
@@ -368,7 +388,7 @@ class AptrVec
      * then link the whole subgroup.
      */
     void
-    pageFault(sim::Warp& w, sim::LaneMask mask)
+    pageFault(sim::Warp& w, sim::LaneMask mask) AP_ELECTS_LEADER AP_YIELDS
     {
         const AptrCosts& c = rt_->costs();
         gpufs::PageCache& cache = rt_->fs().cache();
@@ -471,7 +491,7 @@ class AptrVec
      * mirror image of the fault aggregation.
      */
     void
-    releaseLanes(sim::Warp& w, sim::LaneMask lanes)
+    releaseLanes(sim::Warp& w, sim::LaneMask lanes) AP_ELECTS_LEADER
     {
         if (isDirect())
             return; // no references are held on raw-memory mappings

@@ -12,6 +12,7 @@
 #include <string>
 
 #include "gpufs/page_cache.hh"
+#include "util/annotations.hh"
 
 namespace ap::gpufs {
 
@@ -40,7 +41,7 @@ class GpuFs
      * @return file descriptor, or -1 if the file does not exist
      */
     hostio::FileId
-    gopen(sim::Warp& w, const std::string& name)
+    gopen(sim::Warp& w, const std::string& name) AP_YIELDS
     {
         return static_cast<hostio::FileId>(io_->rpc(
             w, [this, name] { return io_->store().open(name); }));
@@ -59,6 +60,7 @@ class GpuFs
      */
     sim::Addr
     gmmap(sim::Warp& w, hostio::FileId f, uint64_t offset, uint32_t prot)
+        AP_ELECTS_LEADER AP_YIELDS
     {
         uint64_t page_no = offset / pageSize();
         AcquireResult r = cache_.acquirePage(
@@ -70,6 +72,7 @@ class GpuFs
     /** Drop the reference taken by gmmap on @p offset's page. */
     void
     gmunmap(sim::Warp& w, hostio::FileId f, uint64_t offset)
+        AP_ELECTS_LEADER
     {
         cache_.releasePage(w, makePageKey(f, offset / pageSize()), 1);
     }
@@ -79,11 +82,11 @@ class GpuFs
      * covered page, copies into the destination buffer, releases.
      */
     void gread(sim::Warp& w, hostio::FileId f, uint64_t off, size_t len,
-               sim::Addr dst);
+               sim::Addr dst) AP_ELECTS_LEADER AP_YIELDS;
 
     /** Warp-level file write through the page cache. */
     void gwrite(sim::Warp& w, hostio::FileId f, uint64_t off, size_t len,
-                sim::Addr src);
+                sim::Addr src) AP_ELECTS_LEADER AP_YIELDS;
 
     /**
      * Advisory prefetch (madvise(WILLNEED) for GPU mappings): start
@@ -93,6 +96,7 @@ class GpuFs
      */
     void
     gmadvise(sim::Warp& w, hostio::FileId f, uint64_t off, size_t len)
+        AP_ELECTS_LEADER
     {
         uint64_t first = off / pageSize();
         uint64_t last = (off + len - 1) / pageSize();

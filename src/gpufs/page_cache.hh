@@ -20,6 +20,7 @@
 
 #include "gpufs/page_table.hh"
 #include "hostio/host_io_engine.hh"
+#include "util/annotations.hh"
 
 namespace ap::gpufs {
 
@@ -116,7 +117,8 @@ class PageCache
      *                  written-back pages read it normally
      */
     AcquireResult acquirePage(sim::Warp& w, PageKey key, int count,
-                              bool writable, bool zero_fill = false);
+                              bool writable, bool zero_fill = false)
+        AP_LEADER_ONLY AP_YIELDS AP_ACQUIRES("pt.bucket");
 
     /** Host-side: true if the page was ever written back (swap test). */
     bool
@@ -126,7 +128,8 @@ class PageCache
     }
 
     /** Drop @p count references from (f, page_no). */
-    void releasePage(sim::Warp& w, PageKey key, int count);
+    void releasePage(sim::Warp& w, PageKey key, int count)
+        AP_LEADER_ONLY AP_NO_YIELD;
 
     /**
      * Advisory prefetch (the gmadvise/WILLNEED path): if the page is
@@ -137,7 +140,8 @@ class PageCache
      * is already present or the insertion races. Incompatible with a
      * postFetch hook (no warp exists at completion time to charge).
      */
-    void prefetchPage(sim::Warp& w, PageKey key);
+    void prefetchPage(sim::Warp& w, PageKey key)
+        AP_LEADER_ONLY AP_ACQUIRES("pt.bucket");
 
     /**
      * Host-side: write every dirty frame back to the backing store and
@@ -164,19 +168,20 @@ class PageCache
 
   private:
     /** Obtain a free frame, evicting a refcount-zero page if needed. */
-    uint32_t allocFrame(sim::Warp& w);
+    uint32_t allocFrame(sim::Warp& w)
+        AP_ACQUIRES("pc.alloc") AP_ACQUIRES("pt.bucket");
 
     /** Return a frame to the free pool (lost insertion race). */
-    void freeFrame(sim::Warp& w, uint32_t frame);
+    void freeFrame(sim::Warp& w, uint32_t frame) AP_ACQUIRES("pc.alloc");
 
     /** Write a dirty frame's bytes back to its file. */
-    void writeback(sim::Warp& w, PageKey key, uint32_t frame);
+    void writeback(sim::Warp& w, PageKey key, uint32_t frame) AP_YIELDS;
 
     /** Fetch page data from the host into @p frame via staging. */
-    void fetchPage(sim::Warp& w, PageKey key, uint32_t frame);
+    void fetchPage(sim::Warp& w, PageKey key, uint32_t frame) AP_YIELDS;
 
-    uint32_t grabStagingSlot(sim::Warp& w);
-    void releaseStagingSlot(sim::Warp& w, uint32_t slot);
+    uint32_t grabStagingSlot(sim::Warp& w) AP_YIELDS;
+    void releaseStagingSlot(sim::Warp& w, uint32_t slot) AP_NO_YIELD;
 
     sim::Addr metaAddr(uint32_t frame) const
     {
@@ -196,7 +201,7 @@ class PageCache
     /** Free-frame pool (device-side state mirrored host-side; pops and
      * pushes are charged as atomic pool operations). */
     std::vector<uint32_t> freeFrames;
-    sim::DeviceLock allocLock;
+    sim::DeviceLock allocLock AP_LOCK_LEVEL("pc.alloc");
     uint64_t clockHand = 0;
 
     /** simcheck serial for the per-slot staging handoff channels. */

@@ -18,6 +18,7 @@
 #include "hostio/backing_store.hh"
 #include "sim/sync.hh"
 #include "sim/warp.hh"
+#include "util/annotations.hh"
 #include "util/rng.hh"
 
 namespace ap::sim {
@@ -132,7 +133,11 @@ class PageTable
     }
 
     /** The insertion lock of bucket @p b. */
-    sim::DeviceLock& bucketLock(uint32_t b) { return locks[b]; }
+    sim::DeviceLock&
+    bucketLock(uint32_t b) AP_LOCK_LEVEL("pt.bucket")
+    {
+        return locks[b];
+    }
 
     /** Functional entry read (no timing). */
     Pte
@@ -168,7 +173,7 @@ class PageTable
      * @return device address of the matching entry, or 0 if absent
      */
     sim::Addr
-    probe(sim::Warp& w, PageKey key) const
+    probe(sim::Warp& w, PageKey key) const AP_NO_YIELD
     {
         uint32_t b = bucketOf(key);
         // Hash computation plus the scan. At 16x sizing the expected

@@ -14,6 +14,7 @@
 
 #include "hostio/backing_store.hh"
 #include "sim/device.hh"
+#include "util/annotations.hh"
 
 namespace ap::hostio {
 
@@ -40,7 +41,7 @@ class HostIoEngine
      * window share one PCIe transfer.
      */
     void readToGpu(sim::Warp& w, FileId f, uint64_t off, size_t len,
-                   sim::Addr gpu_dst);
+                   sim::Addr gpu_dst) AP_YIELDS;
 
     /**
      * Asynchronous variant of readToGpu: enqueue the request (sharing
@@ -56,14 +57,15 @@ class HostIoEngine
      * Blocks the calling warp until the transfer completes.
      */
     void writeFromGpu(sim::Warp& w, FileId f, uint64_t off, size_t len,
-                      sim::Addr gpu_src);
+                      sim::Addr gpu_src) AP_YIELDS;
 
     /**
      * A device-to-host RPC with a tiny payload (e.g. gopen): charges a
      * round trip and runs @p host_fn on the host at the service time.
      * @return the value produced by @p host_fn
      */
-    int64_t rpc(sim::Warp& w, const std::function<int64_t()>& host_fn);
+    int64_t rpc(sim::Warp& w, const std::function<int64_t()>& host_fn)
+        AP_YIELDS;
 
     /** Enable/disable batching (ablation knob). */
     void setBatching(bool on) { batching = on; }

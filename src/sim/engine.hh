@@ -16,6 +16,7 @@
 #include "sim/check/simcheck.hh"
 #include "sim/fiber.hh"
 #include "sim/types.hh"
+#include "util/annotations.hh"
 #include "util/logging.hh"
 
 namespace ap::sim {
@@ -70,7 +71,7 @@ class Engine
      * inside a fiber.
      */
     void
-    waitUntil(Cycles when)
+    waitUntil(Cycles when) AP_YIELDS
     {
         Fiber* f = Fiber::current();
         AP_ASSERT(f != nullptr, "waitUntil outside a fiber");
@@ -85,7 +86,7 @@ class Engine
      * (a lock release, a DMA completion) must resume it.
      */
     void
-    block()
+    block() AP_YIELDS
     {
         Fiber* f = Fiber::current();
         AP_ASSERT(f != nullptr, "block outside a fiber");

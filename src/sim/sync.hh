@@ -14,6 +14,7 @@
 
 #include "sim/check/simcheck.hh"
 #include "sim/warp.hh"
+#include "util/annotations.hh"
 
 namespace ap::sim {
 
@@ -40,7 +41,7 @@ class DeviceLock
      * Charges one atomic operation.
      */
     void
-    acquire(Warp& w)
+    acquire(Warp& w) AP_YIELDS
     {
         // The CAS that would take the lock (or observe it held).
         w.stall(atomicCost(w));
@@ -63,7 +64,7 @@ class DeviceLock
      * @return true if the lock was taken
      */
     bool
-    tryAcquire(Warp& w)
+    tryAcquire(Warp& w) AP_NO_YIELD
     {
         w.stall(atomicCost(w));
         w.issue(1);
@@ -77,7 +78,7 @@ class DeviceLock
 
     /** Release the lock; wakes the oldest waiter, if any. */
     void
-    release(Warp& w)
+    release(Warp& w) AP_NO_YIELD
     {
         AP_ASSERT(held, "release of unheld lock");
         w.issue(1);

@@ -14,6 +14,7 @@
 #include "sim/engine.hh"
 #include "sim/sm.hh"
 #include "sim/types.hh"
+#include "util/annotations.hh"
 #include "util/logging.hh"
 
 namespace ap::sim {
@@ -75,7 +76,7 @@ class ThreadBlock
      * call it the same number of times.
      */
     void
-    barrier()
+    barrier() AP_YIELDS
     {
         Fiber* f = Fiber::current();
         AP_ASSERT(f != nullptr, "barrier outside a fiber");

@@ -21,6 +21,7 @@
 #include "sim/engine.hh"
 #include "sim/memory.hh"
 #include "sim/threadblock.hh"
+#include "util/annotations.hh"
 #include "util/stats.hh"
 
 namespace ap::sim {
@@ -201,7 +202,7 @@ class Warp
      * instructions; blocks until the data has landed.
      */
     void
-    copyGlobal(Addr dst, Addr src, size_t len)
+    copyGlobal(Addr dst, Addr src, size_t len) AP_LOCKSTEP
     {
         // One iteration moves 16 B per lane.
         int iters = static_cast<int>(
@@ -333,7 +334,7 @@ class Warp
 
     /** __ballot: bit i set iff lane i is active in @p m and pred true. */
     uint32_t
-    ballot(const LaneArray<int>& pred, LaneMask m = kFullMask)
+    ballot(const LaneArray<int>& pred, LaneMask m = kFullMask) AP_LOCKSTEP
     {
         issue(1);
         uint32_t r = 0;
@@ -345,7 +346,7 @@ class Warp
 
     /** __all: true iff pred holds on every active lane. */
     bool
-    all(const LaneArray<int>& pred, LaneMask m = kFullMask)
+    all(const LaneArray<int>& pred, LaneMask m = kFullMask) AP_LOCKSTEP
     {
         issue(1);
         for (int lane = 0; lane < kWarpSize; ++lane)
@@ -356,7 +357,7 @@ class Warp
 
     /** __any: true iff pred holds on at least one active lane. */
     bool
-    any(const LaneArray<int>& pred, LaneMask m = kFullMask)
+    any(const LaneArray<int>& pred, LaneMask m = kFullMask) AP_LOCKSTEP
     {
         issue(1);
         for (int lane = 0; lane < kWarpSize; ++lane)
@@ -368,7 +369,7 @@ class Warp
     /** __shfl: broadcast lane @p src_lane's value to all lanes. */
     template <typename T>
     T
-    shfl(const LaneArray<T>& v, int src_lane)
+    shfl(const LaneArray<T>& v, int src_lane) AP_LOCKSTEP
     {
         issue(1);
         AP_ASSERT(src_lane >= 0 && src_lane < kWarpSize,
@@ -379,7 +380,7 @@ class Warp
     /** __shfl_xor: lane i receives the value of lane i^laneMask. */
     template <typename T>
     LaneArray<T>
-    shflXor(const LaneArray<T>& v, int lane_mask)
+    shflXor(const LaneArray<T>& v, int lane_mask) AP_LOCKSTEP
     {
         issue(1);
         LaneArray<T> r;
@@ -391,7 +392,7 @@ class Warp
     /** __shfl_down: lane i receives the value of lane i+delta (clamped). */
     template <typename T>
     LaneArray<T>
-    shflDown(const LaneArray<T>& v, int delta)
+    shflDown(const LaneArray<T>& v, int delta) AP_LOCKSTEP
     {
         issue(1);
         LaneArray<T> r;
@@ -404,7 +405,7 @@ class Warp
 
     /** Block-wide barrier (__syncthreads). */
     void
-    syncThreads()
+    syncThreads() AP_LOCKSTEP AP_YIELDS
     {
         issue(1);
         tb_->barrier();
