@@ -16,7 +16,7 @@ SoftTlb::SoftTlb(sim::ThreadBlock& tb, uint32_t n_entries, AptrKind kind,
     entries.reserve(n_entries);
     for (uint32_t i = 0; i < n_entries; ++i) {
         entries.emplace_back(lock_latency);
-        entries.back().lock.debugName =
+        entries.back().entryLock.debugName =
             "tlb[blk" + std::to_string(tb.id()) + "].entry[" +
             std::to_string(i) + "]";
     }
@@ -40,17 +40,17 @@ SoftTlb::lookupAndRef(sim::Warp& w, gpufs::PageKey key, int n,
         w.stats().inc("core.tlb_misses");
         return false;
     }
-    e.lock.acquire(w);
+    e.entryLock.acquire(w);
     if (e.key != key + 1) {
         // Raced with a discard between probe and lock.
-        e.lock.release(w);
+        e.entryLock.release(w);
         w.stats().inc("core.tlb_misses");
         return false;
     }
     e.count += n;
     frame_addr = e.frameAddr;
     w.chargeSharedWrite();
-    e.lock.release(w);
+    e.entryLock.release(w);
     w.stats().inc("core.tlb_hits");
     return true;
 }
@@ -61,20 +61,20 @@ SoftTlb::insertAfterAcquire(sim::Warp& w, gpufs::PageKey key,
                             gpufs::PageCache& cache)
 {
     Entry& e = entries[slotOf(key)];
-    e.lock.acquire(w);
+    e.entryLock.acquire(w);
     w.chargeSharedRead();
     if (e.key == key + 1) {
         // Another warp installed the same page meanwhile: merge.
         e.count += n;
         e.ptRefs += n;
         w.chargeSharedWrite();
-        e.lock.release(w);
+        e.entryLock.release(w);
         return true;
     }
     if (e.count > 0) {
         // Conflict with a counted entry: evicting it would lose its
         // count, so this page bypasses the TLB (section III-E).
-        e.lock.release(w);
+        e.entryLock.release(w);
         w.stats().inc("core.tlb_bypasses");
         return false;
     }
@@ -94,7 +94,7 @@ SoftTlb::insertAfterAcquire(sim::Warp& w, gpufs::PageKey key,
     e.count = n;
     e.ptRefs = n;
     w.chargeSharedWrite();
-    e.lock.release(w);
+    e.entryLock.release(w);
     return true;
 }
 
@@ -104,9 +104,9 @@ SoftTlb::unref(sim::Warp& w, gpufs::PageKey key, int n,
 {
     Entry& e = entries[slotOf(key)];
     w.issue(3);
-    e.lock.acquire(w);
+    e.entryLock.acquire(w);
     if (e.key != key + 1) {
-        e.lock.release(w);
+        e.entryLock.release(w);
         return false;
     }
     AP_ASSERT(e.count >= n, "TLB count underflow");
@@ -119,11 +119,11 @@ SoftTlb::unref(sim::Warp& w, gpufs::PageKey key, int n,
         gpufs::PageKey k = e.key - 1;
         e.key = 0;
         e.ptRefs = 0;
-        e.lock.release(w);
+        e.entryLock.release(w);
         cache.releasePage(w, k, refs);
         return true;
     }
-    e.lock.release(w);
+    e.entryLock.release(w);
     return true;
 }
 

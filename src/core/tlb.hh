@@ -23,6 +23,7 @@
 #include "core/access_mode.hh"
 #include "gpufs/page_cache.hh"
 #include "sim/sync.hh"
+#include "util/annotations.hh"
 
 namespace ap::core {
 
@@ -49,7 +50,8 @@ class SoftTlb
      * @return true on hit
      */
     bool lookupAndRef(sim::Warp& w, gpufs::PageKey key, int n,
-                      sim::Addr& frame_addr);
+                      sim::Addr& frame_addr)
+        AP_LEADER_ONLY AP_ACQUIRES("tlb.entry");
 
     /**
      * After the caller acquired @p n page-table references for @p key,
@@ -61,7 +63,8 @@ class SoftTlb
      */
     bool insertAfterAcquire(sim::Warp& w, gpufs::PageKey key,
                             sim::Addr frame_addr, int n,
-                            gpufs::PageCache& cache);
+                            gpufs::PageCache& cache)
+        AP_LEADER_ONLY AP_ACQUIRES("tlb.entry");
 
     /**
      * Return @p n block-private references for @p key. When the count
@@ -72,7 +75,8 @@ class SoftTlb
      *         references were taken via the TLB)
      */
     bool unref(sim::Warp& w, gpufs::PageKey key, int n,
-               gpufs::PageCache& cache);
+               gpufs::PageCache& cache)
+        AP_LEADER_ONLY AP_ACQUIRES("tlb.entry");
 
     /** Number of entries. */
     uint32_t size() const { return nEntries; }
@@ -83,13 +87,16 @@ class SoftTlb
   private:
     struct Entry
     {
-        explicit Entry(sim::Cycles lock_latency) : lock(lock_latency) {}
+        explicit Entry(sim::Cycles lock_latency)
+            : entryLock(lock_latency)
+        {
+        }
 
         gpufs::PageKey key = 0;  ///< key+1; 0 = empty
         sim::Addr frameAddr = 0;
         int count = 0;   ///< block-private references
         int ptRefs = 0;  ///< page-table references held on behalf
-        sim::DeviceLock lock;
+        sim::DeviceLock entryLock AP_LOCK_LEVEL("tlb.entry");
     };
 
     uint32_t slotOf(gpufs::PageKey key) const;
