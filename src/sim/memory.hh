@@ -152,7 +152,7 @@ class GlobalMemory
         Addr segs[kCap];
         int nsegs = 0;
         int extra = 0; // segments past dedup capacity, counted distinct
-        auto add = [&](Addr seg) {
+        auto addSeg = [&](Addr seg) {
             for (int i = 0; i < nsegs; ++i)
                 if (segs[i] == seg)
                     return;
@@ -167,7 +167,7 @@ class GlobalMemory
             Addr first = addrs[lane] / segmentBytes;
             Addr last = (addrs[lane] + bytesPerLane - 1) / segmentBytes;
             for (Addr s = first; s <= last; ++s)
-                add(s);
+                addSeg(s);
         }
         return static_cast<double>(nsegs + extra) * segmentBytes;
     }
