@@ -9,6 +9,9 @@
  *  - all refcounts return to zero at the end.
  */
 
+// aplint: allow-file(leader-only) single-warp test harness: the launched warp is the
+// leader by construction, exercising the cache API without an election.
+
 #include <map>
 
 #include <gtest/gtest.h>

@@ -16,6 +16,9 @@
  * fails the test too.
  */
 
+// aplint: allow-file(leader-only) single-warp test harness: the launched warp is the
+// leader by construction, exercising the cache API without an election.
+
 #include <gtest/gtest.h>
 
 #include "gpufs/page_cache.hh"

@@ -126,6 +126,7 @@ TEST_F(SimCheckTest, ReportsLeakedPageReference)
     gpufs::PageKey key = gpufs::makePageKey(f, 3);
     dev.launch(1, 1, [&](Warp& w) {
         // Injected defect: take 3 references and never release them.
+        // aplint: allow(leader-only) lone test warp is the leader by construction
         cache.acquirePage(w, key, 3, false);
     });
 
