@@ -182,6 +182,23 @@ class SimCheck
     /** Current actor released @p lock. */
     void onLockReleased(uint64_t lock);
 
+    /**
+     * Visit every observed lock-order edge — an inner lock acquired
+     * while an outer one was held — as (outer, inner) debug names.
+     * Tests cross-check these runtime edges against the declared
+     * static hierarchy in ap::kLockOrder (aplint rule lock-order).
+     */
+    template <typename Fn>
+    void
+    forEachLockEdge(Fn&& fn) const
+    {
+        for (const auto& [from, tos] : lockGraph)
+            for (const auto& [to, edge] : tos) {
+                (void)edge;
+                fn(lockName(from), lockName(to));
+            }
+    }
+
     // ------------------------------------------------------------------
     // Invariant auditor (page-cache domains)
     // ------------------------------------------------------------------

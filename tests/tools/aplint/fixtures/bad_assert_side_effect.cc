@@ -1,0 +1,15 @@
+// Fixture: assertion conditions that mutate state — an increment in
+// AP_ASSERT and a compound assignment in AP_CHECK. Expected:
+// assert-side-effect (twice). Lint fodder only; never compiled.
+
+void
+incrementInAssert(int n)
+{
+    AP_ASSERT(n++ < 4, "condition mutates n");
+}
+
+void
+assignInCheck(int total, int step)
+{
+    AP_CHECK((total += step) < 100, "condition mutates total");
+}

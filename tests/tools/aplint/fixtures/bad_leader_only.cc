@@ -1,0 +1,14 @@
+// Fixture: every lane reaches an AP_LEADER_ONLY function — no ballot,
+// no ffs, no AP_ELECTS_LEADER on the caller. Expected: leader-only.
+// Lint fodder only; never compiled.
+
+struct Cache
+{
+    void acquirePage(int n) AP_LEADER_ONLY;
+};
+
+void
+everyLaneTouchesCache(Cache& c)
+{
+    c.acquirePage(3);
+}

@@ -1,0 +1,26 @@
+// Fixture: the raw pointer from an AP_REQUIRES_LINKED accessor escapes
+// its linking scope — returned from a plain function, and stashed in
+// object state. Expected: linked-escape (twice). Lint fodder only;
+// never compiled.
+
+struct AptrVec
+{
+    const int* linkedFramePtr(int lane) AP_REQUIRES_LINKED;
+};
+
+const int*
+leakByReturn(AptrVec& p)
+{
+    return p.linkedFramePtr(0);
+}
+
+struct Holder
+{
+    const int* stash;
+};
+
+void
+leakByStore(Holder& h, AptrVec& p)
+{
+    h.stash = p.linkedFramePtr(0);
+}

@@ -1,0 +1,28 @@
+// Fixture: the two lock-order defects — acquiring a registered lock
+// with no AP_ACQUIRES declaration, and nesting against the declared
+// hierarchy. Expected: lock-order (twice). Lint fodder only; never
+// compiled.
+// aplint: lock-order: tlb.entry < pt.bucket < pc.alloc
+
+struct Tables
+{
+    Lock entry AP_LOCK_LEVEL("tlb.entry");
+    Lock bucket AP_LOCK_LEVEL("pt.bucket");
+};
+
+void
+undeclaredAcquire(Tables& t)
+{
+    t.bucket.acquire();
+    t.bucket.release();
+}
+
+void
+invertedNesting(Tables& t)
+    AP_ACQUIRES("pt.bucket") AP_ACQUIRES("tlb.entry")
+{
+    t.bucket.acquire();
+    t.entry.acquire();
+    t.entry.release();
+    t.bucket.release();
+}

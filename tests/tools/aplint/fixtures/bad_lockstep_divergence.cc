@@ -1,0 +1,15 @@
+// Fixture: an AP_LOCKSTEP method invoked under a guard that depends on
+// the lane index, so only some lanes would reach it. Expected:
+// lockstep-divergence. Lint fodder only; never compiled.
+
+struct AptrVec
+{
+    void read(int i) AP_LOCKSTEP;
+};
+
+void
+divergentRead(AptrVec& p, int lane)
+{
+    if (lane == 0)
+        p.read(lane);
+}

@@ -1,0 +1,28 @@
+// Fixture: both flavors of an illegal yield — inside a function marked
+// AP_NO_YIELD, and while a registered spinlock is held. Expected:
+// no-yield (twice). Lint fodder only; never compiled.
+
+struct Engine
+{
+    void block() AP_YIELDS;
+};
+
+struct Dev
+{
+    void fetchPage() AP_YIELDS;
+    Lock bucket AP_LOCK_LEVEL("pt.bucket");
+};
+
+void
+spinPath(Engine& e) AP_NO_YIELD
+{
+    e.block();
+}
+
+void
+yieldUnderLock(Dev& d) AP_ACQUIRES("pt.bucket")
+{
+    d.bucket.acquire();
+    d.fetchPage();
+    d.bucket.release();
+}

@@ -1,0 +1,16 @@
+// Fixture: malformed waivers — one missing its reason, one naming a
+// rule that does not exist. Expected: waiver-syntax (twice), and
+// waiver-syntax findings can never themselves be waived. Lint fodder
+// only; never compiled.
+
+// aplint: allow(no-yield)
+void
+waiverWithoutReason()
+{
+}
+
+// aplint: allow(made-up-rule) the rule name is wrong
+void
+waiverWithUnknownRule()
+{
+}

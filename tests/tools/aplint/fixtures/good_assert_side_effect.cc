@@ -1,0 +1,11 @@
+// Fixture: side-effect-free assertion conditions, including a function
+// call and an equality whose '==' must not be mistaken for assignment.
+// Expected: clean. Lint fodder only; never compiled.
+
+void
+pureConditions(int n)
+{
+    AP_ASSERT(n + 1 < 4, "arithmetic only");
+    AP_ASSERT(lookup(n) == 2, "call plus comparison");
+    AP_CHECK(n >= 0, "relational only");
+}

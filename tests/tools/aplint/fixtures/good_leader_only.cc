@@ -1,0 +1,23 @@
+// Fixture: both legitimate routes to an AP_LEADER_ONLY callee — an
+// inline ballot+ffs election, and a caller that is itself marked
+// AP_ELECTS_LEADER. Expected: clean. Lint fodder only; never compiled.
+
+struct Cache
+{
+    void acquirePage(int n) AP_LEADER_ONLY;
+};
+
+void
+electThenCall(Warp& w, Cache& c)
+{
+    unsigned mask = w.ballot(1);
+    int leader = ffs32(mask) - 1;
+    use(leader);
+    c.acquirePage(3);
+}
+
+void
+faultHandler(Cache& c) AP_ELECTS_LEADER
+{
+    c.acquirePage(1);
+}

@@ -1,0 +1,15 @@
+// Fixture: the AP_REQUIRES_LINKED pointer stays inside the linking
+// scope — bound to a local and consumed before any relink. Expected:
+// clean. Lint fodder only; never compiled.
+
+struct AptrVec
+{
+    const int* linkedFramePtr(int lane) AP_REQUIRES_LINKED;
+};
+
+int
+localUse(AptrVec& p)
+{
+    const int* q = p.linkedFramePtr(0);
+    return consume(q);
+}

@@ -1,0 +1,17 @@
+// Fixture: AP_LOCKSTEP methods called under warp-uniform control flow
+// only — a mask test (ballot masks are uniform) and a plain counted
+// loop. Expected: clean. Lint fodder only; never compiled.
+
+struct AptrVec
+{
+    void read(int i) AP_LOCKSTEP;
+};
+
+void
+uniformRead(AptrVec& p, unsigned mask)
+{
+    if (mask != 0)
+        p.read(0);
+    for (int i = 0; i < 4; ++i)
+        p.read(i);
+}

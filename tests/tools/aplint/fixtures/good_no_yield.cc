@@ -1,0 +1,31 @@
+// Fixture: an AP_NO_YIELD function that only does non-blocking work,
+// and a critical section that defers its yielding call until after the
+// release. Expected: clean. Lint fodder only; never compiled.
+
+struct Engine
+{
+    void block() AP_YIELDS;
+    void schedule(int when);
+};
+
+struct Dev
+{
+    void fetchPage() AP_YIELDS;
+    void probe() AP_NO_YIELD;
+    Lock bucket AP_LOCK_LEVEL("pt.bucket");
+};
+
+void
+wakeOnly(Engine& e) AP_NO_YIELD
+{
+    e.schedule(0);
+}
+
+void
+yieldAfterRelease(Dev& d) AP_ACQUIRES("pt.bucket")
+{
+    d.bucket.acquire();
+    d.probe();
+    d.bucket.release();
+    d.fetchPage();
+}

@@ -1,0 +1,15 @@
+// Fixture: a real leader-only violation suppressed by a well-formed
+// waiver carrying a reason. Expected: one finding, waived; zero
+// unwaived. Lint fodder only; never compiled.
+
+struct Cache
+{
+    void acquirePage(int n) AP_LEADER_ONLY;
+};
+
+void
+harnessCall(Cache& c)
+{
+    // aplint: allow(leader-only) test harness acts as the sole leader
+    c.acquirePage(1);
+}

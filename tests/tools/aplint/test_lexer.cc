@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Unit tests for the aplint tokenizer: token classification, comment
+ * capture (the carrier for waivers and directives), and the literal
+ * forms that most easily desynchronize a hand-rolled lexer.
+ */
+
+#include <gtest/gtest.h>
+
+#include "lexer.hh"
+
+namespace ap::lint {
+namespace {
+
+std::vector<std::string>
+texts(const LexResult& lx)
+{
+    std::vector<std::string> out;
+    for (const Token& t : lx.tokens)
+        out.push_back(t.text);
+    return out;
+}
+
+TEST(Lexer, ClassifiesBasicTokenKinds)
+{
+    LexResult lx = lex("int x = 42; f(\"s\", 'c');");
+    ASSERT_GE(lx.tokens.size(), 10u);
+    EXPECT_EQ(lx.tokens[0].kind, Tok::Ident);
+    EXPECT_EQ(lx.tokens[0].text, "int");
+    EXPECT_EQ(lx.tokens[3].kind, Tok::Number);
+    EXPECT_EQ(lx.tokens[3].text, "42");
+    bool saw_string = false, saw_char = false;
+    for (const Token& t : lx.tokens) {
+        saw_string |= t.kind == Tok::String;
+        saw_char |= t.kind == Tok::Char;
+    }
+    EXPECT_TRUE(saw_string);
+    EXPECT_TRUE(saw_char);
+}
+
+TEST(Lexer, CapturesCommentsWithLineNumbers)
+{
+    LexResult lx = lex("int a;\n"
+                       "// aplint: allow(no-yield) reason here\n"
+                       "int b; /* block */\n");
+    ASSERT_EQ(lx.comments.size(), 2u);
+    EXPECT_EQ(lx.comments[0].line, 2);
+    EXPECT_NE(lx.comments[0].text.find("aplint: allow(no-yield)"),
+              std::string::npos);
+    EXPECT_EQ(lx.comments[1].line, 3);
+}
+
+TEST(Lexer, CommentDelimitersInsideStringsAreNotComments)
+{
+    LexResult lx = lex("const char* s = \"// not a comment\";\n"
+                       "const char* t = \"/* nor this */\";\n");
+    EXPECT_TRUE(lx.comments.empty());
+    int strings = 0;
+    for (const Token& t : lx.tokens)
+        strings += t.kind == Tok::String;
+    EXPECT_EQ(strings, 2);
+}
+
+TEST(Lexer, RawStringsSwallowTheirDelimiters)
+{
+    LexResult lx = lex("auto s = R\"x(a \" )\" b)x\"; int z;");
+    bool saw_z = false;
+    for (const Token& t : lx.tokens)
+        saw_z |= t.text == "z";
+    EXPECT_TRUE(saw_z);
+    EXPECT_TRUE(lx.comments.empty());
+}
+
+TEST(Lexer, LongestMatchOperators)
+{
+    LexResult lx = lex("a <<= b; c->d; e::f; g >= h; i && j;");
+    auto ts = texts(lx);
+    EXPECT_NE(std::find(ts.begin(), ts.end(), "<<="), ts.end());
+    EXPECT_NE(std::find(ts.begin(), ts.end(), "->"), ts.end());
+    EXPECT_NE(std::find(ts.begin(), ts.end(), "::"), ts.end());
+    EXPECT_NE(std::find(ts.begin(), ts.end(), ">="), ts.end());
+    EXPECT_NE(std::find(ts.begin(), ts.end(), "&&"), ts.end());
+}
+
+TEST(Lexer, PreprocessorLinesAreConsumedWhole)
+{
+    LexResult lx = lex("#include <vector>\n"
+                       "#define M(a, b) \\\n"
+                       "    ((a) + (b))\n"
+                       "int live;\n");
+    // Nothing from the directives leaks into the token stream.
+    auto ts = texts(lx);
+    EXPECT_EQ(std::find(ts.begin(), ts.end(), "include"), ts.end());
+    EXPECT_EQ(std::find(ts.begin(), ts.end(), "M"), ts.end());
+    ASSERT_EQ(ts.size(), 3u);
+    EXPECT_EQ(ts[0], "int");
+    EXPECT_EQ(lx.tokens[0].line, 4);
+}
+
+TEST(Lexer, TracksLineNumbersAcrossForms)
+{
+    LexResult lx = lex("a\n\"two\nlines\"\nb\n");
+    ASSERT_EQ(lx.tokens.size(), 3u);
+    EXPECT_EQ(lx.tokens[0].line, 1);
+    EXPECT_EQ(lx.tokens[1].line, 2); // string starts on line 2
+    EXPECT_EQ(lx.tokens[2].line, 4); // newline inside string counted
+}
+
+} // namespace
+} // namespace ap::lint

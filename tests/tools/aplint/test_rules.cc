@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Fixture tests for the aplint rule engine: every rule has a negative
+ * fixture that must produce exactly its rule id (and nothing else) and
+ * a positive fixture that must lint clean. The fixtures live under
+ * tests/tools/aplint/fixtures/ and are lint fodder, not compiled code;
+ * the tree-wide self-host scan excludes them.
+ */
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "driver.hh"
+
+namespace ap::lint {
+namespace {
+
+Report
+lintFixture(const std::string& name)
+{
+    Options opts;
+    opts.root = APLINT_FIXTURE_DIR;
+    opts.paths = {name};
+    return analyze(opts);
+}
+
+/** Every finding carries @p rule, and there are @p count of them. */
+void
+expectExactly(const Report& r, const std::string& rule, size_t count)
+{
+    EXPECT_EQ(r.findings.size(), count) << toText(r);
+    for (const Finding& f : r.findings)
+        EXPECT_EQ(f.rule, rule) << toText(r);
+    EXPECT_EQ(r.unwaivedCount(), count);
+}
+
+void
+expectClean(const Report& r)
+{
+    EXPECT_EQ(r.unwaivedCount(), 0u) << toText(r);
+    EXPECT_TRUE(r.findings.empty()) << toText(r);
+}
+
+TEST(Rules, LeaderOnly)
+{
+    expectExactly(lintFixture("bad_leader_only.cc"), "leader-only", 1);
+    expectClean(lintFixture("good_leader_only.cc"));
+}
+
+TEST(Rules, LockstepDivergence)
+{
+    expectExactly(lintFixture("bad_lockstep_divergence.cc"),
+                  "lockstep-divergence", 1);
+    expectClean(lintFixture("good_lockstep_divergence.cc"));
+}
+
+TEST(Rules, NoYield)
+{
+    expectExactly(lintFixture("bad_no_yield.cc"), "no-yield", 2);
+    expectClean(lintFixture("good_no_yield.cc"));
+}
+
+TEST(Rules, LockOrder)
+{
+    expectExactly(lintFixture("bad_lock_order.cc"), "lock-order", 2);
+    expectClean(lintFixture("good_lock_order.cc"));
+}
+
+TEST(Rules, LinkedEscape)
+{
+    expectExactly(lintFixture("bad_linked_escape.cc"), "linked-escape",
+                  2);
+    expectClean(lintFixture("good_linked_escape.cc"));
+}
+
+TEST(Rules, AssertSideEffect)
+{
+    expectExactly(lintFixture("bad_assert_side_effect.cc"),
+                  "assert-side-effect", 2);
+    expectClean(lintFixture("good_assert_side_effect.cc"));
+}
+
+TEST(Rules, WaiverSyntax)
+{
+    expectExactly(lintFixture("bad_waiver_syntax.cc"), "waiver-syntax",
+                  2);
+}
+
+TEST(Rules, WellFormedWaiverSuppressesTheFinding)
+{
+    Report r = lintFixture("good_waiver.cc");
+    EXPECT_EQ(r.unwaivedCount(), 0u) << toText(r);
+    ASSERT_EQ(r.findings.size(), 1u);
+    EXPECT_EQ(r.findings[0].rule, "leader-only");
+    EXPECT_TRUE(r.findings[0].waived);
+}
+
+TEST(Rules, EveryKnownRuleHasANegativeFixture)
+{
+    // The fixture set exercises the full rule catalog: losing a
+    // fixture (or adding a rule without one) fails here.
+    std::set<std::string> covered;
+    for (const char* fx :
+         {"bad_leader_only.cc", "bad_lockstep_divergence.cc",
+          "bad_no_yield.cc", "bad_lock_order.cc",
+          "bad_linked_escape.cc", "bad_assert_side_effect.cc",
+          "bad_waiver_syntax.cc"}) {
+        for (const Finding& f : lintFixture(fx).findings)
+            covered.insert(f.rule);
+    }
+    EXPECT_EQ(covered, knownRules());
+}
+
+TEST(Rules, JsonReportCarriesRuleAndWaiverState)
+{
+    Report r = lintFixture("good_waiver.cc");
+    std::string js = toJson(r);
+    EXPECT_NE(js.find("\"rule\": \"leader-only\""), std::string::npos);
+    EXPECT_NE(js.find("\"waived\": true"), std::string::npos);
+    EXPECT_NE(js.find("\"unwaived\": 0"), std::string::npos);
+}
+
+} // namespace
+} // namespace ap::lint
