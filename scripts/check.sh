@@ -26,11 +26,12 @@ echo "==> tier-1 under ASan+UBSan"
 ctest --test-dir "${BUILD}" --output-on-failure -j "${JOBS}"
 
 if command -v clang-tidy >/dev/null 2>&1; then
-    echo "==> clang-tidy (src/util, src/core, src/sim/check)"
+    echo "==> clang-tidy (src + tools/aplint)"
     # Compile-command database from the sanitizer build keeps flags
     # consistent with what actually ships.
     cmake -B "${BUILD}" -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
-    find src/util src/core src/sim/check -name '*.cc' -print0 |
+    find src/util src/core src/sim src/gpufs src/hostio tools/aplint \
+        -name '*.cc' -print0 |
         xargs -0 -n 1 -P "${JOBS}" clang-tidy -p "${BUILD}" --quiet
 else
     echo "==> clang-tidy not installed; skipping the static pass"

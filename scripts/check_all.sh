@@ -1,10 +1,13 @@
 #!/usr/bin/env bash
 # The full analysis matrix (see docs/ANALYSIS.md):
 #
-#   1. plain       - the tier-1 suite as shipped
-#   2. simcheck    - tier-1 with the race/lock-order/invariant
+#   1. aplint      - the AP_* protocol contracts, source-level
+#                    (leader-only, lockstep, yield, lock-order, linked
+#                    escape, assert purity); any unwaived finding fails
+#   2. plain       - the tier-1 suite as shipped
+#   3. simcheck    - tier-1 with the race/lock-order/invariant
 #                    analyses armed; any report fails the run
-#   3. sanitizers  - tier-1 under ASan+UBSan (via scripts/check.sh),
+#   4. sanitizers  - tier-1 under ASan+UBSan (via scripts/check.sh),
 #                    plus clang-tidy when installed
 #
 # Wired to `cmake --build <dir> --target check-all`. Each row builds
@@ -14,18 +17,21 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 JOBS="$(nproc 2>/dev/null || echo 4)"
 
-echo "=== [1/3] plain tier-1 ==="
+echo "=== [1/4] aplint protocol contracts ==="
+scripts/lint.sh build-plain
+
+echo "=== [2/4] plain tier-1 ==="
 cmake -B build-plain -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build build-plain -j "${JOBS}"
 ctest --test-dir build-plain --output-on-failure -j "${JOBS}"
 
-echo "=== [2/3] tier-1 with simcheck armed ==="
+echo "=== [3/4] tier-1 with simcheck armed ==="
 cmake -B build-simcheck -S . -DAP_SIMCHECK=ON \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build build-simcheck -j "${JOBS}"
 ctest --test-dir build-simcheck --output-on-failure -j "${JOBS}"
 
-echo "=== [3/3] sanitizers ==="
+echo "=== [4/4] sanitizers ==="
 scripts/check.sh build-asan
 
 echo "=== check_all.sh: matrix green ==="

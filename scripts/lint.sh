@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Run aplint, the AP_* protocol analyzer, over the whole tree (see
+# docs/ANALYSIS.md, "Static matrix"). Builds the tool first if needed.
+# Exits nonzero on any unwaived finding, so CI can gate on it.
+#
+# Usage: scripts/lint.sh [build-dir] [extra aplint args...]
+#        (default build dir: build)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD="${1:-build}"
+[ $# -ge 1 ] && shift
+JOBS="$(nproc 2>/dev/null || echo 4)"
+
+if [ ! -f "${BUILD}/CMakeCache.txt" ]; then
+    cmake -B "${BUILD}" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo
+fi
+cmake --build "${BUILD}" --target aplint -j "${JOBS}"
+
+exec "${BUILD}/tools/aplint/aplint" --root . \
+    --exclude tests/tools/aplint/fixtures "$@"
