@@ -9,6 +9,8 @@
  *  3. Short vs long apointers: fault-heavy page walk under both
  *     layouts.
  *  4. TLB vs TLB-less on a hot-page fault workload.
+ *  5. Host I/O failure-rate sweep: transient fault injection with
+ *     retry/backoff (DESIGN.md section 10) on a streaming read.
  */
 
 #include "bench_common.hh"
@@ -139,6 +141,52 @@ hotFaults(AptrKind kind, bool tlb)
     });
 }
 
+// ---------------------------------------------------------------------
+// 5. Failure-rate sweep: transient faults absorbed by retry/backoff.
+// ---------------------------------------------------------------------
+
+struct FaultSweepPoint
+{
+    sim::Cycles cycles;
+    uint64_t retries;
+    uint64_t failures;
+};
+
+FaultSweepPoint
+faultSweep(double rate)
+{
+    gpufs::Config fscfg;
+    fscfg.numFrames = 1024;
+    Stack st(core::GvmConfig{}, fscfg, size_t(128) << 20);
+    hostio::FaultInjector::Config fcfg;
+    fcfg.seed = 11;
+    fcfg.transientReadRate = rate;
+    hostio::FaultInjector fi(fcfg);
+    st.io->setFaultInjector(&fi);
+    constexpr int kPages = 512;
+    hostio::FileId f = st.bs.create("flaky.bin", kPages * 4096ull);
+
+    // 4 x 8 warps streaming disjoint slices: every page is a major
+    // fault whose fill can transiently fail and retry with backoff.
+    sim::Cycles cycles = st.dev->launch(4, 8, [&](sim::Warp& w) {
+        auto p = core::gvmmap<uint32_t>(w, *st.rt, kPages * 4096ull,
+                                        hostio::O_GRDONLY, f, 0);
+        int per_warp = kPages / 32;
+        LaneArray<int64_t> seek;
+        for (int l = 0; l < kWarpSize; ++l)
+            seek[l] = int64_t(w.globalWarpId()) * per_warp * 1024 + l;
+        p.addPerLane(w, seek);
+        for (int i = 0; i < per_warp; ++i) {
+            (void)p.read(w);
+            if (i + 1 < per_warp)
+                p.add(w, 1024);
+        }
+        p.destroy(w);
+    });
+    return {cycles, st.dev->stats().counter("hostio.retries"),
+            st.dev->stats().counter("hostio.failures")};
+}
+
 void
 run()
 {
@@ -175,6 +223,28 @@ run()
     t3.row({"short, TLB",
             TextTable::num(hotFaults(AptrKind::Short, true), 0)});
     t3.print(std::cout);
+
+    banner("Ablation 5: transient host-I/O failure rate (512-page "
+           "stream, retry with capped backoff)");
+    TextTable t5;
+    t5.header({"fault rate", "cycles", "slowdown", "retries",
+               "failures"});
+    FaultSweepPoint base = faultSweep(0.0);
+    for (double rate : {0.0, 0.001, 0.01, 0.05}) {
+        FaultSweepPoint pt = rate == 0.0 ? base : faultSweep(rate);
+        t5.row({TextTable::num(rate * 100, 1) + "%",
+                TextTable::num(pt.cycles, 0),
+                TextTable::num(pt.cycles / base.cycles, 2) + "x",
+                TextTable::num(double(pt.retries), 0),
+                TextTable::num(double(pt.failures), 0)});
+    }
+    t5.print(std::cout);
+    std::cout << "\nTransient faults are absorbed inside the host I/O "
+                 "engine: the kernel sees only added latency (one "
+                 "backoff period per retry), never an error, and the "
+                 "failure column stays at zero because every fault "
+                 "clears within the attempt budget.\n";
+
     std::cout << "\nShort apointers make the unlink transition cheaper "
                  "(the xAddress stays in the register); with a whole "
                  "threadblock hammering a few entries, TLB lock "

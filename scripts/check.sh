@@ -24,6 +24,10 @@ export UBSAN_OPTIONS="print_stacktrace=1:halt_on_error=1:${UBSAN_OPTIONS:-}"
 
 echo "==> tier-1 under ASan+UBSan"
 ctest --test-dir "${BUILD}" --output-on-failure -j "${JOBS}"
+# Failure-semantics slice: must exist and pass under the sanitizers
+# too (the error paths allocate and free across fiber switches).
+ctest --test-dir "${BUILD}" -L fault --no-tests=error -j "${JOBS}" \
+    --output-on-failure
 
 if command -v clang-tidy >/dev/null 2>&1; then
     echo "==> clang-tidy (src + tools/aplint)"

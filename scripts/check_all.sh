@@ -10,6 +10,11 @@
 #   4. sanitizers  - tier-1 under ASan+UBSan (via scripts/check.sh),
 #                    plus clang-tidy when installed
 #
+# The failure-semantics tests (ctest label `fault`: injector, retry/
+# backoff, fill-error propagation) run inside every tier-1 row; the
+# explicit `-L fault --no-tests=error` re-run after each row guards
+# against the label silently going empty.
+#
 # Wired to `cmake --build <dir> --target check-all`. Each row builds
 # in its own scratch tree so the matrix never dirties a dev build.
 set -euo pipefail
@@ -24,12 +29,16 @@ echo "=== [2/4] plain tier-1 ==="
 cmake -B build-plain -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build build-plain -j "${JOBS}"
 ctest --test-dir build-plain --output-on-failure -j "${JOBS}"
+ctest --test-dir build-plain -L fault --no-tests=error -j "${JOBS}" \
+    --output-on-failure
 
 echo "=== [3/4] tier-1 with simcheck armed ==="
 cmake -B build-simcheck -S . -DAP_SIMCHECK=ON \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build build-simcheck -j "${JOBS}"
 ctest --test-dir build-simcheck --output-on-failure -j "${JOBS}"
+ctest --test-dir build-simcheck -L fault --no-tests=error -j "${JOBS}" \
+    --output-on-failure
 
 echo "=== [4/4] sanitizers ==="
 scripts/check.sh build-asan

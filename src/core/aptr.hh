@@ -53,8 +53,23 @@ class AptrVec
     map(sim::Warp& w, GvmRuntime& rt, hostio::FileId f, uint64_t f_offset,
         uint64_t length, uint64_t perm) AP_LOCKSTEP
     {
-        AP_ASSERT(f >= 0, "gvmmap of invalid file");
         AP_ASSERT(length > 0, "gvmmap of empty region");
+        if (f < 0) {
+            // gvmmap of a nonexistent file (gopen returned -1): an
+            // errored apointer instead of undefined behavior. Every
+            // lane reads zeros, writes are dropped, and status()
+            // reports the reason.
+            AptrVec p;
+            p.rt_ = &rt;
+            p.mapOffset = f_offset;
+            p.mapLength = length;
+            p.perm = perm;
+            p.status_ = hostio::IoStatus::BadFile;
+            p.errored_ = sim::kFullMask;
+            w.issue(6);
+            w.stats().inc("core.gvmmap_errors");
+            return p;
+        }
         const size_t page = rt.pageSize();
         if (rt.config().kind == AptrKind::Short) {
             // Short apointers reach 2^28 file pages (section IV-B).
@@ -130,6 +145,30 @@ class AptrVec
 
     /** True once map()/assignment initialized this apointer. */
     bool initialized() const { return rt_ != nullptr; }
+
+    /**
+     * Sticky errno-style status: Ok, or the reason the first failed
+     * fault (or gvmmap itself) could not complete. A non-Ok status
+     * means some lanes are errored: they read zeros and drop writes
+     * instead of wedging the warp in the fault loop.
+     */
+    hostio::IoStatus status() const { return status_; }
+
+    /** Lanes whose last fault failed (see status()). */
+    sim::LaneMask erroredLanes() const { return errored_; }
+
+    /**
+     * Clear the sticky error. Errored lanes return to the unlinked
+     * state at their current positions, so the next dereference
+     * retries the fault (useful after a transient failure or after
+     * the poisoned page has been reclaimed).
+     */
+    void
+    clearError()
+    {
+        status_ = hostio::IoStatus::Ok;
+        errored_ = 0;
+    }
 
     /** True iff lane @p lane holds a valid translation. */
     bool linked(int lane) const { return translationValid(field[lane]); }
@@ -213,6 +252,8 @@ class AptrVec
         rt_ = nullptr;
         file = -1;
         field = {};
+        status_ = hostio::IoStatus::Ok;
+        errored_ = 0;
     }
 
     /**
@@ -245,14 +286,15 @@ class AptrVec
                 return pending.value;
             }
             pageFault(w, mask);
-            return w.loadGlobal<T>(aphysAddrs(), mask);
+            // Errored lanes are excluded: they read zeros.
+            return w.loadGlobal<T>(aphysAddrs(), mask & validMask());
         }
 
         // Non-speculative: checks complete before the access issues.
         w.issue(c.derefCheck);
         if (voteFault(w, mask))
             pageFault(w, mask);
-        return w.loadGlobal<T>(aphysAddrs(), mask);
+        return w.loadGlobal<T>(aphysAddrs(), mask & validMask());
     }
 
     /** Dereference for write: *ptr = v on every lane in @p mask. */
@@ -267,7 +309,8 @@ class AptrVec
         w.issue(c.derefSetup + c.derefCheck);
         if (voteFault(w, mask))
             pageFault(w, mask);
-        w.storeGlobal<T>(aphysAddrs(), v, mask);
+        // Errored lanes are excluded: their writes are dropped.
+        w.storeGlobal<T>(aphysAddrs(), v, mask & validMask());
     }
 
     /**
@@ -365,7 +408,11 @@ class AptrVec
     {
         sim::LaneArray<int> valid;
         for (int l = 0; l < sim::kWarpSize; ++l)
-            valid[l] = translationValid(field[l]) ? 1 : 0;
+            // Errored lanes do not re-fault until clearError().
+            valid[l] = (translationValid(field[l]) ||
+                        (errored_ & (1u << l))) != 0
+                           ? 1
+                           : 0;
         return !w.all(valid, mask);
     }
 
@@ -399,7 +446,10 @@ class AptrVec
         for (;;) {
             sim::LaneArray<int> invalid;
             for (int l = 0; l < sim::kWarpSize; ++l)
-                invalid[l] = !translationValid(field[l]) ? 1 : 0;
+                invalid[l] = (!translationValid(field[l]) &&
+                              !(errored_ & (1u << l)))
+                                 ? 1
+                                 : 0;
             uint32_t want = w.ballot(invalid, mask);
             w.issue(c.aggregationIter);
             if (want == 0)
@@ -449,21 +499,29 @@ class AptrVec
             gpufs::PageKey key = gpufs::makePageKey(file, lead_xpage);
             sim::Addr frame_addr = 0;
             bool via_tlb = false;
+            hostio::IoStatus ast = hostio::IoStatus::Ok;
             SoftTlb* tlb = rt_->tlbFor(w);
-            if (tlb) {
-                if (!tlb->lookupAndRef(w, key, count, frame_addr)) {
-                    gpufs::AcquireResult r = cache.acquirePage(
-                        w, key, count, writable, zeroFill);
-                    frame_addr = r.frameAddr;
-                    via_tlb = tlb->insertAfterAcquire(w, key, frame_addr,
-                                                      count, cache);
-                } else {
-                    via_tlb = true;
-                }
+            if (tlb && tlb->lookupAndRef(w, key, count, frame_addr)) {
+                via_tlb = true;
             } else {
                 gpufs::AcquireResult r = cache.acquirePage(
                     w, key, count, writable, zeroFill);
+                ast = r.status;
                 frame_addr = r.frameAddr;
+                if (r.ok() && tlb)
+                    via_tlb = tlb->insertAfterAcquire(w, key, frame_addr,
+                                                      count, cache);
+            }
+            if (ast != hostio::IoStatus::Ok) {
+                // The fill failed terminally and the acquire holds no
+                // references. Poison the subgroup's lanes — they stop
+                // faulting and read zeros — instead of retrying forever
+                // or aborting the kernel; the caller inspects status().
+                errored_ |= group;
+                if (status_ == hostio::IoStatus::Ok)
+                    status_ = ast;
+                w.stats().inc("core.fault_errors");
+                continue;
             }
 
             // Link the subgroup: install translations in registers.
@@ -604,6 +662,10 @@ class AptrVec
     uint64_t perm = 0;
     sim::LaneArray<uint64_t> curXpage{};
     sim::LaneArray<uint8_t> refViaTlb{};
+
+    // --- sticky error state (see status()) ---------------------------
+    hostio::IoStatus status_ = hostio::IoStatus::Ok;
+    sim::LaneMask errored_ = 0;
 };
 
 /**

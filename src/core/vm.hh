@@ -18,6 +18,11 @@ namespace ap::core {
  * apointer to its start (every lane points at the region start; use
  * addPerLane for per-lane strides).
  *
+ * Failure semantics: a negative @p fd yields an errored apointer
+ * immediately, and a fault that cannot be filled (I/O error, offset
+ * beyond EOF) errors the affected lanes at dereference time — check
+ * AptrVec::status() after use instead of expecting an abort.
+ *
  * @param w        calling warp
  * @param rt       translation-layer runtime
  * @param length   mapping length in bytes

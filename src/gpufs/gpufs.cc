@@ -4,7 +4,7 @@
 
 namespace ap::gpufs {
 
-void
+hostio::IoStatus
 GpuFs::gread(sim::Warp& w, hostio::FileId f, uint64_t off, size_t len,
              sim::Addr dst)
 {
@@ -17,13 +17,16 @@ GpuFs::gread(sim::Warp& w, hostio::FileId f, uint64_t off, size_t len,
 
         PageKey key = makePageKey(f, page_no);
         AcquireResult r = cache_.acquirePage(w, key, 1, false);
+        if (!r.ok())
+            return r.status; // no reference held on the failed page
         w.copyGlobal(dst + done, r.frameAddr + in_page, chunk);
         cache_.releasePage(w, key, 1);
         done += chunk;
     }
+    return hostio::IoStatus::Ok;
 }
 
-void
+hostio::IoStatus
 GpuFs::gwrite(sim::Warp& w, hostio::FileId f, uint64_t off, size_t len,
               sim::Addr src)
 {
@@ -36,10 +39,13 @@ GpuFs::gwrite(sim::Warp& w, hostio::FileId f, uint64_t off, size_t len,
 
         PageKey key = makePageKey(f, page_no);
         AcquireResult r = cache_.acquirePage(w, key, 1, true);
+        if (!r.ok())
+            return r.status; // no reference held on the failed page
         w.copyGlobal(r.frameAddr + in_page, src + done, chunk);
         cache_.releasePage(w, key, 1);
         done += chunk;
     }
+    return hostio::IoStatus::Ok;
 }
 
 } // namespace ap::gpufs

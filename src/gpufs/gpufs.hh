@@ -56,16 +56,24 @@ class GpuFs
      * @param f      file
      * @param offset byte offset within the file
      * @param prot   O_GRDONLY / O_GRDWR
-     * @return device address corresponding to @p offset
+     * @param status errno-style out-parameter: on failure (fill error,
+     *               bad file, offset beyond EOF) receives the reason;
+     *               untouched callers can test the 0 return instead
+     * @return device address corresponding to @p offset, or 0 on
+     *         failure (no reference is held)
      */
     sim::Addr
-    gmmap(sim::Warp& w, hostio::FileId f, uint64_t offset, uint32_t prot)
-        AP_ELECTS_LEADER AP_YIELDS
+    gmmap(sim::Warp& w, hostio::FileId f, uint64_t offset, uint32_t prot,
+          hostio::IoStatus* status = nullptr) AP_ELECTS_LEADER AP_YIELDS
     {
         uint64_t page_no = offset / pageSize();
         AcquireResult r = cache_.acquirePage(
             w, makePageKey(f, page_no), 1,
             (prot & hostio::O_GWRONLY) != 0);
+        if (status)
+            *status = r.status;
+        if (!r.ok())
+            return 0;
         return r.frameAddr + offset % pageSize();
     }
 
@@ -80,13 +88,20 @@ class GpuFs
     /**
      * Warp-level file read through the page cache: acquires each
      * covered page, copies into the destination buffer, releases.
+     * @return Ok, or the first page's failure status (the transfer
+     *         stops at the failed page; earlier pages were copied)
      */
-    void gread(sim::Warp& w, hostio::FileId f, uint64_t off, size_t len,
-               sim::Addr dst) AP_ELECTS_LEADER AP_YIELDS;
+    hostio::IoStatus gread(sim::Warp& w, hostio::FileId f, uint64_t off,
+                           size_t len, sim::Addr dst)
+        AP_ELECTS_LEADER AP_YIELDS;
 
-    /** Warp-level file write through the page cache. */
-    void gwrite(sim::Warp& w, hostio::FileId f, uint64_t off, size_t len,
-                sim::Addr src) AP_ELECTS_LEADER AP_YIELDS;
+    /**
+     * Warp-level file write through the page cache.
+     * @return Ok, or the first page's failure status
+     */
+    hostio::IoStatus gwrite(sim::Warp& w, hostio::FileId f, uint64_t off,
+                            size_t len, sim::Addr src)
+        AP_ELECTS_LEADER AP_YIELDS;
 
     /**
      * Advisory prefetch (madvise(WILLNEED) for GPU mappings): start

@@ -57,6 +57,17 @@ PageCache::acquirePage(sim::Warp& w, PageKey key, int count, bool writable,
             // Minor fault: page resident. Take references with CAS so
             // the eviction claim (refcount 0 -> -1) excludes us.
             // --------------------------------------------------------
+            // Poisoned entry left by a failed fill: reclaim it at
+            // refcount 0 and re-fault from scratch instead of taking a
+            // reference on a frame that holds no data.
+            uint32_t st0;
+            {
+                SimCheck::Relaxed relaxed;
+                st0 = w.mem().load<uint32_t>(PageTable::stateAddr(ea));
+            }
+            if (st0 == static_cast<uint32_t>(PteState::Error) &&
+                reclaimErrorEntry(w, key, ea))
+                continue;
             sim::Addr rca = PageTable::refcountAddr(ea);
             bool got_ref = false;
             for (int spin = 0; spin < 64 && !got_ref; ++spin) {
@@ -107,7 +118,7 @@ PageCache::acquirePage(sim::Warp& w, PageKey key, int count, bool writable,
                 return pt.readEntry(w, ea);
             };
             Pte e = readEntryRelaxed();
-            while (e.state != static_cast<uint32_t>(PteState::Ready)) {
+            while (e.state == static_cast<uint32_t>(PteState::Loading)) {
                 w.chargeGlobalRead(32);
                 w.stall(200);
                 e = readEntryRelaxed();
@@ -115,6 +126,31 @@ PageCache::acquirePage(sim::Warp& w, PageKey key, int count, bool writable,
             if (SimCheck::armed)
                 SimCheck::get().syncAcquire(
                     wordChan(dev, PageTable::stateAddr(ea)));
+            if (e.state == static_cast<uint32_t>(PteState::Error)) {
+                // The fill we waited on failed. Hand back our
+                // references and surface the error; the poisoned entry
+                // is reclaimed once every waiter has drained.
+                for (;;) {
+                    int32_t rc;
+                    {
+                        SimCheck::Relaxed relaxed;
+                        rc = w.mem().load<int32_t>(rca);
+                    }
+                    AP_ASSERT(rc >= count,
+                              "refcount underflow on error drain");
+                    if (w.atomicCas<int32_t>(rca, rc, rc - count) == rc)
+                        break;
+                }
+                if (SimCheck::armed)
+                    SimCheck::get().pcRefAdjust(checkDomain, key, -count,
+                                                w.globalWarpId(), w.now());
+                dev->stats().inc("pagecache.fill_error_hits");
+                dev->tracer().span(
+                    w.globalWarpId(), "fault",
+                    "minor-err pg" + std::to_string(pageKeyPageNo(key)),
+                    trace_t0, w.now());
+                return AcquireResult{0, 0, false, hostio::IoStatus::IoError};
+            }
             if (writable) {
                 // Idempotent lock-free RMW: concurrent faulters may all
                 // set the same dirty bit.
@@ -176,8 +212,11 @@ PageCache::acquirePage(sim::Warp& w, PageKey key, int count, bool writable,
             for (uint32_t s = 0; s < cfg.bucketEntries; ++s) {
                 sim::Addr cea = pt.entryAddr(b, s);
                 Pte e = pt.readEntry(w, cea);
+                // Error entries are always clean and make ideal
+                // victims; Loading entries are never touched.
                 if (e.taggedKey == 0 || e.refcount != 0 ||
-                    e.state != static_cast<uint32_t>(PteState::Ready))
+                    (e.state != static_cast<uint32_t>(PteState::Ready) &&
+                     e.state != static_cast<uint32_t>(PteState::Error)))
                     continue;
                 FrameMeta pre =
                     w.mem().load<FrameMeta>(metaAddr(e.frame));
@@ -255,6 +294,7 @@ PageCache::acquirePage(sim::Warp& w, PageKey key, int count, bool writable,
             freeFrame(w, frame_to_recycle);
         }
 
+        hostio::IoStatus fill = hostio::IoStatus::Ok;
         if (zero_fill && !swappedOut.count(key)) {
             // Anonymous first touch: a zeroed frame, no host transfer.
             if (SimCheck::armed)
@@ -265,7 +305,16 @@ PageCache::acquirePage(sim::Warp& w, PageKey key, int count, bool writable,
             w.chargeGlobalWrite(static_cast<double>(cfg.pageSize));
             dev->stats().inc("gpufs.zero_fills");
         } else {
-            fetchPage(w, key, frame);
+            fill = fetchPage(w, key, frame);
+        }
+        if (fill != hostio::IoStatus::Ok) {
+            publishFillError(w, key, empty, frame, count);
+            dev->stats().inc("pagecache.fill_errors");
+            dev->tracer().span(
+                w.globalWarpId(), "fault",
+                "major-err pg" + std::to_string(pageKeyPageNo(key)),
+                trace_t0, w.now());
+            return AcquireResult{0, 0, true, fill};
         }
 
         // Publish Ready: a release on the state word paired with the
@@ -324,6 +373,14 @@ PageCache::prefetchPage(sim::Warp& w, PageKey key)
     if (pt.probe(w, key) != 0)
         return; // already resident or loading
 
+    // Advisory: a page that cannot be read (bad file, beyond EOF) is
+    // simply not prefetched — the eventual demand fault reports the
+    // error to a warp that can act on it.
+    hostio::FileId f = pageKeyFile(key);
+    uint64_t off = pageKeyPageNo(key) * cfg.pageSize;
+    if (io->store().checkRange(f, off, 1) != hostio::IoStatus::Ok)
+        return;
+
     uint32_t frame = allocFrame(w);
     uint32_t b = pt.bucketOf(key);
     sim::DeviceLock& lk = pt.bucketLock(b);
@@ -369,16 +426,34 @@ PageCache::prefetchPage(sim::Warp& w, PageKey key)
     w.chargeGlobalWrite(sizeof(Pte) + sizeof(FrameMeta));
     lk.release(w);
 
-    hostio::FileId f = pageKeyFile(key);
-    uint64_t off = pageKeyPageNo(key) * cfg.pageSize;
     size_t len = std::min<size_t>(cfg.pageSize, io->store().size(f) - off);
     sim::Addr fa = frameAddr(frame);
     size_t page_size = cfg.pageSize;
     sim::Device* d = dev;
     sim::Addr state_addr = PageTable::stateAddr(empty);
     uint64_t dom = checkDomain;
-    io->readToGpuAsync(
-        w, f, off, len, fa, [d, fa, len, page_size, state_addr, dom, key] {
+    std::function<void(hostio::IoStatus)> on_done =
+        [d, fa, len, page_size, state_addr, dom, key](hostio::IoStatus st) {
+            if (st != hostio::IoStatus::Ok) {
+                // Failed prefetch: poison the zero-reference entry so
+                // later acquirers reclaim it and re-fault, instead of
+                // spinning forever on a Loading entry whose fill will
+                // never arrive. The frame stays attached until the
+                // reclaim frees it — no pinned-frame leak.
+                if (SimCheck::armed) {
+                    SimCheck::get().pcFillError(dom, key, -1,
+                                                d->engine().now());
+                    SimCheck::get().syncRelease(wordChan(d, state_addr));
+                }
+                {
+                    SimCheck::Relaxed relaxed;
+                    d->mem().store<uint32_t>(
+                        state_addr,
+                        static_cast<uint32_t>(PteState::Error));
+                }
+                d->stats().inc("pagecache.fill_errors");
+                return;
+            }
             if (len < page_size) {
                 if (SimCheck::armed)
                     SimCheck::get().onWrite(d->mem().checkMemId, fa + len,
@@ -398,7 +473,10 @@ PageCache::prefetchPage(sim::Warp& w, PageKey key)
                     state_addr, static_cast<uint32_t>(PteState::Ready));
             }
             d->stats().inc("gpufs.prefetched_pages");
-        });
+        };
+    hostio::IoStatus sync = io->readToGpuAsync(w, f, off, len, fa, on_done);
+    if (sync != hostio::IoStatus::Ok)
+        on_done(sync); // range re-validation failed; unreachable today
     dev->stats().inc("gpufs.prefetch_requests");
 }
 
@@ -437,7 +515,8 @@ PageCache::allocFrame(sim::Warp& w)
         if (e.taggedKey != fm.taggedKey || e.frame != f)
             continue; // stale back-reference
         if (e.refcount != 0 ||
-            e.state != static_cast<uint32_t>(PteState::Ready))
+            (e.state != static_cast<uint32_t>(PteState::Ready) &&
+             e.state != static_cast<uint32_t>(PteState::Error)))
             continue;
         sim::Addr rca = PageTable::refcountAddr(ea);
         if (w.atomicCas<int32_t>(rca, 0, -1) != 0)
@@ -513,23 +592,38 @@ PageCache::writeback(sim::Warp& w, PageKey key, uint32_t frame)
                                   io->store().size(f) - off);
     if (hooks.preWriteback)
         hooks.preWriteback(&w, key, frameAddr(frame), len);
-    io->writeFromGpu(w, f, off, len, frameAddr(frame));
+    hostio::IoStatus st = io->writeFromGpu(w, f, off, len, frameAddr(frame));
+    if (st != hostio::IoStatus::Ok) {
+        // The frame still holds the data (no poisoning), but the
+        // backing store is now stale. Count it; the victim is being
+        // recycled, so the dirty contents are lost to the store.
+        dev->stats().inc("pagecache.writeback_errors");
+        warn("writeback of page ", pageKeyPageNo(key), " in file ", f,
+             " failed terminally: ", hostio::ioStatusName(st));
+    }
     dev->stats().inc("gpufs.writebacks");
 }
 
-void
+hostio::IoStatus
 PageCache::fetchPage(sim::Warp& w, PageKey key, uint32_t frame)
 {
     hostio::FileId f = pageKeyFile(key);
     uint64_t off = pageKeyPageNo(key) * cfg.pageSize;
-    AP_ASSERT(off < io->store().size(f), "page beyond EOF");
+    if (!io->store().valid(f))
+        return hostio::IoStatus::BadFile;
+    if (off >= io->store().size(f))
+        return hostio::IoStatus::Eof; // page wholly beyond EOF
     size_t len =
         std::min<size_t>(cfg.pageSize, io->store().size(f) - off);
 
     uint32_t slot = grabStagingSlot(w);
     sim::Addr sa =
         stagingBase + static_cast<sim::Addr>(slot) * cfg.pageSize;
-    io->readToGpu(w, f, off, len, sa);
+    hostio::IoStatus st = io->readToGpu(w, f, off, len, sa);
+    if (st != hostio::IoStatus::Ok) {
+        releaseStagingSlot(w, slot);
+        return st;
+    }
     // The requesting warp copies from staging into the frame (paper
     // section V: "GPU threads that invoke the file read are responsible
     // for moving the contents from the staging area").
@@ -546,6 +640,96 @@ PageCache::fetchPage(sim::Warp& w, PageKey key, uint32_t frame)
     releaseStagingSlot(w, slot);
     if (hooks.postFetch)
         hooks.postFetch(w, key, frameAddr(frame), len);
+    return hostio::IoStatus::Ok;
+}
+
+void
+PageCache::publishFillError(sim::Warp& w, PageKey key, sim::Addr ea,
+                            uint32_t frame, int count)
+{
+    // Error frames hold no valid data: clear the dirty bit (set at
+    // insert time for writable mappings) so the eviction sweeps never
+    // write the garbage back.
+    {
+        SimCheck::Relaxed relaxed;
+        FrameMeta fm = w.mem().load<FrameMeta>(metaAddr(frame));
+        fm.flags = 0;
+        w.mem().store(metaAddr(frame), fm);
+    }
+    w.chargeGlobalWrite(sizeof(FrameMeta));
+    // Publish Error with a release on the state word: spinning minor
+    // faulters acquire it and observe the cleared dirty bit.
+    if (SimCheck::armed) {
+        SimCheck::get().pcFillError(checkDomain, key, w.globalWarpId(),
+                                    w.now());
+        SimCheck::get().syncRelease(
+            wordChan(dev, PageTable::stateAddr(ea)));
+    }
+    {
+        SimCheck::Relaxed relaxed;
+        w.mem().store<uint32_t>(PageTable::stateAddr(ea),
+                                static_cast<uint32_t>(PteState::Error));
+    }
+    w.chargeGlobalWrite(4);
+    // Drop our own references last: a claim (refcount 0 -> -1) is only
+    // legal from Ready or Error, so the entry cannot be reclaimed out
+    // from under us before the Error state is visible.
+    sim::Addr rca = PageTable::refcountAddr(ea);
+    for (;;) {
+        int32_t rc;
+        {
+            SimCheck::Relaxed relaxed;
+            rc = w.mem().load<int32_t>(rca);
+        }
+        AP_ASSERT(rc >= count, "refcount underflow publishing error");
+        if (w.atomicCas<int32_t>(rca, rc, rc - count) == rc)
+            break;
+    }
+    if (SimCheck::armed)
+        SimCheck::get().pcRefAdjust(checkDomain, key, -count,
+                                    w.globalWarpId(), w.now());
+}
+
+bool
+PageCache::reclaimErrorEntry(sim::Warp& w, PageKey key, sim::Addr ea)
+{
+    sim::Addr rca = PageTable::refcountAddr(ea);
+    if (w.atomicCas<int32_t>(rca, 0, -1) != 0)
+        return false; // waiters still draining, or another claim won
+    // ABA re-check under the claim (cf. the clock sweep): the slot may
+    // have been recycled for another page while the CAS was in flight.
+    bool stale;
+    uint32_t frame = 0;
+    {
+        SimCheck::Relaxed relaxed;
+        Pte cur = pt.readEntry(w, ea);
+        stale = cur.taggedKey != key + 1 ||
+                cur.state != static_cast<uint32_t>(PteState::Error);
+        frame = cur.frame;
+        if (stale)
+            w.mem().store<int32_t>(rca, 0);
+    }
+    if (stale) {
+        if (SimCheck::armed)
+            SimCheck::get().syncRmw(wordChan(dev, rca));
+        return false;
+    }
+    if (SimCheck::armed)
+        SimCheck::get().pcClaim(checkDomain, key, w.globalWarpId(),
+                                w.now());
+    uint32_t b = pt.bucketOf(key);
+    sim::DeviceLock& lk = pt.bucketLock(b);
+    lk.acquire(w);
+    pt.writeEntry(w, ea, Pte{});
+    if (SimCheck::armed)
+        SimCheck::get().pcRemove(checkDomain, key, w.globalWarpId(),
+                                 w.now());
+    w.mem().store(metaAddr(frame), FrameMeta{});
+    w.chargeGlobalWrite(sizeof(Pte) + sizeof(FrameMeta));
+    lk.release(w);
+    freeFrame(w, frame);
+    dev->stats().inc("pagecache.poisoned_reclaims");
+    return true;
 }
 
 uint32_t

@@ -33,6 +33,15 @@ struct AcquireResult
     uint32_t frame = 0;
     /** True if the data had to be fetched from the host. */
     bool majorFault = false;
+    /**
+     * Ok on success. On failure (a fill that could not be completed)
+     * the acquire holds no references, frameAddr is 0, and the entry
+     * is left in PteState::Error for eventual reclamation.
+     */
+    hostio::IoStatus status = hostio::IoStatus::Ok;
+
+    /** True iff the page was acquired and references are held. */
+    bool ok() const { return status == hostio::IoStatus::Ok; }
 };
 
 /**
@@ -177,8 +186,31 @@ class PageCache
     /** Write a dirty frame's bytes back to its file. */
     void writeback(sim::Warp& w, PageKey key, uint32_t frame) AP_YIELDS;
 
-    /** Fetch page data from the host into @p frame via staging. */
-    void fetchPage(sim::Warp& w, PageKey key, uint32_t frame) AP_YIELDS;
+    /**
+     * Fetch page data from the host into @p frame via staging.
+     * @return Ok, or the terminal transfer status on failure (the
+     *         staging slot is released either way)
+     */
+    hostio::IoStatus fetchPage(sim::Warp& w, PageKey key, uint32_t frame)
+        AP_YIELDS;
+
+    /**
+     * Publish a failed fill: clear the frame's dirty bit, mark the
+     * entry PteState::Error (releasing the state word so spinning
+     * minor faulters observe it), and drop this acquire's @p count
+     * references.
+     */
+    void publishFillError(sim::Warp& w, PageKey key, sim::Addr ea,
+                          uint32_t frame, int count) AP_NO_YIELD;
+
+    /**
+     * Try to reclaim an Error entry found at @p ea during acquire:
+     * claim it at refcount 0, remove it, and free its frame so the
+     * caller can re-fault the page from scratch.
+     * @return true if reclaimed (the caller should re-probe)
+     */
+    bool reclaimErrorEntry(sim::Warp& w, PageKey key, sim::Addr ea)
+        AP_ACQUIRES("pt.bucket") AP_ACQUIRES("pc.alloc");
 
     uint32_t grabStagingSlot(sim::Warp& w) AP_YIELDS;
     void releaseStagingSlot(sim::Warp& w, uint32_t slot) AP_NO_YIELD;

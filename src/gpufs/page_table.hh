@@ -60,6 +60,13 @@ pageKeyPageNo(PageKey k)
 enum class PteState : uint32_t {
     Loading = 0, ///< frame allocated, data transfer in flight
     Ready = 1,   ///< data resident, mappings valid
+    /**
+     * The fill failed: the frame holds no valid data and must never be
+     * linked against. Error entries are never dirty; at refcount 0
+     * they are reclaimed eagerly by the next acquirer (re-faulting the
+     * page from scratch) or lazily by the eviction sweeps.
+     */
+    Error = 2,
 };
 
 /**

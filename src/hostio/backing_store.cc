@@ -31,17 +31,27 @@ BackingStore::open(const std::string& name) const
 const BackingStore::File&
 BackingStore::get(FileId f) const
 {
-    AP_ASSERT(f >= 0 && static_cast<size_t>(f) < files.size(),
-              "bad file id ", f);
+    AP_ASSERT(valid(f), "bad file id ", f);
     return files[f];
 }
 
 BackingStore::File&
 BackingStore::get(FileId f)
 {
-    AP_ASSERT(f >= 0 && static_cast<size_t>(f) < files.size(),
-              "bad file id ", f);
+    AP_ASSERT(valid(f), "bad file id ", f);
     return files[f];
+}
+
+IoStatus
+BackingStore::checkRange(FileId f, uint64_t off, uint64_t len) const
+{
+    if (!valid(f))
+        return IoStatus::BadFile;
+    const uint64_t sz = files[f].bytes.size();
+    // off > sz first, so len > sz - off cannot underflow.
+    if (off > sz || len > sz - off)
+        return IoStatus::Eof;
+    return IoStatus::Ok;
 }
 
 size_t
@@ -60,8 +70,9 @@ void
 BackingStore::pread(FileId f, void* dst, size_t len, uint64_t off) const
 {
     const File& file = get(f);
-    AP_ASSERT(off + len <= file.bytes.size(), "pread past EOF of ",
-              file.fname, ": ", off + len, " > ", file.bytes.size());
+    AP_ASSERT(checkRange(f, off, len) == IoStatus::Ok,
+              "pread past EOF of ", file.fname, ": off ", off, " len ",
+              len, " > ", file.bytes.size());
     std::memcpy(dst, file.bytes.data() + off, len);
 }
 
@@ -69,16 +80,39 @@ void
 BackingStore::pwrite(FileId f, const void* src, size_t len, uint64_t off)
 {
     File& file = get(f);
-    AP_ASSERT(off + len <= file.bytes.size(), "pwrite past EOF of ",
-              file.fname);
+    AP_ASSERT(checkRange(f, off, len) == IoStatus::Ok,
+              "pwrite past EOF of ", file.fname);
     std::memcpy(file.bytes.data() + off, src, len);
+}
+
+IoStatus
+BackingStore::preadChecked(FileId f, void* dst, size_t len,
+                           uint64_t off) const
+{
+    IoStatus st = checkRange(f, off, len);
+    if (st != IoStatus::Ok)
+        return st;
+    std::memcpy(dst, files[f].bytes.data() + off, len);
+    return IoStatus::Ok;
+}
+
+IoStatus
+BackingStore::pwriteChecked(FileId f, const void* src, size_t len,
+                            uint64_t off)
+{
+    IoStatus st = checkRange(f, off, len);
+    if (st != IoStatus::Ok)
+        return st;
+    std::memcpy(files[f].bytes.data() + off, src, len);
+    return IoStatus::Ok;
 }
 
 uint8_t*
 BackingStore::data(FileId f, uint64_t off, size_t len)
 {
     File& file = get(f);
-    AP_ASSERT(off + len <= file.bytes.size(), "data range past EOF");
+    AP_ASSERT(checkRange(f, off, len) == IoStatus::Ok,
+              "data range past EOF");
     return file.bytes.data() + off;
 }
 
@@ -86,7 +120,8 @@ const uint8_t*
 BackingStore::data(FileId f, uint64_t off, size_t len) const
 {
     const File& file = get(f);
-    AP_ASSERT(off + len <= file.bytes.size(), "data range past EOF");
+    AP_ASSERT(checkRange(f, off, len) == IoStatus::Ok,
+              "data range past EOF");
     return file.bytes.data() + off;
 }
 

@@ -15,6 +15,8 @@
 #include <string>
 #include <vector>
 
+#include "hostio/io_result.hh"
+
 namespace ap::hostio {
 
 /** Host file descriptor. Negative means invalid. */
@@ -45,6 +47,21 @@ class BackingStore
     /** Look up a file by name. @return descriptor, or -1 if absent. */
     FileId open(const std::string& name) const;
 
+    /** True iff @p f names an existing file. */
+    bool
+    valid(FileId f) const
+    {
+        return f >= 0 && static_cast<size_t>(f) < files.size();
+    }
+
+    /**
+     * Validate that (off, len) lies inside file @p f. Overflow-safe:
+     * off + len wrapping past 2^64 is rejected, not silently accepted.
+     * @return Ok, BadFile for an invalid descriptor, or Eof for a
+     *         range beyond the file end
+     */
+    IoStatus checkRange(FileId f, uint64_t off, uint64_t len) const;
+
     /** Size in bytes of file @p f. */
     size_t size(FileId f) const;
 
@@ -54,11 +71,23 @@ class BackingStore
     /** Number of files. */
     size_t fileCount() const { return files.size(); }
 
-    /** Copy @p len bytes from (f, off) into @p dst. */
+    /**
+     * Copy @p len bytes from (f, off) into @p dst. Asserts on an
+     * invalid descriptor or range; host/test convenience — device
+     * paths go through preadChecked.
+     */
     void pread(FileId f, void* dst, size_t len, uint64_t off) const;
 
-    /** Copy @p len bytes from @p src into (f, off). */
+    /** Copy @p len bytes from @p src into (f, off). Asserts on misuse. */
     void pwrite(FileId f, const void* src, size_t len, uint64_t off);
+
+    /** Checked pread: returns the checkRange status instead of asserting. */
+    IoStatus preadChecked(FileId f, void* dst, size_t len,
+                          uint64_t off) const;
+
+    /** Checked pwrite: returns the checkRange status instead of asserting. */
+    IoStatus pwriteChecked(FileId f, const void* src, size_t len,
+                           uint64_t off);
 
     /** Direct pointer into the file contents (host-side convenience). */
     uint8_t* data(FileId f, uint64_t off, size_t len);

@@ -1,0 +1,21 @@
+#include "hostio/fault_injector.hh"
+
+#include "util/rng.hh"
+
+namespace ap::hostio {
+
+double
+FaultInjector::draw(FileId f, uint64_t off, int attempt,
+                    uint64_t salt) const
+{
+    // Chain the mixes so every key bit reaches every output bit; a
+    // plain xor of the inputs would alias (file, off) pairs that differ
+    // by matching amounts.
+    uint64_t h = hashMix64(cfg_.seed ^ salt);
+    h = hashMix64(h ^ static_cast<uint64_t>(static_cast<uint32_t>(f)));
+    h = hashMix64(h ^ off);
+    h = hashMix64(h ^ static_cast<uint64_t>(attempt));
+    return static_cast<double>(h >> 11) * (1.0 / (1ULL << 53));
+}
+
+} // namespace ap::hostio

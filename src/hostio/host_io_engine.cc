@@ -53,12 +53,35 @@ HostIoEngine::HostIoEngine(sim::Device& dev_, BackingStore& store,
 {
 }
 
-void
+sim::Cycles
+HostIoEngine::backoff(int attempt) const
+{
+    sim::Cycles b = retry.backoffBase;
+    for (int i = 0; i < attempt && b < retry.backoffCap; ++i)
+        b *= 2;
+    return std::min(b, retry.backoffCap);
+}
+
+sim::Cycles
+HostIoEngine::injectedDelay(const Request& r)
+{
+    if (!injector)
+        return 0;
+    sim::Cycles d = injector->completionDelay(r.file, r.off, r.attempt);
+    if (d > 0)
+        dev->stats().inc("hostio.injected_delays");
+    return d;
+}
+
+IoStatus
 HostIoEngine::readToGpu(sim::Warp& w, FileId f, uint64_t off, size_t len,
                         sim::Addr gpu_dst)
 {
-    AP_ASSERT(off + len <= store_->size(f), "device read past EOF");
-    const sim::CostModel& cm = dev->costModel();
+    IoStatus v = store_->checkRange(f, off, len);
+    if (v != IoStatus::Ok) {
+        dev->stats().inc("hostio.failures");
+        return v;
+    }
     sim::Engine& eng = dev->engine();
     dev->stats().inc("hostio.read_requests");
     dev->stats().inc("hostio.read_bytes", len);
@@ -66,24 +89,60 @@ HostIoEngine::readToGpu(sim::Warp& w, FileId f, uint64_t off, size_t len,
     // PCIe-visible memory plus a doorbell).
     w.issue(8);
 
-    if (!batching) {
-        // One PCIe transfer per request: each pays the full DMA setup.
-        sim::Cycles host = eng.now() + cm.hostRequestCost;
-        sim::Cycles done = pcieToGpu.acquireWithSetup(
-            host, static_cast<double>(len), cm.pcieLatency);
-        sim::Fiber* waiter = sim::Fiber::current();
-        eng.schedule(done, [this, f, off, len, gpu_dst, waiter] {
-            noteDmaWrite(dev, gpu_dst, len);
-            store_->pread(f, dev->mem().raw(gpu_dst, len), len, off);
-            dev->stats().inc("hostio.transfers");
-            resumeWithEdge(waiter);
-        });
+    // The retry loop: each attempt enqueues one transfer and blocks;
+    // the completion hands back the attempt's status. A transient
+    // failure backs off (capped exponential) and re-enqueues, so a
+    // poisoned attempt leaves its batch and retries on its own.
+    for (int attempt = 0;; ++attempt) {
+        IoStatus st = IoStatus::Ok;
+        submitRead(Request{f, off, len, gpu_dst, sim::Fiber::current(),
+                           &st, nullptr, attempt});
         eng.block();
-        return;
+        if (st != IoStatus::Again) {
+            if (st != IoStatus::Ok)
+                dev->stats().inc("hostio.failures");
+            return st;
+        }
+        if (attempt + 1 >= retry.maxAttempts) {
+            dev->stats().inc("hostio.failures");
+            return IoStatus::IoError;
+        }
+        dev->stats().inc("hostio.retries");
+        eng.waitUntil(eng.now() + backoff(attempt));
     }
+}
 
-    pending.push_back(Request{f, off, len, gpu_dst,
-                              sim::Fiber::current(), nullptr});
+void
+HostIoEngine::submitRead(Request r)
+{
+    if (batching)
+        enqueueBatched(std::move(r));
+    else
+        issueUnbatchedRead(std::move(r));
+}
+
+void
+HostIoEngine::issueUnbatchedRead(Request r)
+{
+    // One PCIe transfer per request: each pays the full DMA setup.
+    const sim::CostModel& cm = dev->costModel();
+    sim::Engine& eng = dev->engine();
+    sim::Cycles host = eng.now() + cm.hostRequestCost;
+    sim::Cycles done = pcieToGpu.acquireWithSetup(
+        host, static_cast<double>(r.len), cm.pcieLatency);
+    done += injectedDelay(r);
+    eng.schedule(done, [this, r = std::move(r)] {
+        dev->stats().inc("hostio.transfers");
+        completeRead(r);
+    });
+}
+
+void
+HostIoEngine::enqueueBatched(Request r)
+{
+    const sim::CostModel& cm = dev->costModel();
+    sim::Engine& eng = dev->engine();
+    pending.push_back(std::move(r));
     // The dispatch event may already be scheduled by an earlier
     // requester; publish this requester's clock into the host channel
     // so the batch that carries its DMA is ordered after it.
@@ -99,7 +158,6 @@ HostIoEngine::readToGpu(sim::Warp& w, FileId f, uint64_t off, size_t len,
                                     pcieToGpu.freeTime());
         eng.schedule(when, [this] { dispatchBatch(); });
     }
-    eng.block();
 }
 
 void
@@ -131,91 +189,155 @@ HostIoEngine::dispatchBatch()
         host_free += static_cast<double>(j - i) * cm.hostRequestCost;
         sim::Cycles done = pcieToGpu.acquireWithSetup(
             host_free, static_cast<double>(bytes), cm.pcieLatency);
-        dev->stats().inc("hostio.transfers");
         dev->stats().inc("hostio.batched_requests", j - i);
         dev->tracer().span(-2, "dma",
                            "batch x" + std::to_string(j - i) + " (" +
                                std::to_string(bytes) + "B)",
                            host_free, done);
 
-        std::vector<Request> group(reqs.begin() + i, reqs.begin() + j);
-        eng.schedule(done, [this, group = std::move(group)] {
-            for (const Request& r : group) {
-                noteDmaWrite(dev, r.dst, r.len);
-                store_->pread(r.file, dev->mem().raw(r.dst, r.len), r.len,
-                              r.off);
-                if (r.waiter)
-                    resumeWithEdge(r.waiter);
-                if (r.onDone)
-                    r.onDone();
-            }
+        std::vector<Request> group(
+            std::make_move_iterator(reqs.begin() + i),
+            std::make_move_iterator(reqs.begin() + j));
+        // An injected delay on any member holds up the whole DMA (the
+        // batch completes as one transaction).
+        sim::Cycles delay = 0;
+        for (const Request& r : group)
+            delay = std::max(delay, injectedDelay(r));
+        // The transfer is counted when the DMA lands, matching the
+        // unbatched path (counting at dispatch time let mid-run stats
+        // reads disagree between the two paths).
+        eng.schedule(done + delay, [this, group = std::move(group)] {
+            dev->stats().inc("hostio.transfers");
+            for (const Request& r : group)
+                completeRead(r);
         });
         i = j;
     }
 }
 
 void
-HostIoEngine::readToGpuAsync(sim::Warp& w, FileId f, uint64_t off,
-                             size_t len, sim::Addr gpu_dst,
-                             std::function<void()> on_done)
+HostIoEngine::completeRead(const Request& r)
 {
-    AP_ASSERT(off + len <= store_->size(f), "device read past EOF");
-    const sim::CostModel& cm = dev->costModel();
-    sim::Engine& eng = dev->engine();
-    dev->stats().inc("hostio.read_requests");
-    dev->stats().inc("hostio.read_bytes", len);
-    w.issue(8);
-
-    if (!batching) {
-        sim::Cycles host = eng.now() + cm.hostRequestCost;
-        sim::Cycles done = pcieToGpu.acquireWithSetup(
-            host, static_cast<double>(len), cm.pcieLatency);
-        eng.schedule(done, [this, f, off, len, gpu_dst,
-                            cb = std::move(on_done)] {
-            noteDmaWrite(dev, gpu_dst, len);
-            store_->pread(f, dev->mem().raw(gpu_dst, len), len, off);
-            dev->stats().inc("hostio.transfers");
-            cb();
-        });
+    Fault fl = injector
+                   ? injector->onRead(r.file, r.off, r.len, r.attempt)
+                   : Fault::None;
+    if (fl == Fault::None) {
+        noteDmaWrite(dev, r.dst, r.len);
+        IoStatus st = store_->preadChecked(
+            r.file, dev->mem().raw(r.dst, r.len), r.len, r.off);
+        finish(r, st);
         return;
     }
-
-    pending.push_back(
-        Request{f, off, len, gpu_dst, nullptr, std::move(on_done)});
-    // As in readToGpu: order this request before the (possibly
-    // already-scheduled) batch dispatch that will carry it.
-    if (sim::check::SimCheck::armed)
-        sim::check::SimCheck::get().hostRelease();
-    if (!dispatchScheduled) {
-        dispatchScheduled = true;
-        sim::Cycles when = std::max(eng.now() + cm.hostBatchWindow,
-                                    pcieToGpu.freeTime());
-        eng.schedule(when, [this] { dispatchBatch(); });
-    }
+    dev->stats().inc("hostio.injected_faults");
+    finish(r, fl == Fault::Transient ? IoStatus::Again
+                                     : IoStatus::IoError);
 }
 
 void
+HostIoEngine::finish(const Request& r, IoStatus st)
+{
+    if (r.waiter) {
+        // Blocking request: hand the attempt status to the fiber; its
+        // retry loop owns backoff and re-submission.
+        *r.out = st;
+        resumeWithEdge(r.waiter);
+        return;
+    }
+    // Async request: the engine retries transients itself, so the
+    // callback fires exactly once with a terminal status.
+    if (st == IoStatus::Again) {
+        if (r.attempt + 1 >= retry.maxAttempts) {
+            dev->stats().inc("hostio.failures");
+            r.onDone(IoStatus::IoError);
+            return;
+        }
+        dev->stats().inc("hostio.retries");
+        sim::Engine& eng = dev->engine();
+        Request nr = r;
+        nr.attempt++;
+        eng.schedule(eng.now() + backoff(r.attempt),
+                     [this, nr = std::move(nr)]() mutable {
+                         submitRead(std::move(nr));
+                     });
+        return;
+    }
+    if (st != IoStatus::Ok)
+        dev->stats().inc("hostio.failures");
+    r.onDone(st);
+}
+
+IoStatus
+HostIoEngine::readToGpuAsync(sim::Warp& w, FileId f, uint64_t off,
+                             size_t len, sim::Addr gpu_dst,
+                             std::function<void(IoStatus)> on_done)
+{
+    IoStatus v = store_->checkRange(f, off, len);
+    if (v != IoStatus::Ok) {
+        dev->stats().inc("hostio.failures");
+        return v;
+    }
+    dev->stats().inc("hostio.read_requests");
+    dev->stats().inc("hostio.read_bytes", len);
+    w.issue(8);
+    submitRead(Request{f, off, len, gpu_dst, nullptr, nullptr,
+                       std::move(on_done), 0});
+    return IoStatus::Ok;
+}
+
+IoStatus
 HostIoEngine::writeFromGpu(sim::Warp& w, FileId f, uint64_t off, size_t len,
                            sim::Addr gpu_src)
 {
-    AP_ASSERT(off + len <= store_->size(f), "device write past EOF");
+    IoStatus v = store_->checkRange(f, off, len);
+    if (v != IoStatus::Ok) {
+        dev->stats().inc("hostio.failures");
+        return v;
+    }
     const sim::CostModel& cm = dev->costModel();
     sim::Engine& eng = dev->engine();
     dev->stats().inc("hostio.write_requests");
     dev->stats().inc("hostio.write_bytes", len);
-
     w.issue(8);
-    sim::Cycles host = eng.now() + cm.hostRequestCost;
-    sim::Cycles done = pcieToHost.acquireWithSetup(
-        host, static_cast<double>(len), cm.pcieLatency);
-    sim::Fiber* waiter = sim::Fiber::current();
-    eng.schedule(done, [this, f, off, len, gpu_src, waiter] {
-        noteDmaRead(dev, gpu_src, len);
-        store_->pwrite(f, dev->mem().raw(gpu_src, len), len, off);
-        dev->stats().inc("hostio.transfers");
-        resumeWithEdge(waiter);
-    });
-    eng.block();
+
+    // Same retry shape as readToGpu; writes are never batched.
+    for (int attempt = 0;; ++attempt) {
+        sim::Cycles host = eng.now() + cm.hostRequestCost;
+        sim::Cycles done = pcieToHost.acquireWithSetup(
+            host, static_cast<double>(len), cm.pcieLatency);
+        Request r{f, off, len, gpu_src, sim::Fiber::current(), nullptr,
+                  nullptr, attempt};
+        done += injectedDelay(r);
+        IoStatus st = IoStatus::Ok;
+        r.out = &st;
+        eng.schedule(done, [this, r = std::move(r)] {
+            dev->stats().inc("hostio.transfers");
+            Fault fl = injector ? injector->onWrite(r.file, r.off, r.len,
+                                                    r.attempt)
+                                : Fault::None;
+            if (fl == Fault::None) {
+                noteDmaRead(dev, r.dst, r.len);
+                IoStatus wst = store_->pwriteChecked(
+                    r.file, dev->mem().raw(r.dst, r.len), r.len, r.off);
+                finish(r, wst);
+                return;
+            }
+            dev->stats().inc("hostio.injected_faults");
+            finish(r, fl == Fault::Transient ? IoStatus::Again
+                                             : IoStatus::IoError);
+        });
+        eng.block();
+        if (st != IoStatus::Again) {
+            if (st != IoStatus::Ok)
+                dev->stats().inc("hostio.failures");
+            return st;
+        }
+        if (attempt + 1 >= retry.maxAttempts) {
+            dev->stats().inc("hostio.failures");
+            return IoStatus::IoError;
+        }
+        dev->stats().inc("hostio.retries");
+        eng.waitUntil(eng.now() + backoff(attempt));
+    }
 }
 
 int64_t

@@ -5,6 +5,13 @@
  * batching optimization from paper section V ("Optimizing for small
  * page size"): multiple outstanding small reads are aggregated on the
  * host and shipped to the GPU in a single DMA transfer.
+ *
+ * Failure semantics (DESIGN.md section 10): every transfer validates
+ * its byte range up front and returns an IoStatus instead of
+ * asserting. An attached FaultInjector can fail or delay individual
+ * transfer attempts; transient failures are retried with capped
+ * exponential backoff, tracked per request so one poisoned request
+ * cannot wedge the batch it rode in on.
  */
 
 #ifndef AP_HOSTIO_HOST_IO_ENGINE_HH
@@ -13,6 +20,8 @@
 #include <vector>
 
 #include "hostio/backing_store.hh"
+#include "hostio/fault_injector.hh"
+#include "hostio/io_result.hh"
 #include "sim/device.hh"
 #include "util/annotations.hh"
 
@@ -21,11 +30,22 @@ namespace ap::hostio {
 /**
  * Services device-originated file reads/writes. Calls are made from
  * inside warp fibers and block the calling warp until the data has
- * crossed the (simulated) PCIe bus.
+ * crossed the (simulated) PCIe bus or the transfer has failed for
+ * good.
  */
 class HostIoEngine
 {
   public:
+    /** Retry policy for failed transfer attempts. */
+    struct RetryPolicy
+    {
+        /** Total attempts per request (first try included). */
+        int maxAttempts = 6;
+        /** Backoff before retry k is backoffBase << k, capped below. */
+        sim::Cycles backoffBase = 2000;
+        sim::Cycles backoffCap = 64000;
+    };
+
     /**
      * @param dev      the simulated GPU (shares its engine and memory)
      * @param store    the host file system
@@ -36,32 +56,42 @@ class HostIoEngine
 
     /**
      * Read (f, off, len) from the host into device memory at @p gpu_dst.
-     * Blocks the calling warp until the bytes have landed. With
-     * batching enabled, concurrent requests within the aggregation
-     * window share one PCIe transfer.
+     * Blocks the calling warp until the bytes have landed or the
+     * request has failed terminally. With batching enabled, concurrent
+     * requests within the aggregation window share one PCIe transfer.
+     * @return Ok, BadFile/Eof for an invalid range, or IoError after
+     *         retries are exhausted
      */
-    void readToGpu(sim::Warp& w, FileId f, uint64_t off, size_t len,
-                   sim::Addr gpu_dst) AP_YIELDS;
+    IoStatus readToGpu(sim::Warp& w, FileId f, uint64_t off, size_t len,
+                       sim::Addr gpu_dst) AP_YIELDS;
 
     /**
      * Asynchronous variant of readToGpu: enqueue the request (sharing
-     * the batching machinery) and invoke @p on_done at the simulated
-     * completion time instead of blocking the warp. Used by the
-     * prefetch (gmadvise) path.
+     * the batching machinery) and invoke @p on_done with the terminal
+     * status at the simulated completion time instead of blocking the
+     * warp. Transient failures are retried engine-side before @p
+     * on_done fires. Used by the prefetch (gmadvise) path.
+     * @return Ok if the request was enqueued (the callback will fire
+     *         exactly once), or a validation error (callback never
+     *         fires)
      */
-    void readToGpuAsync(sim::Warp& w, FileId f, uint64_t off, size_t len,
-                        sim::Addr gpu_dst, std::function<void()> on_done);
+    IoStatus readToGpuAsync(sim::Warp& w, FileId f, uint64_t off,
+                            size_t len, sim::Addr gpu_dst,
+                            std::function<void(IoStatus)> on_done);
 
     /**
      * Write device memory (gpu_src, len) to the host file at (f, off).
-     * Blocks the calling warp until the transfer completes.
+     * Blocks the calling warp until the transfer completes or fails
+     * terminally.
      */
-    void writeFromGpu(sim::Warp& w, FileId f, uint64_t off, size_t len,
-                      sim::Addr gpu_src) AP_YIELDS;
+    IoStatus writeFromGpu(sim::Warp& w, FileId f, uint64_t off,
+                          size_t len, sim::Addr gpu_src) AP_YIELDS;
 
     /**
      * A device-to-host RPC with a tiny payload (e.g. gopen): charges a
      * round trip and runs @p host_fn on the host at the service time.
+     * Control RPCs are assumed reliable; the injector only affects
+     * data transfers.
      * @return the value produced by @p host_fn
      */
     int64_t rpc(sim::Warp& w, const std::function<int64_t()>& host_fn)
@@ -73,6 +103,18 @@ class HostIoEngine
     /** Whether batching is enabled. */
     bool batchingEnabled() const { return batching; }
 
+    /** Attach a fault injector (null detaches; not owned). */
+    void setFaultInjector(FaultInjector* fi) { injector = fi; }
+
+    /** The attached fault injector, or null. */
+    FaultInjector* faultInjector() { return injector; }
+
+    /** Replace the retry policy. */
+    void setRetryPolicy(const RetryPolicy& p) { retry = p; }
+
+    /** The retry policy in force. */
+    const RetryPolicy& retryPolicy() const { return retry; }
+
     /** The backing store served by this engine. */
     BackingStore& store() { return *store_; }
 
@@ -83,14 +125,46 @@ class HostIoEngine
         uint64_t off;
         size_t len;
         sim::Addr dst;
-        sim::Fiber* waiter;              ///< resumed if non-null
-        std::function<void()> onDone;    ///< called if set
+        sim::Fiber* waiter = nullptr;  ///< resumed if non-null
+        IoStatus* out = nullptr;       ///< status for the waiter
+        std::function<void(IoStatus)> onDone; ///< called if set
+        int attempt = 0;               ///< retry ordinal (0 = first)
     };
+
+    /** Backoff before re-issuing attempt @p attempt + 1. */
+    sim::Cycles backoff(int attempt) const;
+
+    /** Injector delay for this attempt (also counts the stat). */
+    sim::Cycles injectedDelay(const Request& r);
+
+    /** Add @p r to the aggregation window, arming dispatch if idle. */
+    void enqueueBatched(Request r);
+
+    /** Issue @p r as its own PCIe transfer. */
+    void issueUnbatchedRead(Request r);
+
+    /** Enqueue attempt @p r on whichever path is configured. */
+    void submitRead(Request r);
+
+    /**
+     * Host-side completion of one read attempt: consult the injector,
+     * deliver the bytes or a failure to finish().
+     */
+    void completeRead(const Request& r);
+
+    /**
+     * Deliver the attempt outcome: resume a blocked waiter with the
+     * status, or (async requests) retry transient failures engine-side
+     * and invoke the callback with the terminal status.
+     */
+    void finish(const Request& r, IoStatus st);
 
     void dispatchBatch();
 
     sim::Device* dev;
     BackingStore* store_;
+    FaultInjector* injector = nullptr;
+    RetryPolicy retry;
     bool batching;
     sim::BwServer pcieToGpu;
     sim::BwServer pcieToHost;

@@ -17,6 +17,7 @@ enum class ReportKind {
     DataRace,  ///< conflicting unsynchronized accesses (vector clocks)
     LockCycle, ///< cycle in the lock-acquisition-order graph
     Invariant, ///< a paper invariant was violated (refcounts, PTE edges)
+    Hang,      ///< a warp was still blocked when the event queue drained
 };
 
 /** Printable name of a report kind. */
@@ -30,6 +31,8 @@ reportKindName(ReportKind k)
         return "lock-cycle";
       case ReportKind::Invariant:
         return "invariant";
+      case ReportKind::Hang:
+        return "hang";
     }
     return "?";
 }

@@ -534,6 +534,32 @@ SimCheck::pcReady(uint64_t dom, uint64_t key, int warp, double cycle)
 }
 
 void
+SimCheck::pcFillError(uint64_t dom, uint64_t key, int warp, double cycle)
+{
+    if (!enabled_)
+        return;
+    (void)cycle;
+    PageShadow* ps = pageShadow(dom, key);
+    if (!ps) {
+        report(ReportKind::Invariant,
+               "errmiss:" + std::to_string(dom) + ":" +
+                   std::to_string(key),
+               "Error transition of untracked " + pageName(dom, key));
+        return;
+    }
+    if (ps->st != PageShadow::Loading) {
+        report(ReportKind::Invariant,
+               "erredge:" + std::to_string(dom) + ":" +
+                   std::to_string(key),
+               "illegal PteState edge to Error (not Loading) on " +
+                   pageName(dom, key) + " by warp " +
+                   std::to_string(warp));
+        return;
+    }
+    ps->st = PageShadow::Error;
+}
+
+void
 SimCheck::pcRefAdjust(uint64_t dom, uint64_t key, int64_t delta, int warp,
                       double cycle)
 {
@@ -576,7 +602,8 @@ SimCheck::pcClaim(uint64_t dom, uint64_t key, int warp, double cycle)
                "eviction claim of non-resident " + pageName(dom, key));
         return;
     }
-    if (ps->rc != 0 || ps->st != PageShadow::Ready) {
+    if (ps->rc != 0 || (ps->st != PageShadow::Ready &&
+                        ps->st != PageShadow::Error)) {
         report(ReportKind::Invariant,
                "claimbad:" + std::to_string(dom) + ":" +
                    std::to_string(key),
@@ -699,6 +726,17 @@ SimCheck::auditLeaks()
                    " and " + std::to_string(ps.links) +
                    " linked lane(s) at quiescence");
     }
+}
+
+void
+SimCheck::reportHang(const std::string& who)
+{
+    if (!enabled_)
+        return;
+    report(ReportKind::Hang, "hang:" + who,
+           who + " permanently blocked: the event queue drained while "
+                 "it was still waiting (a completion that never "
+                 "arrived, or an unbounded retry)");
 }
 
 // ----------------------------------------------------------------------

@@ -210,11 +210,18 @@ class SimCheck
     /** Entry for @p key published Ready (legal only from Loading). */
     void pcReady(uint64_t dom, uint64_t key, int warp, double cycle);
 
+    /**
+     * Fill failure: entry for @p key published Error (legal only from
+     * Loading). An Error entry behaves like a never-dirty Ready entry
+     * for eviction purposes but must never be linked against.
+     */
+    void pcFillError(uint64_t dom, uint64_t key, int warp, double cycle);
+
     /** Refcount change by @p delta (minor fault +n / release -n). */
     void pcRefAdjust(uint64_t dom, uint64_t key, int64_t delta, int warp,
                      double cycle);
 
-    /** Eviction claim: refcount 0 -> -1 (legal only from Ready). */
+    /** Eviction claim: refcount 0 -> -1 (legal from Ready or Error). */
     void pcClaim(uint64_t dom, uint64_t key, int warp, double cycle);
 
     /** Claim undone: refcount -1 -> 0. */
@@ -237,6 +244,15 @@ class SimCheck
      * anything still held is reported as a leak.
      */
     void auditLeaks();
+
+    /**
+     * No-warp-permanently-blocked auditor: a kernel launch drained its
+     * event queue with @p who still blocked (typically a warp waiting
+     * on an I/O completion that will never arrive — exactly what the
+     * failure paths must prevent). Called by Device::launch for each
+     * unfinished warp before it panics.
+     */
+    void reportHang(const std::string& who);
 
     // ------------------------------------------------------------------
     // Reports
@@ -312,7 +328,7 @@ class SimCheck
     // --- invariant internals -----------------------------------------
     struct PageShadow
     {
-        enum State { Loading, Ready, Claimed };
+        enum State { Loading, Ready, Claimed, Error };
         int64_t rc = 0;
         int64_t links = 0;
         State st = Loading;

@@ -123,6 +123,17 @@ Device::launch(int num_blocks, int warps_per_block, const KernelFn& fn,
                   [this, &ls] { tryDispatch(ls); });
     eng_.run();
 
+    // No-warp-permanently-blocked auditor: name each warp whose fiber
+    // never finished before the deadlock assert below aborts, so a
+    // failure-path bug (e.g. an I/O error that never unblocked its
+    // waiter) is attributed to the warps it wedged.
+    if (check::SimCheck::armed && ls.liveWarps != 0) {
+        for (size_t i = 0; i < ls.fibers.size(); ++i)
+            if (!ls.fibers[i]->finished())
+                check::SimCheck::get().reportHang(
+                    "warp" +
+                    std::to_string(ls.warps[i]->globalWarpId()));
+    }
     AP_ASSERT(ls.liveWarps == 0 && ls.nextBlock == ls.numBlocks,
               "kernel deadlocked: ", ls.liveWarps, " warps never finished");
     stats_.inc("sim.launches");

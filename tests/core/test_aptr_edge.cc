@@ -102,16 +102,25 @@ TEST(AptrEdgeDeath, DereferenceAfterDestroy)
         "uninitialized");
 }
 
-TEST(AptrEdgeDeath, MapInvalidFile)
+TEST(AptrEdge, MapInvalidFileYieldsErroredPointer)
 {
+    // gvmmap of a nonexistent file (gopen returned -1) no longer
+    // aborts the kernel: it yields an errored apointer whose lanes
+    // read zeros, and status() reports BadFile.
     StackFixture fx;
-    EXPECT_DEATH(fx.dev->launch(1, 1,
-                                [&](sim::Warp& w) {
-                                    gvmmap<uint32_t>(w, *fx.rt, 4096,
-                                                     hostio::O_GRDONLY,
-                                                     -1, 0);
-                                }),
-                 "invalid file");
+    fx.dev->launch(1, 1, [&](sim::Warp& w) {
+        auto p = gvmmap<uint32_t>(w, *fx.rt, 4096, hostio::O_GRDONLY, -1,
+                                  0);
+        EXPECT_EQ(p.status(), hostio::IoStatus::BadFile);
+        EXPECT_EQ(p.erroredLanes(), sim::kFullMask);
+        auto v = p.read(w);
+        for (int l = 0; l < kWarpSize; ++l) {
+            EXPECT_EQ(v[l], 0u);
+            EXPECT_FALSE(p.linked(l));
+        }
+        p.destroy(w);
+    });
+    EXPECT_EQ(fx.dev->stats().counter("core.gvmmap_errors"), 1u);
 }
 
 TEST(AptrEdgeDeath, MapEmptyRegion)

@@ -1,0 +1,159 @@
+/**
+ * @file
+ * End-to-end failure semantics at the apointer layer: a page whose
+ * fill fails terminally errors the faulting lanes instead of hanging
+ * or aborting the kernel, the sticky status is inspectable and
+ * clearable, references stay balanced on every failure path, and
+ * transient faults are absorbed by the host I/O retry loop without
+ * corrupting data.
+ */
+
+#include <gtest/gtest.h>
+
+#include "fixture.hh"
+
+namespace ap::core {
+namespace {
+
+using sim::kWarpSize;
+using sim::LaneArray;
+
+TEST(AptrError, PersistentFillErrorTerminatesWithStatus)
+{
+    StackFixture fx;
+    hostio::FileId f = fx.makeWordFile("f", 4096);
+    hostio::FaultInjector fi;
+    fi.failReads(f, 0, fx.bs.size(f));
+    fx.io->setFaultInjector(&fi);
+
+    fx.dev->launch(1, 1, [&](sim::Warp& w) {
+        auto p = gvmmap<uint32_t>(w, *fx.rt, 4096 * 4, hostio::O_GRDONLY,
+                                  f, 0);
+        // The kernel terminates with an error result — no hang, no
+        // abort: every lane reads zeros and the status names the cause.
+        auto v = p.read(w);
+        EXPECT_EQ(p.status(), hostio::IoStatus::IoError);
+        EXPECT_EQ(p.erroredLanes(), sim::kFullMask);
+        for (int l = 0; l < kWarpSize; ++l) {
+            EXPECT_EQ(v[l], 0u);
+            EXPECT_FALSE(p.linked(l));
+        }
+        // Writes to errored lanes are dropped, not wild stores.
+        p.write(w, LaneArray<uint32_t>::broadcast(7));
+        p.destroy(w);
+    });
+    // The failed fault holds no references.
+    EXPECT_EQ(fx.fs->cache().residentRefcountHost(
+                  gpufs::makePageKey(f, 0)),
+              0);
+    EXPECT_GE(fx.dev->stats().counter("core.fault_errors"), 1u);
+    EXPECT_GE(fx.dev->stats().counter("pagecache.fill_errors"), 1u);
+}
+
+TEST(AptrError, ClearErrorRetriesAfterRecovery)
+{
+    StackFixture fx;
+    hostio::FileId f = fx.makeWordFile("f", 4096);
+    hostio::FaultInjector fi;
+    fi.failReads(f, 0, fx.bs.size(f));
+    fx.io->setFaultInjector(&fi);
+
+    fx.dev->launch(1, 1, [&](sim::Warp& w) {
+        auto p = gvmmap<uint32_t>(w, *fx.rt, 4096 * 4, hostio::O_GRDONLY,
+                                  f, 0);
+        (void)p.read(w);
+        EXPECT_EQ(p.status(), hostio::IoStatus::IoError);
+
+        // The device recovers; clearing the sticky error re-arms the
+        // fault path, which reclaims the poisoned entry and succeeds.
+        fx.io->faultInjector()->clearPersistent();
+        p.clearError();
+        EXPECT_EQ(p.status(), hostio::IoStatus::Ok);
+        auto v = p.read(w);
+        EXPECT_EQ(p.status(), hostio::IoStatus::Ok);
+        for (int l = 0; l < kWarpSize; ++l)
+            EXPECT_EQ(v[l], 0u) << "word 0 in every lane";
+        p.add(w, 1);
+        EXPECT_EQ(p.read(w)[0], 1u);
+        p.destroy(w);
+    });
+    EXPECT_GE(fx.dev->stats().counter("pagecache.poisoned_reclaims"), 1u);
+}
+
+TEST(AptrError, PartialFailureErrorsOnlyTheAffectedLanes)
+{
+    StackFixture fx;
+    hostio::FileId f = fx.makeWordFile("f", 2 * 1024); // 2 pages
+    hostio::FaultInjector fi;
+    fi.failReads(f, 4096, 4096); // second page only
+    fx.io->setFaultInjector(&fi);
+
+    fx.dev->launch(1, 1, [&](sim::Warp& w) {
+        auto p = gvmmap<uint32_t>(w, *fx.rt, 2 * 4096, hostio::O_GRDONLY,
+                                  f, 0);
+        // Half the lanes in page 0, half in page 1.
+        LaneArray<int64_t> idx;
+        for (int l = 0; l < kWarpSize; ++l)
+            idx[l] = l < 16 ? l : 1024 + l;
+        p.addPerLane(w, idx);
+        auto v = p.read(w);
+        EXPECT_EQ(p.status(), hostio::IoStatus::IoError);
+        for (int l = 0; l < 16; ++l) {
+            EXPECT_EQ(v[l], static_cast<uint32_t>(l));
+            EXPECT_TRUE(p.linked(l));
+        }
+        for (int l = 16; l < kWarpSize; ++l) {
+            EXPECT_EQ(v[l], 0u);
+            EXPECT_FALSE(p.linked(l));
+            EXPECT_TRUE(p.erroredLanes() & (1u << l));
+        }
+        p.destroy(w);
+    });
+    // Page 0's subgroup references were returned by destroy().
+    EXPECT_EQ(fx.fs->cache().residentRefcountHost(
+                  gpufs::makePageKey(f, 0)),
+              0);
+    EXPECT_EQ(fx.fs->cache().residentRefcountHost(
+                  gpufs::makePageKey(f, 1)),
+              0);
+}
+
+TEST(AptrError, TransientFaultsAreAbsorbedByRetries)
+{
+    StackFixture fx;
+    hostio::FileId f = fx.makeWordFile("f", 16 * 1024); // 16 pages
+    hostio::FaultInjector::Config cfg;
+    cfg.seed = 17;
+    cfg.transientReadRate = 0.1;
+    hostio::FaultInjector fi(cfg);
+    fx.io->setFaultInjector(&fi);
+    hostio::HostIoEngine::RetryPolicy rp;
+    rp.maxAttempts = 30;
+    fx.io->setRetryPolicy(rp);
+
+    // Stream the whole file; transient faults retry under the hood and
+    // the data must come back bit-exact with Ok status throughout.
+    fx.dev->launch(1, 1, [&](sim::Warp& w) {
+        auto p = gvmmap<uint32_t>(w, *fx.rt, 16 * 4096, hostio::O_GRDONLY,
+                                  f, 0);
+        LaneArray<int64_t> lane;
+        for (int l = 0; l < kWarpSize; ++l)
+            lane[l] = l;
+        p.addPerLane(w, lane);
+        for (int i = 0; i < 16 * 1024 / kWarpSize; ++i) {
+            auto v = p.read(w);
+            for (int l = 0; l < kWarpSize; ++l)
+                EXPECT_EQ(v[l],
+                          static_cast<uint32_t>(i * kWarpSize + l));
+            p.add(w, kWarpSize);
+        }
+        EXPECT_EQ(p.status(), hostio::IoStatus::Ok);
+        p.destroy(w);
+    });
+    EXPECT_GE(fx.dev->stats().counter("hostio.retries"), 1u);
+    EXPECT_EQ(fx.dev->stats().counter("hostio.failures"), 0u);
+    EXPECT_EQ(fx.dev->stats().counter("pagecache.fill_errors"), 0u);
+}
+
+} // namespace
+} // namespace ap::core

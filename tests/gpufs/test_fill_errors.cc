@@ -1,0 +1,212 @@
+// aplint: allow-file(leader-only) single-warp test harness: the launched warp is the
+// leader by construction, exercising the cache API without an election.
+
+/**
+ * @file
+ * Error propagation through the page cache: a fill that fails
+ * terminally poisons the entry (PteState::Error) instead of wedging or
+ * aborting, waiters drain their references and observe the error, the
+ * poisoned entry is reclaimed for a later re-fault, and gread/gwrite/
+ * gmmap surface the status to the caller.
+ */
+
+#include <gtest/gtest.h>
+
+#include "gpufs/gpufs.hh"
+
+namespace ap::gpufs {
+namespace {
+
+struct FeFixture
+{
+    explicit FeFixture(uint32_t frames = 64)
+    {
+        cfg.numFrames = frames;
+        dev = std::make_unique<sim::Device>(sim::CostModel{}, 64 << 20);
+        io = std::make_unique<hostio::HostIoEngine>(*dev, bs);
+        io->setFaultInjector(&fi);
+        fs = std::make_unique<GpuFs>(*dev, *io, cfg);
+    }
+
+    hostio::FileId
+    makeFile(size_t pages)
+    {
+        hostio::FileId f = bs.create("fe", pages * 4096);
+        auto* p = bs.data(f, 0, pages * 4096);
+        for (size_t i = 0; i < pages * 4096; ++i)
+            p[i] = static_cast<uint8_t>(i * 31);
+        return f;
+    }
+
+    Config cfg;
+    hostio::BackingStore bs;
+    hostio::FaultInjector fi;
+    std::unique_ptr<sim::Device> dev;
+    std::unique_ptr<hostio::HostIoEngine> io;
+    std::unique_ptr<GpuFs> fs;
+};
+
+TEST(FillError, PersistentFailureSurfacesAndHoldsNoReferences)
+{
+    FeFixture fx;
+    hostio::FileId f = fx.makeFile(2);
+    fx.fi.failReads(f, 0, 4096);
+    PageKey key = makePageKey(f, 0);
+    fx.dev->launch(1, 1, [&](sim::Warp& w) {
+        AcquireResult r = fx.fs->cache().acquirePage(w, key, 3, false);
+        EXPECT_FALSE(r.ok());
+        EXPECT_EQ(r.status, hostio::IoStatus::IoError);
+        EXPECT_EQ(r.frameAddr, 0u);
+        // The failed acquire dropped its own 3 references.
+        EXPECT_EQ(fx.fs->cache().residentRefcountHost(key), 0);
+    });
+    EXPECT_EQ(fx.dev->stats().counter("pagecache.fill_errors"), 1u);
+    EXPECT_EQ(fx.dev->stats().counter("gpufs.major_faults"), 0u);
+}
+
+TEST(FillError, PoisonedEntryIsReclaimedAndRefaulted)
+{
+    FeFixture fx;
+    hostio::FileId f = fx.makeFile(2);
+    fx.fi.failReads(f, 0, 4096);
+    PageKey key = makePageKey(f, 0);
+    fx.dev->launch(1, 1, [&](sim::Warp& w) {
+        EXPECT_FALSE(fx.fs->cache().acquirePage(w, key, 1, false).ok());
+    });
+    // The device "recovers"; the next acquire reclaims the poisoned
+    // entry and re-faults the page from scratch.
+    fx.fi.clearPersistent();
+    fx.dev->launch(1, 1, [&](sim::Warp& w) {
+        AcquireResult r = fx.fs->cache().acquirePage(w, key, 1, false);
+        EXPECT_TRUE(r.ok());
+        EXPECT_TRUE(r.majorFault);
+        EXPECT_EQ(w.mem().load<uint8_t>(r.frameAddr + 5),
+                  static_cast<uint8_t>(5 * 31));
+        fx.fs->cache().releasePage(w, key, 1);
+    });
+    EXPECT_EQ(fx.dev->stats().counter("pagecache.poisoned_reclaims"), 1u);
+    EXPECT_EQ(fx.dev->stats().counter("gpufs.major_faults"), 1u);
+}
+
+TEST(FillError, ConcurrentWaiterDrainsWithError)
+{
+    FeFixture fx;
+    hostio::FileId f = fx.makeFile(2);
+    fx.fi.failReads(f, 0, 4096);
+    PageKey key = makePageKey(f, 0);
+    int errors = 0;
+    // Two warps fault on the same page: one runs the failing fill, the
+    // other waits on the Loading entry and must observe the error
+    // instead of spinning forever.
+    fx.dev->launch(1, 2, [&](sim::Warp& w) {
+        AcquireResult r = fx.fs->cache().acquirePage(w, key, 1, false);
+        EXPECT_FALSE(r.ok());
+        errors++;
+    });
+    EXPECT_EQ(errors, 2);
+    EXPECT_EQ(fx.fs->cache().residentRefcountHost(key), 0);
+    EXPECT_EQ(fx.dev->stats().counter("pagecache.fill_errors"), 1u);
+}
+
+TEST(FillError, FailedPrefetchDoesNotLeakTheFrame)
+{
+    FeFixture fx;
+    hostio::FileId f = fx.makeFile(2);
+    fx.fi.failReads(f, 0, 4096);
+    PageKey key = makePageKey(f, 0);
+    fx.dev->launch(1, 1, [&](sim::Warp& w) {
+        fx.fs->gmadvise(w, f, 0, 4096); // does not block
+    });
+    // launch() drained the async transfer: the entry is poisoned, not
+    // stuck Loading, and holds zero references.
+    EXPECT_EQ(fx.dev->stats().counter("pagecache.fill_errors"), 1u);
+    EXPECT_EQ(fx.dev->stats().counter("gpufs.prefetched_pages"), 0u);
+    EXPECT_EQ(fx.fs->cache().residentRefcountHost(key), 0);
+
+    fx.fi.clearPersistent();
+    fx.dev->launch(1, 1, [&](sim::Warp& w) {
+        AcquireResult r = fx.fs->cache().acquirePage(w, key, 1, false);
+        EXPECT_TRUE(r.ok());
+        EXPECT_EQ(w.mem().load<uint8_t>(r.frameAddr),
+                  static_cast<uint8_t>(0));
+        fx.fs->cache().releasePage(w, key, 1);
+    });
+    EXPECT_EQ(fx.dev->stats().counter("pagecache.poisoned_reclaims"), 1u);
+}
+
+TEST(FillError, PrefetchOfInvalidRangeIsANoOp)
+{
+    FeFixture fx;
+    hostio::FileId f = fx.makeFile(2);
+    fx.dev->launch(1, 1, [&](sim::Warp& w) {
+        fx.fs->gmadvise(w, f, 2 * 4096, 4096); // wholly past EOF
+    });
+    EXPECT_EQ(fx.dev->stats().counter("gpufs.prefetch_requests"), 0u);
+    EXPECT_EQ(fx.dev->stats().counter("pagecache.fill_errors"), 0u);
+}
+
+TEST(FillError, GreadStopsAtTheFailedPage)
+{
+    FeFixture fx;
+    hostio::FileId f = fx.makeFile(4);
+    fx.fi.failReads(f, 2 * 4096, 4096); // poison page 2
+    sim::Addr dst = fx.dev->mem().alloc(4 * 4096);
+    fx.dev->launch(1, 1, [&](sim::Warp& w) {
+        EXPECT_EQ(fx.fs->gread(w, f, 0, 4 * 4096, dst),
+                  hostio::IoStatus::IoError);
+        // Pages before the failure were copied.
+        for (int i = 0; i < 2 * 4096; i += 997)
+            EXPECT_EQ(w.mem().load<uint8_t>(dst + i),
+                      static_cast<uint8_t>(i * 31));
+        // A clean range still succeeds afterwards.
+        EXPECT_EQ(fx.fs->gread(w, f, 3 * 4096, 4096, dst),
+                  hostio::IoStatus::Ok);
+        EXPECT_EQ(fx.fs->gwrite(w, f, 2 * 4096, 4096, dst),
+                  hostio::IoStatus::IoError); // fill-before-write fails
+    });
+}
+
+TEST(FillError, GmmapReportsStatusInsteadOfMapping)
+{
+    FeFixture fx;
+    hostio::FileId f = fx.makeFile(2);
+    fx.fi.failReads(f, 4096, 4096);
+    fx.dev->launch(1, 1, [&](sim::Warp& w) {
+        hostio::IoStatus st = hostio::IoStatus::Ok;
+        sim::Addr a = fx.fs->gmmap(w, f, 4096 + 128, hostio::O_GRDONLY,
+                                   &st);
+        EXPECT_EQ(a, 0u);
+        EXPECT_EQ(st, hostio::IoStatus::IoError);
+        // The clean page still maps fine.
+        sim::Addr b = fx.fs->gmmap(w, f, 64, hostio::O_GRDONLY, &st);
+        EXPECT_NE(b, 0u);
+        EXPECT_EQ(st, hostio::IoStatus::Ok);
+        fx.fs->gmunmap(w, f, 64);
+    });
+}
+
+TEST(FillError, WritebackFailureIsCountedNotFatal)
+{
+    FeFixture fx(/*frames=*/4);
+    hostio::FileId f = fx.makeFile(8);
+    fx.fi.failWrites(f, 0, 8 * 4096);
+    fx.dev->launch(1, 1, [&](sim::Warp& w) {
+        // Dirty page 0, release it, then walk enough pages to force
+        // the clock to evict it; the writeback fails terminally but
+        // the kernel keeps running.
+        PageKey k0 = makePageKey(f, 0);
+        AcquireResult r = fx.fs->cache().acquirePage(w, k0, 1, true);
+        ASSERT_TRUE(r.ok());
+        fx.fs->cache().releasePage(w, k0, 1);
+        for (uint64_t p = 1; p < 8; ++p) {
+            PageKey k = makePageKey(f, p);
+            AcquireResult q = fx.fs->cache().acquirePage(w, k, 1, false);
+            ASSERT_TRUE(q.ok());
+            fx.fs->cache().releasePage(w, k, 1);
+        }
+    });
+    EXPECT_GE(fx.dev->stats().counter("pagecache.writeback_errors"), 1u);
+}
+
+} // namespace
+} // namespace ap::gpufs

@@ -88,5 +88,56 @@ TEST(BackingStoreDeath, BadFileIdPanics)
     EXPECT_DEATH(bs.size(-1), "bad file id");
 }
 
+TEST(BackingStore, ValidRecognizesLiveIds)
+{
+    BackingStore bs;
+    EXPECT_FALSE(bs.valid(0));
+    FileId f = bs.create("f", 64);
+    EXPECT_TRUE(bs.valid(f));
+    EXPECT_FALSE(bs.valid(f + 1));
+    EXPECT_FALSE(bs.valid(-1));
+}
+
+TEST(BackingStore, CheckRangeClassifiesErrors)
+{
+    BackingStore bs;
+    FileId f = bs.create("f", 100);
+    EXPECT_EQ(bs.checkRange(f, 0, 100), IoStatus::Ok);
+    EXPECT_EQ(bs.checkRange(f, 100, 0), IoStatus::Ok); // empty at EOF
+    EXPECT_EQ(bs.checkRange(f, 0, 101), IoStatus::Eof);
+    EXPECT_EQ(bs.checkRange(f, 101, 0), IoStatus::Eof);
+    EXPECT_EQ(bs.checkRange(f, 50, 51), IoStatus::Eof);
+    EXPECT_EQ(bs.checkRange(-1, 0, 1), IoStatus::BadFile);
+    EXPECT_EQ(bs.checkRange(f + 1, 0, 1), IoStatus::BadFile);
+    // off + len overflowing 64 bits must classify as Eof, not wrap
+    // around and pass.
+    EXPECT_EQ(bs.checkRange(f, ~0ull - 4, 8), IoStatus::Eof);
+}
+
+TEST(BackingStore, CheckedIoReturnsStatusInsteadOfPanicking)
+{
+    BackingStore bs;
+    FileId f = bs.create("f", 64);
+    uint8_t buf[64] = {};
+    EXPECT_EQ(bs.preadChecked(f, buf, 64, 0), IoStatus::Ok);
+    EXPECT_EQ(bs.preadChecked(f, buf, 64, 1), IoStatus::Eof);
+    EXPECT_EQ(bs.preadChecked(-1, buf, 1, 0), IoStatus::BadFile);
+    buf[0] = 0xab;
+    EXPECT_EQ(bs.pwriteChecked(f, buf, 1, 63), IoStatus::Ok);
+    EXPECT_EQ(bs.pwriteChecked(f, buf, 2, 63), IoStatus::Eof);
+    EXPECT_EQ(bs.pwriteChecked(99, buf, 1, 0), IoStatus::BadFile);
+    uint8_t back = 0;
+    EXPECT_EQ(bs.preadChecked(f, &back, 1, 63), IoStatus::Ok);
+    EXPECT_EQ(back, 0xab);
+}
+
+TEST(BackingStoreDeath, DataOfBadFilePanics)
+{
+    BackingStore bs;
+    FileId f = bs.create("f", 64);
+    EXPECT_DEATH(bs.data(f + 7, 0, 1), "bad file id");
+    EXPECT_DEATH(bs.data(f, 60, 8), "past EOF");
+}
+
 } // namespace
 } // namespace ap::hostio

@@ -192,6 +192,96 @@ TEST_F(SimCheckTest, ReportsIllegalPteStateEdge)
                              "illegal PteState edge"));
 }
 
+TEST_F(SimCheckTest, FillErrorEdgeAndErrorClaimAreLegal)
+{
+    // Loading -> Error (failed fill) and a later claim of the Error
+    // entry (poisoned-page reclaim) are both legal shadow transitions.
+    SimCheck& sc = SimCheck::get();
+    const uint64_t dom = SimCheck::nextId();
+    const uint64_t key = (3ULL << 40) | 8;
+    sc.pcInsert(dom, key, 1, 0, 0.0);
+    sc.pcFillError(dom, key, 0, 1.0);
+    sc.pcRefAdjust(dom, key, -1, 0, 1.0); // publisher drains its refs
+    sc.pcClaim(dom, key, 1, 2.0);
+    sc.pcRemove(dom, key, 1, 3.0);
+    EXPECT_EQ(sc.reports().size(), 0u);
+}
+
+TEST_F(SimCheckTest, ReportsFillErrorOfUntrackedPage)
+{
+    SimCheck& sc = SimCheck::get();
+    const uint64_t dom = SimCheck::nextId();
+    sc.pcFillError(dom, (9ULL << 40) | 2, 0, 0.0);
+    EXPECT_TRUE(sc.hasReport(ReportKind::Invariant,
+                             "Error transition of untracked"));
+}
+
+TEST_F(SimCheckTest, ReportsErrorEdgeFromReady)
+{
+    // Only a Loading entry may be poisoned: a fill error on a page
+    // that already published Ready means the error raced the fill.
+    SimCheck& sc = SimCheck::get();
+    const uint64_t dom = SimCheck::nextId();
+    const uint64_t key = (4ULL << 40) | 13;
+    sc.pcInsert(dom, key, 0, 0, 0.0);
+    sc.pcReady(dom, key, 0, 1.0);
+    sc.pcFillError(dom, key, 0, 2.0);
+    EXPECT_TRUE(sc.hasReport(ReportKind::Invariant,
+                             "illegal PteState edge to Error"));
+}
+
+TEST_F(SimCheckTest, HangAuditorNamesThePermanentlyBlockedWarp)
+{
+    // A warp that blocks with no resumer drains the event queue while
+    // still waiting: the auditor must name it before the simulator
+    // aborts, so a wedged fault path is diagnosed as a hang rather
+    // than a bare deadlock assert.
+    EXPECT_DEATH(
+        {
+            Device dev(CostModel{}, 1 << 20);
+            dev.launch(1, 2, [&](Warp& w) {
+                if (w.warpInBlock() == 1)
+                    w.engine().block(); // nobody will resume us
+            });
+        },
+        "permanently blocked");
+}
+
+TEST_F(SimCheckTest, FailedFillLeavesNoReportsWhenArmed)
+{
+    // Positive control for the failure path itself: a terminally
+    // failing fill, its waiter drain, and the later poisoned-page
+    // reclaim run clean under the armed checker.
+    gpufs::Config cfg;
+    cfg.numFrames = 16;
+    hostio::BackingStore bs;
+    Device dev(CostModel{}, 64 << 20);
+    hostio::HostIoEngine io(dev, bs);
+    hostio::FaultInjector fi;
+    io.setFaultInjector(&fi);
+    gpufs::PageCache cache(dev, io, cfg);
+    hostio::FileId f = bs.create("flaky", 16 * cfg.pageSize);
+    fi.failReads(f, 0, cfg.pageSize);
+
+    gpufs::PageKey key = gpufs::makePageKey(f, 0);
+    dev.launch(1, 2, [&](Warp& w) {
+        // aplint: allow(leader-only) every warp faults independently here
+        EXPECT_FALSE(cache.acquirePage(w, key, 1, false).ok());
+    });
+    fi.clearPersistent();
+    dev.launch(1, 1, [&](Warp& w) {
+        // aplint: allow(leader-only) lone test warp is the leader by construction
+        EXPECT_TRUE(cache.acquirePage(w, key, 1, false).ok());
+        // aplint: allow(leader-only) lone test warp is the leader by construction
+        cache.releasePage(w, key, 1);
+    });
+
+    SimCheck& sc = SimCheck::get();
+    EXPECT_EQ(sc.reports().size(), 0u);
+    sc.auditLeaks();
+    EXPECT_EQ(sc.reports().size(), 0u);
+}
+
 TEST_F(SimCheckTest, BarrierOrdersBlockmates)
 {
     Device dev(CostModel{}, 1 << 20);
