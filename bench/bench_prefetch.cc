@@ -1,0 +1,200 @@
+/**
+ * @file
+ * Adaptive readahead benchmark (DESIGN.md section 11): fig6-style
+ * streaming reads through apointers with the prefetcher off vs on.
+ *
+ * Three access patterns, each run both ways on identical stacks:
+ *
+ *  - sequential: every warp streams a disjoint contiguous slice —
+ *    the readahead sweet spot, where the window ramps to its cap and
+ *    demand faults turn into minor faults on in-flight fills.
+ *  - strided: every warp touches every 4th page of its slice — the
+ *    stream detector must lock onto the stride, not just +1.
+ *  - random: a fixed shuffled permutation per warp — the guard rail;
+ *    detection must stay quiet enough that cycles are within noise.
+ *
+ * Reported per run: cycles, speedup, major faults, and the prefetch
+ * counters with accuracy = useful / issued.
+ */
+
+#include <vector>
+
+#include "bench_common.hh"
+
+namespace ap::bench {
+namespace {
+
+using sim::kWarpSize;
+using sim::LaneArray;
+
+constexpr int kBlocks = 2;
+constexpr int kWarpsPerBlock = 4;
+constexpr int kNumWarps = kBlocks * kWarpsPerBlock;
+constexpr uint64_t kPagesPerWarp = 256;
+constexpr uint64_t kFilePages = kNumWarps * kPagesPerWarp;
+constexpr uint64_t kWordsPerPage = 4096 / 4;
+
+enum class Pattern { Sequential, Strided, Random };
+
+const char*
+patternName(Pattern p)
+{
+    switch (p) {
+      case Pattern::Sequential:
+        return "sequential";
+      case Pattern::Strided:
+        return "strided x4";
+      default:
+        return "random";
+    }
+}
+
+/** The pages one warp touches, in order, relative to its slice. */
+std::vector<uint64_t>
+warpOrder(Pattern pat, uint64_t warp)
+{
+    std::vector<uint64_t> o;
+    switch (pat) {
+      case Pattern::Sequential:
+        for (uint64_t i = 0; i < kPagesPerWarp; ++i)
+            o.push_back(i);
+        break;
+      case Pattern::Strided:
+        // A sparse forward scan: every 4th page of the slice.
+        for (uint64_t i = 0; i < kPagesPerWarp; i += 4)
+            o.push_back(i);
+        break;
+      case Pattern::Random: {
+        for (uint64_t i = 0; i < kPagesPerWarp; ++i)
+            o.push_back(i);
+        // Deterministic per-warp Fisher-Yates over an LCG.
+        uint64_t s = 0x9E3779B97F4A7C15ULL ^ (warp + 1);
+        for (uint64_t i = kPagesPerWarp - 1; i > 0; --i) {
+            s = s * 6364136223846793005ULL + 1442695040888963407ULL;
+            std::swap(o[i], o[(s >> 33) % (i + 1)]);
+        }
+        // Sparse: only a quarter of the slice is ever read, so a
+        // wrong guess stays wrong instead of being redeemed when the
+        // permutation eventually reaches it.
+        o.resize(kPagesPerWarp / 4);
+        break;
+      }
+    }
+    return o;
+}
+
+struct RaPoint
+{
+    sim::Cycles cycles = 0;
+    uint64_t majors = 0;
+    uint64_t issued = 0;
+    uint64_t useful = 0;
+    uint64_t late = 0;
+    uint64_t wasted = 0;
+    uint64_t throttled = 0;
+    uint64_t dropped = 0;
+};
+
+RaPoint
+streamScan(Pattern pat, bool readahead)
+{
+    gpufs::Config fscfg;
+    fscfg.numFrames = 4096;
+    fscfg.readahead.enabled = readahead;
+    // One slot per concurrent warp stream, with headroom.
+    fscfg.readahead.streams = 2 * kNumWarps;
+    Stack st(core::GvmConfig{}, fscfg);
+    hostio::FileId f = st.bs.create("stream.bin", kFilePages * 4096ull);
+
+    std::vector<std::vector<uint64_t>> orders;
+    for (uint64_t wid = 0; wid < kNumWarps; ++wid)
+        orders.push_back(warpOrder(pat, wid));
+
+    RaPoint pt;
+    pt.cycles = st.dev->launch(
+        kBlocks, kWarpsPerBlock, [&](sim::Warp& w) {
+            uint64_t slice = w.globalWarpId() * kPagesPerWarp;
+            auto p = core::gvmmap<uint32_t>(w, *st.rt,
+                                            kFilePages * 4096ull,
+                                            hostio::O_GRDONLY, f, 0);
+            p.addPerLane(w, LaneArray<int64_t>::iota(0));
+            int64_t cur = 0;
+            for (uint64_t rel : orders[w.globalWarpId()]) {
+                int64_t page = static_cast<int64_t>(slice + rel);
+                p.add(w, (page - cur) *
+                             static_cast<int64_t>(kWordsPerPage));
+                cur = page;
+                (void)p.read(w);
+            }
+            p.destroy(w);
+        });
+    auto& s = st.dev->stats();
+    pt.majors = s.counter("gpufs.major_faults");
+    pt.issued = s.counter("prefetch.issued");
+    pt.useful = s.counter("prefetch.useful");
+    pt.late = s.counter("prefetch.late");
+    pt.wasted = s.counter("prefetch.wasted");
+    pt.throttled = s.counter("prefetch.throttled");
+    pt.dropped = s.counter("prefetch.dropped");
+    return pt;
+}
+
+std::string
+accuracy(const RaPoint& pt)
+{
+    if (pt.issued == 0)
+        return "-";
+    return TextTable::num(100.0 * pt.useful / pt.issued, 1) + "%";
+}
+
+void
+run()
+{
+    banner("Adaptive readahead: streaming reads, prefetcher off vs on "
+           "(" + std::to_string(kNumWarps) + " warps x " +
+           std::to_string(kPagesPerWarp) + " pages)");
+    TextTable t;
+    t.header({"pattern", "readahead", "cycles", "speedup", "majors",
+              "issued", "useful", "late", "wasted", "thrott", "drop",
+              "accuracy"});
+    for (Pattern pat :
+         {Pattern::Sequential, Pattern::Strided, Pattern::Random}) {
+        RaPoint off = streamScan(pat, false);
+        RaPoint on = streamScan(pat, true);
+        t.row({patternName(pat), "off", TextTable::num(off.cycles, 0),
+               "1.00x", TextTable::num(double(off.majors), 0), "-", "-",
+               "-", "-", "-", "-", "-"});
+        t.row({patternName(pat), "on", TextTable::num(on.cycles, 0),
+               TextTable::num(off.cycles / on.cycles, 2) + "x",
+               TextTable::num(double(on.majors), 0),
+               TextTable::num(double(on.issued), 0),
+               TextTable::num(double(on.useful), 0),
+               TextTable::num(double(on.late), 0),
+               TextTable::num(double(on.wasted), 0),
+               TextTable::num(double(on.throttled), 0),
+               TextTable::num(double(on.dropped), 0), accuracy(on)});
+    }
+    t.print(std::cout);
+
+    std::cout
+        << "\nSequential and strided streams confirm after a few "
+           "faults, ramp their windows to the cap, and convert major "
+           "faults into minor faults on in-flight speculative fills "
+           "('late' hits overlap fill latency with compute; 'useful' "
+           "minus 'late' land fully before demand). The random row is "
+           "the guard rail: confirmation demands two consecutive "
+           "consistent deltas, which scattered access essentially "
+           "never produces, so the prefetcher stays silent and the "
+           "only cost is stream-table bookkeeping in the fault "
+           "path.\n";
+}
+
+} // namespace
+} // namespace ap::bench
+
+int
+main()
+{
+    ap::bench::run();
+    return 0;
+}

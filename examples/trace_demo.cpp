@@ -17,7 +17,10 @@ using namespace ap;
 int
 main(int argc, char** argv)
 {
-    const char* out = argc > 1 ? argv[1] : "trace.json";
+    // Default into the build tree (compile-time constant), not the
+    // invoker's working directory — running from a source checkout
+    // must not litter the repo root with trace.json.
+    const char* out = argc > 1 ? argv[1] : AP_TRACE_DEMO_OUT;
 
     sim::Device dev(sim::CostModel{}, size_t(128) << 20);
     hostio::BackingStore ramfs;

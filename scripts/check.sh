@@ -28,6 +28,10 @@ ctest --test-dir "${BUILD}" --output-on-failure -j "${JOBS}"
 # too (the error paths allocate and free across fiber switches).
 ctest --test-dir "${BUILD}" -L fault --no-tests=error -j "${JOBS}" \
     --output-on-failure
+# Readahead slice: the speculative-fill lifecycle crosses fiber
+# switches and the DMA queue; it must exist and stay clean here too.
+ctest --test-dir "${BUILD}" -L prefetch --no-tests=error -j "${JOBS}" \
+    --output-on-failure
 
 if command -v clang-tidy >/dev/null 2>&1; then
     echo "==> clang-tidy (src + tools/aplint)"

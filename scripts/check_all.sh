@@ -11,9 +11,11 @@
 #                    plus clang-tidy when installed
 #
 # The failure-semantics tests (ctest label `fault`: injector, retry/
-# backoff, fill-error propagation) run inside every tier-1 row; the
-# explicit `-L fault --no-tests=error` re-run after each row guards
-# against the label silently going empty.
+# backoff, fill-error propagation) and the readahead tests (ctest
+# label `prefetch`: stream detection, window adaptation, throttle,
+# speculative-page lifecycle) run inside every tier-1 row; the
+# explicit `--no-tests=error` re-runs after each row guard against
+# either label silently going empty.
 #
 # Wired to `cmake --build <dir> --target check-all`. Each row builds
 # in its own scratch tree so the matrix never dirties a dev build.
@@ -31,6 +33,8 @@ cmake --build build-plain -j "${JOBS}"
 ctest --test-dir build-plain --output-on-failure -j "${JOBS}"
 ctest --test-dir build-plain -L fault --no-tests=error -j "${JOBS}" \
     --output-on-failure
+ctest --test-dir build-plain -L prefetch --no-tests=error -j "${JOBS}" \
+    --output-on-failure
 
 echo "=== [3/4] tier-1 with simcheck armed ==="
 cmake -B build-simcheck -S . -DAP_SIMCHECK=ON \
@@ -39,6 +43,8 @@ cmake --build build-simcheck -j "${JOBS}"
 ctest --test-dir build-simcheck --output-on-failure -j "${JOBS}"
 ctest --test-dir build-simcheck -L fault --no-tests=error -j "${JOBS}" \
     --output-on-failure
+ctest --test-dir build-simcheck -L prefetch --no-tests=error \
+    -j "${JOBS}" --output-on-failure
 
 echo "=== [4/4] sanitizers ==="
 scripts/check.sh build-asan

@@ -499,6 +499,7 @@ class AptrVec
             gpufs::PageKey key = gpufs::makePageKey(file, lead_xpage);
             sim::Addr frame_addr = 0;
             bool via_tlb = false;
+            bool major_fault = false;
             hostio::IoStatus ast = hostio::IoStatus::Ok;
             SoftTlb* tlb = rt_->tlbFor(w);
             if (tlb && tlb->lookupAndRef(w, key, count, frame_addr)) {
@@ -508,6 +509,7 @@ class AptrVec
                     w, key, count, writable, zeroFill);
                 ast = r.status;
                 frame_addr = r.frameAddr;
+                major_fault = r.majorFault;
                 if (r.ok() && tlb)
                     via_tlb = tlb->insertAfterAcquire(w, key, frame_addr,
                                                       count, cache);
@@ -540,6 +542,12 @@ class AptrVec
                                                    count, w.globalWarpId(),
                                                    w.now());
             w.stats().inc("core.pages_linked");
+            // Feed the serviced fault to the readahead engine (leader
+            // context: we just elected and acted as the leader). Both
+            // majors and minors advance the stream; direct mappings
+            // and error paths never reach here.
+            if (prefetch::Prefetcher* pf = rt_->prefetcher())
+                pf->notifyFault(w, key, major_fault);
         }
     }
 

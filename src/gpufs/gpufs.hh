@@ -108,15 +108,26 @@ class GpuFs
      * asynchronous host transfers for every absent page of the range
      * without blocking the calling warp. Subsequent accesses take
      * minor faults (or briefly wait on the in-flight transfer).
+     *
+     * @return the number of pages that were dropped because no free
+     *         frame or page-table slot was available (also counted
+     *         under `gpufs.prefetch_dropped`); 0 means every absent
+     *         page of the range has a fill in flight
      */
-    void
+    uint64_t
     gmadvise(sim::Warp& w, hostio::FileId f, uint64_t off, size_t len)
         AP_ELECTS_LEADER
     {
         uint64_t first = off / pageSize();
         uint64_t last = (off + len - 1) / pageSize();
-        for (uint64_t p = first; p <= last; ++p)
-            cache_.prefetchPage(w, makePageKey(f, p));
+        uint64_t dropped = 0;
+        for (uint64_t p = first; p <= last; ++p) {
+            PrefetchResult r = cache_.prefetchPage(w, makePageKey(f, p));
+            if (r == PrefetchResult::NoFrame ||
+                r == PrefetchResult::NoEntry)
+                ++dropped;
+        }
+        return dropped;
     }
 
     /** The page cache (used by the ActivePointers fault handler). */

@@ -106,6 +106,39 @@ PageCache::acquirePage(sim::Warp& w, PageKey key, int count, bool writable,
                 }
                 continue;
             }
+            auto readEntryRelaxed = [&] {
+                SimCheck::Relaxed relaxed;
+                return pt.readEntry(w, ea);
+            };
+            Pte e = readEntryRelaxed();
+            // Speculative-fill settlement: this demand touch consumes
+            // the readahead page. Clear the tag BEFORE the refcount
+            // bump (the auditor forbids references on an undemanded
+            // speculative page); the load/store pair is atomic at
+            // fiber granularity, so exactly one faulter settles.
+            bool spec_taken = false;
+            {
+                SimCheck::Relaxed relaxed;
+                FrameMeta fm = w.mem().load<FrameMeta>(metaAddr(e.frame));
+                if (fm.flags & kSpecFlag) {
+                    fm.flags &= ~kSpecFlag;
+                    w.mem().store(metaAddr(e.frame), fm);
+                    spec_taken = true;
+                }
+            }
+            if (spec_taken) {
+                w.chargeGlobalWrite(sizeof(FrameMeta));
+                if (SimCheck::armed)
+                    SimCheck::get().pcSpecDemand(checkDomain, key,
+                                                 w.globalWarpId(), w.now());
+                // An errored speculative fill is not a hit; the host
+                // completion already told the observer.
+                if (e.state != static_cast<uint32_t>(PteState::Error))
+                    settleSpecPage(
+                        key, true,
+                        e.state ==
+                            static_cast<uint32_t>(PteState::Loading));
+            }
             // The references are real only once the ABA guard passed.
             if (SimCheck::armed)
                 SimCheck::get().pcRefAdjust(checkDomain, key, count,
@@ -113,11 +146,6 @@ PageCache::acquirePage(sim::Warp& w, PageKey key, int count, bool writable,
             // Wait for a concurrent loader to finish the transfer. The
             // spin reads are relaxed; the acquire below pairs with the
             // loader's release on the state word.
-            auto readEntryRelaxed = [&] {
-                SimCheck::Relaxed relaxed;
-                return pt.readEntry(w, ea);
-            };
-            Pte e = readEntryRelaxed();
             while (e.state == static_cast<uint32_t>(PteState::Loading)) {
                 w.chargeGlobalRead(32);
                 w.stall(200);
@@ -249,6 +277,8 @@ PageCache::acquirePage(sim::Warp& w, PageKey key, int count, bool writable,
                 recycle_key = e.taggedKey - 1;
                 recycle_dirty = false;
                 frame_to_recycle = e.frame;
+                if (fm.flags & kSpecFlag)
+                    settleSpecPage(recycle_key, false, false);
                 fm.taggedKey = 0;
                 fm.flags = 0;
                 w.mem().store(metaAddr(e.frame), fm);
@@ -365,13 +395,13 @@ PageCache::releasePage(sim::Warp& w, PageKey key, int count)
     dev->stats().inc("gpufs.releases");
 }
 
-void
-PageCache::prefetchPage(sim::Warp& w, PageKey key)
+PrefetchResult
+PageCache::prefetchPage(sim::Warp& w, PageKey key, bool speculative)
 {
     AP_ASSERT(!hooks.postFetch,
               "prefetch cannot run page-fault hooks; fault instead");
     if (pt.probe(w, key) != 0)
-        return; // already resident or loading
+        return PrefetchResult::Resident; // already resident or loading
 
     // Advisory: a page that cannot be read (bad file, beyond EOF) is
     // simply not prefetched — the eventual demand fault reports the
@@ -379,9 +409,15 @@ PageCache::prefetchPage(sim::Warp& w, PageKey key)
     hostio::FileId f = pageKeyFile(key);
     uint64_t off = pageKeyPageNo(key) * cfg.pageSize;
     if (io->store().checkRange(f, off, 1) != hostio::IoStatus::Ok)
-        return;
+        return PrefetchResult::BadRange;
 
-    uint32_t frame = allocFrame(w);
+    // Free-pool frames only: advisory and speculative traffic must
+    // never evict a resident page to make room for a guess.
+    uint32_t frame = tryAllocFrame(w);
+    if (frame == UINT32_MAX) {
+        dev->stats().inc("gpufs.prefetch_dropped");
+        return PrefetchResult::NoFrame;
+    }
     uint32_t b = pt.bucketOf(key);
     sim::DeviceLock& lk = pt.bucketLock(b);
     lk.acquire(w);
@@ -406,7 +442,10 @@ PageCache::prefetchPage(sim::Warp& w, PageKey key)
         // Lost the race, or the bucket is full: advisory, so give up.
         lk.release(w);
         freeFrame(w, frame);
-        return;
+        if (present)
+            return PrefetchResult::Resident;
+        dev->stats().inc("gpufs.prefetch_dropped");
+        return PrefetchResult::NoEntry;
     }
 
     Pte ne;
@@ -415,13 +454,17 @@ PageCache::prefetchPage(sim::Warp& w, PageKey key)
     ne.refcount = 0;
     ne.state = static_cast<uint32_t>(PteState::Loading);
     pt.writeEntry(w, empty, ne);
-    if (SimCheck::armed)
+    if (SimCheck::armed) {
         SimCheck::get().pcInsert(checkDomain, key, 0, w.globalWarpId(),
                                  w.now());
+        if (speculative)
+            SimCheck::get().pcSpeculate(checkDomain, key,
+                                        w.globalWarpId(), w.now());
+    }
     FrameMeta fm;
     fm.taggedKey = key + 1;
     fm.entryRef = pt.entryRef(b, empty_slot);
-    fm.flags = 0;
+    fm.flags = speculative ? kSpecFlag : 0;
     w.mem().store(metaAddr(frame), fm);
     w.chargeGlobalWrite(sizeof(Pte) + sizeof(FrameMeta));
     lk.release(w);
@@ -433,7 +476,8 @@ PageCache::prefetchPage(sim::Warp& w, PageKey key)
     sim::Addr state_addr = PageTable::stateAddr(empty);
     uint64_t dom = checkDomain;
     std::function<void(hostio::IoStatus)> on_done =
-        [d, fa, len, page_size, state_addr, dom, key](hostio::IoStatus st) {
+        [this, d, fa, len, page_size, state_addr, dom, key,
+         speculative](hostio::IoStatus st) {
             if (st != hostio::IoStatus::Ok) {
                 // Failed prefetch: poison the zero-reference entry so
                 // later acquirers reclaim it and re-fault, instead of
@@ -452,6 +496,10 @@ PageCache::prefetchPage(sim::Warp& w, PageKey key)
                         static_cast<uint32_t>(PteState::Error));
                 }
                 d->stats().inc("pagecache.fill_errors");
+                // Thrash feedback: a poisoned speculative fill means
+                // the window outran what the backing store can serve.
+                if (speculative && specObs)
+                    specObs->onSpecFillError(key);
                 return;
             }
             if (len < page_size) {
@@ -474,10 +522,46 @@ PageCache::prefetchPage(sim::Warp& w, PageKey key)
             }
             d->stats().inc("gpufs.prefetched_pages");
         };
-    hostio::IoStatus sync = io->readToGpuAsync(w, f, off, len, fa, on_done);
+    // Speculative fills ride the low-priority DMA lane: within a
+    // batch window, demand transfers dispatch first.
+    hostio::IoStatus sync =
+        io->readToGpuAsync(w, f, off, len, fa, on_done, speculative);
     if (sync != hostio::IoStatus::Ok)
         on_done(sync); // range re-validation failed; unreachable today
     dev->stats().inc("gpufs.prefetch_requests");
+    return PrefetchResult::Started;
+}
+
+uint32_t
+PageCache::tryAllocFrame(sim::Warp& w)
+{
+    allocLock.acquire(w);
+    uint32_t f = UINT32_MAX;
+    if (!freeFrames.empty()) {
+        f = freeFrames.back();
+        freeFrames.pop_back();
+    }
+    w.issue(2);
+    allocLock.release(w);
+    return f;
+}
+
+void
+PageCache::settleSpecPage(PageKey key, bool hit, bool late)
+{
+    if (hit) {
+        dev->stats().inc("prefetch.useful");
+        if (late)
+            dev->stats().inc("prefetch.late");
+    } else {
+        dev->stats().inc("prefetch.wasted");
+    }
+    if (specObs) {
+        if (hit)
+            specObs->onSpecHit(key, late);
+        else
+            specObs->onSpecEvictedUnused(key);
+    }
 }
 
 uint32_t
@@ -518,6 +602,12 @@ PageCache::allocFrame(sim::Warp& w)
             (e.state != static_cast<uint32_t>(PteState::Ready) &&
              e.state != static_cast<uint32_t>(PteState::Error)))
             continue;
+        // Eviction preference: the first revolution takes only
+        // unused-speculative or poisoned victims, so readahead guesses
+        // are recycled before any demand-touched page.
+        if (tries < cfg.numFrames && !(fm.flags & kSpecFlag) &&
+            e.state != static_cast<uint32_t>(PteState::Error))
+            continue;
         sim::Addr rca = PageTable::refcountAddr(ea);
         if (w.atomicCas<int32_t>(rca, 0, -1) != 0)
             continue;
@@ -549,6 +639,9 @@ PageCache::allocFrame(sim::Warp& w)
         // the in-flight writeback would be lost.
         PageKey victim_key = e.taggedKey - 1;
         bool dirty = (fm.flags & kDirtyFlag) != 0;
+        // A still-tagged victim was never demanded: thrash feedback.
+        if (fm.flags & kSpecFlag)
+            settleSpecPage(victim_key, false, false);
         allocLock.release(w);
         if (dirty)
             writeback(w, victim_key, f);

@@ -55,11 +55,49 @@ struct FrameMeta
     uint64_t taggedKey = 0;
     /** Back-reference: entry index in the page table. */
     uint32_t entryRef = 0;
-    /** Bit 0: dirty. */
+    /** Bit 0: dirty. Bit 1: speculative fill, not yet demanded. */
     uint32_t flags = 0;
 };
 
 static_assert(sizeof(FrameMeta) == 16, "FrameMeta layout must stay 16 B");
+
+/** FrameMeta::flags bit 1: filled speculatively, no demand touch yet. */
+constexpr uint32_t kSpecFlag = 2u;
+
+/** Outcome of a prefetchPage request (satellite: no silent drops). */
+enum class PrefetchResult
+{
+    /** Asynchronous fill started; a later access takes a minor fault. */
+    Started,
+    /** Page already resident or loading — nothing to do. */
+    Resident,
+    /** No free frame: the request was dropped (counted). */
+    NoFrame,
+    /** Bucket full or insertion raced: dropped (counted). */
+    NoEntry,
+    /** The byte range cannot be read (bad file / beyond EOF). */
+    BadRange,
+};
+
+/**
+ * Feedback sink for speculative fills (implemented by the readahead
+ * prefetcher, src/prefetch/). The cache reports the fate of every
+ * page it filled speculatively: demanded (hit — possibly "late", i.e.
+ * still Loading when the demand arrived), evicted unused (thrash), or
+ * poisoned by a failed fill. Hit/evict callbacks run on a warp fiber;
+ * the fill-error callback runs host-side at DMA completion time.
+ */
+class SpecObserver
+{
+  public:
+    virtual ~SpecObserver() = default;
+    /** A demand fault consumed the speculative page. */
+    virtual void onSpecHit(PageKey key, bool late) = 0;
+    /** The speculative page was evicted before any demand touch. */
+    virtual void onSpecEvictedUnused(PageKey key) = 0;
+    /** The speculative fill failed terminally (PteState::Error). */
+    virtual void onSpecFillError(PageKey key) = 0;
+};
 
 /**
  * Custom page-fault interposition hooks (the paper's CryptFS use case:
@@ -145,12 +183,28 @@ class PageCache
      * absent, allocate a frame, insert a Loading entry with zero
      * references, and start an asynchronous host transfer directly
      * into the frame — the calling warp does not block, and later
-     * accesses take minor faults instead of majors. No-op if the page
-     * is already present or the insertion races. Incompatible with a
-     * postFetch hook (no warp exists at completion time to charge).
+     * accesses take minor faults instead of majors. Incompatible with
+     * a postFetch hook (no warp exists at completion time to charge).
+     *
+     * Never evicts: only free-pool frames are used, so advisory and
+     * speculative traffic cannot displace resident pages. A request
+     * that finds no frame (or no page-table slot) is dropped and
+     * counted under `gpufs.prefetch_dropped`.
+     *
+     * @param speculative readahead-issued (vs. explicit gmadvise):
+     *        tags the frame kSpecFlag so eviction prefers it while
+     *        unused, the fill rides the low-priority DMA lane, and the
+     *        SpecObserver hears about the page's fate
      */
-    void prefetchPage(sim::Warp& w, PageKey key)
+    PrefetchResult prefetchPage(sim::Warp& w, PageKey key,
+                                bool speculative = false)
         AP_LEADER_ONLY AP_ACQUIRES("pt.bucket");
+
+    /** Install the speculative-fill feedback sink (null detaches). */
+    void setSpecObserver(SpecObserver* obs) { specObs = obs; }
+
+    /** Host-mirrored count of free (never-evicting) frames. */
+    size_t freeFrameCount() const { return freeFrames.size(); }
 
     /**
      * Host-side: write every dirty frame back to the backing store and
@@ -179,6 +233,22 @@ class PageCache
     /** Obtain a free frame, evicting a refcount-zero page if needed. */
     uint32_t allocFrame(sim::Warp& w)
         AP_ACQUIRES("pc.alloc") AP_ACQUIRES("pt.bucket");
+
+    /**
+     * Obtain a frame from the free pool only — no clock sweep, no
+     * eviction, no fatal. The advisory/speculative path uses this so
+     * prefetch can never displace a resident page.
+     * @return frame index, or UINT32_MAX if the pool is empty
+     */
+    uint32_t tryAllocFrame(sim::Warp& w) AP_ACQUIRES("pc.alloc");
+
+    /**
+     * A speculative page met its fate on a warp path: clear kSpecFlag
+     * in @p fm (caller stores it back), count the stat, and tell the
+     * observer. @p hit distinguishes demand consumption from unused
+     * eviction; @p late marks a hit that arrived while still Loading.
+     */
+    void settleSpecPage(PageKey key, bool hit, bool late);
 
     /** Return a frame to the free pool (lost insertion race). */
     void freeFrame(sim::Warp& w, uint32_t frame) AP_ACQUIRES("pc.alloc");
@@ -225,6 +295,7 @@ class PageCache
     Config cfg;
     PageTable pt;
     PageHooks hooks;
+    SpecObserver* specObs = nullptr;
 
     sim::Addr framesBase = 0;
     sim::Addr metaBase = 0;

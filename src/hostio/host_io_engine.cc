@@ -131,8 +131,10 @@ HostIoEngine::issueUnbatchedRead(Request r)
     sim::Cycles done = pcieToGpu.acquireWithSetup(
         host, static_cast<double>(r.len), cm.pcieLatency);
     done += injectedDelay(r);
+    ++inflightReads;
     eng.schedule(done, [this, r = std::move(r)] {
         dev->stats().inc("hostio.transfers");
+        --inflightReads;
         completeRead(r);
     });
 }
@@ -172,6 +174,12 @@ HostIoEngine::dispatchBatch()
     if (reqs.empty())
         return;
 
+    // Demand before speculation: low-priority (readahead) requests
+    // move to the tail of the window, so they ride later transfers and
+    // never push a demand DMA past the maxBatchBytes split.
+    std::stable_partition(reqs.begin(), reqs.end(),
+                          [](const Request& r) { return !r.low; });
+
     // Split into transfers of at most maxBatchBytes.
     size_t i = 0;
     sim::Cycles host_free = eng.now();
@@ -189,6 +197,7 @@ HostIoEngine::dispatchBatch()
         host_free += static_cast<double>(j - i) * cm.hostRequestCost;
         sim::Cycles done = pcieToGpu.acquireWithSetup(
             host_free, static_cast<double>(bytes), cm.pcieLatency);
+        inflightReads += j - i;
         dev->stats().inc("hostio.batched_requests", j - i);
         dev->tracer().span(-2, "dma",
                            "batch x" + std::to_string(j - i) + " (" +
@@ -208,6 +217,7 @@ HostIoEngine::dispatchBatch()
         // reads disagree between the two paths).
         eng.schedule(done + delay, [this, group = std::move(group)] {
             dev->stats().inc("hostio.transfers");
+            inflightReads -= group.size();
             for (const Request& r : group)
                 completeRead(r);
         });
@@ -269,7 +279,8 @@ HostIoEngine::finish(const Request& r, IoStatus st)
 IoStatus
 HostIoEngine::readToGpuAsync(sim::Warp& w, FileId f, uint64_t off,
                              size_t len, sim::Addr gpu_dst,
-                             std::function<void(IoStatus)> on_done)
+                             std::function<void(IoStatus)> on_done,
+                             bool low_priority)
 {
     IoStatus v = store_->checkRange(f, off, len);
     if (v != IoStatus::Ok) {
@@ -278,9 +289,11 @@ HostIoEngine::readToGpuAsync(sim::Warp& w, FileId f, uint64_t off,
     }
     dev->stats().inc("hostio.read_requests");
     dev->stats().inc("hostio.read_bytes", len);
+    if (low_priority)
+        dev->stats().inc("hostio.low_priority_requests");
     w.issue(8);
     submitRead(Request{f, off, len, gpu_dst, nullptr, nullptr,
-                       std::move(on_done), 0});
+                       std::move(on_done), 0, low_priority});
     return IoStatus::Ok;
 }
 

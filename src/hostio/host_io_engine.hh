@@ -75,9 +75,16 @@ class HostIoEngine
      *         exactly once), or a validation error (callback never
      *         fires)
      */
+    /**
+     * @param low_priority speculative traffic (readahead): within an
+     *        aggregation window, demand requests dispatch first, so a
+     *        burst of speculation never delays a demand DMA that
+     *        arrived in the same batch
+     */
     IoStatus readToGpuAsync(sim::Warp& w, FileId f, uint64_t off,
                             size_t len, sim::Addr gpu_dst,
-                            std::function<void(IoStatus)> on_done);
+                            std::function<void(IoStatus)> on_done,
+                            bool low_priority = false);
 
     /**
      * Write device memory (gpu_src, len) to the host file at (f, off).
@@ -118,6 +125,14 @@ class HostIoEngine
     /** The backing store served by this engine. */
     BackingStore& store() { return *store_; }
 
+    /**
+     * Host-side congestion probe: read transfers not yet delivered
+     * (awaiting batch dispatch or with the DMA in flight). The
+     * readahead throttle gates speculation on this so a deep queue of
+     * guesses never builds up in front of demand traffic.
+     */
+    size_t queueDepth() const { return pending.size() + inflightReads; }
+
   private:
     struct Request
     {
@@ -129,6 +144,7 @@ class HostIoEngine
         IoStatus* out = nullptr;       ///< status for the waiter
         std::function<void(IoStatus)> onDone; ///< called if set
         int attempt = 0;               ///< retry ordinal (0 = first)
+        bool low = false;              ///< low-priority (speculative)
     };
 
     /** Backoff before re-issuing attempt @p attempt + 1. */
@@ -170,6 +186,7 @@ class HostIoEngine
     sim::BwServer pcieToHost;
     std::vector<Request> pending;
     bool dispatchScheduled = false;
+    size_t inflightReads = 0; ///< dispatched reads awaiting completion
 };
 
 } // namespace ap::hostio

@@ -1,0 +1,90 @@
+#include "prefetch/prefetcher.hh"
+
+#include "prefetch/throttle.hh"
+#include "sim/device.hh"
+
+namespace ap::prefetch {
+
+Prefetcher::Prefetcher(gpufs::GpuFs& fs)
+    : fs_(&fs), table_(fs.cache().config().readahead)
+{
+    fs_->cache().setSpecObserver(this);
+}
+
+Prefetcher::~Prefetcher()
+{
+    fs_->cache().setSpecObserver(nullptr);
+}
+
+void
+Prefetcher::notifyFault(sim::Warp& w, gpufs::PageKey key, bool major)
+{
+    (void)major; // both kinds advance the stream position
+    // Stream-table lookup: a handful of comparisons in the fault
+    // handler's leader lane.
+    w.issue(2);
+    StreamDecision d =
+        table_.onFault(gpufs::pageKeyFile(key), gpufs::pageKeyPageNo(key));
+    if (!d.issue)
+        return;
+
+    gpufs::PageCache& cache = fs_->cache();
+    const gpufs::ReadaheadConfig& cfg = cache.config().readahead;
+    sim::Device& dev = fs_->device();
+
+    Pressure p;
+    p.freeFrames = cache.freeFrameCount();
+    p.numFrames = cache.config().numFrames;
+    p.queueDepth = fs_->io().queueDepth();
+    uint32_t allow = throttleAllow(d.count, p, cfg);
+    if (allow < d.count)
+        dev.stats().inc("prefetch.throttled", d.count - allow);
+
+    // Issue the chunk. `covered` counts pages the stream cursor may
+    // advance past: fills actually started plus pages already
+    // resident. A drop (no frame / no slot) or the end of the file
+    // stops the chunk; the uncovered tail is retried by the stream's
+    // next fault.
+    uint32_t covered = 0;
+    int64_t page = static_cast<int64_t>(d.startPage);
+    for (uint32_t i = 0; i < allow; ++i, page += d.stride) {
+        if (page < 0)
+            break;
+        gpufs::PrefetchResult r = cache.prefetchPage(
+            w, gpufs::makePageKey(gpufs::pageKeyFile(key),
+                                  static_cast<uint64_t>(page)),
+            true);
+        if (r == gpufs::PrefetchResult::Started) {
+            ++covered;
+            dev.stats().inc("prefetch.issued");
+        } else if (r == gpufs::PrefetchResult::Resident) {
+            ++covered;
+        } else {
+            if (r == gpufs::PrefetchResult::NoFrame ||
+                r == gpufs::PrefetchResult::NoEntry)
+                dev.stats().inc("prefetch.dropped");
+            break;
+        }
+    }
+    table_.committed(d.sid, covered);
+}
+
+void
+Prefetcher::onSpecHit(gpufs::PageKey key, bool late)
+{
+    table_.onHit(gpufs::pageKeyFile(key), gpufs::pageKeyPageNo(key), late);
+}
+
+void
+Prefetcher::onSpecEvictedUnused(gpufs::PageKey key)
+{
+    table_.onThrash(gpufs::pageKeyFile(key), gpufs::pageKeyPageNo(key));
+}
+
+void
+Prefetcher::onSpecFillError(gpufs::PageKey key)
+{
+    table_.onThrash(gpufs::pageKeyFile(key), gpufs::pageKeyPageNo(key));
+}
+
+} // namespace ap::prefetch

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * The adaptive readahead prefetcher (DESIGN.md section 11): observes
+ * warp-aggregated demand faults from the ActivePointers fault path,
+ * detects streams with the StreamTable, gates issue with the
+ * throttle, and places speculative fills through
+ * PageCache::prefetchPage. As the cache's SpecObserver it hears the
+ * fate of every guess — consumed, evicted unused, or poisoned — and
+ * feeds that back into the per-stream windows.
+ */
+
+#ifndef AP_PREFETCH_PREFETCHER_HH
+#define AP_PREFETCH_PREFETCHER_HH
+
+#include "gpufs/gpufs.hh"
+#include "prefetch/stream_table.hh"
+#include "util/annotations.hh"
+
+namespace ap::prefetch {
+
+/**
+ * One per GvmRuntime (constructed only when
+ * Config::readahead.enabled). Registers itself as the page cache's
+ * SpecObserver for its lifetime.
+ */
+class Prefetcher : public gpufs::SpecObserver
+{
+  public:
+    explicit Prefetcher(gpufs::GpuFs& fs);
+    ~Prefetcher() override;
+
+    Prefetcher(const Prefetcher&) = delete;
+    Prefetcher& operator=(const Prefetcher&) = delete;
+
+    /**
+     * A demand fault on @p key was just serviced for the calling
+     * warp's subgroup. Called by the fault-aggregation loop's leader
+     * (aptr.hh pageFault) for both major and minor faults — with
+     * readahead working, a healthy stream faults minor. Detection
+     * costs a couple of issued instructions; issuing readahead walks
+     * the page cache's non-evicting prefetch path.
+     */
+    void notifyFault(sim::Warp& w, gpufs::PageKey key, bool major)
+        AP_LEADER_ONLY;
+
+    // --- SpecObserver (feedback from the page cache) -----------------
+    void onSpecHit(gpufs::PageKey key, bool late) override;
+    void onSpecEvictedUnused(gpufs::PageKey key) override;
+    void onSpecFillError(gpufs::PageKey key) override;
+
+    /** The stream table (tests/diagnostics). */
+    StreamTable& streams() { return table_; }
+
+  private:
+    gpufs::GpuFs* fs_;
+    StreamTable table_;
+};
+
+} // namespace ap::prefetch
+
+#endif // AP_PREFETCH_PREFETCHER_HH

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * The readahead throttle: pure arithmetic deciding how much of a
+ * wanted chunk may actually be issued, given free-frame and host-queue
+ * pressure (the MASK lesson: speculation must never starve demand).
+ * Kept header-only and side-effect-free so it is trivially
+ * unit-testable and the policy reads as one expression.
+ */
+
+#ifndef AP_PREFETCH_THROTTLE_HH
+#define AP_PREFETCH_THROTTLE_HH
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+
+#include "gpufs/config.hh"
+
+namespace ap::prefetch {
+
+/** Pressure snapshot consulted by the throttle. */
+struct Pressure
+{
+    /** Free frames in the page-cache pool right now. */
+    uint64_t freeFrames = 0;
+    /** Total frames in the cache. */
+    uint64_t numFrames = 0;
+    /** Host I/O engine reads pending or in flight. */
+    uint64_t queueDepth = 0;
+};
+
+/**
+ * How many of @p want speculative pages may be issued under
+ * @p p. Speculation only consumes frames above the free-frame
+ * watermark (so it can never force an eviction of a demand-touched
+ * page — the speculative path allocates from the free pool only) and
+ * only fills the host queue up to maxQueueDepth (so a wall of guesses
+ * never sits in front of a demand DMA).
+ */
+inline uint32_t
+throttleAllow(uint32_t want, const Pressure& p,
+              const gpufs::ReadaheadConfig& cfg)
+{
+    uint64_t floor = static_cast<uint64_t>(
+        std::ceil(static_cast<double>(p.numFrames) *
+                  cfg.freeFrameWatermark));
+    uint64_t byFrames =
+        p.freeFrames > floor ? p.freeFrames - floor : 0;
+    uint64_t byQueue = p.queueDepth < cfg.maxQueueDepth
+                           ? cfg.maxQueueDepth - p.queueDepth
+                           : 0;
+    return static_cast<uint32_t>(
+        std::min({static_cast<uint64_t>(want), byFrames, byQueue}));
+}
+
+} // namespace ap::prefetch
+
+#endif // AP_PREFETCH_THROTTLE_HH

@@ -575,6 +575,17 @@ SimCheck::pcRefAdjust(uint64_t dom, uint64_t key, int64_t delta, int warp,
                    " by warp " + std::to_string(warp));
         return;
     }
+    if (ps->spec && delta > 0) {
+        report(ReportKind::Invariant,
+               "specref:" + std::to_string(dom) + ":" +
+                   std::to_string(key),
+               "reference taken on speculative " + pageName(dom, key) +
+                   " before its demand transition (warp " +
+                   std::to_string(warp) +
+                   "): the kSpecFlag clear must precede the refcount "
+                   "bump");
+        return;
+    }
     if (ps->rc < 0 || ps->rc + delta < 0) {
         report(ReportKind::Invariant,
                "refneg:" + std::to_string(dom) + ":" + std::to_string(key),
@@ -671,6 +682,44 @@ SimCheck::pcRemove(uint64_t dom, uint64_t key, int warp, double cycle)
 }
 
 void
+SimCheck::pcSpeculate(uint64_t dom, uint64_t key, int warp, double cycle)
+{
+    if (!enabled_)
+        return;
+    (void)cycle;
+    PageShadow* ps = pageShadow(dom, key);
+    if (!ps || ps->st != PageShadow::Loading || ps->rc != 0) {
+        report(ReportKind::Invariant,
+               "specbad:" + std::to_string(dom) + ":" +
+                   std::to_string(key),
+               "speculative mark on " + pageName(dom, key) +
+                   " which is not a refcount-0 Loading entry (warp " +
+                   std::to_string(warp) + ")");
+        return;
+    }
+    ps->spec = true;
+}
+
+void
+SimCheck::pcSpecDemand(uint64_t dom, uint64_t key, int warp, double cycle)
+{
+    if (!enabled_)
+        return;
+    (void)cycle;
+    PageShadow* ps = pageShadow(dom, key);
+    if (!ps || !ps->spec) {
+        report(ReportKind::Invariant,
+               "specdemand:" + std::to_string(dom) + ":" +
+                   std::to_string(key),
+               "demand transition of " + pageName(dom, key) +
+                   " which carries no speculative mark (warp " +
+                   std::to_string(warp) + ")");
+        return;
+    }
+    ps->spec = false;
+}
+
+void
 SimCheck::pcLink(uint64_t dom, uint64_t key, int64_t n, int warp,
                  double cycle)
 {
@@ -678,6 +727,15 @@ SimCheck::pcLink(uint64_t dom, uint64_t key, int64_t n, int warp,
         return;
     (void)cycle;
     PageShadow* ps = pageShadow(dom, key);
+    if (ps && ps->spec) {
+        report(ReportKind::Invariant,
+               "speclink:" + std::to_string(dom) + ":" +
+                   std::to_string(key),
+               "apointer link against speculative " + pageName(dom, key) +
+                   " before its demand transition (warp " +
+                   std::to_string(warp) + ")");
+        return;
+    }
     if (!ps || ps->st != PageShadow::Ready) {
         report(ReportKind::Invariant,
                "linkbad:" + std::to_string(dom) + ":" +

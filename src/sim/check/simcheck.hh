@@ -230,6 +230,21 @@ class SimCheck
     /** Entry removed after eviction (must be claimed, no live links). */
     void pcRemove(uint64_t dom, uint64_t key, int warp, double cycle);
 
+    /**
+     * The entry for @p key was filled speculatively (readahead): legal
+     * only on a Loading entry with refcount 0. Until pcSpecDemand
+     * clears the mark, the page must take no references and no
+     * apointer links — a translation cached against a page no demand
+     * fault ever claimed would dangle invisibly.
+     */
+    void pcSpeculate(uint64_t dom, uint64_t key, int warp, double cycle);
+
+    /**
+     * A demand fault consumed the speculative page (the kSpecFlag
+     * clear): legal only while the speculative mark is set.
+     */
+    void pcSpecDemand(uint64_t dom, uint64_t key, int warp, double cycle);
+
     /** @p n apointer lanes linked against @p key's frame. */
     void pcLink(uint64_t dom, uint64_t key, int64_t n, int warp,
                 double cycle);
@@ -332,6 +347,7 @@ class SimCheck
         int64_t rc = 0;
         int64_t links = 0;
         State st = Loading;
+        bool spec = false; ///< speculative fill, not yet demanded
     };
 
     struct PageId

@@ -139,6 +139,38 @@ TEST(Prefetch, ColdAccessAfterAdviseFasterThanDemandFaults)
     EXPECT_LT(run(true), run(false));
 }
 
+TEST(Prefetch, AdviseBeyondCapacityReportsDrops)
+{
+    PfFixture fx(/*frames=*/4);
+    hostio::FileId f = fx.makeFile(16);
+    uint64_t dropped = 0;
+    fx.dev->launch(1, 1, [&](sim::Warp& w) {
+        dropped = fx.fs->gmadvise(w, f, 0, 16 * 4096);
+    });
+    // Four frames in the pool: the other twelve requests are dropped,
+    // reported to the caller, and counted.
+    EXPECT_EQ(dropped, 12u);
+    EXPECT_EQ(fx.dev->stats().counter("gpufs.prefetch_dropped"), 12u);
+    EXPECT_EQ(fx.dev->stats().counter("gpufs.prefetched_pages"), 4u);
+}
+
+TEST(Prefetch, AdviseOfResidentRangeDropsNothing)
+{
+    PfFixture fx;
+    hostio::FileId f = fx.makeFile(8);
+    uint64_t first = 0;
+    uint64_t second = 1;
+    fx.dev->launch(1, 1, [&](sim::Warp& w) {
+        first = fx.fs->gmadvise(w, f, 0, 8 * 4096);
+    });
+    fx.dev->launch(1, 1, [&](sim::Warp& w) {
+        second = fx.fs->gmadvise(w, f, 0, 8 * 4096);
+    });
+    EXPECT_EQ(first, 0u);
+    EXPECT_EQ(second, 0u);
+    EXPECT_EQ(fx.dev->stats().counter("gpufs.prefetch_dropped"), 0u);
+}
+
 TEST(PrefetchDeath, IncompatibleWithFaultHooks)
 {
     PfFixture fx;

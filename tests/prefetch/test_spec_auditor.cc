@@ -1,0 +1,174 @@
+// aplint: allow-file(leader-only) single-warp test harness: the launched warp is the
+// leader by construction, exercising the cache API without an election.
+
+/**
+ * @file
+ * Negative tests for the speculative-page invariant auditor: each test
+ * drives the SimCheck page-cache shadow through one illegal transition
+ * and asserts the specific report, plus positive controls for the
+ * legal lifecycle — both on the shadow directly and through the real
+ * PageCache speculative path.
+ */
+
+#include <gtest/gtest.h>
+
+#include "gpufs/gpufs.hh"
+#include "sim/check/simcheck.hh"
+
+namespace ap::sim::check {
+namespace {
+
+class SpecAuditorTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        SimCheck& sc = SimCheck::get();
+        sc.reset();
+        sc.setEnabled(true);
+        sc.setFailOnReport(false);
+        dom = SimCheck::nextId();
+    }
+
+    void
+    TearDown() override
+    {
+        SimCheck& sc = SimCheck::get();
+        sc.setEnabled(false);
+        sc.reset();
+    }
+
+    uint64_t dom = 0;
+};
+
+TEST_F(SpecAuditorTest, CleanSpeculativeLifecycle)
+{
+    SimCheck& sc = SimCheck::get();
+    // Readahead fill, demand consumption, normal use, release.
+    sc.pcInsert(dom, 7, 0, 0, 1.0);
+    sc.pcSpeculate(dom, 7, 0, 2.0);
+    sc.pcReady(dom, 7, 0, 3.0);
+    sc.pcSpecDemand(dom, 7, 1, 4.0);
+    sc.pcRefAdjust(dom, 7, 1, 1, 5.0);
+    sc.pcLink(dom, 7, 1, 1, 6.0);
+    sc.pcUnlink(dom, 7, 1, 1, 7.0);
+    sc.pcRefAdjust(dom, 7, -1, 1, 8.0);
+    EXPECT_EQ(sc.count(ReportKind::Invariant), 0u);
+}
+
+TEST_F(SpecAuditorTest, UnusedSpeculativePageEvictsCleanly)
+{
+    SimCheck& sc = SimCheck::get();
+    sc.pcInsert(dom, 7, 0, 0, 1.0);
+    sc.pcSpeculate(dom, 7, 0, 2.0);
+    sc.pcReady(dom, 7, 0, 3.0);
+    // Nobody demanded the guess; the clock reclaims it.
+    sc.pcClaim(dom, 7, 1, 4.0);
+    sc.pcRemove(dom, 7, 1, 5.0);
+    EXPECT_EQ(sc.count(ReportKind::Invariant), 0u);
+}
+
+TEST_F(SpecAuditorTest, ReferenceBeforeDemandIsReported)
+{
+    SimCheck& sc = SimCheck::get();
+    sc.pcInsert(dom, 7, 0, 0, 1.0);
+    sc.pcSpeculate(dom, 7, 0, 2.0);
+    sc.pcReady(dom, 7, 0, 3.0);
+    // The kSpecFlag clear (pcSpecDemand) must come first.
+    sc.pcRefAdjust(dom, 7, 1, 1, 4.0);
+    EXPECT_TRUE(sc.hasReport(ReportKind::Invariant,
+                             "reference taken on speculative"));
+}
+
+TEST_F(SpecAuditorTest, LinkBeforeDemandIsReported)
+{
+    SimCheck& sc = SimCheck::get();
+    sc.pcInsert(dom, 7, 0, 0, 1.0);
+    sc.pcSpeculate(dom, 7, 0, 2.0);
+    sc.pcReady(dom, 7, 0, 3.0);
+    sc.pcLink(dom, 7, 1, 1, 4.0);
+    EXPECT_TRUE(sc.hasReport(ReportKind::Invariant,
+                             "apointer link against speculative"));
+}
+
+TEST_F(SpecAuditorTest, SpeculatingOnReadyEntryIsReported)
+{
+    SimCheck& sc = SimCheck::get();
+    sc.pcInsert(dom, 7, 0, 0, 1.0);
+    sc.pcReady(dom, 7, 0, 2.0);
+    sc.pcSpeculate(dom, 7, 0, 3.0);
+    EXPECT_TRUE(sc.hasReport(ReportKind::Invariant,
+                             "not a refcount-0 Loading entry"));
+}
+
+TEST_F(SpecAuditorTest, SpeculatingOnReferencedEntryIsReported)
+{
+    SimCheck& sc = SimCheck::get();
+    // A demand fault is mid-flight (refcount 1, Loading): tagging it
+    // speculative would misattribute the fill.
+    sc.pcInsert(dom, 7, 1, 0, 1.0);
+    sc.pcSpeculate(dom, 7, 0, 2.0);
+    EXPECT_TRUE(sc.hasReport(ReportKind::Invariant,
+                             "not a refcount-0 Loading entry"));
+}
+
+TEST_F(SpecAuditorTest, DemandTransitionWithoutMarkIsReported)
+{
+    SimCheck& sc = SimCheck::get();
+    sc.pcInsert(dom, 7, 0, 0, 1.0);
+    sc.pcReady(dom, 7, 0, 2.0);
+    sc.pcSpecDemand(dom, 7, 1, 3.0);
+    EXPECT_TRUE(sc.hasReport(ReportKind::Invariant,
+                             "carries no speculative mark"));
+}
+
+TEST_F(SpecAuditorTest, DoubleDemandTransitionIsReported)
+{
+    SimCheck& sc = SimCheck::get();
+    sc.pcInsert(dom, 7, 0, 0, 1.0);
+    sc.pcSpeculate(dom, 7, 0, 2.0);
+    sc.pcReady(dom, 7, 0, 3.0);
+    sc.pcSpecDemand(dom, 7, 1, 4.0);
+    EXPECT_EQ(sc.count(ReportKind::Invariant), 0u);
+    // Exactly one faulter wins the settlement; a second transition
+    // means the flag clear raced.
+    sc.pcSpecDemand(dom, 7, 2, 5.0);
+    EXPECT_TRUE(sc.hasReport(ReportKind::Invariant,
+                             "carries no speculative mark"));
+}
+
+/**
+ * The real speculative path, armed: prefetchPage(speculative) followed
+ * by a demand acquire must replay the legal event order (speculate,
+ * ready, spec-demand, ref+) with no reports.
+ */
+TEST_F(SpecAuditorTest, RealCachePathIsCleanUnderAudit)
+{
+    gpufs::Config cfg;
+    cfg.numFrames = 32;
+    hostio::BackingStore bs;
+    sim::Device dev(sim::CostModel{}, 64 << 20);
+    hostio::HostIoEngine io(dev, bs);
+    gpufs::GpuFs fs(dev, io, cfg);
+    hostio::FileId f = bs.create("spec", 8 * 4096);
+
+    dev.launch(1, 1, [&](sim::Warp& w) {
+        EXPECT_EQ(fs.cache().prefetchPage(w, gpufs::makePageKey(f, 0),
+                                          true),
+                  gpufs::PrefetchResult::Started);
+        // Let the speculative fill land, then consume it by demand.
+        w.waitUntil(w.now() + 500000);
+        gpufs::AcquireResult a =
+            fs.cache().acquirePage(w, gpufs::makePageKey(f, 0), 1, false);
+        ASSERT_TRUE(a.ok());
+        EXPECT_FALSE(a.majorFault);
+        fs.cache().releasePage(w, gpufs::makePageKey(f, 0), 1);
+    });
+    EXPECT_EQ(dev.stats().counter("prefetch.useful"), 1u);
+    SimCheck& sc = SimCheck::get();
+    EXPECT_EQ(sc.count(ReportKind::Invariant), 0u);
+}
+
+} // namespace
+} // namespace ap::sim::check
