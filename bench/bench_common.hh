@@ -14,6 +14,7 @@
 #include <string>
 
 #include "core/vm.hh"
+#include "util/stats.hh"
 #include "util/table.hh"
 
 namespace ap::bench {
@@ -51,6 +52,35 @@ inline double
 gbPerSec(double bytes, sim::Cycles cycles, const sim::CostModel& cm)
 {
     return bytes / cm.toSeconds(cycles) / 1e9;
+}
+
+/**
+ * Print the fault-path stage-latency table (docs/OBSERVABILITY.md)
+ * accumulated in @p stats: one row per `faultpath.*` histogram, in
+ * cycles. Shared by the bench harnesses so every binary reports the
+ * same shape.
+ */
+inline void
+printFaultStageTable(std::ostream& os, const StatGroup& stats)
+{
+    TextTable t;
+    t.header({"metric", "count", "min", "max", "mean", "p50", "p95",
+              "p99"});
+    size_t rows = 0;
+    for (const auto& [name, h] : stats.allHistograms()) {
+        if (name.rfind("faultpath.", 0) != 0)
+            continue;
+        t.row({name, std::to_string(h.count()), TextTable::num(h.min()),
+               TextTable::num(h.max()), TextTable::num(h.mean()),
+               TextTable::num(h.quantile(0.50)),
+               TextTable::num(h.quantile(0.95)),
+               TextTable::num(h.quantile(0.99))});
+        rows++;
+    }
+    if (rows == 0)
+        os << "(no fault-path samples)\n";
+    else
+        t.print(os);
 }
 
 } // namespace ap::bench

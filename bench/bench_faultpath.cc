@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Fault-path latency attribution harness (docs/OBSERVABILITY.md): runs
+ * a file-backed streaming kernel twice (cold cache → major faults,
+ * warm cache → minor faults) with fault tracing on, then reports
+ *
+ *  - the per-stage latency table (p50/p95/p99 per faultpath.* metric),
+ *  - the stage-sum vs end-to-end cross-check (the stages telescope, so
+ *    the two must agree — this is the harness's self-test),
+ *  - machine-readable stats (StatGroup::dumpJson) and the Chrome
+ *    trace, written next to the binary for apstat / Perfetto.
+ *
+ * Usage: bench_faultpath [--json stats.json] [--trace trace.json]
+ */
+
+#include <cstring>
+#include <fstream>
+
+#include "bench_common.hh"
+
+namespace ap::bench {
+namespace {
+
+using core::AptrVec;
+using sim::Addr;
+using sim::kWarpSize;
+using sim::LaneArray;
+
+constexpr int kBlocks = 8;
+constexpr int kWarpsPerBlock = 8;
+constexpr int kPagesPerWarp = 32;
+constexpr size_t kPageSize = 4096;
+
+std::unique_ptr<Stack>
+fpStack()
+{
+    gpufs::Config fscfg;
+    fscfg.numFrames = kBlocks * kWarpsPerBlock * kPagesPerWarp + 512;
+    fscfg.stagingSlots = 256;
+    auto st = std::make_unique<Stack>(core::GvmConfig{}, fscfg,
+                                      size_t(512) << 20);
+    size_t file_bytes =
+        size_t(kBlocks) * kWarpsPerBlock * kPagesPerWarp * kPageSize;
+    hostio::FileId f = st->bs.create("fp.bin", file_bytes);
+    auto* p = st->bs.data(f, 0, file_bytes);
+    for (size_t i = 0; i < file_bytes; i += kPageSize)
+        std::memcpy(p + i, &i, 8);
+    return st;
+}
+
+/** Each warp strides through its own pages; every page is a fault. */
+void
+runKernel(Stack& st)
+{
+    hostio::FileId f = st.bs.open("fp.bin");
+    size_t file_bytes = st.bs.size(f);
+    st.dev->launch(kBlocks, kWarpsPerBlock, [&](sim::Warp& w) {
+        auto p = core::gvmmap<uint32_t>(w, *st.rt, file_bytes,
+                                        hostio::O_GRDONLY, f, 0);
+        LaneArray<int64_t> seek;
+        for (int l = 0; l < kWarpSize; ++l)
+            seek[l] = int64_t(w.globalWarpId()) * kPagesPerWarp *
+                          (kPageSize / 4) +
+                      l;
+        p.addPerLane(w, seek);
+        for (int i = 0; i < kPagesPerWarp; ++i) {
+            (void)p.read(w);
+            if (i + 1 < kPagesPerWarp)
+                p.add(w, kPageSize / 4);
+        }
+        p.destroy(w);
+    });
+}
+
+/** Stage-sum vs end-to-end agreement for @p kind (telescoping). */
+void
+crossCheck(const ap::StatGroup& stats, const char* kind)
+{
+    const std::string prefix = std::string("faultpath.") + kind + ".";
+    const Histogram* total = stats.findHistogram(prefix + "total");
+    if (!total || !total->count())
+        return;
+    double stage_sum = 0;
+    for (const char* seg : {"lookup", "alloc", "enqueue", "queue_wait",
+                            "transfer", "fill", "wakeup"})
+        if (const Histogram* h = stats.findHistogram(prefix + seg))
+            stage_sum += h->sum();
+    double rel = total->sum() > 0
+                     ? stage_sum / total->sum() - 1.0
+                     : 0.0;
+    std::cout << kind << ": stage-sum/total = "
+              << TextTable::pct(stage_sum / total->sum(), false, 2)
+              << " (" << (std::abs(rel) <= 0.05 ? "OK" : "MISMATCH")
+              << ", " << total->count() << " faults)\n";
+}
+
+int
+run(const char* json_path, const char* trace_path)
+{
+    auto st = fpStack();
+    st->dev->tracer().enable();
+
+    banner("Fault-path stage latency (cold run: major faults)");
+    runKernel(*st);
+    printFaultStageTable(std::cout, st->dev->stats());
+
+    banner("Fault-path stage latency (cold + warm run)");
+    runKernel(*st);
+    printFaultStageTable(std::cout, st->dev->stats());
+
+    banner("Stage-sum cross-check (must telescope to the total)");
+    for (const char* kind :
+         {"major", "minor", "spec_hit", "spec_fill", "error"})
+        crossCheck(st->dev->stats(), kind);
+
+    if (json_path) {
+        std::ofstream js(json_path);
+        if (!js) {
+            std::cerr << "cannot write " << json_path << "\n";
+            return 1;
+        }
+        st->dev->stats().dumpJson(js);
+        std::cout << "\nstats json: " << json_path << "\n";
+    }
+    if (trace_path) {
+        std::ofstream tr(trace_path);
+        if (!tr) {
+            std::cerr << "cannot write " << trace_path << "\n";
+            return 1;
+        }
+        st->dev->tracer().writeJson(tr);
+        std::cout << "trace json: " << trace_path
+                  << "  (analyze with tools/apstat)\n";
+    }
+    return 0;
+}
+
+} // namespace
+} // namespace ap::bench
+
+int
+main(int argc, char** argv)
+{
+    const char* json_path = nullptr;
+    const char* trace_path = nullptr;
+    for (int i = 1; i < argc; ++i) {
+        std::string_view a = argv[i];
+        if (a == "--json" && i + 1 < argc)
+            json_path = argv[++i];
+        else if (a == "--trace" && i + 1 < argc)
+            trace_path = argv[++i];
+        else {
+            std::cerr << "usage: bench_faultpath [--json stats.json] "
+                         "[--trace trace.json]\n";
+            return 1;
+        }
+    }
+    return ap::bench::run(json_path, trace_path);
+}

@@ -110,6 +110,33 @@ measureAptr(AccessMode mode)
     return r;
 }
 
+/**
+ * Supplementary to Table I: where the cycles of one cold (major) and
+ * one warm (minor) fault actually go, from the always-on fault-path
+ * recorder (docs/OBSERVABILITY.md). Table I itself is fault-free, so
+ * this is measured on a separate single-warp file-backed stack.
+ */
+void
+faultBreakdown()
+{
+    banner("Supplementary: single-warp fault stage breakdown (cycles)");
+    Stack st;
+    constexpr size_t kFileBytes = 16 * 4096;
+    hostio::FileId f = st.bs.create("t1.bin", kFileBytes);
+    st.bs.data(f, 0, kFileBytes); // materialize
+    st.dev->launch(1, 1, [&](sim::Warp& w) {
+        auto p = core::gvmmap<uint32_t>(w, *st.rt, kFileBytes,
+                                        hostio::O_GRDONLY, f, 0);
+        p.addPerLane(w, LaneArray<int64_t>::iota(0));
+        (void)p.read(w); // cold: major fault
+        (void)p.read(w); // warm: no fault at all (still linked)
+        p.add(w, 4096 / 4);
+        (void)p.read(w); // next page: second major fault
+        p.destroy(w);
+    });
+    printFaultStageTable(std::cout, st.dev->stats());
+}
+
 std::string
 cell(double v, double base)
 {
@@ -157,6 +184,8 @@ run()
     p.row({"Prefetching", "271 (+20%)", "-", "423 (+65%)",
            "435 (+75%)"});
     p.print(std::cout);
+
+    faultBreakdown();
 }
 
 } // namespace

@@ -32,13 +32,18 @@ ctest --test-dir "${BUILD}" -L fault --no-tests=error -j "${JOBS}" \
 # switches and the DMA queue; it must exist and stay clean here too.
 ctest --test-dir "${BUILD}" -L prefetch --no-tests=error -j "${JOBS}" \
     --output-on-failure
+# Observability slice: fault-path recorder, histograms, stats export,
+# and the apstat trace reader (docs/OBSERVABILITY.md).
+ctest --test-dir "${BUILD}" -L obs --no-tests=error -j "${JOBS}" \
+    --output-on-failure
 
 if command -v clang-tidy >/dev/null 2>&1; then
-    echo "==> clang-tidy (src + tools/aplint)"
+    echo "==> clang-tidy (src + tools)"
     # Compile-command database from the sanitizer build keeps flags
     # consistent with what actually ships.
     cmake -B "${BUILD}" -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
     find src/util src/core src/sim src/gpufs src/hostio tools/aplint \
+        tools/apstat \
         -name '*.cc' -print0 |
         xargs -0 -n 1 -P "${JOBS}" clang-tidy -p "${BUILD}" --quiet
 else

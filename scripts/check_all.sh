@@ -11,11 +11,12 @@
 #                    plus clang-tidy when installed
 #
 # The failure-semantics tests (ctest label `fault`: injector, retry/
-# backoff, fill-error propagation) and the readahead tests (ctest
-# label `prefetch`: stream detection, window adaptation, throttle,
-# speculative-page lifecycle) run inside every tier-1 row; the
-# explicit `--no-tests=error` re-runs after each row guard against
-# either label silently going empty.
+# backoff, fill-error propagation), the readahead tests (ctest label
+# `prefetch`: stream detection, window adaptation, throttle,
+# speculative-page lifecycle), and the observability tests (ctest
+# label `obs`: fault-path recorder, latency histograms, stats export,
+# apstat) run inside every tier-1 row; the explicit `--no-tests=error`
+# re-runs after each row guard against a label silently going empty.
 #
 # Wired to `cmake --build <dir> --target check-all`. Each row builds
 # in its own scratch tree so the matrix never dirties a dev build.
@@ -35,6 +36,8 @@ ctest --test-dir build-plain -L fault --no-tests=error -j "${JOBS}" \
     --output-on-failure
 ctest --test-dir build-plain -L prefetch --no-tests=error -j "${JOBS}" \
     --output-on-failure
+ctest --test-dir build-plain -L obs --no-tests=error -j "${JOBS}" \
+    --output-on-failure
 
 echo "=== [3/4] tier-1 with simcheck armed ==="
 cmake -B build-simcheck -S . -DAP_SIMCHECK=ON \
@@ -45,6 +48,8 @@ ctest --test-dir build-simcheck -L fault --no-tests=error -j "${JOBS}" \
     --output-on-failure
 ctest --test-dir build-simcheck -L prefetch --no-tests=error \
     -j "${JOBS}" --output-on-failure
+ctest --test-dir build-simcheck -L obs --no-tests=error -j "${JOBS}" \
+    --output-on-failure
 
 echo "=== [4/4] sanitizers ==="
 scripts/check.sh build-asan

@@ -21,6 +21,7 @@
 
 #include "core/runtime.hh"
 #include "core/translation.hh"
+#include "sim/faultpath.hh"
 #include "util/annotations.hh"
 
 namespace ap::core {
@@ -444,6 +445,10 @@ class AptrVec
         w.stats().inc("core.fault_entries");
 
         for (;;) {
+            // Each aggregated subgroup is one fault record; the clock
+            // starts before the ballot so the aggregation overhead is
+            // attributed to the fault's lookup stage.
+            const sim::Cycles agg_t0 = w.now();
             sim::LaneArray<int> invalid;
             for (int l = 0; l < sim::kWarpSize; ++l)
                 invalid[l] = (!translationValid(field[l]) &&
@@ -479,6 +484,15 @@ class AptrVec
                           mapOffset + mapLength, ")");
             }
 
+            // Open the fault record for this subgroup; downstream
+            // layers stamp their stages against the warp's active id.
+            sim::FaultPath* fpx = w.faultPath();
+            const uint64_t fault_id =
+                fpx ? fpx->begin(w.globalWarpId(), file, lead_xpage,
+                                 agg_t0)
+                    : 0;
+            w.setActiveFault(fault_id);
+
             if (isDirect()) {
                 // Raw-memory mapping: translate without the page cache.
                 sim::Addr frame_addr = directBase + lead_xpage * page;
@@ -493,6 +507,9 @@ class AptrVec
                     refViaTlb[l] = 0;
                 }
                 w.stats().inc("core.pages_linked");
+                if (fpx)
+                    fpx->end(fault_id, sim::FaultKind::Minor, w.now());
+                w.setActiveFault(0);
                 continue;
             }
 
@@ -500,6 +517,7 @@ class AptrVec
             sim::Addr frame_addr = 0;
             bool via_tlb = false;
             bool major_fault = false;
+            bool spec_hit = false;
             hostio::IoStatus ast = hostio::IoStatus::Ok;
             SoftTlb* tlb = rt_->tlbFor(w);
             if (tlb && tlb->lookupAndRef(w, key, count, frame_addr)) {
@@ -510,6 +528,7 @@ class AptrVec
                 ast = r.status;
                 frame_addr = r.frameAddr;
                 major_fault = r.majorFault;
+                spec_hit = r.specHit;
                 if (r.ok() && tlb)
                     via_tlb = tlb->insertAfterAcquire(w, key, frame_addr,
                                                       count, cache);
@@ -523,6 +542,9 @@ class AptrVec
                 if (status_ == hostio::IoStatus::Ok)
                     status_ = ast;
                 w.stats().inc("core.fault_errors");
+                if (fpx)
+                    fpx->end(fault_id, sim::FaultKind::Error, w.now());
+                w.setActiveFault(0);
                 continue;
             }
 
@@ -542,6 +564,16 @@ class AptrVec
                                                    count, w.globalWarpId(),
                                                    w.now());
             w.stats().inc("core.pages_linked");
+            // Close the record before notifying the prefetcher: the
+            // speculative fills it kicks off open their own records
+            // and must not inherit this demand fault's id.
+            if (fpx)
+                fpx->end(fault_id,
+                         major_fault ? sim::FaultKind::Major
+                         : spec_hit ? sim::FaultKind::SpecHit
+                                    : sim::FaultKind::Minor,
+                         w.now());
+            w.setActiveFault(0);
             // Feed the serviced fault to the readahead engine (leader
             // context: we just elected and acted as the leader). Both
             // majors and minors advance the stream; direct mappings

@@ -32,6 +32,7 @@ bool
 SoftTlb::lookupAndRef(sim::Warp& w, gpufs::PageKey key, int n,
                       sim::Addr& frame_addr)
 {
+    const sim::Cycles t0 = w.now();
     Entry& e = entries[slotOf(key)];
     // Hash + scratchpad probe.
     w.issue(3);
@@ -52,6 +53,11 @@ SoftTlb::lookupAndRef(sim::Warp& w, gpufs::PageKey key, int n,
     w.chargeSharedWrite();
     e.entryLock.release(w);
     w.stats().inc("core.tlb_hits");
+    // Hit-path latency distribution (includes entry-lock contention):
+    // the TLB's whole point is shaving the page-table walk, so the
+    // tail of this histogram is the first thing to check when minor
+    // faults look slow.
+    w.stats().recordValue("faultpath.tlb.lookup", w.now() - t0);
     return true;
 }
 

@@ -10,6 +10,9 @@ namespace {
 
 constexpr uint32_t kDirtyFlag = 1u;
 
+/** Tracer track for speculative/advisory fill fault records. */
+constexpr int kPrefetchTrack = -3;
+
 using sim::check::SimCheck;
 
 /** Sync channel of a PTE word (refcount/state) in @p dev's memory. */
@@ -48,10 +51,19 @@ PageCache::acquirePage(sim::Warp& w, PageKey key, int count, bool writable,
 {
     AP_ASSERT(count > 0, "acquire with non-positive count");
     const sim::Cycles trace_t0 = w.now();
+    const uint64_t fid = w.activeFault();
+    const sim::Tracer::Args targs{
+        {"fault", static_cast<double>(fid)},
+        {"file", static_cast<double>(pageKeyFile(key))},
+        {"page", static_cast<double>(pageKeyPageNo(key))}};
     for (int attempt = 0;; ++attempt) {
         AP_ASSERT(attempt < 10000, "livelock acquiring page ", key);
 
         sim::Addr ea = pt.probe(w, key);
+        // Lookup covers everything since the fault opened: warp
+        // aggregation plus the first page-table probe (the recorder
+        // keeps the first stamp; re-probe time lands in later stages).
+        dev->faultPath().stamp(fid, sim::FaultStage::Lookup, w.now());
         if (ea != 0) {
             // --------------------------------------------------------
             // Minor fault: page resident. Take references with CAS so
@@ -176,7 +188,7 @@ PageCache::acquirePage(sim::Warp& w, PageKey key, int count, bool writable,
                 dev->tracer().span(
                     w.globalWarpId(), "fault",
                     "minor-err pg" + std::to_string(pageKeyPageNo(key)),
-                    trace_t0, w.now());
+                    trace_t0, w.now(), targs);
                 return AcquireResult{0, 0, false, hostio::IoStatus::IoError};
             }
             if (writable) {
@@ -194,8 +206,9 @@ PageCache::acquirePage(sim::Warp& w, PageKey key, int count, bool writable,
             dev->tracer().span(
                 w.globalWarpId(), "fault",
                 "minor pg" + std::to_string(pageKeyPageNo(key)),
-                trace_t0, w.now());
-            return AcquireResult{frameAddr(e.frame), e.frame, false};
+                trace_t0, w.now(), targs);
+            return AcquireResult{frameAddr(e.frame), e.frame, false,
+                                 hostio::IoStatus::Ok, spec_taken};
         }
 
         // ------------------------------------------------------------
@@ -203,6 +216,7 @@ PageCache::acquirePage(sim::Warp& w, PageKey key, int count, bool writable,
         // the bucket lock, fetch the data, publish Ready.
         // ------------------------------------------------------------
         uint32_t frame = allocFrame(w);
+        dev->faultPath().stamp(fid, sim::FaultStage::Alloc, w.now());
         uint32_t b = pt.bucketOf(key);
         sim::DeviceLock& lk = pt.bucketLock(b);
         lk.acquire(w);
@@ -343,7 +357,7 @@ PageCache::acquirePage(sim::Warp& w, PageKey key, int count, bool writable,
             dev->tracer().span(
                 w.globalWarpId(), "fault",
                 "major-err pg" + std::to_string(pageKeyPageNo(key)),
-                trace_t0, w.now());
+                trace_t0, w.now(), targs);
             return AcquireResult{0, 0, true, fill};
         }
 
@@ -362,11 +376,12 @@ PageCache::acquirePage(sim::Warp& w, PageKey key, int count, bool writable,
                 static_cast<uint32_t>(PteState::Ready));
         }
         w.chargeGlobalWrite(4);
+        dev->faultPath().stamp(fid, sim::FaultStage::Fill, w.now());
         dev->stats().inc("gpufs.major_faults");
         dev->tracer().span(
             w.globalWarpId(), "fault",
             "major pg" + std::to_string(pageKeyPageNo(key)), trace_t0,
-            w.now());
+            w.now(), targs);
         return AcquireResult{frameAddr(frame), frame, true};
     }
 }
@@ -475,9 +490,15 @@ PageCache::prefetchPage(sim::Warp& w, PageKey key, bool speculative)
     sim::Device* d = dev;
     sim::Addr state_addr = PageTable::stateAddr(empty);
     uint64_t dom = checkDomain;
+    // Speculative/advisory fills get their own fault record on the
+    // prefetch track: the chain runs begin → enqueue/transfer stamps
+    // (via the request's captured fid) → fill at Ready publication.
+    const uint64_t pfid = d->faultPath().begin(
+        kPrefetchTrack, static_cast<int64_t>(f), pageKeyPageNo(key),
+        w.now());
     std::function<void(hostio::IoStatus)> on_done =
         [this, d, fa, len, page_size, state_addr, dom, key,
-         speculative](hostio::IoStatus st) {
+         speculative, pfid](hostio::IoStatus st) {
             if (st != hostio::IoStatus::Ok) {
                 // Failed prefetch: poison the zero-reference entry so
                 // later acquirers reclaim it and re-fault, instead of
@@ -500,6 +521,8 @@ PageCache::prefetchPage(sim::Warp& w, PageKey key, bool speculative)
                 // the window outran what the backing store can serve.
                 if (speculative && specObs)
                     specObs->onSpecFillError(key);
+                d->faultPath().end(pfid, sim::FaultKind::Error,
+                                   d->engine().now());
                 return;
             }
             if (len < page_size) {
@@ -521,11 +544,20 @@ PageCache::prefetchPage(sim::Warp& w, PageKey key, bool speculative)
                     state_addr, static_cast<uint32_t>(PteState::Ready));
             }
             d->stats().inc("gpufs.prefetched_pages");
+            d->faultPath().stamp(pfid, sim::FaultStage::Fill,
+                                 d->engine().now());
+            d->faultPath().end(pfid, sim::FaultKind::SpecFill,
+                               d->engine().now());
         };
     // Speculative fills ride the low-priority DMA lane: within a
-    // batch window, demand transfers dispatch first.
+    // batch window, demand transfers dispatch first. The async request
+    // captures the prefetch's fault id (not any demand fault the
+    // calling warp is amid), so transfer stamps land on this record.
+    const uint64_t saved_fid = w.activeFault();
+    w.setActiveFault(pfid);
     hostio::IoStatus sync =
         io->readToGpuAsync(w, f, off, len, fa, on_done, speculative);
+    w.setActiveFault(saved_fid);
     if (sync != hostio::IoStatus::Ok)
         on_done(sync); // range re-validation failed; unreachable today
     dev->stats().inc("gpufs.prefetch_requests");

@@ -39,6 +39,8 @@ struct AcquireResult
      * is left in PteState::Error for eventual reclamation.
      */
     hostio::IoStatus status = hostio::IoStatus::Ok;
+    /** True if this acquire consumed a speculative (readahead) fill. */
+    bool specHit = false;
 
     /** True iff the page was acquired and references are held. */
     bool ok() const { return status == hostio::IoStatus::Ok; }

@@ -96,7 +96,8 @@ HostIoEngine::readToGpu(sim::Warp& w, FileId f, uint64_t off, size_t len,
     for (int attempt = 0;; ++attempt) {
         IoStatus st = IoStatus::Ok;
         submitRead(Request{f, off, len, gpu_dst, sim::Fiber::current(),
-                           &st, nullptr, attempt});
+                           &st, nullptr, attempt, false,
+                           w.activeFault()});
         eng.block();
         if (st != IoStatus::Again) {
             if (st != IoStatus::Ok)
@@ -108,6 +109,7 @@ HostIoEngine::readToGpu(sim::Warp& w, FileId f, uint64_t off, size_t len,
             return IoStatus::IoError;
         }
         dev->stats().inc("hostio.retries");
+        dev->faultPath().attempt(w.activeFault());
         eng.waitUntil(eng.now() + backoff(attempt));
     }
 }
@@ -115,6 +117,10 @@ HostIoEngine::readToGpu(sim::Warp& w, FileId f, uint64_t off, size_t len,
 void
 HostIoEngine::submitRead(Request r)
 {
+    // First submission keeps this stamp; retries re-stamp the transfer
+    // marks only, so queue_wait absorbs the backoff.
+    dev->faultPath().stamp(r.fid, sim::FaultStage::Enqueue,
+                           dev->engine().now());
     if (batching)
         enqueueBatched(std::move(r));
     else
@@ -131,9 +137,12 @@ HostIoEngine::issueUnbatchedRead(Request r)
     sim::Cycles done = pcieToGpu.acquireWithSetup(
         host, static_cast<double>(r.len), cm.pcieLatency);
     done += injectedDelay(r);
+    dev->faultPath().stamp(r.fid, sim::FaultStage::TransferStart, host);
     ++inflightReads;
     eng.schedule(done, [this, r = std::move(r)] {
         dev->stats().inc("hostio.transfers");
+        dev->faultPath().stamp(r.fid, sim::FaultStage::TransferEnd,
+                               dev->engine().now());
         --inflightReads;
         completeRead(r);
     });
@@ -202,7 +211,13 @@ HostIoEngine::dispatchBatch()
         dev->tracer().span(-2, "dma",
                            "batch x" + std::to_string(j - i) + " (" +
                                std::to_string(bytes) + "B)",
-                           host_free, done);
+                           host_free, done,
+                           {{"requests", static_cast<double>(j - i)},
+                            {"bytes", static_cast<double>(bytes)}});
+        for (size_t k = i; k < j; ++k)
+            dev->faultPath().stamp(reqs[k].fid,
+                                   sim::FaultStage::TransferStart,
+                                   host_free);
 
         std::vector<Request> group(
             std::make_move_iterator(reqs.begin() + i),
@@ -218,8 +233,12 @@ HostIoEngine::dispatchBatch()
         eng.schedule(done + delay, [this, group = std::move(group)] {
             dev->stats().inc("hostio.transfers");
             inflightReads -= group.size();
-            for (const Request& r : group)
+            for (const Request& r : group) {
+                dev->faultPath().stamp(r.fid,
+                                       sim::FaultStage::TransferEnd,
+                                       dev->engine().now());
                 completeRead(r);
+            }
         });
         i = j;
     }
@@ -262,6 +281,7 @@ HostIoEngine::finish(const Request& r, IoStatus st)
             return;
         }
         dev->stats().inc("hostio.retries");
+        dev->faultPath().attempt(r.fid);
         sim::Engine& eng = dev->engine();
         Request nr = r;
         nr.attempt++;
@@ -293,7 +313,8 @@ HostIoEngine::readToGpuAsync(sim::Warp& w, FileId f, uint64_t off,
         dev->stats().inc("hostio.low_priority_requests");
     w.issue(8);
     submitRead(Request{f, off, len, gpu_dst, nullptr, nullptr,
-                       std::move(on_done), 0, low_priority});
+                       std::move(on_done), 0, low_priority,
+                       w.activeFault()});
     return IoStatus::Ok;
 }
 

@@ -145,6 +145,7 @@ class HostIoEngine
         std::function<void(IoStatus)> onDone; ///< called if set
         int attempt = 0;               ///< retry ordinal (0 = first)
         bool low = false;              ///< low-priority (speculative)
+        uint64_t fid = 0;              ///< fault id (0 = untracked)
     };
 
     /** Backoff before re-issuing attempt @p attempt + 1. */

@@ -45,6 +45,7 @@ Prefetcher::notifyFault(sim::Warp& w, gpufs::PageKey key, bool major)
     // resident. A drop (no frame / no slot) or the end of the file
     // stops the chunk; the uncovered tail is retried by the stream's
     // next fault.
+    const sim::Cycles issue_t0 = w.now();
     uint32_t covered = 0;
     int64_t page = static_cast<int64_t>(d.startPage);
     for (uint32_t i = 0; i < allow; ++i, page += d.stride) {
@@ -67,6 +68,11 @@ Prefetcher::notifyFault(sim::Warp& w, gpufs::PageKey key, bool major)
         }
     }
     table_.committed(d.sid, covered);
+    // The burst runs on the faulting warp's leader lane after its own
+    // fault closed, so this cost is handler overhead, not fault
+    // latency — tracked separately so it can't hide in either.
+    dev.stats().recordValue("faultpath.prefetch.issue_burst",
+                            w.now() - issue_t0);
 }
 
 void

@@ -75,6 +75,7 @@ SimCheck::reset()
     lockNames.clear();
     lockGraph.clear();
     pages.clear();
+    faults.clear();
     reports_.clear();
     dedup.clear();
     relaxedDepth.clear();
@@ -769,10 +770,113 @@ SimCheck::pcUnlink(uint64_t dom, uint64_t key, int64_t n, int warp,
 }
 
 void
+SimCheck::fpOpen(uint64_t fid, double cycle)
+{
+    if (!enabled_)
+        return;
+    FaultShadow& fs = faults[fid];
+    fs.openCycle = cycle;
+    fs.lastCycle = cycle;
+    fs.lastName = "open";
+}
+
+void
+SimCheck::fpStamp(uint64_t fid, int stage, const char* name, double cycle)
+{
+    if (!enabled_)
+        return;
+    auto it = faults.find(fid);
+    if (it == faults.end()) {
+        report(ReportKind::Invariant, "fpunknown:" + std::to_string(fid),
+               "fault-chain stamp '" + std::string(name) +
+                   "' against unknown fault id " + std::to_string(fid));
+        return;
+    }
+    FaultShadow& fs = it->second;
+    if (cycle < fs.lastCycle) {
+        report(ReportKind::Invariant, "fpmono:" + std::to_string(fid),
+               "fault " + std::to_string(fid) + " stage chain moved "
+               "backwards in time: '" + std::string(name) + "' @ cycle " +
+                   std::to_string(cycle) + " after '" + fs.lastName +
+                   "' @ cycle " + std::to_string(fs.lastCycle));
+        return;
+    }
+    fs.lastCycle = cycle;
+    fs.lastName = name;
+    if (stage >= 0 && stage < FaultShadow::kStages) {
+        fs.stageAt[stage] = cycle;
+        fs.stamped[stage] = true;
+    }
+}
+
+void
+SimCheck::fpClose(uint64_t fid, double cycle)
+{
+    if (!enabled_)
+        return;
+    auto it = faults.find(fid);
+    if (it == faults.end()) {
+        report(ReportKind::Invariant, "fpunknown:" + std::to_string(fid),
+               "fault-chain close against unknown fault id " +
+                   std::to_string(fid));
+        return;
+    }
+    FaultShadow fs = it->second;
+    faults.erase(it);
+    if (cycle < fs.lastCycle) {
+        report(ReportKind::Invariant, "fpmono:" + std::to_string(fid),
+               "fault " + std::to_string(fid) +
+                   " closed @ cycle " + std::to_string(cycle) +
+                   " before its last stamp '" + fs.lastName +
+                   "' @ cycle " + std::to_string(fs.lastCycle));
+        return;
+    }
+    // The final values must order enqueue <= transfer-start <=
+    // transfer-end <= fill <= close (stages mirror sim::FaultStage:
+    // 2=enqueue, 3=transfer-start, 4=transfer-end, 5=fill).
+    double prev = fs.openCycle;
+    static const char* const chain[] = {"lookup", "alloc", "enqueue",
+                                        "transfer-start", "transfer-end",
+                                        "fill"};
+    for (int s = 0; s < FaultShadow::kStages; ++s) {
+        if (!fs.stamped[s])
+            continue;
+        if (fs.stageAt[s] < prev) {
+            report(ReportKind::Invariant,
+                   "fpchain:" + std::to_string(fid),
+                   "fault " + std::to_string(fid) +
+                       " final stage chain out of order at '" +
+                       chain[s] + "' (cycle " +
+                       std::to_string(fs.stageAt[s]) +
+                       " < preceding stage cycle " + std::to_string(prev) +
+                       ")");
+            return;
+        }
+        prev = fs.stageAt[s];
+    }
+}
+
+void
+SimCheck::auditFaultChains()
+{
+    if (!enabled_)
+        return;
+    for (const auto& [fid, fs] : faults) {
+        report(ReportKind::Invariant, "fpleak:" + std::to_string(fid),
+               "fault " + std::to_string(fid) +
+                   " opened @ cycle " + std::to_string(fs.openCycle) +
+                   " never closed: last stage '" + fs.lastName +
+                   "' @ cycle " + std::to_string(fs.lastCycle) +
+                   " leaked at shutdown");
+    }
+}
+
+void
 SimCheck::auditLeaks()
 {
     if (!enabled_)
         return;
+    auditFaultChains();
     for (const auto& [id, ps] : pages) {
         if (ps.rc == 0 && ps.links == 0)
             continue;

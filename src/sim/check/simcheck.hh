@@ -38,6 +38,7 @@
 #ifndef AP_SIM_CHECK_SIMCHECK_HH
 #define AP_SIM_CHECK_SIMCHECK_HH
 
+#include <array>
 #include <cstdint>
 #include <functional>
 #include <string>
@@ -253,10 +254,41 @@ class SimCheck
     void pcUnlink(uint64_t dom, uint64_t key, int64_t n, int warp,
                   double cycle);
 
+    // ------------------------------------------------------------------
+    // Fault-chain auditor (fault-path observability)
+    // ------------------------------------------------------------------
+
+    /** Fault @p fid opened at @p cycle (FaultPath::begin). */
+    void fpOpen(uint64_t fid, double cycle);
+
+    /**
+     * Fault @p fid stamped stage @p stage (FaultStage value, with
+     * printable @p name) at @p cycle. Reports an Invariant violation
+     * when a stamp moves backwards in time relative to the fault's
+     * previous stamp — the stage chain must be monotone.
+     */
+    void fpStamp(uint64_t fid, int stage, const char* name, double cycle);
+
+    /**
+     * Fault @p fid closed at @p cycle. Checks the final chain
+     * ordering enqueue <= transfer-start <= transfer-end <= fill <=
+     * close and drops the shadow record.
+     */
+    void fpClose(uint64_t fid, double cycle);
+
+    /**
+     * Shutdown audit: every opened fault must have been closed; an
+     * unclosed fault ID means a fault path lost track of a waiter
+     * (reported as an Invariant violation). Also runs as part of
+     * auditLeaks().
+     */
+    void auditFaultChains();
+
     /**
      * Quiescence audit: every tracked page must have refcount 0 and no
      * live links. Call after all references should have been returned;
-     * anything still held is reported as a leak.
+     * anything still held is reported as a leak. Also audits fault
+     * chains (auditFaultChains).
      */
     void auditLeaks();
 
@@ -372,6 +404,17 @@ class SimCheck
     PageShadow* pageShadow(uint64_t dom, uint64_t key);
     static std::string pageName(uint64_t dom, uint64_t key);
 
+    // --- fault-chain internals ---------------------------------------
+    struct FaultShadow
+    {
+        static constexpr int kStages = 6; ///< mirrors kFaultStages
+        double openCycle = 0;
+        double lastCycle = 0;
+        std::string lastName = "open";
+        std::array<double, kStages> stageAt{};
+        std::array<bool, kStages> stamped{};
+    };
+
     // --- state --------------------------------------------------------
     bool enabled_ = false;
     bool failOnReport_ = false;
@@ -396,6 +439,7 @@ class SimCheck
         lockGraph;
 
     std::unordered_map<PageId, PageShadow, PageIdHash> pages;
+    std::unordered_map<uint64_t, FaultShadow> faults;
 
     std::vector<Report> reports_;
     std::unordered_set<std::string> dedup;

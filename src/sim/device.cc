@@ -23,6 +23,8 @@ Device::Device(const CostModel& cm, size_t mem_bytes)
     sms_.reserve(cm_.numSms);
     for (int i = 0; i < cm_.numSms; ++i)
         sms_.emplace_back(cm_.issuePerSmPerCycle);
+    tracer_.setStats(&stats_);
+    faultpath_.attach(&stats_, &tracer_);
 }
 
 Device::~Device()
@@ -73,7 +75,7 @@ Device::tryDispatch(LaunchState& ls)
         for (int wi = 0; wi < ls.warpsPerBlock; ++wi) {
             auto warp = std::make_unique<Warp>(
                 ls.nextGlobalWarp++, wi, tb.get(), &mem_, &eng_, &cm_,
-                &stats_);
+                &stats_, &faultpath_);
             Warp* wp = warp.get();
             ThreadBlock* tbp = tb.get();
             auto fiber = std::make_unique<Fiber>([this, &ls, wp, tbp] {
@@ -136,6 +138,10 @@ Device::launch(int num_blocks, int warps_per_block, const KernelFn& fn,
     }
     AP_ASSERT(ls.liveWarps == 0 && ls.nextBlock == ls.numBlocks,
               "kernel deadlocked: ", ls.liveWarps, " warps never finished");
+    // The engine drained, so every fault opened during the launch
+    // (including speculative fills) must have closed by now.
+    if (check::SimCheck::armed)
+        check::SimCheck::get().auditFaultChains();
     stats_.inc("sim.launches");
     tracer_.span(-1, "kernel",
                  "launch[" + std::to_string(num_blocks) + "x" +

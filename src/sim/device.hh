@@ -14,6 +14,7 @@
 
 #include "sim/cost_model.hh"
 #include "sim/engine.hh"
+#include "sim/faultpath.hh"
 #include "sim/memory.hh"
 #include "sim/sm.hh"
 #include "sim/threadblock.hh"
@@ -61,6 +62,9 @@ class Device
     /** The trace-event recorder (disabled unless enable()d). */
     Tracer& tracer() { return tracer_; }
 
+    /** The fault-path latency recorder (always on). */
+    FaultPath& faultPath() { return faultpath_; }
+
     /**
      * Launch a kernel and run the simulation until it completes.
      *
@@ -87,6 +91,7 @@ class Device
     std::vector<Sm> sms_;
     StatGroup stats_;
     Tracer tracer_;
+    FaultPath faultpath_;
 };
 
 } // namespace ap::sim

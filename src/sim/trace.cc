@@ -1,41 +1,72 @@
 #include "sim/trace.hh"
 
+#include <cstdio>
+
+#include "util/json.hh"
+
 namespace ap::sim {
 
-namespace {
-
-/** Minimal JSON string escape (names are simple, but be safe). */
 void
-escape(std::ostream& os, const std::string& s)
+Tracer::push(Event e)
 {
-    for (char c : s) {
-        switch (c) {
-          case '"': os << "\\\""; break;
-          case '\\': os << "\\\\"; break;
-          case '\n': os << "\\n"; break;
-          default: os << c;
+    if (events.size() >= eventCap) {
+        drops++;
+        if (stats)
+            stats->inc("trace.dropped_events");
+        if (!warned) {
+            warned = true;
+            std::fprintf(stderr,
+                         "ap: tracer event cap (%zu) reached; "
+                         "dropping further events\n",
+                         eventCap);
         }
+        return;
     }
+    events.push_back(std::move(e));
 }
-
-} // namespace
 
 void
 Tracer::writeJson(std::ostream& os) const
 {
-    os << "[\n";
+    os << "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n";
     bool first = true;
     for (const Event& e : events) {
         if (!first)
             os << ",\n";
         first = false;
-        os << "{\"name\":\"";
-        escape(os, e.name);
-        os << "\",\"cat\":\"" << e.category << "\",\"ph\":\"X\""
-           << ",\"ts\":" << e.start << ",\"dur\":" << (e.end - e.start)
-           << ",\"pid\":0,\"tid\":" << e.track << "}";
+        os << "{\"name\":";
+        json::quote(os, e.name);
+        os << ",\"cat\":";
+        json::quote(os, e.category);
+        os << ",\"ph\":\"" << e.phase << "\"";
+        if (e.phase != 'X') {
+            os << ",\"id\":" << e.flowId;
+            if (e.phase == 'f')
+                os << ",\"bp\":\"e\"";
+        }
+        os << ",\"ts\":";
+        json::number(os, e.start);
+        if (e.phase == 'X') {
+            os << ",\"dur\":";
+            json::number(os, e.end - e.start);
+        }
+        os << ",\"pid\":0,\"tid\":" << e.track;
+        if (!e.args.empty()) {
+            os << ",\"args\":{";
+            bool firstArg = true;
+            for (const auto& [key, value] : e.args) {
+                if (!firstArg)
+                    os << ",";
+                firstArg = false;
+                json::quote(os, key);
+                os << ":";
+                json::number(os, value);
+            }
+            os << "}";
+        }
+        os << "}";
     }
-    os << "\n]\n";
+    os << "\n]}\n";
 }
 
 } // namespace ap::sim

@@ -26,6 +26,8 @@
 
 namespace ap::sim {
 
+class FaultPath;
+
 /** An in-flight asynchronous load (used for speculative prefetch). */
 template <typename T>
 struct PendingLoad
@@ -51,12 +53,13 @@ class Warp
      * @param eng_         event engine
      * @param cm_          timing constants
      * @param stats_       launch-wide statistics sink
+     * @param fp_          fault-path recorder (null in bare-warp tests)
      */
     Warp(int global_id, int warp_in_block, ThreadBlock* tb,
          GlobalMemory* mem_, Engine* eng_, const CostModel* cm_,
-         StatGroup* stats_)
+         StatGroup* stats_, FaultPath* fp_ = nullptr)
         : gid(global_id), widInBlock(warp_in_block), tb_(tb), mem_(mem_),
-          eng_(eng_), cm_(cm_), stats_(stats_)
+          eng_(eng_), cm_(cm_), stats_(stats_), fp_(fp_)
     {
     }
 
@@ -427,6 +430,20 @@ class Warp
     /** The event engine (for blocking on external events like DMA). */
     Engine& engine() { return *eng_; }
 
+    /** The device's fault-path recorder (null in bare-warp tests). */
+    FaultPath* faultPath() { return fp_; }
+
+    /** The fault ID this warp is currently servicing (0 when none). */
+    uint64_t activeFault() const { return activeFault_; }
+
+    /**
+     * Set (or clear with 0) the fault ID that downstream stage stamps
+     * — page-cache lookup/alloc/fill, host-IO enqueue/transfer —
+     * attribute their timestamps to. The fault handler brackets each
+     * aggregated subgroup with this.
+     */
+    void setActiveFault(uint64_t fid) { activeFault_ = fid; }
+
   private:
     /** Acquire+release on the sync channel of atomic word @p a. */
     void
@@ -444,6 +461,8 @@ class Warp
     Engine* eng_;
     const CostModel* cm_;
     StatGroup* stats_;
+    FaultPath* fp_ = nullptr;
+    uint64_t activeFault_ = 0;
 };
 
 } // namespace ap::sim

@@ -1,0 +1,152 @@
+/**
+ * @file
+ * A fixed-footprint log2 latency histogram. Samples land in
+ * power-of-two buckets (bucket i covers [2^i, 2^(i+1)) with bucket 0
+ * covering [0, 2)), so the structure is a flat 64-entry array with no
+ * allocation on the record path — cheap enough to leave always-on in
+ * the fault path. Percentiles interpolate linearly inside the hit
+ * bucket, which is exact enough for order-of-magnitude latency
+ * attribution (the use case: p50/p95/p99 per fault stage).
+ */
+
+#ifndef AP_UTIL_HISTOGRAM_HH
+#define AP_UTIL_HISTOGRAM_HH
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <cstdint>
+
+namespace ap {
+
+/** Log2-bucketed distribution of non-negative values. */
+class Histogram
+{
+  public:
+    /** Buckets cover [0,2), [2,4), ... [2^62, inf). */
+    static constexpr size_t kBuckets = 63;
+
+    /** Record one sample; negative values clamp to zero. */
+    void
+    record(double v)
+    {
+        if (v < 0 || v != v)
+            v = 0;
+        buckets_[bucketOf(v)]++;
+        count_++;
+        sum_ += v;
+        min_ = count_ == 1 ? v : std::min(min_, v);
+        max_ = std::max(max_, v);
+    }
+
+    /** Number of recorded samples. */
+    uint64_t count() const { return count_; }
+
+    /** Sum of all samples. */
+    double sum() const { return sum_; }
+
+    /** Smallest sample, or 0 when empty. */
+    double min() const { return count_ ? min_ : 0; }
+
+    /** Largest sample, or 0 when empty. */
+    double max() const { return count_ ? max_ : 0; }
+
+    /** Arithmetic mean, or 0 when empty. */
+    double mean() const { return count_ ? sum_ / count_ : 0; }
+
+    /**
+     * The value at quantile @p q in [0,1], interpolated linearly
+     * within the containing bucket and clamped to the observed
+     * [min,max] range. Returns 0 when empty.
+     */
+    double
+    quantile(double q) const
+    {
+        if (!count_)
+            return 0;
+        q = std::clamp(q, 0.0, 1.0);
+        // Rank of the target sample (1-based, nearest-rank ceil).
+        uint64_t rank = static_cast<uint64_t>(
+            std::ceil(q * static_cast<double>(count_)));
+        if (rank < 1)
+            rank = 1;
+        uint64_t seen = 0;
+        for (size_t i = 0; i < kBuckets; i++) {
+            if (!buckets_[i])
+                continue;
+            if (seen + buckets_[i] >= rank) {
+                double lo = bucketLo(i);
+                double hi = bucketHi(i);
+                double frac = buckets_[i] == 1
+                                  ? 0.5
+                                  : static_cast<double>(rank - seen - 1) /
+                                        static_cast<double>(buckets_[i] - 1);
+                double v = lo + frac * (hi - lo);
+                return std::clamp(v, min(), max());
+            }
+            seen += buckets_[i];
+        }
+        return max();
+    }
+
+    /** Samples in bucket @p i (see bucketLo/bucketHi for its range). */
+    uint64_t bucketCount(size_t i) const { return buckets_[i]; }
+
+    /** Inclusive lower edge of bucket @p i. */
+    static double
+    bucketLo(size_t i)
+    {
+        return i == 0 ? 0.0 : std::ldexp(1.0, static_cast<int>(i));
+    }
+
+    /** Exclusive upper edge of bucket @p i (last bucket is open). */
+    static double
+    bucketHi(size_t i)
+    {
+        return std::ldexp(1.0, static_cast<int>(i) + 1);
+    }
+
+    /** The bucket index a value of @p v lands in. */
+    static size_t
+    bucketOf(double v)
+    {
+        if (v < 2)
+            return 0;
+        int exp = static_cast<int>(std::floor(std::log2(v)));
+        return std::min<size_t>(static_cast<size_t>(exp), kBuckets - 1);
+    }
+
+    /** Forget all samples. */
+    void
+    reset()
+    {
+        buckets_.fill(0);
+        count_ = 0;
+        sum_ = min_ = max_ = 0;
+    }
+
+    /** Fold @p other's samples into this histogram. */
+    void
+    merge(const Histogram& other)
+    {
+        if (!other.count_)
+            return;
+        for (size_t i = 0; i < kBuckets; i++)
+            buckets_[i] += other.buckets_[i];
+        min_ = count_ ? std::min(min_, other.min_) : other.min_;
+        max_ = std::max(max_, other.max_);
+        count_ += other.count_;
+        sum_ += other.sum_;
+    }
+
+  private:
+    std::array<uint64_t, kBuckets> buckets_{};
+    uint64_t count_ = 0;
+    double sum_ = 0;
+    double min_ = 0;
+    double max_ = 0;
+};
+
+} // namespace ap
+
+#endif // AP_UTIL_HISTOGRAM_HH

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Tiny JSON emission helpers shared by the tracer and the stats
+ * registry. Only what the repo needs: correct string escaping and a
+ * shortest-round-trip double format, both deterministic so golden
+ * tests and cross-run diffs stay byte-stable.
+ */
+
+#ifndef AP_UTIL_JSON_HH
+#define AP_UTIL_JSON_HH
+
+#include <cstdio>
+#include <ostream>
+#include <string_view>
+
+namespace ap::json {
+
+/**
+ * Write @p s as the body of a JSON string literal (no surrounding
+ * quotes): escapes quote, backslash, and every control character
+ * below 0x20 per RFC 8259.
+ */
+inline void
+escape(std::ostream& os, std::string_view s)
+{
+    for (char c : s) {
+        switch (c) {
+          case '"': os << "\\\""; break;
+          case '\\': os << "\\\\"; break;
+          case '\b': os << "\\b"; break;
+          case '\f': os << "\\f"; break;
+          case '\n': os << "\\n"; break;
+          case '\r': os << "\\r"; break;
+          case '\t': os << "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(
+                                  static_cast<unsigned char>(c)));
+                os << buf;
+            } else {
+                os << c;
+            }
+        }
+    }
+}
+
+/** Write @p s as a complete JSON string literal, quotes included. */
+inline void
+quote(std::ostream& os, std::string_view s)
+{
+    os << '"';
+    escape(os, s);
+    os << '"';
+}
+
+/**
+ * Write @p v as a JSON number with enough digits to round-trip a
+ * double exactly, independent of the stream's locale or precision
+ * state. Non-finite values (not representable in JSON) emit null.
+ */
+inline void
+number(std::ostream& os, double v)
+{
+    if (v != v || v > 1.7976931348623157e308 ||
+        v < -1.7976931348623157e308) {
+        os << "null";
+        return;
+    }
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    os << buf;
+}
+
+} // namespace ap::json
+
+#endif // AP_UTIL_JSON_HH

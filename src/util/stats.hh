@@ -1,8 +1,8 @@
 /**
  * @file
  * A small named-statistics registry, in the spirit of gem5's stats
- * package. Simulator components register counters/scalars into a
- * StatGroup; benches and tests read or dump them.
+ * package. Simulator components register counters/scalars/histograms
+ * into a StatGroup; benches and tests read or dump them.
  */
 
 #ifndef AP_UTIL_STATS_HH
@@ -13,11 +13,14 @@
 #include <ostream>
 #include <string>
 
+#include "util/histogram.hh"
+
 namespace ap {
 
 /**
  * A flat collection of named statistics. Counters are monotonically
- * increasing event counts; scalars are arbitrary values (e.g. peaks).
+ * increasing event counts; scalars are arbitrary values (e.g. peaks);
+ * histograms are log2 latency distributions (see Histogram).
  */
 class StatGroup
 {
@@ -45,6 +48,13 @@ class StatGroup
             it->second = value;
     }
 
+    /** Record @p value into histogram @p name (creating it empty). */
+    void
+    recordValue(const std::string& name, double value)
+    {
+        histograms[name].record(value);
+    }
+
     /** Read counter @p name; returns zero if never incremented. */
     uint64_t
     counter(const std::string& name) const
@@ -61,20 +71,52 @@ class StatGroup
         return it == scalars.end() ? 0.0 : it->second;
     }
 
+    /** Histogram @p name, or nullptr if nothing was recorded. */
+    const Histogram*
+    findHistogram(const std::string& name) const
+    {
+        auto it = histograms.find(name);
+        return it == histograms.end() ? nullptr : &it->second;
+    }
+
+    /** Histogram @p name, creating it empty (for direct merging). */
+    Histogram& histogram(const std::string& name)
+    {
+        return histograms[name];
+    }
+
+    /** All histograms, sorted by name. */
+    const std::map<std::string, Histogram>& allHistograms() const
+    {
+        return histograms;
+    }
+
     /** Reset all statistics to empty. */
     void
     reset()
     {
         counters.clear();
         scalars.clear();
+        histograms.clear();
     }
 
-    /** Dump every statistic, one "name value" per line. */
+    /** Dump every statistic, one "name value" per line; histograms
+     * expand to derived name.{count,min,max,mean,p50,p95,p99} lines. */
     void dump(std::ostream& os) const;
+
+    /**
+     * Dump every statistic as one deterministic JSON object:
+     * {"counters":{...},"scalars":{...},"histograms":{...}} with keys
+     * sorted (map order) and doubles printed with round-trip
+     * precision, so two identical seeded runs produce byte-identical
+     * output.
+     */
+    void dumpJson(std::ostream& os) const;
 
   private:
     std::map<std::string, uint64_t> counters;
     std::map<std::string, double> scalars;
+    std::map<std::string, Histogram> histograms;
 };
 
 } // namespace ap

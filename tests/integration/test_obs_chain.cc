@@ -1,0 +1,275 @@
+/**
+ * @file
+ * End-to-end fault-path observability (docs/OBSERVABILITY.md): a
+ * single injected major fault must yield exactly one complete,
+ * monotone stage chain — counter-asserted through the stats registry,
+ * cross-checked against the trace with apstat's own reader, audited
+ * by simcheck's fault-chain analysis, and byte-identical across two
+ * identically-seeded runs.
+ */
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "core/vm.hh"
+#include "report.hh"
+#include "sim/check/simcheck.hh"
+
+namespace ap {
+namespace {
+
+using sim::kWarpSize;
+using sim::LaneArray;
+
+constexpr size_t kPageSize = 4096;
+
+struct ObsStack
+{
+    explicit ObsStack(size_t file_pages = 64)
+    {
+        dev = std::make_unique<sim::Device>(sim::CostModel{}, 96 << 20);
+        io = std::make_unique<hostio::HostIoEngine>(*dev, bs);
+        fs = std::make_unique<gpufs::GpuFs>(*dev, *io, cfg);
+        rt = std::make_unique<core::GvmRuntime>(*fs);
+        fileBytes = file_pages * kPageSize;
+        f = bs.create("obs.bin", fileBytes);
+        bs.data(f, 0, fileBytes);
+    }
+
+    /** @p warps warps each read lane-coalesced words of @p pages
+     * consecutive pages (each warp its own page range). */
+    void
+    run(int warps, int pages)
+    {
+        dev->launch(1, warps, [&](sim::Warp& w) {
+            auto p = core::gvmmap<uint32_t>(w, *rt, fileBytes,
+                                            hostio::O_GRDONLY, f, 0);
+            LaneArray<int64_t> seek;
+            for (int l = 0; l < kWarpSize; ++l)
+                seek[l] = int64_t(w.warpInBlock()) * pages *
+                              (kPageSize / 4) +
+                          l;
+            p.addPerLane(w, seek);
+            for (int i = 0; i < pages; ++i) {
+                (void)p.read(w);
+                if (i + 1 < pages)
+                    p.add(w, kPageSize / 4);
+            }
+            p.destroy(w);
+        });
+    }
+
+    gpufs::Config cfg;
+    hostio::BackingStore bs;
+    std::unique_ptr<sim::Device> dev;
+    std::unique_ptr<hostio::HostIoEngine> io;
+    std::unique_ptr<gpufs::GpuFs> fs;
+    std::unique_ptr<core::GvmRuntime> rt;
+    hostio::FileId f = 0;
+    size_t fileBytes = 0;
+};
+
+/** count of histogram `name`, or 0 when absent. */
+uint64_t
+histCount(const StatGroup& sg, const std::string& name)
+{
+    const Histogram* h = sg.findHistogram(name);
+    return h ? h->count() : 0;
+}
+
+TEST(ObsChain, SingleMajorFaultYieldsOneCompleteChain)
+{
+    ObsStack st;
+    st.dev->tracer().enable();
+    st.run(1, 1); // one warp, one page: exactly one major fault
+
+    const StatGroup& sg = st.dev->stats();
+    EXPECT_EQ(sg.counter("faultpath.faults.major"), 1u);
+    EXPECT_EQ(sg.counter("faultpath.faults.error"), 0u);
+    EXPECT_EQ(sg.counter("faultpath.retries"), 0u);
+
+    // Every stage of the chain is present exactly once...
+    for (const char* seg : {"lookup", "alloc", "enqueue", "queue_wait",
+                            "transfer", "fill", "wakeup", "total"})
+        EXPECT_EQ(histCount(sg, std::string("faultpath.major.") + seg),
+                  1u)
+            << seg;
+    // ...and the stage durations telescope to the end-to-end total.
+    double stage_sum = 0;
+    for (const char* seg : {"lookup", "alloc", "enqueue", "queue_wait",
+                            "transfer", "fill", "wakeup"})
+        stage_sum +=
+            sg.findHistogram(std::string("faultpath.major.") + seg)
+                ->sum();
+    EXPECT_DOUBLE_EQ(stage_sum,
+                     sg.findHistogram("faultpath.major.total")->sum());
+
+    // The trace tells the same story: apstat's reader recovers one
+    // major fault with a matched flow and the identical total.
+    std::ostringstream os;
+    st.dev->tracer().writeJson(os);
+    apstat::JsonValue doc;
+    std::string err;
+    ASSERT_TRUE(apstat::parseJson(os.str(), doc, err)) << err;
+    apstat::StageReport rep;
+    ASSERT_TRUE(rep.build(doc, err)) << err;
+    EXPECT_EQ(rep.flowStarts, 1u);
+    EXPECT_EQ(rep.flowEnds, 1u);
+    EXPECT_EQ(rep.flowMismatches, 0u);
+    ASSERT_EQ(rep.totals.count("major"), 1u);
+    EXPECT_EQ(rep.totals.at("major").count(), 1u);
+    EXPECT_DOUBLE_EQ(rep.totals.at("major").sum(),
+                     sg.findHistogram("faultpath.major.total")->sum());
+}
+
+TEST(ObsChain, WarmRunChainsAreMinorAndStageSumsTelescope)
+{
+    ObsStack st;
+    st.dev->tracer().enable();
+    st.run(4, 8); // cold: majors
+    st.run(4, 8); // warm: all minor (page cache holds everything)
+
+    const StatGroup& sg = st.dev->stats();
+    EXPECT_GE(sg.counter("faultpath.faults.major"), 1u);
+    EXPECT_GE(sg.counter("faultpath.faults.minor") +
+                  sg.counter("faultpath.faults.spec_hit"),
+              1u);
+    for (const char* kind : {"major", "minor"}) {
+        const Histogram* total = sg.findHistogram(
+            std::string("faultpath.") + kind + ".total");
+        if (!total || !total->count())
+            continue;
+        double stage_sum = 0;
+        for (const char* seg :
+             {"lookup", "alloc", "enqueue", "queue_wait", "transfer",
+              "fill", "wakeup"})
+            if (const Histogram* h = sg.findHistogram(
+                    std::string("faultpath.") + kind + "." + seg))
+                stage_sum += h->sum();
+        EXPECT_DOUBLE_EQ(stage_sum, total->sum()) << kind;
+    }
+
+    // Flow events pair up one-to-one over the whole run.
+    std::ostringstream os;
+    st.dev->tracer().writeJson(os);
+    apstat::JsonValue doc;
+    std::string err;
+    ASSERT_TRUE(apstat::parseJson(os.str(), doc, err)) << err;
+    apstat::StageReport rep;
+    ASSERT_TRUE(rep.build(doc, err)) << err;
+    EXPECT_GT(rep.flowStarts, 0u);
+    EXPECT_EQ(rep.flowStarts, rep.flowEnds);
+    EXPECT_EQ(rep.flowMismatches, 0u);
+
+    // apstat's percentiles reproduce the in-process histograms: both
+    // feed the identical per-stage durations into ap::Histogram.
+    const Histogram& from_trace = rep.stages.at("major").at("transfer");
+    const Histogram* in_proc =
+        sg.findHistogram("faultpath.major.transfer");
+    ASSERT_NE(in_proc, nullptr);
+    EXPECT_EQ(from_trace.count(), in_proc->count());
+    EXPECT_DOUBLE_EQ(from_trace.quantile(0.50), in_proc->quantile(0.50));
+    EXPECT_DOUBLE_EQ(from_trace.quantile(0.99), in_proc->quantile(0.99));
+}
+
+TEST(ObsChain, TransientIoFailuresCountAsRetriesOnTheSameFault)
+{
+    ObsStack st;
+    hostio::FaultInjector::Config fic;
+    fic.seed = 7;
+    fic.transientReadRate = 0.6;
+    hostio::FaultInjector fi(fic);
+    st.io->setFaultInjector(&fi);
+    st.run(2, 8);
+    st.io->setFaultInjector(nullptr);
+
+    const StatGroup& sg = st.dev->stats();
+    // The recorder hears about exactly the retries the engine makes.
+    EXPECT_EQ(sg.counter("faultpath.retries"),
+              sg.counter("hostio.retries"));
+    EXPECT_GE(sg.counter("faultpath.retries"), 1u);
+    // Transient failures still resolve: no error-kind faults.
+    EXPECT_EQ(sg.counter("faultpath.faults.error"), 0u);
+    EXPECT_GE(sg.counter("faultpath.faults.major"), 1u);
+}
+
+TEST(ObsChain, PersistentIoFailureClosesChainAsError)
+{
+    ObsStack st;
+    hostio::FaultInjector fi;
+    fi.failReads(st.f, 0, kPageSize); // first page unreadable, ever
+    st.io->setFaultInjector(&fi);
+    st.run(1, 1);
+    st.io->setFaultInjector(nullptr);
+
+    const StatGroup& sg = st.dev->stats();
+    EXPECT_EQ(sg.counter("faultpath.faults.error"), 1u);
+    EXPECT_EQ(sg.counter("faultpath.faults.major"), 0u);
+    EXPECT_EQ(histCount(sg, "faultpath.error.total"), 1u);
+}
+
+TEST(ObsChain, DumpJsonIsIdenticalAcrossIdenticalRuns)
+{
+    auto once = [] {
+        ObsStack st;
+        st.run(4, 8);
+        std::ostringstream os;
+        st.dev->stats().dumpJson(os);
+        return os.str();
+    };
+    EXPECT_EQ(once(), once());
+}
+
+/** Armed simcheck: the fault-chain auditor sees every chain close in
+ * stage order and nothing left open at shutdown. */
+class ObsChainChecked : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        sim::check::SimCheck& sc = sim::check::SimCheck::get();
+        sc.reset();
+        sc.setEnabled(true);
+        sc.setFailOnReport(false);
+    }
+
+    void
+    TearDown() override
+    {
+        sim::check::SimCheck& sc = sim::check::SimCheck::get();
+        sc.setEnabled(false);
+        sc.reset();
+    }
+};
+
+TEST_F(ObsChainChecked, CleanRunHasMonotoneChainsAndNoLeaks)
+{
+    {
+        ObsStack st;
+        st.run(4, 8);
+        st.run(4, 8);
+    }
+    sim::check::SimCheck& sc = sim::check::SimCheck::get();
+    EXPECT_EQ(sc.count(sim::check::ReportKind::Invariant), 0u);
+}
+
+TEST_F(ObsChainChecked, RetriedFaultsStillAuditClean)
+{
+    {
+        ObsStack st;
+        hostio::FaultInjector::Config fic;
+        fic.seed = 11;
+        fic.transientReadRate = 0.5;
+        hostio::FaultInjector fi(fic);
+        st.io->setFaultInjector(&fi);
+        st.run(2, 8);
+        st.io->setFaultInjector(nullptr);
+    }
+    sim::check::SimCheck& sc = sim::check::SimCheck::get();
+    EXPECT_EQ(sc.count(sim::check::ReportKind::Invariant), 0u);
+}
+
+} // namespace
+} // namespace ap

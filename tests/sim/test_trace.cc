@@ -26,7 +26,7 @@ TEST(Trace, KernelSpansRecorded)
     EXPECT_NE(os.str().find("\"cat\":\"kernel\""), std::string::npos);
 }
 
-TEST(Trace, JsonIsWellFormedArray)
+TEST(Trace, JsonIsWellFormedObject)
 {
     Device dev(CostModel{}, 1 << 20);
     dev.tracer().enable();
@@ -34,8 +34,12 @@ TEST(Trace, JsonIsWellFormedArray)
     std::ostringstream os;
     dev.tracer().writeJson(os);
     std::string s = os.str();
-    EXPECT_EQ(s.front(), '[');
-    EXPECT_EQ(s[s.size() - 2], ']');
+    // Chrome JSON object format: {"displayTimeUnit":...,
+    // "traceEvents":[...]}.
+    EXPECT_EQ(s.front(), '{');
+    EXPECT_NE(s.find("\"displayTimeUnit\""), std::string::npos);
+    EXPECT_NE(s.find("\"traceEvents\":["), std::string::npos);
+    EXPECT_EQ(s[s.size() - 2], '}');
     EXPECT_NE(s.find("\\\"quoted\\\""), std::string::npos);
     EXPECT_NE(s.find("\\n"), std::string::npos);
     EXPECT_NE(s.find("\"ts\":10"), std::string::npos);

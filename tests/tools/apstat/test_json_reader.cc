@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Units for apstat's JSON reader and stage-report builder: value
+ * grammar, escape handling, error reporting, and the recovery of
+ * stage histograms / flow pairing from a handcrafted trace.
+ */
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "json_reader.hh"
+#include "report.hh"
+
+namespace ap::apstat {
+namespace {
+
+JsonValue
+parseOk(const std::string& text)
+{
+    JsonValue v;
+    std::string err;
+    EXPECT_TRUE(parseJson(text, v, err)) << text << ": " << err;
+    return v;
+}
+
+std::string
+parseErr(const std::string& text)
+{
+    JsonValue v;
+    std::string err;
+    EXPECT_FALSE(parseJson(text, v, err)) << text;
+    return err;
+}
+
+TEST(JsonReader, Literals)
+{
+    EXPECT_TRUE(parseOk("null").isNull());
+    EXPECT_TRUE(parseOk("true").boolean);
+    EXPECT_FALSE(parseOk("false").boolean);
+    EXPECT_EQ(parseOk("42").number, 42.0);
+    EXPECT_EQ(parseOk("-1.5e3").number, -1500.0);
+    EXPECT_EQ(parseOk("\"hi\"").str, "hi");
+}
+
+TEST(JsonReader, EscapesRoundTrip)
+{
+    JsonValue v = parseOk(R"("a\"b\\c\nd\t\u0041\u00e9")");
+    EXPECT_EQ(v.str, "a\"b\\c\nd\tA\xc3\xa9");
+    // Surrogate pair: U+1F600 as \uD83D\uDE00 → 4-byte UTF-8.
+    EXPECT_EQ(parseOk(R"("\ud83d\ude00")").str, "\xf0\x9f\x98\x80");
+}
+
+TEST(JsonReader, NestedContainersAndLookup)
+{
+    JsonValue v = parseOk(
+        R"({"a":[1,2,{"b":3}],"c":{"d":"x"},"n":null})");
+    ASSERT_TRUE(v.isObject());
+    const JsonValue* a = v.find("a");
+    ASSERT_NE(a, nullptr);
+    ASSERT_TRUE(a->isArray());
+    ASSERT_EQ(a->arr.size(), 3u);
+    EXPECT_EQ(a->arr[2].numberOr("b", -1), 3.0);
+    EXPECT_EQ(v.find("c")->stringOr("d", "?"), "x");
+    EXPECT_EQ(v.find("c")->stringOr("missing", "?"), "?");
+    EXPECT_EQ(v.find("nope"), nullptr);
+    EXPECT_TRUE(v.find("n")->isNull());
+}
+
+TEST(JsonReader, ErrorsNameTheOffset)
+{
+    EXPECT_NE(parseErr("{\"a\":}").find("offset"), std::string::npos);
+    EXPECT_NE(parseErr("[1,2").find("unterminated"), std::string::npos);
+    EXPECT_NE(parseErr("\"abc").find("unterminated"), std::string::npos);
+    EXPECT_NE(parseErr("[] []").find("trailing"), std::string::npos);
+    EXPECT_NE(parseErr("nul"), "");
+    EXPECT_NE(parseErr("\"\\x\""), "");
+    EXPECT_NE(parseErr(""), "");
+}
+
+TEST(StageReportTest, RecoversStagesTotalsAndFlows)
+{
+    const char* trace = R"({"displayTimeUnit":"ns","traceEvents":[
+{"name":"major.lookup","cat":"faultstage","ph":"X","ts":0,"dur":100,
+ "pid":0,"tid":1,"args":{"fault":1,"file":0,"page":5,"attempt":0}},
+{"name":"major.wakeup","cat":"faultstage","ph":"X","ts":100,"dur":50,
+ "pid":0,"tid":1,"args":{"fault":1,"file":0,"page":5,"attempt":0}},
+{"name":"fault","cat":"fault","ph":"s","id":1,"ts":0,"pid":0,"tid":1},
+{"name":"fault","cat":"fault","ph":"f","bp":"e","id":1,"ts":150,
+ "pid":0,"tid":1},
+{"name":"unrelated","cat":"kernel","ph":"X","ts":0,"dur":9,
+ "pid":0,"tid":0}
+]})";
+    JsonValue doc = parseOk(trace);
+    StageReport rep;
+    std::string err;
+    ASSERT_TRUE(rep.build(doc, err)) << err;
+    EXPECT_EQ(rep.spanCount, 2u);
+    EXPECT_EQ(rep.stages.at("major").at("lookup").sum(), 100.0);
+    EXPECT_EQ(rep.stages.at("major").at("wakeup").sum(), 50.0);
+    EXPECT_EQ(rep.totals.at("major").sum(), 150.0);
+    EXPECT_EQ(rep.flowStarts, 1u);
+    EXPECT_EQ(rep.flowEnds, 1u);
+    EXPECT_EQ(rep.flowMismatches, 0u);
+
+    std::ostringstream os;
+    rep.printTable(os);
+    EXPECT_NE(os.str().find("lookup"), std::string::npos);
+    EXPECT_NE(os.str().find("total"), std::string::npos);
+}
+
+TEST(StageReportTest, UnpairedFlowsAreMismatches)
+{
+    const char* trace = R"([
+{"name":"fault","cat":"fault","ph":"s","id":1,"ts":0,"pid":0,"tid":1},
+{"name":"fault","cat":"fault","ph":"s","id":2,"ts":0,"pid":0,"tid":1},
+{"name":"fault","cat":"fault","ph":"f","bp":"e","id":2,"ts":5,
+ "pid":0,"tid":1},
+{"name":"fault","cat":"fault","ph":"f","bp":"e","id":3,"ts":9,
+ "pid":0,"tid":1}
+])";
+    JsonValue doc = parseOk(trace);
+    StageReport rep;
+    std::string err;
+    ASSERT_TRUE(rep.build(doc, err)) << err;
+    EXPECT_EQ(rep.flowMismatches, 2u); // id 1 never ends, id 3 never starts
+}
+
+TEST(StageReportTest, RejectsDocumentsWithoutEvents)
+{
+    StageReport rep;
+    std::string err;
+    EXPECT_FALSE(rep.build(parseOk("{\"a\":1}"), err));
+    EXPECT_NE(err, "");
+    err.clear();
+    EXPECT_FALSE(rep.build(parseOk("42"), err));
+    EXPECT_NE(err, "");
+}
+
+} // namespace
+} // namespace ap::apstat

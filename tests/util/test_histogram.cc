@@ -1,0 +1,197 @@
+/**
+ * @file
+ * Units for the log2 latency histogram and the machine-readable stats
+ * export (docs/OBSERVABILITY.md): bucket-edge behavior, quantile
+ * interpolation on degenerate shapes, merge, and the dumpJson golden
+ * format with byte-for-byte determinism.
+ */
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "util/histogram.hh"
+#include "util/stats.hh"
+
+namespace ap {
+namespace {
+
+TEST(Histogram, EmptyIsAllZeros)
+{
+    Histogram h;
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.sum(), 0.0);
+    EXPECT_EQ(h.min(), 0.0);
+    EXPECT_EQ(h.max(), 0.0);
+    EXPECT_EQ(h.mean(), 0.0);
+    EXPECT_EQ(h.quantile(0.0), 0.0);
+    EXPECT_EQ(h.quantile(0.5), 0.0);
+    EXPECT_EQ(h.quantile(1.0), 0.0);
+}
+
+TEST(Histogram, SingleSampleEveryQuantileIsTheSample)
+{
+    Histogram h;
+    h.record(1234.5);
+    EXPECT_EQ(h.count(), 1u);
+    EXPECT_EQ(h.min(), 1234.5);
+    EXPECT_EQ(h.max(), 1234.5);
+    EXPECT_EQ(h.mean(), 1234.5);
+    // Clamping to [min,max] pins every quantile to the one sample.
+    for (double q : {0.0, 0.01, 0.5, 0.95, 0.99, 1.0})
+        EXPECT_EQ(h.quantile(q), 1234.5) << "q=" << q;
+}
+
+TEST(Histogram, BucketEdges)
+{
+    EXPECT_EQ(Histogram::bucketOf(0), 0u);
+    EXPECT_EQ(Histogram::bucketOf(1.999), 0u);
+    EXPECT_EQ(Histogram::bucketOf(2), 1u);
+    EXPECT_EQ(Histogram::bucketOf(3.999), 1u);
+    EXPECT_EQ(Histogram::bucketOf(4), 2u);
+    EXPECT_EQ(Histogram::bucketLo(0), 0.0);
+    EXPECT_EQ(Histogram::bucketHi(0), 2.0);
+    EXPECT_EQ(Histogram::bucketLo(10), 1024.0);
+    EXPECT_EQ(Histogram::bucketHi(10), 2048.0);
+}
+
+TEST(Histogram, OverflowValuesLandInLastBucket)
+{
+    // Larger than 2^63: must clamp into the open top bucket, not
+    // index out of range.
+    Histogram h;
+    h.record(1e30);
+    h.record(1e300);
+    EXPECT_EQ(Histogram::bucketOf(1e300), Histogram::kBuckets - 1);
+    EXPECT_EQ(h.bucketCount(Histogram::kBuckets - 1), 2u);
+    EXPECT_EQ(h.count(), 2u);
+    // Interpolating inside the open top bucket is meaningless; the
+    // clamp keeps every quantile inside the observed range.
+    for (double q : {0.0, 0.5, 0.99, 1.0}) {
+        EXPECT_GE(h.quantile(q), 1e30) << q;
+        EXPECT_LE(h.quantile(q), 1e300) << q;
+    }
+}
+
+TEST(Histogram, NegativeAndNanClampToZero)
+{
+    Histogram h;
+    h.record(-5);
+    h.record(std::nan(""));
+    EXPECT_EQ(h.count(), 2u);
+    EXPECT_EQ(h.min(), 0.0);
+    EXPECT_EQ(h.max(), 0.0);
+    EXPECT_EQ(h.bucketCount(0), 2u);
+}
+
+TEST(Histogram, QuantilesOrderedOnSpreadData)
+{
+    Histogram h;
+    for (int i = 1; i <= 1000; ++i)
+        h.record(i);
+    double p50 = h.quantile(0.50);
+    double p95 = h.quantile(0.95);
+    double p99 = h.quantile(0.99);
+    EXPECT_LE(h.min(), p50);
+    EXPECT_LE(p50, p95);
+    EXPECT_LE(p95, p99);
+    EXPECT_LE(p99, h.max());
+    // Log2 buckets are coarse: p50 of 1..1000 must land within the
+    // [512,1024) bucket containing the true median.
+    EXPECT_GE(p50, 256.0);
+    EXPECT_LE(p50, 1024.0);
+}
+
+TEST(Histogram, MergeFoldsCountsAndRange)
+{
+    Histogram a, b;
+    a.record(10);
+    a.record(20);
+    b.record(1);
+    b.record(4000);
+    a.merge(b);
+    EXPECT_EQ(a.count(), 4u);
+    EXPECT_EQ(a.min(), 1.0);
+    EXPECT_EQ(a.max(), 4000.0);
+    EXPECT_EQ(a.sum(), 4031.0);
+    // Merging an empty histogram is a no-op.
+    Histogram empty;
+    a.merge(empty);
+    EXPECT_EQ(a.count(), 4u);
+    EXPECT_EQ(a.min(), 1.0);
+}
+
+TEST(Histogram, ResetForgetsEverything)
+{
+    Histogram h;
+    h.record(100);
+    h.reset();
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.max(), 0.0);
+    EXPECT_EQ(h.bucketCount(Histogram::bucketOf(100)), 0u);
+}
+
+TEST(StatsJson, GoldenFormat)
+{
+    StatGroup sg;
+    sg.inc("b.counter", 3);
+    sg.inc("a.counter");
+    sg.set("x.scalar", 2.5);
+    sg.recordValue("lat", 4);
+    std::ostringstream os;
+    sg.dumpJson(os);
+    // Keys sort within each section; histograms expand to the seven
+    // derived fields. One golden string locks the whole format.
+    EXPECT_EQ(os.str(),
+              "{\"counters\":{\"a.counter\":1,\"b.counter\":3},"
+              "\"scalars\":{\"x.scalar\":2.5},"
+              "\"histograms\":{\"lat\":{\"count\":1,\"min\":4,\"max\":4,"
+              "\"mean\":4,\"p50\":4,\"p95\":4,\"p99\":4}}}\n");
+}
+
+TEST(StatsJson, DeterministicAcrossIdenticalRuns)
+{
+    auto build = [] {
+        StatGroup sg;
+        for (int i = 0; i < 100; ++i) {
+            sg.inc("faults");
+            sg.recordValue("total", 100.0 + i * 3.7);
+        }
+        sg.set("peak", 0.1 + 0.2); // exercises round-trip printing
+        std::ostringstream os;
+        sg.dumpJson(os);
+        return os.str();
+    };
+    EXPECT_EQ(build(), build());
+}
+
+TEST(StatsJson, EscapesAndNonFiniteValues)
+{
+    StatGroup sg;
+    sg.inc("weird \"name\"\n");
+    sg.set("inf", std::numeric_limits<double>::infinity());
+    std::ostringstream os;
+    sg.dumpJson(os);
+    std::string s = os.str();
+    EXPECT_NE(s.find("\\\"name\\\"\\n"), std::string::npos);
+    // Non-finite doubles are not valid JSON numbers; they become null.
+    EXPECT_NE(s.find("\"inf\":null"), std::string::npos);
+}
+
+TEST(StatsDump, TextDumpContainsDerivedHistogramLines)
+{
+    StatGroup sg;
+    sg.recordValue("lat", 10);
+    sg.recordValue("lat", 20);
+    std::ostringstream os;
+    sg.dump(os);
+    std::string s = os.str();
+    EXPECT_NE(s.find("lat.count 2"), std::string::npos);
+    EXPECT_NE(s.find("lat.mean 15"), std::string::npos);
+    EXPECT_NE(s.find("lat.p99"), std::string::npos);
+}
+
+} // namespace
+} // namespace ap

@@ -1,0 +1,302 @@
+#include "json_reader.hh"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace ap::apstat {
+
+const JsonValue*
+JsonValue::find(std::string_view key) const
+{
+    if (kind != Kind::Object)
+        return nullptr;
+    for (const auto& [k, v] : obj)
+        if (k == key)
+            return &v;
+    return nullptr;
+}
+
+double
+JsonValue::numberOr(std::string_view key, double fallback) const
+{
+    const JsonValue* v = find(key);
+    return v && v->isNumber() ? v->number : fallback;
+}
+
+std::string_view
+JsonValue::stringOr(std::string_view key, std::string_view fallback) const
+{
+    const JsonValue* v = find(key);
+    return v && v->isString() ? std::string_view(v->str) : fallback;
+}
+
+namespace {
+
+/** One parse in flight: cursor over the input plus the error slot. */
+class Parser
+{
+  public:
+    Parser(std::string_view text, std::string& err)
+        : text_(text), err_(err)
+    {
+    }
+
+    bool
+    parseDocument(JsonValue& out)
+    {
+        if (!parseValue(out))
+            return false;
+        skipWs();
+        if (pos_ != text_.size())
+            return fail("trailing content after document");
+        return true;
+    }
+
+  private:
+    bool
+    fail(const std::string& what)
+    {
+        err_ = what + " at offset " + std::to_string(pos_);
+        return false;
+    }
+
+    void
+    skipWs()
+    {
+        while (pos_ < text_.size() &&
+               (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+                text_[pos_] == '\n' || text_[pos_] == '\r'))
+            pos_++;
+    }
+
+    bool
+    literal(std::string_view word)
+    {
+        if (text_.substr(pos_, word.size()) != word)
+            return fail("bad literal");
+        pos_ += word.size();
+        return true;
+    }
+
+    /** Append code point @p cp to @p s as UTF-8. */
+    static void
+    appendUtf8(std::string& s, uint32_t cp)
+    {
+        if (cp < 0x80) {
+            s += static_cast<char>(cp);
+        } else if (cp < 0x800) {
+            s += static_cast<char>(0xC0 | (cp >> 6));
+            s += static_cast<char>(0x80 | (cp & 0x3F));
+        } else if (cp < 0x10000) {
+            s += static_cast<char>(0xE0 | (cp >> 12));
+            s += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+            s += static_cast<char>(0x80 | (cp & 0x3F));
+        } else {
+            s += static_cast<char>(0xF0 | (cp >> 18));
+            s += static_cast<char>(0x80 | ((cp >> 12) & 0x3F));
+            s += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+            s += static_cast<char>(0x80 | (cp & 0x3F));
+        }
+    }
+
+    bool
+    parseHex4(uint32_t& out)
+    {
+        if (pos_ + 4 > text_.size())
+            return fail("truncated \\u escape");
+        out = 0;
+        for (int i = 0; i < 4; ++i) {
+            char c = text_[pos_++];
+            out <<= 4;
+            if (c >= '0' && c <= '9')
+                out |= static_cast<uint32_t>(c - '0');
+            else if (c >= 'a' && c <= 'f')
+                out |= static_cast<uint32_t>(c - 'a' + 10);
+            else if (c >= 'A' && c <= 'F')
+                out |= static_cast<uint32_t>(c - 'A' + 10);
+            else
+                return fail("bad hex digit in \\u escape");
+        }
+        return true;
+    }
+
+    bool
+    parseString(std::string& out)
+    {
+        if (pos_ >= text_.size() || text_[pos_] != '"')
+            return fail("expected string");
+        pos_++;
+        out.clear();
+        while (pos_ < text_.size()) {
+            char c = text_[pos_++];
+            if (c == '"')
+                return true;
+            if (static_cast<unsigned char>(c) < 0x20)
+                return fail("unescaped control character in string");
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            if (pos_ >= text_.size())
+                break;
+            char e = text_[pos_++];
+            switch (e) {
+              case '"': out += '"'; break;
+              case '\\': out += '\\'; break;
+              case '/': out += '/'; break;
+              case 'b': out += '\b'; break;
+              case 'f': out += '\f'; break;
+              case 'n': out += '\n'; break;
+              case 'r': out += '\r'; break;
+              case 't': out += '\t'; break;
+              case 'u': {
+                  uint32_t cp;
+                  if (!parseHex4(cp))
+                      return false;
+                  // Surrogate pair: a high surrogate must be followed
+                  // by \uDC00..\uDFFF forming one supplementary char.
+                  if (cp >= 0xD800 && cp <= 0xDBFF &&
+                      text_.substr(pos_, 2) == "\\u") {
+                      pos_ += 2;
+                      uint32_t lo;
+                      if (!parseHex4(lo))
+                          return false;
+                      if (lo < 0xDC00 || lo > 0xDFFF)
+                          return fail("bad low surrogate");
+                      cp = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+                  }
+                  appendUtf8(out, cp);
+                  break;
+              }
+              default: return fail("bad escape character");
+            }
+        }
+        return fail("unterminated string");
+    }
+
+    bool
+    parseNumber(JsonValue& out)
+    {
+        size_t start = pos_;
+        if (pos_ < text_.size() && text_[pos_] == '-')
+            pos_++;
+        while (pos_ < text_.size() &&
+               (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+                text_[pos_] == '.' || text_[pos_] == 'e' ||
+                text_[pos_] == 'E' || text_[pos_] == '+' ||
+                text_[pos_] == '-'))
+            pos_++;
+        std::string tok(text_.substr(start, pos_ - start));
+        char* end = nullptr;
+        double v = std::strtod(tok.c_str(), &end);
+        if (end == tok.c_str() || *end != '\0') {
+            pos_ = start;
+            return fail("bad number");
+        }
+        out.kind = JsonValue::Kind::Number;
+        out.number = v;
+        return true;
+    }
+
+    bool
+    parseValue(JsonValue& out)
+    {
+        skipWs();
+        if (pos_ >= text_.size())
+            return fail("unexpected end of input");
+        char c = text_[pos_];
+        switch (c) {
+          case 'n':
+              out.kind = JsonValue::Kind::Null;
+              return literal("null");
+          case 't':
+              out.kind = JsonValue::Kind::Bool;
+              out.boolean = true;
+              return literal("true");
+          case 'f':
+              out.kind = JsonValue::Kind::Bool;
+              out.boolean = false;
+              return literal("false");
+          case '"':
+              out.kind = JsonValue::Kind::String;
+              return parseString(out.str);
+          case '[': {
+              pos_++;
+              out.kind = JsonValue::Kind::Array;
+              skipWs();
+              if (pos_ < text_.size() && text_[pos_] == ']') {
+                  pos_++;
+                  return true;
+              }
+              for (;;) {
+                  out.arr.emplace_back();
+                  if (!parseValue(out.arr.back()))
+                      return false;
+                  skipWs();
+                  if (pos_ >= text_.size())
+                      return fail("unterminated array");
+                  if (text_[pos_] == ',') {
+                      pos_++;
+                      continue;
+                  }
+                  if (text_[pos_] == ']') {
+                      pos_++;
+                      return true;
+                  }
+                  return fail("expected ',' or ']'");
+              }
+          }
+          case '{': {
+              pos_++;
+              out.kind = JsonValue::Kind::Object;
+              skipWs();
+              if (pos_ < text_.size() && text_[pos_] == '}') {
+                  pos_++;
+                  return true;
+              }
+              for (;;) {
+                  skipWs();
+                  std::string key;
+                  if (!parseString(key))
+                      return false;
+                  skipWs();
+                  if (pos_ >= text_.size() || text_[pos_] != ':')
+                      return fail("expected ':'");
+                  pos_++;
+                  out.obj.emplace_back(std::move(key), JsonValue{});
+                  if (!parseValue(out.obj.back().second))
+                      return false;
+                  skipWs();
+                  if (pos_ >= text_.size())
+                      return fail("unterminated object");
+                  if (text_[pos_] == ',') {
+                      pos_++;
+                      continue;
+                  }
+                  if (text_[pos_] == '}') {
+                      pos_++;
+                      return true;
+                  }
+                  return fail("expected ',' or '}'");
+              }
+          }
+          default:
+              return parseNumber(out);
+        }
+    }
+
+    std::string_view text_;
+    std::string& err_;
+    size_t pos_ = 0;
+};
+
+} // namespace
+
+bool
+parseJson(std::string_view text, JsonValue& out, std::string& err)
+{
+    out = JsonValue{};
+    return Parser(text, err).parseDocument(out);
+}
+
+} // namespace ap::apstat

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * A minimal recursive-descent JSON parser for apstat (docs/
+ * OBSERVABILITY.md). Parses the Chrome trace files the simulator's
+ * Tracer writes — full RFC 8259 value grammar, no streaming, no
+ * extensions. Kept dependency-free so the tools tree builds with
+ * nothing but the standard library.
+ */
+
+#ifndef AP_TOOLS_APSTAT_JSON_READER_HH
+#define AP_TOOLS_APSTAT_JSON_READER_HH
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace ap::apstat {
+
+/** A parsed JSON value (tagged union, deep copies). */
+struct JsonValue
+{
+    enum class Kind { Null, Bool, Number, String, Array, Object };
+
+    Kind kind = Kind::Null;
+    bool boolean = false;
+    double number = 0;
+    std::string str;
+    std::vector<JsonValue> arr;
+    /** Members in document order (duplicate keys are kept as-is). */
+    std::vector<std::pair<std::string, JsonValue>> obj;
+
+    bool isNull() const { return kind == Kind::Null; }
+    bool isNumber() const { return kind == Kind::Number; }
+    bool isString() const { return kind == Kind::String; }
+    bool isArray() const { return kind == Kind::Array; }
+    bool isObject() const { return kind == Kind::Object; }
+
+    /** First member named @p key, or null if absent / not an object. */
+    const JsonValue* find(std::string_view key) const;
+
+    /** Member @p key as a number, or @p fallback. */
+    double numberOr(std::string_view key, double fallback) const;
+
+    /** Member @p key as a string, or @p fallback. */
+    std::string_view stringOr(std::string_view key,
+                              std::string_view fallback) const;
+};
+
+/**
+ * Parse @p text as one JSON document.
+ * @return true on success; on failure @p err describes the first
+ *         problem with a byte offset and @p out is unspecified.
+ */
+bool parseJson(std::string_view text, JsonValue& out, std::string& err);
+
+} // namespace ap::apstat
+
+#endif // AP_TOOLS_APSTAT_JSON_READER_HH

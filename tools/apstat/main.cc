@@ -1,0 +1,83 @@
+/**
+ * @file
+ * apstat: offline fault-path latency analysis (docs/OBSERVABILITY.md).
+ * Reads a Chrome trace JSON written by the simulator's Tracer and
+ * prints the per-stage latency percentile table — the same numbers
+ * StatGroup::dumpJson() reports in-process, recovered from the trace
+ * alone, so a saved trace is a self-contained performance artifact.
+ *
+ * Usage: apstat <trace.json>   ("-" reads stdin)
+ *
+ * Exit status: 0 on success, 1 on usage/IO errors, 2 on malformed
+ * JSON, 3 when the trace's flow events are inconsistent (a fault
+ * chain with no matching start/end — indicates a truncated trace).
+ */
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "report.hh"
+
+namespace {
+
+bool
+readAll(const char* path, std::string& out)
+{
+    if (std::string_view(path) == "-") {
+        std::ostringstream ss;
+        ss << std::cin.rdbuf();
+        out = ss.str();
+        return true;
+    }
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return false;
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    out = ss.str();
+    return true;
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    if (argc != 2 || std::string_view(argv[1]) == "--help") {
+        std::cerr << "usage: apstat <trace.json>  (\"-\" for stdin)\n";
+        return 1;
+    }
+    std::string text;
+    if (!readAll(argv[1], text)) {
+        std::cerr << "apstat: cannot read " << argv[1] << "\n";
+        return 1;
+    }
+
+    ap::apstat::JsonValue doc;
+    std::string err;
+    if (!ap::apstat::parseJson(text, doc, err)) {
+        std::cerr << "apstat: " << argv[1] << ": " << err << "\n";
+        return 2;
+    }
+    ap::apstat::StageReport report;
+    if (!report.build(doc, err)) {
+        std::cerr << "apstat: " << argv[1] << ": " << err << "\n";
+        return 2;
+    }
+
+    if (report.spanCount == 0)
+        std::cout << "no faultstage spans in trace (run with tracing "
+                     "enabled)\n";
+    else
+        report.printTable(std::cout);
+    std::cout << report.flowStarts << " fault flows ("
+              << report.flowMismatches << " mismatched)\n";
+    if (report.flowMismatches != 0) {
+        std::cerr << "apstat: " << report.flowMismatches
+                  << " fault chains lack a matching start/end — "
+                     "truncated trace?\n";
+        return 3;
+    }
+    return 0;
+}

@@ -1,0 +1,162 @@
+#include "report.hh"
+
+#include <array>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "util/table.hh"
+
+namespace ap::apstat {
+
+namespace {
+
+/** Canonical display order; unknown names sort after these. */
+constexpr std::array<std::string_view, 5> kKindOrder{
+    "major", "minor", "spec_hit", "spec_fill", "error"};
+constexpr std::array<std::string_view, 7> kStageOrder{
+    "lookup", "alloc",    "enqueue", "queue_wait",
+    "transfer", "fill", "wakeup"};
+
+template <size_t N>
+size_t
+orderOf(const std::array<std::string_view, N>& order,
+        const std::string& name)
+{
+    for (size_t i = 0; i < N; ++i)
+        if (order[i] == name)
+            return i;
+    return N;
+}
+
+/** Sort keys canonically first, unknowns alphabetically after. */
+template <size_t N>
+std::vector<std::string>
+sortedKeys(const std::array<std::string_view, N>& order,
+           const std::vector<std::string>& keys)
+{
+    std::vector<std::string> out = keys;
+    std::sort(out.begin(), out.end(),
+              [&](const std::string& a, const std::string& b) {
+                  size_t ia = orderOf(order, a), ib = orderOf(order, b);
+                  return ia != ib ? ia < ib : a < b;
+              });
+    return out;
+}
+
+} // namespace
+
+bool
+StageReport::build(const JsonValue& trace, std::string& err)
+{
+    const JsonValue* events = &trace;
+    if (trace.isObject()) {
+        events = trace.find("traceEvents");
+        if (!events) {
+            err = "document has no \"traceEvents\" member";
+            return false;
+        }
+    }
+    if (!events->isArray()) {
+        err = "trace events are not an array";
+        return false;
+    }
+
+    // Per-fault accumulation: stage durations keyed by the fault id
+    // carried in span args; totals telescope exactly.
+    struct FaultAcc
+    {
+        std::string kind;
+        double total = 0;
+    };
+    std::unordered_map<uint64_t, FaultAcc> perFault;
+    std::unordered_map<uint64_t, std::pair<size_t, size_t>> flows;
+
+    for (const JsonValue& e : events->arr) {
+        if (!e.isObject())
+            continue;
+        std::string_view ph = e.stringOr("ph", "");
+        if (ph == "s" || ph == "f") {
+            uint64_t id =
+                static_cast<uint64_t>(e.numberOr("id", 0));
+            if (ph == "s") {
+                flowStarts++;
+                flows[id].first++;
+            } else {
+                flowEnds++;
+                flows[id].second++;
+            }
+            continue;
+        }
+        if (ph != "X" || e.stringOr("cat", "") != "faultstage")
+            continue;
+        std::string_view name = e.stringOr("name", "");
+        size_t dot = name.find('.');
+        if (dot == std::string_view::npos)
+            continue;
+        std::string kind(name.substr(0, dot));
+        std::string stage(name.substr(dot + 1));
+        double dur = e.numberOr("dur", 0);
+        stages[kind][stage].record(dur);
+        spanCount++;
+        const JsonValue* args = e.find("args");
+        if (args) {
+            uint64_t fid =
+                static_cast<uint64_t>(args->numberOr("fault", 0));
+            if (fid != 0) {
+                FaultAcc& acc = perFault[fid];
+                acc.kind = kind;
+                acc.total += dur;
+            }
+        }
+    }
+
+    for (const auto& [fid, acc] : perFault)
+        totals[acc.kind].record(acc.total);
+    for (const auto& [id, counts] : flows)
+        if (counts.first != 1 || counts.second != 1)
+            flowMismatches++;
+    return true;
+}
+
+void
+StageReport::printTable(std::ostream& os) const
+{
+    TextTable t;
+    t.header({"kind", "stage", "count", "min", "max", "mean", "p50",
+              "p95", "p99"});
+
+    std::vector<std::string> kinds;
+    for (const auto& [kind, by_stage] : stages)
+        kinds.push_back(kind);
+    for (const std::string& kind :
+         sortedKeys(kKindOrder, kinds)) {
+        const auto& by_stage = stages.at(kind);
+        std::vector<std::string> names;
+        for (const auto& [stage, h] : by_stage)
+            names.push_back(stage);
+        for (const std::string& stage :
+             sortedKeys(kStageOrder, names)) {
+            const Histogram& h = by_stage.at(stage);
+            t.row({kind, stage, std::to_string(h.count()),
+                   TextTable::num(h.min()), TextTable::num(h.max()),
+                   TextTable::num(h.mean()),
+                   TextTable::num(h.quantile(0.50)),
+                   TextTable::num(h.quantile(0.95)),
+                   TextTable::num(h.quantile(0.99))});
+        }
+        auto tot = totals.find(kind);
+        if (tot != totals.end()) {
+            const Histogram& h = tot->second;
+            t.row({kind, "total", std::to_string(h.count()),
+                   TextTable::num(h.min()), TextTable::num(h.max()),
+                   TextTable::num(h.mean()),
+                   TextTable::num(h.quantile(0.50)),
+                   TextTable::num(h.quantile(0.95)),
+                   TextTable::num(h.quantile(0.99))});
+        }
+    }
+    t.print(os);
+}
+
+} // namespace ap::apstat

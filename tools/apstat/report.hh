@@ -1,0 +1,55 @@
+/**
+ * @file
+ * apstat's analysis core: turn a parsed Chrome trace (as written by
+ * ap::sim::Tracer, with FaultPath's "faultstage" spans and per-fault
+ * flow events) back into the per-stage latency distributions the
+ * simulator recorded — same ap::Histogram type, so the printed
+ * percentiles match StatGroup::dumpJson() by construction.
+ */
+
+#ifndef AP_TOOLS_APSTAT_REPORT_HH
+#define AP_TOOLS_APSTAT_REPORT_HH
+
+#include <map>
+#include <ostream>
+#include <string>
+
+#include "json_reader.hh"
+#include "util/histogram.hh"
+
+namespace ap::apstat {
+
+/** Per-stage and per-fault distributions recovered from one trace. */
+struct StageReport
+{
+    /** stage distributions keyed (fault kind, stage name). */
+    std::map<std::string, std::map<std::string, Histogram>> stages;
+
+    /** End-to-end per-fault totals keyed by fault kind (sum of the
+     * fault's stage durations — exact, the stages telescope). */
+    std::map<std::string, Histogram> totals;
+
+    /** "faultstage" spans consumed. */
+    size_t spanCount = 0;
+
+    /** Flow-event bookkeeping ('s' / 'f' phases, matched by id). */
+    size_t flowStarts = 0;
+    size_t flowEnds = 0;
+    /** Flow ids whose start/end events do not pair up one-to-one. */
+    size_t flowMismatches = 0;
+
+    /**
+     * Scan @p trace (the whole document: object with "traceEvents",
+     * or a bare event array) and populate the report.
+     * @return false with @p err set when the document has no usable
+     *         trace-event array.
+     */
+    bool build(const JsonValue& trace, std::string& err);
+
+    /** Render the per-kind stage table (docs/OBSERVABILITY.md). */
+    void printTable(std::ostream& os) const;
+};
+
+} // namespace ap::apstat
+
+#endif // AP_TOOLS_APSTAT_REPORT_HH
