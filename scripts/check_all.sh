@@ -3,7 +3,10 @@
 #
 #   1. aplint      - the AP_* protocol contracts, source-level
 #                    (leader-only, lockstep, yield, lock-order, linked
-#                    escape, assert purity); any unwaived finding fails
+#                    escape, assert purity, plus the interprocedural
+#                    passes: contract propagation, must-check status,
+#                    linked-escape v2, unused waivers); any unwaived
+#                    finding outside tools/aplint/baseline.json fails
 #   2. plain       - the tier-1 suite as shipped
 #   3. simcheck    - tier-1 with the race/lock-order/invariant
 #                    analyses armed; any report fails the run
@@ -15,7 +18,9 @@
 # `prefetch`: stream detection, window adaptation, throttle,
 # speculative-page lifecycle), and the observability tests (ctest
 # label `obs`: fault-path recorder, latency histograms, stats export,
-# apstat) run inside every tier-1 row; the explicit `--no-tests=error`
+# apstat), and the analyzer's own suite (ctest label `lint`: the two
+# self-host scans plus lexer/parser/rule/call-graph/dataflow units)
+# run inside every tier-1 row; the explicit `--no-tests=error`
 # re-runs after each row guard against a label silently going empty.
 #
 # Wired to `cmake --build <dir> --target check-all`. Each row builds
@@ -38,6 +43,8 @@ ctest --test-dir build-plain -L prefetch --no-tests=error -j "${JOBS}" \
     --output-on-failure
 ctest --test-dir build-plain -L obs --no-tests=error -j "${JOBS}" \
     --output-on-failure
+ctest --test-dir build-plain -L lint --no-tests=error -j "${JOBS}" \
+    --output-on-failure
 
 echo "=== [3/4] tier-1 with simcheck armed ==="
 cmake -B build-simcheck -S . -DAP_SIMCHECK=ON \
@@ -49,6 +56,8 @@ ctest --test-dir build-simcheck -L fault --no-tests=error -j "${JOBS}" \
 ctest --test-dir build-simcheck -L prefetch --no-tests=error \
     -j "${JOBS}" --output-on-failure
 ctest --test-dir build-simcheck -L obs --no-tests=error -j "${JOBS}" \
+    --output-on-failure
+ctest --test-dir build-simcheck -L lint --no-tests=error -j "${JOBS}" \
     --output-on-failure
 
 echo "=== [4/4] sanitizers ==="

@@ -153,7 +153,7 @@ class AptrVec
      * means some lanes are errored: they read zeros and drop writes
      * instead of wedging the warp in the fault loop.
      */
-    hostio::IoStatus status() const { return status_; }
+    hostio::IoStatus status() const AP_MUST_CHECK { return status_; }
 
     /** Lanes whose last fault failed (see status()). */
     sim::LaneMask erroredLanes() const { return errored_; }
@@ -324,7 +324,8 @@ class AptrVec
      * a page, assignment, or destroy() all invalidate it.
      */
     const T*
-    linkedFramePtr(sim::Warp& w, int lane) const AP_REQUIRES_LINKED
+    linkedFramePtr(sim::Warp& w, int lane) const
+        AP_REQUIRES_LINKED AP_RETURNS_LINKED
     {
         AP_ASSERT(translationValid(field[lane]),
                   "linkedFramePtr on unlinked lane");

@@ -264,7 +264,7 @@ class PageCache
      *         staging slot is released either way)
      */
     hostio::IoStatus fetchPage(sim::Warp& w, PageKey key, uint32_t frame)
-        AP_YIELDS;
+        AP_YIELDS AP_MUST_CHECK;
 
     /**
      * Publish a failed fill: clear the frame's dirty bit, mark the

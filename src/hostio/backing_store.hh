@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "hostio/io_result.hh"
+#include "util/annotations.hh"
 
 namespace ap::hostio {
 
@@ -60,7 +61,8 @@ class BackingStore
      * @return Ok, BadFile for an invalid descriptor, or Eof for a
      *         range beyond the file end
      */
-    IoStatus checkRange(FileId f, uint64_t off, uint64_t len) const;
+    IoStatus checkRange(FileId f, uint64_t off, uint64_t len) const
+        AP_MUST_CHECK;
 
     /** Size in bytes of file @p f. */
     size_t size(FileId f) const;
@@ -83,11 +85,11 @@ class BackingStore
 
     /** Checked pread: returns the checkRange status instead of asserting. */
     IoStatus preadChecked(FileId f, void* dst, size_t len,
-                          uint64_t off) const;
+                          uint64_t off) const AP_MUST_CHECK;
 
     /** Checked pwrite: returns the checkRange status instead of asserting. */
     IoStatus pwriteChecked(FileId f, const void* src, size_t len,
-                           uint64_t off);
+                           uint64_t off) AP_MUST_CHECK;
 
     /** Direct pointer into the file contents (host-side convenience). */
     uint8_t* data(FileId f, uint64_t off, size_t len);

@@ -63,7 +63,7 @@ class HostIoEngine
      *         retries are exhausted
      */
     IoStatus readToGpu(sim::Warp& w, FileId f, uint64_t off, size_t len,
-                       sim::Addr gpu_dst) AP_YIELDS;
+                       sim::Addr gpu_dst) AP_YIELDS AP_MUST_CHECK;
 
     /**
      * Asynchronous variant of readToGpu: enqueue the request (sharing
@@ -84,7 +84,7 @@ class HostIoEngine
     IoStatus readToGpuAsync(sim::Warp& w, FileId f, uint64_t off,
                             size_t len, sim::Addr gpu_dst,
                             std::function<void(IoStatus)> on_done,
-                            bool low_priority = false);
+                            bool low_priority = false) AP_MUST_CHECK;
 
     /**
      * Write device memory (gpu_src, len) to the host file at (f, off).
@@ -92,7 +92,8 @@ class HostIoEngine
      * terminally.
      */
     IoStatus writeFromGpu(sim::Warp& w, FileId f, uint64_t off,
-                          size_t len, sim::Addr gpu_src) AP_YIELDS;
+                          size_t len, sim::Addr gpu_src)
+        AP_YIELDS AP_MUST_CHECK;
 
     /**
      * A device-to-host RPC with a tiny payload (e.g. gopen): charges a

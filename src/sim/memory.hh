@@ -120,8 +120,9 @@ class GlobalMemory
      * @return time at which the data is available
      */
     Cycles
-    readDone(Cycles t, double bytes)
+    readDone(Cycles t, double bytes) AP_NO_YIELD
     {
+        // aplint: allow(no-yield) BwPort::acquire is a bandwidth-timing reservation, not a DeviceLock acquire
         return bw.acquire(t, bytes) + latency;
     }
 
@@ -132,8 +133,9 @@ class GlobalMemory
      * @return time at which the bandwidth is released
      */
     Cycles
-    writeDone(Cycles t, double bytes)
+    writeDone(Cycles t, double bytes) AP_NO_YIELD
     {
+        // aplint: allow(no-yield) BwPort::acquire is a bandwidth-timing reservation, not a DeviceLock acquire
         return bw.acquire(t, bytes);
     }
 

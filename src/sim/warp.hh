@@ -102,21 +102,31 @@ class Warp
      * Charge @p n warp-instructions: reserve SM issue slots and advance
      * this warp by the serial dependent-chain latency. This is the
      * single knob through which all apointer logic costs time.
+     *
+     * AP_NO_YIELD here (and on the charge/stall primitives below)
+     * declares the protocol boundary: the engine suspension inside
+     * models bounded instruction/memory latency, not an unbounded
+     * protocol yield point (fault service, DMA, lock handoff), so
+     * calling these while a registered spinlock is held is ordinary
+     * lock hold time. simcheck's runtime lock checks accept the same.
      */
     void
-    issue(int n)
+    issue(int n) AP_NO_YIELD
     {
         if (n <= 0)
             return;
         stats_->inc("sim.instructions", n);
         Cycles t = eng_->now();
+        // aplint: allow(no-yield) IssuePort::acquire is a port-timing reservation, not a DeviceLock acquire
         Cycles port = tb_->smRef().issuePort.acquire(t, n);
         Cycles serial = t + n * cm_->depLatencyPerInstr;
+        // aplint: allow(no-yield) bounded issue/dependency latency, not a protocol yield point
         eng_->waitUntil(std::max(port, serial));
     }
 
     /** Stall this warp for @p c cycles without consuming issue slots. */
-    void stall(Cycles c) { eng_->waitUntil(eng_->now() + c); }
+    // aplint: allow(no-yield) bounded backoff stall, not a protocol yield point
+    void stall(Cycles c) AP_NO_YIELD { eng_->waitUntil(eng_->now() + c); }
 
     /** Suspend until absolute time @p t. */
     void waitUntil(Cycles t) { eng_->waitUntil(t); }
@@ -301,16 +311,17 @@ class Warp
      * intervening yield point.
      */
     void
-    chargeGlobalRead(double bytes)
+    chargeGlobalRead(double bytes) AP_NO_YIELD
     {
         issue(1);
         stats_->inc("sim.dram_read_bytes", (uint64_t)bytes);
+        // aplint: allow(no-yield) bounded DRAM latency charge, not a protocol yield point
         eng_->waitUntil(mem_->readDone(eng_->now(), bytes));
     }
 
     /** Timing-only charge for a posted global write (see above). */
     void
-    chargeGlobalWrite(double bytes)
+    chargeGlobalWrite(double bytes) AP_NO_YIELD
     {
         issue(1);
         stats_->inc("sim.dram_write_bytes", (uint64_t)bytes);
@@ -322,14 +333,15 @@ class Warp
      * in native block-shared structures, see ThreadBlock::user).
      */
     void
-    chargeSharedRead()
+    chargeSharedRead() AP_NO_YIELD
     {
         issue(1);
+        // aplint: allow(no-yield) bounded scratchpad latency charge, not a protocol yield point
         eng_->waitUntil(eng_->now() + cm_->scratchLatency);
     }
 
     /** Charge the cost of a shared-memory write (posted). */
-    void chargeSharedWrite() { issue(1); }
+    void chargeSharedWrite() AP_NO_YIELD { issue(1); }
 
     // ------------------------------------------------------------------
     // Warp vote / shuffle primitives (one instruction each)

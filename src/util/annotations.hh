@@ -50,6 +50,19 @@
  *  - AP_LOCK_LEVEL("c") Registers a DeviceLock member, or an accessor
  *                       returning one, as lock class "c" so aplint can
  *                       resolve acquire/release sites to classes.
+ *  - AP_MUST_CHECK      The returned status (IoStatus or a struct that
+ *                       carries one) reports an I/O or fault outcome
+ *                       the caller must inspect. aplint's dataflow
+ *                       pass flags results that are dropped at the
+ *                       call site, overwritten before being read, or
+ *                       that go out of scope uninspected on any path.
+ *  - AP_RETURNS_LINKED  The returned raw pointer is derived from a
+ *                       linked apointer translation and dies with the
+ *                       link. aplint tracks locals initialized from
+ *                       such calls and flags stores to fields/globals,
+ *                       returns, and any use after an AP_YIELDS call
+ *                       (which may fault and remap the frame) or after
+ *                       the translation is unlinked.
  */
 
 #ifndef AP_UTIL_ANNOTATIONS_HH
@@ -63,6 +76,8 @@
 #define AP_NO_YIELD
 #define AP_YIELDS
 #define AP_LOCK_LEVEL(lock_class)
+#define AP_MUST_CHECK
+#define AP_RETURNS_LINKED
 
 namespace ap {
 

@@ -72,7 +72,9 @@ TEST(GpuFs, GreadCrossesPageBoundaries)
         p[i] = static_cast<uint8_t>(i * 7);
     sim::Addr dst = fx.dev->mem().alloc(10000);
     fx.dev->launch(1, 1, [&](sim::Warp& w) {
-        fx.fs->gread(w, f, 3000, 10000, dst); // spans 4 pages
+        // spans 4 pages
+        EXPECT_EQ(fx.fs->gread(w, f, 3000, 10000, dst),
+                  hostio::IoStatus::Ok);
     });
     for (int i = 0; i < 10000; ++i)
         EXPECT_EQ(fx.dev->mem().load<uint8_t>(dst + i),
@@ -88,8 +90,10 @@ TEST(GpuFs, GwriteThenGreadRoundTrip)
     for (int i = 0; i < 6000; ++i)
         fx.dev->mem().store<uint8_t>(src + i, static_cast<uint8_t>(i));
     fx.dev->launch(1, 1, [&](sim::Warp& w) {
-        fx.fs->gwrite(w, f, 1234, 6000, src);
-        fx.fs->gread(w, f, 1234, 6000, dst);
+        EXPECT_EQ(fx.fs->gwrite(w, f, 1234, 6000, src),
+                  hostio::IoStatus::Ok);
+        EXPECT_EQ(fx.fs->gread(w, f, 1234, 6000, dst),
+                  hostio::IoStatus::Ok);
     });
     for (int i = 0; i < 6000; ++i)
         EXPECT_EQ(fx.dev->mem().load<uint8_t>(dst + i),
@@ -103,7 +107,8 @@ TEST(GpuFs, GwritePersistsAfterFlush)
     sim::Addr src = fx.dev->mem().alloc(64);
     fx.dev->mem().store<uint64_t>(src, 0x1122334455ULL);
     fx.dev->launch(1, 1, [&](sim::Warp& w) {
-        fx.fs->gwrite(w, f, 4096, 64, src);
+        EXPECT_EQ(fx.fs->gwrite(w, f, 4096, 64, src),
+                  hostio::IoStatus::Ok);
     });
     fx.fs->cache().flushDirtyHost();
     uint64_t v;
@@ -121,7 +126,8 @@ TEST(GpuFs, ManyWarpsReadDisjointRegions)
     sim::Addr dst = fx.dev->mem().alloc(64 * 4096);
     fx.dev->launch(2, 16, [&](sim::Warp& w) {
         uint64_t off = w.globalWarpId() * 8192ULL;
-        fx.fs->gread(w, f, off, 8192, dst + off);
+        EXPECT_EQ(fx.fs->gread(w, f, off, 8192, dst + off),
+                  hostio::IoStatus::Ok);
     });
     for (int i = 0; i < 64 * 4096; ++i)
         ASSERT_EQ(fx.dev->mem().load<uint8_t>(dst + i),

@@ -48,7 +48,8 @@ TEST_P(GpufsProperty, RandomRangeIoMatchesShadowBuffer)
             size_t len = 1 + rng.nextBounded(40000);
             uint64_t off = rng.nextBounded(prm.fileBytes - len);
             if (rng.nextBounded(2) == 0) {
-                fs.gread(w, f, off, len, buf);
+                ASSERT_EQ(fs.gread(w, f, off, len, buf),
+                          hostio::IoStatus::Ok);
                 for (size_t i = 0; i < len; i += 37)
                     ASSERT_EQ(w.mem().load<uint8_t>(buf + i),
                               shadow[off + i])
@@ -61,7 +62,8 @@ TEST_P(GpufsProperty, RandomRangeIoMatchesShadowBuffer)
                     shadow[off + i] = v;
                 }
                 w.chargeGlobalWrite(static_cast<double>(len));
-                fs.gwrite(w, f, off, len, buf);
+                ASSERT_EQ(fs.gwrite(w, f, off, len, buf),
+                          hostio::IoStatus::Ok);
             }
         }
     });

@@ -20,7 +20,7 @@ TEST(HostIo, ReadDeliversBytes)
     HostIoEngine io(fx.dev, fx.bs);
     sim::Addr dst = fx.dev.mem().alloc(8192);
     fx.dev.launch(1, 1, [&](sim::Warp& w) {
-        io.readToGpu(w, f, 0, 8192, dst);
+        EXPECT_EQ(io.readToGpu(w, f, 0, 8192, dst), IoStatus::Ok);
     });
     for (int i = 0; i < 8192; ++i)
         EXPECT_EQ(fx.dev.mem().load<uint8_t>(dst + i),
@@ -36,7 +36,7 @@ TEST(HostIo, ReadBlocksForTransferTime)
     sim::Cycles dt = 0;
     fx.dev.launch(1, 1, [&](sim::Warp& w) {
         sim::Cycles t0 = w.now();
-        io.readToGpu(w, f, 0, 1 << 20, dst);
+        EXPECT_EQ(io.readToGpu(w, f, 0, 1 << 20, dst), IoStatus::Ok);
         dt = w.now() - t0;
     });
     const sim::CostModel& cm = fx.dev.costModel();
@@ -53,7 +53,8 @@ TEST(HostIo, BatchingAggregatesConcurrentReads)
     // 16 warps each read one 4 KB page concurrently.
     fx.dev.launch(1, 16, [&](sim::Warp& w) {
         int i = w.warpInBlock();
-        io.readToGpu(w, f, i * 4096, 4096, dst + i * 4096);
+        EXPECT_EQ(io.readToGpu(w, f, i * 4096, 4096, dst + i * 4096),
+                  IoStatus::Ok);
     });
     // All 16 requests should share very few PCIe transfers.
     EXPECT_LE(fx.dev.stats().counter("hostio.transfers"), 2u);
@@ -68,7 +69,8 @@ TEST(HostIo, NoBatchingIssuesOneTransferPerRead)
     sim::Addr dst = fx.dev.mem().alloc(64 * 4096);
     fx.dev.launch(1, 16, [&](sim::Warp& w) {
         int i = w.warpInBlock();
-        io.readToGpu(w, f, i * 4096, 4096, dst + i * 4096);
+        EXPECT_EQ(io.readToGpu(w, f, i * 4096, 4096, dst + i * 4096),
+                  IoStatus::Ok);
     });
     EXPECT_EQ(fx.dev.stats().counter("hostio.transfers"), 16u);
 }
@@ -83,7 +85,8 @@ TEST(HostIo, BatchingIsFasterForSmallPages)
         return fx.dev.launch(2, 32, [&](sim::Warp& w) {
             for (int k = 0; k < 4; ++k) {
                 int i = w.globalWarpId() * 4 + k;
-                io.readToGpu(w, f, i * 4096, 4096, dst + i * 4096);
+                EXPECT_EQ(io.readToGpu(w, f, i * 4096, 4096, dst + i * 4096),
+                  IoStatus::Ok);
             }
         });
     };
@@ -101,7 +104,7 @@ TEST(HostIo, WriteFromGpuPersists)
     for (int i = 0; i < 4096; ++i)
         fx.dev.mem().store<uint8_t>(src + i, static_cast<uint8_t>(i));
     fx.dev.launch(1, 1, [&](sim::Warp& w) {
-        io.writeFromGpu(w, f, 0, 4096, src);
+        EXPECT_EQ(io.writeFromGpu(w, f, 0, 4096, src), IoStatus::Ok);
     });
     for (int i = 0; i < 4096; ++i)
         EXPECT_EQ(fx.bs.data(f, 0, 4096)[i], static_cast<uint8_t>(i));
@@ -128,7 +131,8 @@ TEST(HostIo, LargeReadSplitsIntoMaxBatchTransfers)
     fx.dev.launch(1, 24, [&](sim::Warp& w) {
         for (int k = 0; k < 32; ++k) {
             uint64_t i = w.warpInBlock() * 32u + k;
-            io.readToGpu(w, f, i * 4096, 4096, dst + i * 4096);
+            EXPECT_EQ(io.readToGpu(w, f, i * 4096, 4096, dst + i * 4096),
+                  IoStatus::Ok);
         }
     });
     EXPECT_GE(fx.dev.stats().counter("hostio.transfers"), 3u);

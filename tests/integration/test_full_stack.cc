@@ -58,7 +58,8 @@ TEST(FullStack, MixedApiProducerConsumerPipeline)
         for (uint32_t i = 0; i < per; ++i)
             w.mem().store<uint32_t>(buf + i * 4, (start + i) * 2);
         w.chargeGlobalWrite(per * 4.0);
-        fx.fs->gwrite(w, f, start * 4ull, per * 4, buf);
+        EXPECT_EQ(fx.fs->gwrite(w, f, start * 4ull, per * 4, buf),
+                  hostio::IoStatus::Ok);
     });
 
     fx.dev->launch(2, 8, [&](sim::Warp& w) {
@@ -86,7 +87,8 @@ TEST(FullStack, MixedApiProducerConsumerPipeline)
         sim::Addr buf = w.mem().alloc(4096);
         for (uint32_t off = w.warpInBlock() * 4096; off < n * 4;
              off += 4 * 4096) {
-            fx.fs->gread(w, f, off, 4096, buf);
+            EXPECT_EQ(fx.fs->gread(w, f, off, 4096, buf),
+                      hostio::IoStatus::Ok);
             for (uint32_t i = 0; i < 1024; ++i) {
                 uint32_t idx = off / 4 + i;
                 if (w.mem().load<uint32_t>(buf + i * 4) != idx * 2 + 1)

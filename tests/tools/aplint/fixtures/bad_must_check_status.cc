@@ -1,0 +1,29 @@
+// Fixture: the three ways an AP_MUST_CHECK status gets lost — dropped
+// as a bare statement, overwritten before inspection, and falling out
+// of scope unread. Expected: must-check-status (three times). Lint
+// fodder only; never compiled.
+
+struct Io
+{
+    IoStatus poll() AP_MUST_CHECK;
+};
+
+void
+dropOnFloor(Io& io)
+{
+    io.poll();
+}
+
+int
+overwriteUnread(Io& io)
+{
+    IoStatus st = io.poll();
+    st = io.poll();
+    return st == IoStatus::Ok ? 1 : 0;
+}
+
+void
+dropOutOfScope(Io& io)
+{
+    IoStatus st = io.poll();
+}

@@ -1,0 +1,11 @@
+// Fixture: a well-formed waiver on a line that produces no finding —
+// the stale leftover of a refactor. Expected: unused-waiver, reported
+// as a note by default and promoted to an error by --strict-waivers.
+// Lint fodder only; never compiled.
+
+int
+nothingWrong(int x)
+{
+    // aplint: allow(no-yield) stale waiver left behind after a refactor
+    return x + 1;
+}

@@ -1,0 +1,22 @@
+// Fixture: an AP_NO_YIELD body calling a helper whose callees are all
+// declared AP_NO_YIELD — the declared boundary stops the upward yields
+// inference, so the summary agrees with the contract. Expected: clean.
+// Lint fodder only; never compiled.
+
+struct Engine
+{
+    void block() AP_YIELDS;
+    void spinWait() AP_NO_YIELD;
+};
+
+void
+helper(Engine& e)
+{
+    e.spinWait();
+}
+
+void
+spinCritical(Engine& e) AP_NO_YIELD
+{
+    helper(e);
+}

@@ -1,0 +1,31 @@
+// Fixture: linked raw pointers used safely through locals — consumed
+// before the next yield point, and returned from a wrapper that is
+// itself annotated as vending linked pointers. Expected: clean. Lint
+// fodder only; never compiled.
+
+struct AptrVec
+{
+    const int* linkedFramePtr(int lane) AP_REQUIRES_LINKED;
+    void destroy(int lane);
+};
+
+struct Engine
+{
+    void block() AP_YIELDS;
+};
+
+int
+consumeBeforeYield(AptrVec& p, Engine& e)
+{
+    const int* q = p.linkedFramePtr(0);
+    int v = consume(q);
+    e.block();
+    return v;
+}
+
+const int*
+vendLinked(AptrVec& p) AP_RETURNS_LINKED
+{
+    const int* q = p.linkedFramePtr(0);
+    return q;
+}

@@ -1,0 +1,27 @@
+// Fixture: AP_MUST_CHECK statuses inspected on every path — read in a
+// condition before being overwritten, and read on both arms of a
+// branch. Expected: clean. Lint fodder only; never compiled.
+
+struct Io
+{
+    IoStatus poll() AP_MUST_CHECK;
+};
+
+bool
+checksEverything(Io& io)
+{
+    IoStatus st = io.poll();
+    if (st != IoStatus::Ok)
+        return false;
+    st = io.poll();
+    return st == IoStatus::Ok;
+}
+
+bool
+checkedOnBothArms(Io& io, bool fast)
+{
+    IoStatus st = io.poll();
+    if (fast)
+        return st == IoStatus::Ok;
+    return st != IoStatus::Eof;
+}

@@ -1,0 +1,16 @@
+// Fixture: a waiver that actually suppresses a finding is "used" and
+// must not be reported by the unused-waiver pass, even under
+// --strict-waivers. Expected: one waived finding, zero notes. Lint
+// fodder only; never compiled.
+
+struct Cache
+{
+    void acquirePage(int n) AP_LEADER_ONLY;
+};
+
+void
+harnessCall(Cache& c)
+{
+    // aplint: allow(leader-only) test harness runs single-warp as leader
+    c.acquirePage(1);
+}

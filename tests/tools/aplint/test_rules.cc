@@ -96,6 +96,70 @@ TEST(Rules, WellFormedWaiverSuppressesTheFinding)
     EXPECT_TRUE(r.findings[0].waived);
 }
 
+TEST(Rules, MustCheckStatus)
+{
+    // Dropped at the call site, overwritten unread, and out of scope
+    // unread — one finding per loss.
+    expectExactly(lintFixture("bad_must_check_status.cc"),
+                  "must-check-status", 3);
+    expectClean(lintFixture("good_must_check_status.cc"));
+}
+
+TEST(Rules, LinkedEscapeV2)
+{
+    // Variable-mediated flows: return via local, member store via
+    // local, use after a yielding call, use after unlink.
+    expectExactly(lintFixture("bad_linked_escape_v2.cc"),
+                  "linked-escape-v2", 4);
+    expectClean(lintFixture("good_linked_escape_v2.cc"));
+}
+
+TEST(Rules, ContractPropagation)
+{
+    // One- and two-hop inferred-yields chains inside AP_NO_YIELD
+    // bodies; the declared AP_NO_YIELD boundary keeps the good
+    // fixture clean.
+    expectExactly(lintFixture("bad_contract_propagation.cc"),
+                  "contract-propagation", 2);
+    expectClean(lintFixture("good_contract_propagation.cc"));
+}
+
+TEST(Rules, UnusedWaiverIsANoteByDefault)
+{
+    Report r = lintFixture("bad_unused_waiver.cc");
+    ASSERT_EQ(r.findings.size(), 1u) << toText(r);
+    EXPECT_EQ(r.findings[0].rule, "unused-waiver");
+    EXPECT_TRUE(r.findings[0].note);
+    EXPECT_EQ(r.unwaivedCount(), 0u);
+    EXPECT_EQ(r.noteCount(), 1u);
+}
+
+TEST(Rules, StrictWaiversPromotesUnusedWaiverToError)
+{
+    Options opts;
+    opts.root = APLINT_FIXTURE_DIR;
+    opts.paths = {"bad_unused_waiver.cc"};
+    opts.strictWaivers = true;
+    Report r = analyze(opts);
+    ASSERT_EQ(r.findings.size(), 1u) << toText(r);
+    EXPECT_EQ(r.findings[0].rule, "unused-waiver");
+    EXPECT_FALSE(r.findings[0].note);
+    EXPECT_EQ(r.unwaivedCount(), 1u);
+}
+
+TEST(Rules, UsedWaiverIsNotReportedUnused)
+{
+    Options opts;
+    opts.root = APLINT_FIXTURE_DIR;
+    opts.paths = {"good_unused_waiver.cc"};
+    opts.strictWaivers = true;
+    Report r = analyze(opts);
+    EXPECT_EQ(r.unwaivedCount(), 0u) << toText(r);
+    EXPECT_EQ(r.noteCount(), 0u);
+    ASSERT_EQ(r.findings.size(), 1u);
+    EXPECT_TRUE(r.findings[0].waived);
+}
+
 TEST(Rules, EveryKnownRuleHasANegativeFixture)
 {
     // The fixture set exercises the full rule catalog: losing a
@@ -105,7 +169,9 @@ TEST(Rules, EveryKnownRuleHasANegativeFixture)
          {"bad_leader_only.cc", "bad_lockstep_divergence.cc",
           "bad_no_yield.cc", "bad_lock_order.cc",
           "bad_linked_escape.cc", "bad_assert_side_effect.cc",
-          "bad_waiver_syntax.cc"}) {
+          "bad_waiver_syntax.cc", "bad_must_check_status.cc",
+          "bad_linked_escape_v2.cc", "bad_contract_propagation.cc",
+          "bad_unused_waiver.cc"}) {
         for (const Finding& f : lintFixture(fx).findings)
             covered.insert(f.rule);
     }

@@ -1,0 +1,673 @@
+#include "dataflow.hh"
+
+#include <map>
+#include <set>
+#include <string>
+
+namespace ap::lint {
+
+namespace {
+
+/** Abstract value of one tracked local. */
+struct VarState
+{
+    bool isStatus = false; ///< must-check result
+    bool isLinked = false; ///< linked raw pointer
+    std::string origin;    ///< producing callee
+    std::string receiver;  ///< producer's receiver object (linked)
+    int declLine = 0;
+    int depth = 0;         ///< block depth where tracking started
+    bool read = false;     ///< status: inspected on this path
+    bool stale = false;    ///< linked: link gone on this path
+    int staleLine = 0;
+    std::string staleWhy;
+    bool reported = false; ///< one diagnostic per variable
+};
+
+using State = std::map<std::string, VarState>;
+
+/** Path-join: status needs reads on BOTH arms, staleness on either. */
+State
+join(const State& a, const State& b)
+{
+    State out = a;
+    for (const auto& [name, vb] : b) {
+        auto it = out.find(name);
+        if (it == out.end()) {
+            out[name] = vb;
+            continue;
+        }
+        VarState& va = it->second;
+        va.read = va.read && vb.read;
+        va.reported = va.reported || vb.reported;
+        if (!va.stale && vb.stale) {
+            va.stale = true;
+            va.staleLine = vb.staleLine;
+            va.staleWhy = vb.staleWhy;
+        }
+    }
+    return out;
+}
+
+/** Unlink operations that invalidate a receiver's linked frames. */
+const std::set<std::string> kUnlinkers = {"destroy", "gmunmap",
+                                          "releaseLanes"};
+
+class FlowAnalyzer
+{
+  public:
+    FlowAnalyzer(const FileModel& m, const Func& f, const GlobalModel& g,
+                 const Summaries* sums, std::vector<Finding>& out)
+        : m_(m), f_(f), g_(g), sums_(sums), out_(out),
+          toks_(m.lx.tokens)
+    {
+        for (const Call& c : f.calls)
+            callAt_[c.tokIndex] = &c;
+    }
+
+    void run()
+    {
+        if (!f_.hasBody || f_.bodyEnd <= f_.bodyBegin + 1)
+            return;
+        State st;
+        analyzeSeq(f_.bodyBegin + 1, f_.bodyEnd - 1, st, 0);
+        killScope(st, 0);
+    }
+
+  private:
+    const FileModel& m_;
+    const Func& f_;
+    const GlobalModel& g_;
+    const Summaries* sums_;
+    std::vector<Finding>& out_;
+    const std::vector<Token>& toks_;
+    std::map<size_t, const Call*> callAt_;
+    std::set<std::string> emitted_; ///< dedupe across loop passes
+
+    // ---- emission ------------------------------------------------------
+
+    void emit(int line, const char* rule, const std::string& msg)
+    {
+        std::string key =
+            std::string(rule) + ":" + std::to_string(line) + ":" + msg;
+        if (!emitted_.insert(key).second)
+            return;
+        out_.push_back({m_.path, line, rule, msg, false});
+    }
+
+    // ---- token helpers -------------------------------------------------
+
+    const std::string& text(size_t i) const { return toks_[i].text; }
+
+    size_t matchGroup(size_t open, size_t bound) const
+    {
+        const std::string& o = text(open);
+        const std::string c = o == "(" ? ")" : o == "[" ? "]" : "}";
+        int depth = 0;
+        for (size_t i = open; i < bound; ++i) {
+            if (text(i) == o)
+                ++depth;
+            else if (text(i) == c && --depth == 0)
+                return i;
+        }
+        return bound;
+    }
+
+    /** End of a statement: first `;` outside any bracket group. */
+    size_t stmtEnd(size_t pos, size_t bound) const
+    {
+        int depth = 0;
+        for (size_t i = pos; i < bound; ++i) {
+            const std::string& t = text(i);
+            if (t == "(" || t == "[" || t == "{")
+                ++depth;
+            else if (t == ")" || t == "]" || t == "}")
+                --depth;
+            else if (t == ";" && depth <= 0)
+                return i;
+        }
+        return bound;
+    }
+
+    /** Is token i a plain occurrence of a tracked variable name? */
+    bool isVarUse(size_t i, const std::string& name) const
+    {
+        if (toks_[i].kind != Tok::Ident || text(i) != name)
+            return false;
+        if (i + 1 < toks_.size() && text(i + 1) == "(")
+            return false; // a call, not the variable
+        if (i > 0 && (text(i - 1) == "." || text(i - 1) == "->" ||
+                      text(i - 1) == "::"))
+            return false; // member of some other object
+        return true;
+    }
+
+    bool callYields(const std::string& callee) const
+    {
+        if (g_.yields.count(callee))
+            return true;
+        return sums_ && sums_->yields.count(callee) > 0;
+    }
+
+    // ---- state transitions ---------------------------------------------
+
+    void markStaleAfterYield(State& st, const Call& c)
+    {
+        for (auto& [name, v] : st) {
+            if (!v.isLinked || v.stale)
+                continue;
+            v.stale = true;
+            v.staleLine = c.line;
+            v.staleWhy = "the yielding call '" + c.callee + "'";
+        }
+    }
+
+    void markStaleAfterUnlink(State& st, const Call& c)
+    {
+        for (auto& [name, v] : st) {
+            if (!v.isLinked || v.stale || v.receiver.empty() ||
+                v.receiver != c.receiver)
+                continue;
+            v.stale = true;
+            v.staleLine = c.line;
+            v.staleWhy =
+                "'" + c.receiver + "." + c.callee + "()' unlinked it";
+        }
+    }
+
+    /**
+     * Scan a token range left-to-right for variable uses and call
+     * events, in program order: a use before a yield is fine, after
+     * it is not. `skipTok` excludes the assignment target itself.
+     */
+    void scanUses(size_t begin, size_t end, State& st,
+                  size_t skipTok = SIZE_MAX)
+    {
+        for (size_t i = begin; i < end; ++i) {
+            auto cit = callAt_.find(i);
+            if (cit != callAt_.end()) {
+                const Call& c = *cit->second;
+                if (callYields(c.callee))
+                    markStaleAfterYield(st, c);
+                else if (kUnlinkers.count(c.callee))
+                    markStaleAfterUnlink(st, c);
+                continue;
+            }
+            if (i == skipTok || toks_[i].kind != Tok::Ident)
+                continue;
+            auto vit = st.find(text(i));
+            if (vit == st.end() || !isVarUse(i, vit->first))
+                continue;
+            VarState& v = vit->second;
+            if (v.isStatus)
+                v.read = true;
+            if (v.isLinked && v.stale && !v.reported) {
+                v.reported = true;
+                emit(toks_[i].line, "linked-escape-v2",
+                     "raw pointer '" + vit->first + "' from '" +
+                         v.origin + "' (line " +
+                         std::to_string(v.declLine) +
+                         ") is used after " + v.staleWhy + " (line " +
+                         std::to_string(v.staleLine) +
+                         "); the translation may have been remapped");
+            }
+        }
+    }
+
+    void killScope(State& st, int depth)
+    {
+        for (auto it = st.begin(); it != st.end();) {
+            VarState& v = it->second;
+            if (v.depth < depth) {
+                ++it;
+                continue;
+            }
+            if (v.isStatus && !v.read && !v.reported) {
+                emit(v.declLine, "must-check-status",
+                     "status result of '" + v.origin +
+                         "' is never inspected before '" + it->first +
+                         "' goes out of scope");
+            }
+            it = st.erase(it);
+        }
+    }
+
+    // ---- statement walkers ---------------------------------------------
+
+    /** Calls in [begin, end), in token order. */
+    std::vector<const Call*> callsIn(size_t begin, size_t end) const
+    {
+        std::vector<const Call*> out;
+        for (const Call& c : f_.calls)
+            if (c.tokIndex >= begin && c.tokIndex < end)
+                out.push_back(&c);
+        return out;
+    }
+
+    /**
+     * Is token i inside a brace group that opens after `begin`? Calls
+     * under such braces belong to a lambda (or init-list) inside the
+     * statement, not to the statement's own initializer expression.
+     */
+    bool braceNested(size_t begin, size_t i) const
+    {
+        int depth = 0;
+        for (size_t k = begin; k < i; ++k) {
+            if (text(k) == "{")
+                ++depth;
+            else if (text(k) == "}")
+                --depth;
+        }
+        return depth > 0;
+    }
+
+    /** First producer call in a range, if any (top brace level only). */
+    const Call* producerIn(size_t begin, size_t end, bool& isStatus,
+                           bool& isLinked) const
+    {
+        for (const Call* c : callsIn(begin, end)) {
+            if (braceNested(begin, c->tokIndex))
+                continue;
+            if (g_.mustCheck.count(c->callee)) {
+                isStatus = true;
+                return c;
+            }
+            if (g_.returnsLinked.count(c->callee)) {
+                isLinked = true;
+                return c;
+            }
+        }
+        return nullptr;
+    }
+
+    bool rangeHasIdent(size_t begin, size_t end,
+                       const std::string& id) const
+    {
+        for (size_t i = begin; i < end; ++i)
+            if (toks_[i].kind == Tok::Ident && text(i) == id)
+                return true;
+        return false;
+    }
+
+    /** Top-level `=` (pure assignment token) in a statement range. */
+    size_t findAssign(size_t begin, size_t end) const
+    {
+        int depth = 0;
+        for (size_t i = begin; i < end; ++i) {
+            const std::string& t = text(i);
+            if (t == "(" || t == "[" || t == "{")
+                ++depth;
+            else if (t == ")" || t == "]" || t == "}")
+                --depth;
+            else if (t == "=" && depth == 0)
+                return i;
+        }
+        return end;
+    }
+
+    void trackVar(State& st, const std::string& name, const Call& c,
+                  bool isStatus, int depth)
+    {
+        VarState v;
+        v.isStatus = isStatus;
+        v.isLinked = !isStatus;
+        v.origin = c.callee;
+        v.receiver = c.receiver;
+        v.declLine = c.line;
+        v.depth = depth;
+        st[name] = v;
+    }
+
+    /**
+     * Interpret brace groups embedded in a statement (lambda bodies)
+     * as statement sequences with a fresh state: a must-check result
+     * dropped inside a lambda is still a drop, while interactions with
+     * captured outer locals stay with the enclosing statement's
+     * conservative use scan.
+     */
+    void analyzeEmbeddedBlocks(size_t begin, size_t end, State& st,
+                               int depth)
+    {
+        for (size_t i = begin; i < end; ++i) {
+            if (text(i) != "{")
+                continue;
+            size_t close = matchGroup(i, end);
+            // Seed with the enclosing state so captured locals are
+            // recognized; lambda-local declarations die at the brace.
+            State local = st;
+            analyzeSeq(i + 1, close, local, depth + 1);
+            killScope(local, depth + 1);
+            // Merge captured-variable effects back, optimistically: a
+            // read in the lambda counts as an inspection, and a var
+            // first assigned in the lambda (the `launch([&]{ st =
+            // ... })` idiom) stays tracked for the enclosing scope.
+            for (auto& [name, v] : local) {
+                auto it = st.find(name);
+                if (it == st.end()) {
+                    st[name] = v;
+                    continue;
+                }
+                it->second.read = it->second.read || v.read;
+                it->second.reported = it->second.reported || v.reported;
+                if (v.stale && !it->second.stale) {
+                    it->second.stale = true;
+                    it->second.staleLine = v.staleLine;
+                    it->second.staleWhy = v.staleWhy;
+                }
+            }
+            i = close;
+        }
+    }
+
+    /** One generic (non-control-flow) statement. Returns past `;`. */
+    size_t analyzeStmt(size_t pos, size_t bound, State& st, int depth)
+    {
+        size_t end = stmtEnd(pos, bound);
+        size_t eq = findAssign(pos, end);
+
+        bool isStatus = false, isLinked = false;
+        const Call* prod =
+            eq < end ? producerIn(eq + 1, end, isStatus, isLinked)
+                     : nullptr;
+
+        // Shape of the left-hand side, top level only.
+        size_t lhsIdents = 0, targetTok = SIZE_MAX;
+        bool lhsMember = false, lhsBrackets = false, lhsIoStatus = false;
+        {
+            int d = 0;
+            for (size_t i = pos; i < eq; ++i) {
+                const std::string& t = text(i);
+                if (t == "(" || t == "[" || t == "{") {
+                    ++d;
+                    if (t == "[")
+                        lhsBrackets = true;
+                    continue;
+                }
+                if (t == ")" || t == "]" || t == "}") {
+                    --d;
+                    continue;
+                }
+                if (d != 0)
+                    continue;
+                if (t == "." || t == "->")
+                    lhsMember = true;
+                if (toks_[i].kind == Tok::Ident) {
+                    ++lhsIdents;
+                    targetTok = i;
+                    if (t == "IoStatus")
+                        lhsIoStatus = true;
+                }
+            }
+        }
+
+        // A call stored into an IoStatus-typed local is a status
+        // producer even without an AP_MUST_CHECK annotation in scope.
+        if (eq < end && !prod && lhsIoStatus && !lhsMember) {
+            for (const Call* c : callsIn(eq + 1, end)) {
+                if (braceNested(eq + 1, c->tokIndex))
+                    continue;
+                prod = c;
+                isStatus = true;
+                break;
+            }
+        }
+
+        // Uses and call events in program order. The assignment
+        // target's own token is not a read of the old value.
+        bool plainTarget = eq < end && !lhsMember && !lhsBrackets &&
+                           targetTok != SIZE_MAX;
+        scanUses(pos, end, st,
+                 plainTarget && lhsIdents >= 1 ? targetTok : SIZE_MAX);
+
+        if (eq < end && plainTarget) {
+            const std::string name = text(targetTok);
+            if (lhsIdents == 1) {
+                // Assignment to an existing local.
+                auto it = st.find(name);
+                if (it != st.end() && it->second.isStatus &&
+                    !it->second.read && !it->second.reported) {
+                    emit(toks_[targetTok].line, "must-check-status",
+                         "status result of '" + it->second.origin +
+                             "' (line " +
+                             std::to_string(it->second.declLine) +
+                             ") is overwritten before being "
+                             "inspected");
+                }
+                if (prod) {
+                    int d = it != st.end() ? it->second.depth : 0;
+                    trackVar(st, name, *prod, isStatus, d);
+                } else if (it != st.end()) {
+                    st.erase(it);
+                }
+            } else if (prod) {
+                // Declaration with initializer.
+                trackVar(st, name, *prod, isStatus, depth);
+            }
+        } else if (eq < end && lhsMember && prod == nullptr) {
+            // Member store: a live linked local leaking into object
+            // state. (A direct linked call on the RHS is v1's case.)
+            for (const auto& [name, v] : st) {
+                if (!v.isLinked || v.stale)
+                    continue;
+                if (rangeHasIdent(eq + 1, end, name)) {
+                    emit(toks_[pos].line, "linked-escape-v2",
+                         "storing raw pointer '" + name + "' (from '" +
+                             v.origin + "', line " +
+                             std::to_string(v.declLine) +
+                             ") into object state lets it outlive "
+                             "the link");
+                }
+            }
+        } else if (eq >= end) {
+            // No assignment: a must-check result used as a bare
+            // statement (optionally behind a (void) cast) is dropped.
+            size_t s = pos;
+            bool voided = false;
+            if (s + 2 < end && text(s) == "(" && text(s + 1) == "void" &&
+                text(s + 2) == ")") {
+                s += 3;
+                voided = true;
+            }
+            for (const Call* c : callsIn(pos, end)) {
+                if (!g_.mustCheck.count(c->callee))
+                    continue;
+                if (chainStart(toks_, c->tokIndex) != s)
+                    break; // nested in another expression: consumed
+                emit(c->line, "must-check-status",
+                     "result of '" + c->callee +
+                         "' is AP_MUST_CHECK but is " +
+                         (voided ? "cast to void" : "discarded") +
+                         " at the call site");
+                break;
+            }
+        }
+        analyzeEmbeddedBlocks(pos, end, st, depth);
+        return end < bound ? end + 1 : bound;
+    }
+
+    /** Condition / loop-header range: everything counts as a read. */
+    void scanCondition(size_t begin, size_t end, State& st)
+    {
+        scanUses(begin, end, st);
+        // `while ((st = poll()) != Ok)`: the fresh value is consumed
+        // by the comparison immediately, so track it already-read.
+        size_t eq = findAssignAnyDepth(begin, end);
+        if (eq == end)
+            return;
+        bool isStatus = false, isLinked = false;
+        const Call* prod = producerIn(eq + 1, end, isStatus, isLinked);
+        if (!prod || eq == begin ||
+            toks_[eq - 1].kind != Tok::Ident)
+            return;
+        trackVar(st, text(eq - 1), *prod, isStatus, 0);
+        st[text(eq - 1)].read = true;
+    }
+
+    size_t findAssignAnyDepth(size_t begin, size_t end) const
+    {
+        for (size_t i = begin; i < end; ++i)
+            if (text(i) == "=")
+                return i;
+        return end;
+    }
+
+    /** Dispatch exactly one statement or construct. */
+    size_t analyzeOne(size_t pos, size_t bound, State& st, int depth)
+    {
+        if (pos >= bound)
+            return bound;
+        const std::string& t = text(pos);
+        if (t == ";")
+            return pos + 1;
+        if (t == "{") {
+            size_t close = matchGroup(pos, bound);
+            analyzeSeq(pos + 1, close, st, depth + 1);
+            killScope(st, depth + 1);
+            return close + 1;
+        }
+        if (t == "if")
+            return analyzeIf(pos, bound, st, depth);
+        if (t == "while" || t == "for" || t == "switch" || t == "do")
+            return analyzeLoop(pos, bound, st, depth);
+        if (t == "return") {
+            size_t end = stmtEnd(pos, bound);
+            handleReturn(pos + 1, end, st);
+            analyzeEmbeddedBlocks(pos + 1, end, st, depth);
+            return end < bound ? end + 1 : bound;
+        }
+        if (t == "case" || t == "default") {
+            size_t i = pos;
+            while (i < bound && text(i) != ":")
+                ++i;
+            return i < bound ? i + 1 : bound;
+        }
+        if (t == "else") // dangling else after a non-if statement
+            return pos + 1;
+        return analyzeStmt(pos, bound, st, depth);
+    }
+
+    void analyzeSeq(size_t pos, size_t end, State& st, int depth)
+    {
+        while (pos < end) {
+            if (text(pos) == "}") {
+                ++pos;
+                continue;
+            }
+            pos = analyzeOne(pos, end, st, depth);
+        }
+    }
+
+    size_t analyzeIf(size_t pos, size_t bound, State& st, int depth)
+    {
+        size_t open = pos + 1;
+        if (text(open) == "constexpr")
+            ++open;
+        if (open >= bound || text(open) != "(")
+            return pos + 1;
+        size_t close = matchGroup(open, bound);
+        scanCondition(open + 1, close, st);
+        size_t p = close + 1;
+
+        State thenSt = st;
+        p = analyzeOne(p, bound, thenSt, depth);
+
+        if (p < bound && text(p) == "else") {
+            State elseSt = st;
+            p = analyzeOne(p + 1, bound, elseSt, depth);
+            st = join(thenSt, elseSt);
+        } else {
+            st = join(thenSt, st);
+        }
+        return p;
+    }
+
+    /**
+     * Loop widening: evaluate the body against the entry state, join
+     * to model "already iterated", evaluate once more, then join with
+     * the zero-iteration path. Duplicate diagnostics from the second
+     * pass are absorbed by the emission dedupe.
+     */
+    size_t analyzeLoop(size_t pos, size_t bound, State& st, int depth)
+    {
+        const bool isDo = text(pos) == "do";
+        size_t p = pos + 1;
+        if (!isDo) {
+            if (p >= bound || text(p) != "(")
+                return pos + 1;
+            size_t close = matchGroup(p, bound);
+            scanCondition(p + 1, close, st);
+            p = close + 1;
+        }
+
+        size_t bodyBegin = p, bodyEnd = p;
+        State s1 = st;
+        bodyEnd = analyzeOne(bodyBegin, bound, s1, depth);
+
+        State widened = join(st, s1);
+        State s2 = widened;
+        analyzeOne(bodyBegin, bound, s2, depth);
+
+        st = isDo ? join(s1, s2) : join(st, s2);
+        p = bodyEnd;
+
+        if (isDo && p < bound && text(p) == "while") {
+            size_t open = p + 1;
+            if (open < bound && text(open) == "(") {
+                size_t close = matchGroup(open, bound);
+                scanCondition(open + 1, close, st);
+                p = close + 1;
+            }
+            if (p < bound && text(p) == ";")
+                ++p;
+        }
+        return p;
+    }
+
+    void handleReturn(size_t begin, size_t end, State& st)
+    {
+        // Returning a linked local hands the caller a pointer that
+        // dies with this frame's link — unless this function is
+        // itself annotated as vending linked pointers.
+        bool wrapper = g_.returnsLinked.count(f_.name) > 0;
+        int paren = 0;
+        for (size_t i = begin; i < end; ++i) {
+            const std::string& tx = text(i);
+            if (tx == "(" || tx == "[")
+                ++paren;
+            else if (tx == ")" || tx == "]")
+                --paren;
+            if (toks_[i].kind != Tok::Ident)
+                continue;
+            auto it = st.find(tx);
+            if (it == st.end() || !isVarUse(i, it->first))
+                continue;
+            VarState& v = it->second;
+            // Only the returned value itself escapes; a linked var
+            // passed as a call argument (paren > 0) stays in-frame.
+            if (v.isLinked && !wrapper && !v.reported && paren == 0) {
+                v.reported = true;
+                emit(toks_[i].line, "linked-escape-v2",
+                     "returning raw pointer '" + it->first +
+                         "' (from '" + v.origin + "', line " +
+                         std::to_string(v.declLine) +
+                         ") lets it outlive the linking scope");
+            }
+        }
+        scanUses(begin, end, st);
+    }
+};
+
+} // namespace
+
+void
+runDataflow(const FileModel& m, const GlobalModel& g,
+            const Summaries* sums, std::vector<Finding>& findings)
+{
+    for (const Func& f : m.funcs) {
+        if (!f.hasBody)
+            continue;
+        FlowAnalyzer(m, f, g, sums, findings).run();
+    }
+}
+
+} // namespace ap::lint

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Per-function flow-sensitive dataflow over the token stream: a small
+ * abstract interpreter that walks statements in order, forks state at
+ * branches (joining the arms), and widens loops by evaluating the body
+ * twice against the joined entry state. It powers two rule families:
+ *
+ *   must-check-status  A result of an AP_MUST_CHECK call (or any call
+ *                      stored into an `IoStatus`-typed local) that is
+ *                      discarded at the call site, overwritten before
+ *                      being read, or goes out of scope uninspected on
+ *                      some path. Any read — a condition, comparison,
+ *                      argument, return, or member access — counts as
+ *                      an inspection.
+ *
+ *   linked-escape-v2   A local raw pointer initialized from an
+ *                      AP_RETURNS_LINKED / AP_REQUIRES_LINKED call
+ *                      that is returned, stored into a field/global,
+ *                      or used after an AP_YIELDS call (declared or
+ *                      inferred, see callgraph.hh) or after the source
+ *                      translation is unlinked. Complements the v1
+ *                      linked-escape rule, which only sees escapes of
+ *                      the call expression itself.
+ *
+ * Lattices are deliberately tiny: status locals carry one bit (read /
+ * unread, joined with AND so "inspected on every path" is required);
+ * linked locals carry live / stale-with-witness (joined with OR).
+ * Lambda bodies inside a statement are scanned for uses (a capture
+ * counts as a read) but not interpreted statement-by-statement.
+ */
+
+#ifndef APLINT_DATAFLOW_HH
+#define APLINT_DATAFLOW_HH
+
+#include "callgraph.hh"
+#include "rules.hh"
+
+#include <vector>
+
+namespace ap::lint {
+
+/**
+ * Run both dataflow rule families over one file. `sums` may be null
+ * (whole-program passes disabled); declared annotations alone then
+ * drive yield invalidation.
+ */
+void runDataflow(const FileModel& m, const GlobalModel& g,
+                 const Summaries* sums,
+                 std::vector<Finding>& findings);
+
+} // namespace ap::lint
+
+#endif // APLINT_DATAFLOW_HH

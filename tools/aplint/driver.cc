@@ -1,10 +1,16 @@
 #include "driver.hh"
 
+#include "callgraph.hh"
+#include "dataflow.hh"
+
 #include <algorithm>
+#include <cctype>
 #include <filesystem>
 #include <fstream>
 #include <map>
+#include <set>
 #include <sstream>
+#include <tuple>
 
 namespace fs = std::filesystem;
 
@@ -78,13 +84,18 @@ readFile(const std::string& path)
     return ss.str();
 }
 
-/** Mark findings covered by a (well-formed) waiver in their file. */
+/**
+ * Mark findings covered by a (well-formed) waiver in their file, and
+ * record which waivers actually matched something so stale ones can be
+ * reported (the unused-waiver diagnostic).
+ */
 void
 applyWaivers(std::vector<Finding>& findings,
-             const std::map<std::string, const FileModel*>& byPath)
+             const std::map<std::string, const FileModel*>& byPath,
+             std::map<const Waiver*, bool>& used)
 {
     for (Finding& f : findings) {
-        if (f.rule == "waiver-syntax")
+        if (f.rule == "waiver-syntax" || f.rule == "unused-waiver")
             continue; // never waivable
         auto it = byPath.find(f.file);
         if (it == byPath.end())
@@ -95,10 +106,75 @@ applyWaivers(std::vector<Finding>& findings,
             if (w.fileScope || w.line == f.line ||
                 w.line == f.line - 1) {
                 f.waived = true;
+                used[&w] = true;
                 break;
             }
         }
     }
+}
+
+/**
+ * Minimal reader for the committed baseline: any JSON-ish file listing
+ * objects with "file", "line", and "rule" keys. Kept hand-rolled so
+ * aplint stays dependency-free; unknown keys are ignored and malformed
+ * entries are skipped.
+ */
+std::set<std::tuple<std::string, int, std::string>>
+loadBaseline(const std::string& path)
+{
+    std::set<std::tuple<std::string, int, std::string>> entries;
+    std::string text = readFile(path);
+
+    auto stringAfter = [&](size_t from, size_t bound,
+                           const std::string& key) -> std::string {
+        size_t k = text.find("\"" + key + "\"", from);
+        if (k == std::string::npos || k >= bound)
+            return "";
+        size_t q1 = text.find('"', k + key.size() + 2);
+        if (q1 == std::string::npos || q1 >= bound)
+            return "";
+        size_t q2 = text.find('"', q1 + 1);
+        if (q2 == std::string::npos || q2 >= bound)
+            return "";
+        return text.substr(q1 + 1, q2 - q1 - 1);
+    };
+    auto intAfter = [&](size_t from, size_t bound,
+                        const std::string& key) -> int {
+        size_t k = text.find("\"" + key + "\"", from);
+        if (k == std::string::npos || k >= bound)
+            return -1;
+        size_t i = k + key.size() + 2;
+        while (i < bound && !std::isdigit(static_cast<unsigned char>(
+                                text[i])))
+            ++i;
+        int v = 0;
+        bool any = false;
+        while (i < bound &&
+               std::isdigit(static_cast<unsigned char>(text[i]))) {
+            v = v * 10 + (text[i++] - '0');
+            any = true;
+        }
+        return any ? v : -1;
+    };
+
+    size_t pos = text.find('[');
+    if (pos == std::string::npos)
+        return entries;
+    while (true) {
+        size_t open = text.find('{', pos);
+        if (open == std::string::npos)
+            break;
+        size_t close = text.find('}', open);
+        if (close == std::string::npos)
+            break;
+        std::string file = stringAfter(open, close, "file");
+        std::string rule = stringAfter(open, close, "rule");
+        int line = intAfter(open, close, "line");
+        if (!file.empty() && !rule.empty() && line >= 0)
+            entries.insert({file, line, rule});
+        pos = close + 1;
+    }
+    return entries;
 }
 
 std::string
@@ -147,10 +223,53 @@ analyze(const Options& opts)
     std::map<std::string, const FileModel*> byPath;
     for (const FileModel& m : models)
         byPath[m.path] = &m;
-    for (const FileModel& m : models)
-        runRules(m, g, report.findings);
 
-    applyWaivers(report.findings, byPath);
+    CallGraph cg;
+    Summaries sums;
+    if (opts.wpa) {
+        cg = buildCallGraph(models);
+        sums = propagate(cg, g);
+    }
+    for (const FileModel& m : models) {
+        runRules(m, g, report.findings);
+        if (opts.wpa)
+            runPropagation(m, g, cg, sums, report.findings);
+        runDataflow(m, g, opts.wpa ? &sums : nullptr,
+                    report.findings);
+    }
+
+    std::map<const Waiver*, bool> used;
+    applyWaivers(report.findings, byPath, used);
+
+    // Stale suppressions: a well-formed waiver for a known rule that
+    // matched nothing. Advisory by default, gating under --strict.
+    for (const FileModel& m : models) {
+        for (const Waiver& w : m.waivers) {
+            if (w.malformed || !knownRules().count(w.rule) ||
+                used.count(&w))
+                continue;
+            Finding f{m.path, w.line, "unused-waiver",
+                      "waiver for '" + w.rule +
+                          "' no longer matches any finding; remove "
+                          "the stale suppression",
+                      false};
+            f.note = !opts.strictWaivers;
+            report.findings.push_back(std::move(f));
+        }
+    }
+
+    if (!opts.baselinePath.empty()) {
+        auto baseline = loadBaseline(opts.baselinePath);
+        if (!baseline.empty()) {
+            for (Finding& f : report.findings) {
+                if (f.waived || f.note)
+                    continue;
+                if (baseline.count({f.file, f.line, f.rule}))
+                    f.baselined = true;
+            }
+        }
+    }
+
     std::stable_sort(report.findings.begin(), report.findings.end(),
                      [](const Finding& a, const Finding& b) {
                          if (a.file != b.file)
@@ -170,11 +289,20 @@ toText(const Report& r)
             ++waived;
             continue;
         }
+        if (f.note) {
+            os << "note: " << f.file << ":" << f.line << ": [" << f.rule
+               << "] " << f.message << "\n";
+            continue;
+        }
+        if (f.baselined)
+            continue;
         os << f.file << ":" << f.line << ": [" << f.rule << "] "
            << f.message << "\n";
     }
     os << "aplint: " << r.unwaivedCount() << " finding(s), " << waived
-       << " waived, " << r.filesScanned << " file(s) scanned\n";
+       << " waived, " << r.baselinedCount() << " baselined, "
+       << r.noteCount() << " note(s), " << r.filesScanned
+       << " file(s) scanned\n";
     return os.str();
 }
 
@@ -184,6 +312,8 @@ toJson(const Report& r)
     std::ostringstream os;
     os << "{\n  \"filesScanned\": " << r.filesScanned << ",\n";
     os << "  \"unwaived\": " << r.unwaivedCount() << ",\n";
+    os << "  \"baselined\": " << r.baselinedCount() << ",\n";
+    os << "  \"notes\": " << r.noteCount() << ",\n";
     os << "  \"findings\": [";
     bool first = true;
     for (const Finding& f : r.findings) {
@@ -192,8 +322,29 @@ toJson(const Report& r)
         os << "    {\"file\": \"" << jsonEscape(f.file)
            << "\", \"line\": " << f.line << ", \"rule\": \""
            << jsonEscape(f.rule) << "\", \"waived\": "
-           << (f.waived ? "true" : "false") << ", \"message\": \""
+           << (f.waived ? "true" : "false") << ", \"note\": "
+           << (f.note ? "true" : "false") << ", \"baselined\": "
+           << (f.baselined ? "true" : "false") << ", \"message\": \""
            << jsonEscape(f.message) << "\"}";
+    }
+    os << (first ? "]" : "\n  ]") << "\n}\n";
+    return os.str();
+}
+
+std::string
+toBaseline(const Report& r)
+{
+    std::ostringstream os;
+    os << "{\n  \"findings\": [";
+    bool first = true;
+    for (const Finding& f : r.findings) {
+        if (f.waived || f.note)
+            continue;
+        os << (first ? "\n" : ",\n");
+        first = false;
+        os << "    {\"file\": \"" << jsonEscape(f.file)
+           << "\", \"line\": " << f.line << ", \"rule\": \""
+           << jsonEscape(f.rule) << "\"}";
     }
     os << (first ? "]" : "\n  ]") << "\n}\n";
     return os.str();

@@ -23,6 +23,13 @@ struct Options
                                       "examples", "tools"};
     /** Path substrings to skip (e.g. fixture directories). */
     std::vector<std::string> excludes;
+    /** Whole-program passes: call graph, contract propagation, and
+     *  summary-driven yield invalidation in the dataflow rules. */
+    bool wpa = true;
+    /** Promote unused-waiver notes to gating findings. */
+    bool strictWaivers = false;
+    /** Baseline file of tolerated findings ("" = none). */
+    std::string baselinePath;
 };
 
 struct Report
@@ -30,11 +37,26 @@ struct Report
     std::vector<Finding> findings; ///< waived ones have waived=true
     int filesScanned = 0;
 
+    /** Gating findings: not waived, not baselined, not advisory. */
     int unwaivedCount() const
     {
         int n = 0;
         for (const auto& f : findings)
-            n += f.waived ? 0 : 1;
+            n += (f.waived || f.note || f.baselined) ? 0 : 1;
+        return n;
+    }
+    int noteCount() const
+    {
+        int n = 0;
+        for (const auto& f : findings)
+            n += f.note ? 1 : 0;
+        return n;
+    }
+    int baselinedCount() const
+    {
+        int n = 0;
+        for (const auto& f : findings)
+            n += f.baselined ? 1 : 0;
         return n;
     }
 };
@@ -47,6 +69,9 @@ std::string toText(const Report& r);
 
 /** Render a report as a JSON object for CI consumption. */
 std::string toJson(const Report& r);
+
+/** Render the unwaived findings in baseline format (see toJson). */
+std::string toBaseline(const Report& r);
 
 } // namespace ap::lint
 

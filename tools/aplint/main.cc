@@ -1,9 +1,11 @@
 /**
  * @file
  * aplint CLI. Exit status is 0 only when the tree has zero unwaived
- * findings, so CI can gate on it directly.
+ * (and non-baselined) findings, so CI can gate on it directly.
  *
- *   aplint [--root DIR] [--json] [--exclude SUBSTR]... [path...]
+ *   aplint [--root DIR] [--json] [--exclude SUBSTR]...
+ *          [--baseline FILE] [--emit-baseline] [--strict-waivers]
+ *          [--no-wpa] [path...]
  */
 
 #include "driver.hh"
@@ -17,6 +19,7 @@ main(int argc, char** argv)
 {
     ap::lint::Options opts;
     bool json = false;
+    bool emitBaseline = false;
     std::vector<std::string> paths;
 
     for (int i = 1; i < argc; ++i) {
@@ -27,14 +30,34 @@ main(int argc, char** argv)
             opts.root = argv[++i];
         } else if (arg == "--exclude" && i + 1 < argc) {
             opts.excludes.push_back(argv[++i]);
+        } else if (arg == "--baseline" && i + 1 < argc) {
+            opts.baselinePath = argv[++i];
+        } else if (arg == "--emit-baseline") {
+            emitBaseline = true;
+        } else if (arg == "--strict-waivers") {
+            opts.strictWaivers = true;
+        } else if (arg == "--no-wpa") {
+            opts.wpa = false;
         } else if (arg == "--help" || arg == "-h") {
             std::printf(
                 "usage: aplint [--root DIR] [--json] "
-                "[--exclude SUBSTR]... [path...]\n"
+                "[--exclude SUBSTR]... [--baseline FILE] "
+                "[--emit-baseline] [--strict-waivers] [--no-wpa] "
+                "[path...]\n"
                 "Lints the ActivePointers tree against the AP_* "
                 "contract annotations.\n"
                 "Default paths (relative to --root): src tests bench "
-                "examples tools\n");
+                "examples tools\n"
+                "  --baseline FILE   tolerate findings listed in FILE; "
+                "only new ones gate\n"
+                "  --emit-baseline   print current unwaived findings "
+                "in baseline format\n"
+                "  --strict-waivers  stale (unused) waivers become "
+                "errors, not notes\n"
+                "  --no-wpa          disable the whole-program passes "
+                "(call graph,\n"
+                "                    contract propagation, inferred "
+                "yield invalidation)\n");
             return 0;
         } else if (!arg.empty() && arg[0] == '-') {
             std::fprintf(stderr, "aplint: unknown option '%s'\n",
@@ -48,6 +71,10 @@ main(int argc, char** argv)
         opts.paths = paths;
 
     ap::lint::Report report = ap::lint::analyze(opts);
+    if (emitBaseline) {
+        std::fputs(ap::lint::toBaseline(report).c_str(), stdout);
+        return 0;
+    }
     std::string out = json ? ap::lint::toJson(report)
                            : ap::lint::toText(report);
     std::fputs(out.c_str(), stdout);

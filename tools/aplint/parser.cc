@@ -9,7 +9,8 @@ namespace {
 const std::set<std::string> kAnnotations = {
     "AP_LOCKSTEP",  "AP_LEADER_ONLY", "AP_ELECTS_LEADER",
     "AP_REQUIRES_LINKED", "AP_ACQUIRES", "AP_NO_YIELD",
-    "AP_YIELDS",    "AP_LOCK_LEVEL",
+    "AP_YIELDS",    "AP_LOCK_LEVEL",  "AP_MUST_CHECK",
+    "AP_RETURNS_LINKED",
 };
 
 /** Keywords that look like calls (`if (...)`) but are not. */

@@ -16,34 +16,11 @@ lower(std::string s)
     return s;
 }
 
-/**
- * Is this condition identifier lane-dependent? Matches the lane index
- * itself and leader variables, but deliberately not plural masks
- * ("lanes", "activeMask"): a ballot mask is warp-uniform, so looping
- * on it is lockstep-safe.
- */
-bool
-laneIsh(const std::string& ident)
-{
-    std::string l = lower(ident);
-    return l == "lane" || l == "leader" || l == "lid" ||
-           l.find("laneid") != std::string::npos;
-}
-
 bool
 annotatedGlobally(const std::set<std::string>& set, const Func& f)
 {
     return set.count(f.name) > 0;
 }
-
-/** A [acquire, release) span of a registered lock class, token order. */
-struct HeldRegion
-{
-    std::string lockClass;
-    size_t beginTok; ///< token index of the acquire callee
-    size_t endTok;   ///< token index of the release, or SIZE_MAX
-    int line;
-};
 
 /**
  * Resolve a call receiver to a registered lock class. Looks through
@@ -61,6 +38,22 @@ resolveLockClass(const std::string& receiver, const GlobalModel& g,
     if (at != aliases.end())
         return at->second;
     return "";
+}
+
+} // namespace
+
+/**
+ * Is this condition identifier lane-dependent? Matches the lane index
+ * itself and leader variables, but deliberately not plural masks
+ * ("lanes", "activeMask"): a ballot mask is warp-uniform, so looping
+ * on it is lockstep-safe.
+ */
+bool
+laneIsh(const std::string& ident)
+{
+    std::string l = lower(ident);
+    return l == "lane" || l == "leader" || l == "lid" ||
+           l.find("laneid") != std::string::npos;
 }
 
 /** Find `auto& lk = ... <registered>() ...;` aliases in a body. */
@@ -119,10 +112,6 @@ inRegion(const HeldRegion& r, size_t tok)
     return tok > r.beginTok && tok < r.endTok;
 }
 
-/**
- * Walk back from a call's callee token to the start of its receiver
- * chain (`pt.bucketLock(b).acquire` -> index of `pt`).
- */
 size_t
 chainStart(const std::vector<Token>& toks, size_t i)
 {
@@ -152,6 +141,8 @@ chainStart(const std::vector<Token>& toks, size_t i)
     }
     return i;
 }
+
+namespace {
 
 void
 emit(std::vector<Finding>& out, const FileModel& m, int line,
@@ -417,7 +408,8 @@ knownRules()
     static const std::set<std::string> kRules = {
         "leader-only",   "lockstep-divergence", "no-yield",
         "lock-order",    "linked-escape",       "assert-side-effect",
-        "waiver-syntax",
+        "waiver-syntax", "must-check-status",   "linked-escape-v2",
+        "contract-propagation", "unused-waiver",
     };
     return kRules;
 }
@@ -436,8 +428,13 @@ buildGlobal(const std::vector<FileModel>& files,
                     g.leaderOnly.insert(f.name);
                 else if (a.name == "AP_ELECTS_LEADER")
                     g.electsLeader.insert(f.name);
-                else if (a.name == "AP_REQUIRES_LINKED")
+                else if (a.name == "AP_REQUIRES_LINKED") {
                     g.requiresLinked.insert(f.name);
+                    g.returnsLinked.insert(f.name);
+                } else if (a.name == "AP_RETURNS_LINKED")
+                    g.returnsLinked.insert(f.name);
+                else if (a.name == "AP_MUST_CHECK")
+                    g.mustCheck.insert(f.name);
                 else if (a.name == "AP_NO_YIELD")
                     g.noYield.insert(f.name);
                 else if (a.name == "AP_YIELDS")

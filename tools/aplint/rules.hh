@@ -11,6 +11,16 @@
  *   linked-escape        AP_REQUIRES_LINKED pointer escapes its scope
  *   assert-side-effect   AP_ASSERT/AP_CHECK condition mutates state
  *   waiver-syntax        malformed or unknown aplint waiver comment
+ *
+ * The v2 whole-program layer (callgraph.hh, dataflow.hh) adds:
+ *
+ *   must-check-status    AP_MUST_CHECK result dropped, overwritten, or
+ *                        out of scope before inspection
+ *   linked-escape-v2     linked raw pointer stored/returned via a
+ *                        local, or used after a yield or unlink
+ *   contract-propagation declared contract contradicts the summary
+ *                        inferred bottom-up from callees
+ *   unused-waiver        a waiver whose rule no longer fires there
  */
 
 #ifndef APLINT_RULES_HH
@@ -33,6 +43,10 @@ struct Finding
     std::string rule;
     std::string message;
     bool waived = false;
+    /** Non-fatal advisory (e.g. unused-waiver without --strict). */
+    bool note = false;
+    /** Matched an entry in the committed baseline; tolerated. */
+    bool baselined = false;
 };
 
 /** Cross-file registries keyed by unqualified function name. */
@@ -44,6 +58,10 @@ struct GlobalModel
     std::set<std::string> requiresLinked; ///< AP_REQUIRES_LINKED
     std::set<std::string> noYield;        ///< AP_NO_YIELD
     std::set<std::string> yields;         ///< AP_YIELDS
+    std::set<std::string> mustCheck;      ///< AP_MUST_CHECK
+    /** AP_RETURNS_LINKED plus AP_REQUIRES_LINKED (both vend linked
+     *  pointers; the v2 escape rule tracks either). */
+    std::set<std::string> returnsLinked;
     /** function name -> lock classes it may acquire (AP_ACQUIRES). */
     std::map<std::string, std::set<std::string>> acquires;
     /** lock member/accessor name -> lock class (AP_LOCK_LEVEL). */
@@ -52,6 +70,38 @@ struct GlobalModel
     std::vector<std::string> lockOrder;
     std::map<std::string, int> lockRank;
 };
+
+// ---- helpers shared with the whole-program passes ----------------------
+
+/** A [acquire, release) span of a registered lock class, token order. */
+struct HeldRegion
+{
+    std::string lockClass;
+    size_t beginTok; ///< token index of the acquire callee
+    size_t endTok;   ///< token index of the release, or SIZE_MAX
+    int line;
+};
+
+/** Is this condition identifier lane-dependent? */
+bool laneIsh(const std::string& ident);
+
+/** Find `auto& lk = ... <registered>() ...;` aliases in a body. */
+std::map<std::string, std::string>
+collectAliases(const FileModel& m, const Func& f, const GlobalModel& g);
+
+/** Pair up acquire/release call sites into held regions. */
+std::vector<HeldRegion>
+computeHeldRegions(const Func& f, const GlobalModel& g,
+                   const std::map<std::string, std::string>& aliases);
+
+/** Is the token inside the region's (begin, end) span? */
+bool inRegion(const HeldRegion& r, size_t tok);
+
+/**
+ * Walk back from a call's callee token to the start of its receiver
+ * chain (`pt.bucketLock(b).acquire` -> index of `pt`).
+ */
+size_t chainStart(const std::vector<Token>& toks, size_t i);
 
 /** All rule IDs aplint can emit (used to validate waivers). */
 const std::set<std::string>& knownRules();
