@@ -23,42 +23,18 @@
 # run inside every tier-1 row; the explicit `--no-tests=error`
 # re-runs after each row guard against a label silently going empty.
 #
-# Wired to `cmake --build <dir> --target check-all`. Each row builds
-# in its own scratch tree so the matrix never dirties a dev build.
+# Rows 1-3 (build, test, lint, simcheck) are the tier-1 CI gate and
+# live in scripts/ci.sh, which this script delegates to — ci.sh is
+# what a CI job runs standalone; check_all.sh adds the sanitizer row
+# on top. Wired to `cmake --build <dir> --target check-all`. Each row
+# builds in its own scratch tree so the matrix never dirties a dev
+# build.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
-JOBS="$(nproc 2>/dev/null || echo 4)"
 
-echo "=== [1/4] aplint protocol contracts ==="
-scripts/lint.sh build-plain
-
-echo "=== [2/4] plain tier-1 ==="
-cmake -B build-plain -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo
-cmake --build build-plain -j "${JOBS}"
-ctest --test-dir build-plain --output-on-failure -j "${JOBS}"
-ctest --test-dir build-plain -L fault --no-tests=error -j "${JOBS}" \
-    --output-on-failure
-ctest --test-dir build-plain -L prefetch --no-tests=error -j "${JOBS}" \
-    --output-on-failure
-ctest --test-dir build-plain -L obs --no-tests=error -j "${JOBS}" \
-    --output-on-failure
-ctest --test-dir build-plain -L lint --no-tests=error -j "${JOBS}" \
-    --output-on-failure
-
-echo "=== [3/4] tier-1 with simcheck armed ==="
-cmake -B build-simcheck -S . -DAP_SIMCHECK=ON \
-    -DCMAKE_BUILD_TYPE=RelWithDebInfo
-cmake --build build-simcheck -j "${JOBS}"
-ctest --test-dir build-simcheck --output-on-failure -j "${JOBS}"
-ctest --test-dir build-simcheck -L fault --no-tests=error -j "${JOBS}" \
-    --output-on-failure
-ctest --test-dir build-simcheck -L prefetch --no-tests=error \
-    -j "${JOBS}" --output-on-failure
-ctest --test-dir build-simcheck -L obs --no-tests=error -j "${JOBS}" \
-    --output-on-failure
-ctest --test-dir build-simcheck -L lint --no-tests=error -j "${JOBS}" \
-    --output-on-failure
+echo "=== [1-3/4] tier-1 CI gate (build, test, lint, simcheck) ==="
+scripts/ci.sh build-plain build-simcheck
 
 echo "=== [4/4] sanitizers ==="
 scripts/check.sh build-asan

@@ -93,7 +93,7 @@ class GpuFs
      */
     hostio::IoStatus gread(sim::Warp& w, hostio::FileId f, uint64_t off,
                            size_t len, sim::Addr dst)
-        AP_ELECTS_LEADER AP_YIELDS AP_MUST_CHECK;
+        AP_ELECTS_LEADER AP_YIELDS AP_MUST_CHECK AP_BALANCED;
 
     /**
      * Warp-level file write through the page cache.
@@ -101,7 +101,7 @@ class GpuFs
      */
     hostio::IoStatus gwrite(sim::Warp& w, hostio::FileId f, uint64_t off,
                             size_t len, sim::Addr src)
-        AP_ELECTS_LEADER AP_YIELDS AP_MUST_CHECK;
+        AP_ELECTS_LEADER AP_YIELDS AP_MUST_CHECK AP_BALANCED;
 
     /**
      * Advisory prefetch (madvise(WILLNEED) for GPU mappings): start

@@ -45,6 +45,56 @@ PageCache::PageCache(sim::Device& dev_, hostio::HostIoEngine& io_,
     allocLock.debugName = "pc.allocLock";
 }
 
+bool
+PageCache::pteTryRefAdd(sim::Warp& w, sim::Addr rca, int count)
+{
+    for (int spin = 0; spin < 64; ++spin) {
+        int32_t rc;
+        {
+            // The spin read is re-validated by the CAS.
+            SimCheck::Relaxed relaxed;
+            rc = w.mem().load<int32_t>(rca);
+        }
+        if (rc < 0)
+            return false; // entry is being evicted; re-probe
+        if (w.atomicCas<int32_t>(rca, rc, rc + count) == rc)
+            return true;
+    }
+    return false; // spin budget exhausted under contention
+}
+
+void
+PageCache::pteRefDrop(sim::Warp& w, sim::Addr rca, int count,
+                      const char* why)
+{
+    for (;;) {
+        int32_t rc;
+        {
+            SimCheck::Relaxed relaxed;
+            rc = w.mem().load<int32_t>(rca);
+        }
+        AP_ASSERT(rc >= count, "refcount underflow (", why, "): ", rc,
+                  " < ", count);
+        if (w.atomicCas<int32_t>(rca, rc, rc - count) == rc)
+            break;
+    }
+}
+
+void
+PageCache::pteInsertLoading(sim::Warp& w, sim::Addr empty, PageKey key,
+                            uint32_t frame, int count)
+{
+    Pte ne;
+    ne.taggedKey = key + 1;
+    ne.frame = frame;
+    ne.refcount = count;
+    ne.state = static_cast<uint32_t>(PteState::Loading);
+    pt.writeEntry(w, empty, ne);
+    if (SimCheck::armed)
+        SimCheck::get().pcInsert(checkDomain, key, count,
+                                 w.globalWarpId(), w.now());
+}
+
 AcquireResult
 PageCache::acquirePage(sim::Warp& w, PageKey key, int count, bool writable,
                        bool zero_fill)
@@ -81,20 +131,7 @@ PageCache::acquirePage(sim::Warp& w, PageKey key, int count, bool writable,
                 reclaimErrorEntry(w, key, ea))
                 continue;
             sim::Addr rca = PageTable::refcountAddr(ea);
-            bool got_ref = false;
-            for (int spin = 0; spin < 64 && !got_ref; ++spin) {
-                int32_t rc;
-                {
-                    // The spin read is re-validated by the CAS.
-                    SimCheck::Relaxed relaxed;
-                    rc = w.mem().load<int32_t>(rca);
-                }
-                if (rc < 0)
-                    break; // entry is being evicted; re-probe
-                if (w.atomicCas<int32_t>(rca, rc, rc + count) == rc)
-                    got_ref = true;
-            }
-            if (!got_ref) {
+            if (!pteTryRefAdd(w, rca, count)) {
                 w.issue(4);
                 continue;
             }
@@ -106,16 +143,7 @@ PageCache::acquirePage(sim::Warp& w, PageKey key, int count, bool writable,
                 recycled = w.mem().load<uint64_t>(ea) != key + 1;
             }
             if (recycled) {
-                for (;;) {
-                    int32_t rc;
-                    {
-                        SimCheck::Relaxed relaxed;
-                        rc = w.mem().load<int32_t>(rca);
-                    }
-                    AP_ASSERT(rc >= count, "refcount underflow on undo");
-                    if (w.atomicCas<int32_t>(rca, rc, rc - count) == rc)
-                        break;
-                }
+                pteRefDrop(w, rca, count, "ABA undo");
                 continue;
             }
             auto readEntryRelaxed = [&] {
@@ -170,17 +198,7 @@ PageCache::acquirePage(sim::Warp& w, PageKey key, int count, bool writable,
                 // The fill we waited on failed. Hand back our
                 // references and surface the error; the poisoned entry
                 // is reclaimed once every waiter has drained.
-                for (;;) {
-                    int32_t rc;
-                    {
-                        SimCheck::Relaxed relaxed;
-                        rc = w.mem().load<int32_t>(rca);
-                    }
-                    AP_ASSERT(rc >= count,
-                              "refcount underflow on error drain");
-                    if (w.atomicCas<int32_t>(rca, rc, rc - count) == rc)
-                        break;
-                }
+                pteRefDrop(w, rca, count, "error drain");
                 if (SimCheck::armed)
                     SimCheck::get().pcRefAdjust(checkDomain, key, -count,
                                                 w.globalWarpId(), w.now());
@@ -313,15 +331,7 @@ PageCache::acquirePage(sim::Warp& w, PageKey key, int count, bool writable,
         }
 
         // Insert the Loading entry and frame back-reference.
-        Pte ne;
-        ne.taggedKey = key + 1;
-        ne.frame = frame;
-        ne.refcount = count;
-        ne.state = static_cast<uint32_t>(PteState::Loading);
-        pt.writeEntry(w, empty, ne);
-        if (SimCheck::armed)
-            SimCheck::get().pcInsert(checkDomain, key, count,
-                                     w.globalWarpId(), w.now());
+        pteInsertLoading(w, empty, key, frame, count);
         FrameMeta fm;
         fm.taggedKey = key + 1;
         fm.entryRef = pt.entryRef(b, empty_slot);
@@ -393,17 +403,7 @@ PageCache::releasePage(sim::Warp& w, PageKey key, int count)
     sim::Addr ea = pt.probe(w, key);
     AP_ASSERT(ea != 0, "releasing non-resident page ", key);
     sim::Addr rca = PageTable::refcountAddr(ea);
-    for (;;) {
-        int32_t rc;
-        {
-            SimCheck::Relaxed relaxed;
-            rc = w.mem().load<int32_t>(rca);
-        }
-        AP_ASSERT(rc >= count, "refcount underflow releasing page ", key,
-                  ": ", rc, " < ", count);
-        if (w.atomicCas<int32_t>(rca, rc, rc - count) == rc)
-            break;
-    }
+    pteRefDrop(w, rca, count, "release");
     if (SimCheck::armed)
         SimCheck::get().pcRefAdjust(checkDomain, key, -count,
                                     w.globalWarpId(), w.now());
@@ -800,16 +800,7 @@ PageCache::publishFillError(sim::Warp& w, PageKey key, sim::Addr ea,
     // legal from Ready or Error, so the entry cannot be reclaimed out
     // from under us before the Error state is visible.
     sim::Addr rca = PageTable::refcountAddr(ea);
-    for (;;) {
-        int32_t rc;
-        {
-            SimCheck::Relaxed relaxed;
-            rc = w.mem().load<int32_t>(rca);
-        }
-        AP_ASSERT(rc >= count, "refcount underflow publishing error");
-        if (w.atomicCas<int32_t>(rca, rc, rc - count) == rc)
-            break;
-    }
+    pteRefDrop(w, rca, count, "publishing error");
     if (SimCheck::armed)
         SimCheck::get().pcRefAdjust(checkDomain, key, -count,
                                     w.globalWarpId(), w.now());

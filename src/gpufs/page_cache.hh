@@ -167,7 +167,8 @@ class PageCache
      */
     AcquireResult acquirePage(sim::Warp& w, PageKey key, int count,
                               bool writable, bool zero_fill = false)
-        AP_LEADER_ONLY AP_YIELDS AP_ACQUIRES("pt.bucket");
+        AP_LEADER_ONLY AP_YIELDS AP_ACQUIRES("pt.bucket")
+        AP_ACQUIRES_REF("pc.page") AP_TRANSITIONS("Loading->Ready");
 
     /** Host-side: true if the page was ever written back (swap test). */
     bool
@@ -178,7 +179,7 @@ class PageCache
 
     /** Drop @p count references from (f, page_no). */
     void releasePage(sim::Warp& w, PageKey key, int count)
-        AP_LEADER_ONLY AP_NO_YIELD;
+        AP_LEADER_ONLY AP_NO_YIELD AP_RELEASES_REF("pc.page");
 
     /**
      * Advisory prefetch (the gmadvise/WILLNEED path): if the page is
@@ -200,7 +201,9 @@ class PageCache
      */
     PrefetchResult prefetchPage(sim::Warp& w, PageKey key,
                                 bool speculative = false)
-        AP_LEADER_ONLY AP_ACQUIRES("pt.bucket");
+        AP_LEADER_ONLY AP_ACQUIRES("pt.bucket")
+        AP_TRANSITIONS("Absent->Loading", "Loading->Ready",
+                       "Loading->Error");
 
     /** Install the speculative-fill feedback sink (null detaches). */
     void setSpecObserver(SpecObserver* obs) { specObs = obs; }
@@ -264,7 +267,7 @@ class PageCache
      *         staging slot is released either way)
      */
     hostio::IoStatus fetchPage(sim::Warp& w, PageKey key, uint32_t frame)
-        AP_YIELDS AP_MUST_CHECK;
+        AP_YIELDS AP_MUST_CHECK AP_BALANCED;
 
     /**
      * Publish a failed fill: clear the frame's dirty bit, mark the
@@ -273,7 +276,9 @@ class PageCache
      * references.
      */
     void publishFillError(sim::Warp& w, PageKey key, sim::Addr ea,
-                          uint32_t frame, int count) AP_NO_YIELD;
+                          uint32_t frame, int count)
+        AP_NO_YIELD AP_RELEASES_REF("pc.page")
+        AP_TRANSITIONS("Loading->Error");
 
     /**
      * Try to reclaim an Error entry found at @p ea during acquire:
@@ -284,8 +289,40 @@ class PageCache
     bool reclaimErrorEntry(sim::Warp& w, PageKey key, sim::Addr ea)
         AP_ACQUIRES("pt.bucket") AP_ACQUIRES("pc.alloc");
 
-    uint32_t grabStagingSlot(sim::Warp& w) AP_YIELDS;
-    void releaseStagingSlot(sim::Warp& w, uint32_t slot) AP_NO_YIELD;
+    uint32_t grabStagingSlot(sim::Warp& w)
+        AP_YIELDS AP_ACQUIRES_REF("pc.staging");
+    void releaseStagingSlot(sim::Warp& w, uint32_t slot)
+        AP_NO_YIELD AP_RELEASES_REF("pc.staging");
+
+    /**
+     * Minor-fault refcount bump: CAS-add @p count to the refcount at
+     * @p rca unless the entry is claimed (negative) or the spin budget
+     * runs out. @return true iff the references were taken.
+     */
+    bool pteTryRefAdd(sim::Warp& w, sim::Addr rca, int count)
+        AP_NO_YIELD AP_ACQUIRES_REF("pc.page");
+
+    /**
+     * Drop @p count references at @p rca (CAS loop; never drops below
+     * zero — a concurrent eviction claim retries the CAS). @p why
+     * tags the underflow assertion; simcheck refcount-adjust reports
+     * stay at call sites, which know whether the references were ever
+     * published (the minor-fault ABA undo drops unpublished ones).
+     */
+    void pteRefDrop(sim::Warp& w, sim::Addr rca, int count,
+                    const char* why)
+        AP_NO_YIELD AP_RELEASES_REF("pc.page");
+
+    /**
+     * Publish a fresh Loading entry at bucket slot @p empty holding
+     * @p count references on behalf of the inserting warp (the
+     * major-fault path; the advisory path inserts at refcount 0
+     * inline).
+     */
+    void pteInsertLoading(sim::Warp& w, sim::Addr empty, PageKey key,
+                          uint32_t frame, int count)
+        AP_NO_YIELD AP_ACQUIRES_REF("pc.page")
+        AP_TRANSITIONS("Absent->Loading");
 
     sim::Addr metaAddr(uint32_t frame) const
     {

@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <cstdlib>
 #include <sstream>
+#include <string_view>
 
 #include "sim/fiber.hh"
+#include "util/annotations.hh"
 #include "util/logging.hh"
 
 namespace ap::sim::check {
@@ -470,6 +472,41 @@ SimCheck::onLockReleased(uint64_t lock)
 // Invariant auditor
 // ----------------------------------------------------------------------
 
+namespace {
+
+/**
+ * Is @p from -> @p to an edge of the declared PteState machine? The
+ * auditor's per-event preconditions below encode the same automaton
+ * by hand; this lookup pins each commit to ap::kPteStateMachine so
+ * the runtime checks cannot drift from the table aplint verifies
+ * statically (tests/sim/test_pte_contracts.cc probes the equality).
+ */
+bool
+edgeDeclared(const char* from, const char* to)
+{
+    for (const ap::PteEdge& e : ap::kPteStateMachine)
+        if (std::string_view(e.from) == from &&
+            std::string_view(e.to) == to)
+            return true;
+    return false;
+}
+
+} // namespace
+
+void
+SimCheck::auditEdge(uint64_t dom, uint64_t key, const char* from,
+                    const char* to)
+{
+    if (edgeDeclared(from, to))
+        return;
+    report(ReportKind::Invariant,
+           std::string("edgedrift:") + from + ":" + to,
+           std::string("PteState transition ") + from + " -> " + to +
+               " on " + pageName(dom, key) +
+               " is not an edge of ap::kPteStateMachine — the auditor "
+               "and the declared state machine have drifted");
+}
+
 std::string
 SimCheck::pageName(uint64_t dom, uint64_t key)
 {
@@ -502,6 +539,7 @@ SimCheck::pcInsert(uint64_t dom, uint64_t key, int64_t rc, int warp,
                    " by warp " + std::to_string(warp));
         return;
     }
+    auditEdge(dom, key, "Absent", "Loading");
     PageShadow ps;
     ps.rc = rc;
     ps.st = PageShadow::Loading;
@@ -531,6 +569,7 @@ SimCheck::pcReady(uint64_t dom, uint64_t key, int warp, double cycle)
                    std::to_string(warp));
         return;
     }
+    auditEdge(dom, key, "Loading", "Ready");
     ps->st = PageShadow::Ready;
 }
 
@@ -557,6 +596,7 @@ SimCheck::pcFillError(uint64_t dom, uint64_t key, int warp, double cycle)
                    std::to_string(warp));
         return;
     }
+    auditEdge(dom, key, "Loading", "Error");
     ps->st = PageShadow::Error;
 }
 
@@ -625,6 +665,8 @@ SimCheck::pcClaim(uint64_t dom, uint64_t key, int warp, double cycle)
                    std::to_string(warp));
         return;
     }
+    auditEdge(dom, key, ps->st == PageShadow::Ready ? "Ready" : "Error",
+              "Claimed");
     ps->rc = -1;
     ps->st = PageShadow::Claimed;
 }
@@ -645,6 +687,7 @@ SimCheck::pcUnclaim(uint64_t dom, uint64_t key, int warp, double cycle)
                    " that was not claimed");
         return;
     }
+    auditEdge(dom, key, "Claimed", "Ready");
     ps->rc = 0;
     ps->st = PageShadow::Ready;
 }
@@ -679,6 +722,8 @@ SimCheck::pcRemove(uint64_t dom, uint64_t key, int warp, double cycle)
                    " linked apointer lane(s) — cached translations would "
                    "go stale");
     }
+    if (ps->st == PageShadow::Claimed)
+        auditEdge(dom, key, "Claimed", "Absent");
     pages.erase(PageId{dom, key});
 }
 

@@ -403,6 +403,9 @@ class SimCheck
 
     PageShadow* pageShadow(uint64_t dom, uint64_t key);
     static std::string pageName(uint64_t dom, uint64_t key);
+    /** Report unless from->to is an edge of ap::kPteStateMachine. */
+    void auditEdge(uint64_t dom, uint64_t key, const char* from,
+                   const char* to);
 
     // --- fault-chain internals ---------------------------------------
     struct FaultShadow

@@ -63,6 +63,26 @@
  *                       returns, and any use after an AP_YIELDS call
  *                       (which may fault and remap the frame) or after
  *                       the translation is unlinked.
+ *  - AP_ACQUIRES_REF("c") The function takes one reference on the
+ *                       resource class "c" (e.g. "pc.page" for page-
+ *                       table entry refcounts) per successful call.
+ *                       aplint's typestate pass counts each call site
+ *                       as +1 and requires the body itself to net at
+ *                       most that one acquisition on every return.
+ *  - AP_RELEASES_REF("c") The function drops exactly one reference on
+ *                       class "c": −1 at each call site, and the body
+ *                       must net exactly −1 on every return path.
+ *  - AP_TRANSITIONS("A->B", ...) The function publishes the listed
+ *                       PteState transitions (and no others). Every
+ *                       edge must appear in kPteStateMachine below,
+ *                       every state store in the body must be covered
+ *                       by a declared edge, and every declared edge
+ *                       must be witnessed by the body or a callee.
+ *  - AP_BALANCED        Every path through the function — early
+ *                       returns and error branches included — must
+ *                       net zero acquisitions for every tracked
+ *                       resource class (the acquire/release pairing
+ *                       discipline of the paper's fault handler).
  */
 
 #ifndef AP_UTIL_ANNOTATIONS_HH
@@ -78,6 +98,10 @@
 #define AP_LOCK_LEVEL(lock_class)
 #define AP_MUST_CHECK
 #define AP_RETURNS_LINKED
+#define AP_ACQUIRES_REF(ref_class)
+#define AP_RELEASES_REF(ref_class)
+#define AP_TRANSITIONS(...)
+#define AP_BALANCED
 
 namespace ap {
 
@@ -94,6 +118,35 @@ inline constexpr const char* kLockOrder[] = {
     "tlb.entry",
     "pt.bucket",
     "pc.alloc",
+};
+
+/** One legal PteState transition, named by state identifiers. */
+struct PteEdge
+{
+    const char* from;
+    const char* to;
+};
+
+/**
+ * The page-table-entry state machine, every edge a PTE may legally
+ * take (paper §4.2 and DESIGN.md §10). "Absent" is the pseudo-state of
+ * a slot with no entry: insertion publishes Loading, removal requires
+ * the claimed (refcount = −1) reclamation handshake. aplint's
+ * typestate pass reads the directive below and verifies every
+ * AP_TRANSITIONS declaration and every state publication in the tree
+ * against it; tests/sim/test_pte_contracts.cc asserts the same edge
+ * set is exactly what simcheck's runtime PteState auditor accepts, so
+ * the static and dynamic views can never drift apart silently.
+ */
+// aplint: pte-edges: Absent -> Loading, Loading -> Ready, Loading -> Error, Ready -> Claimed, Error -> Claimed, Claimed -> Ready, Claimed -> Absent
+inline constexpr PteEdge kPteStateMachine[] = {
+    {"Absent", "Loading"},  // page-table insert, fill pending
+    {"Loading", "Ready"},   // fill completed
+    {"Loading", "Error"},   // fill failed, entry poisoned
+    {"Ready", "Claimed"},   // refcount 0 -> -1 eviction claim
+    {"Error", "Claimed"},   // poisoned-entry reclaim claim
+    {"Claimed", "Ready"},   // claim released (writeback failed)
+    {"Claimed", "Absent"},  // entry removed, frame recycled
 };
 
 } // namespace ap

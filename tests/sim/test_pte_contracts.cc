@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Cross-check of the static PteState machine against runtime behavior:
+ * aplint's transition rules enforce the declared edge table
+ * ap::kPteStateMachine at the source level, and simcheck's page
+ * auditor enforces an automaton in its pc* event preconditions. These
+ * tests probe every ordered state pair against the auditor and assert
+ * the set of accepted transitions equals the declared table exactly —
+ * a drift in either direction (the auditor tolerating an undeclared
+ * edge, or rejecting a declared one) fails here, the same pattern
+ * test_lock_contracts.cc uses for ap::kLockOrder.
+ */
+
+#include <set>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "sim/check/simcheck.hh"
+#include "util/annotations.hh"
+
+namespace ap::sim::check {
+namespace {
+
+const char* const kStates[] = {"Absent", "Loading", "Ready", "Error",
+                               "Claimed"};
+
+class PteContractTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        SimCheck& sc = SimCheck::get();
+        sc.reset();
+        sc.setEnabled(true);
+        sc.setFailOnReport(false);
+    }
+
+    /** Drive a fresh page to @p state via legal auditor events. */
+    void
+    driveTo(uint64_t key, const std::string& state)
+    {
+        SimCheck& sc = SimCheck::get();
+        if (state == "Absent")
+            return;
+        sc.pcInsert(kDom, key, 0, 0, 0.0); // -> Loading
+        if (state == "Loading")
+            return;
+        if (state == "Error") {
+            sc.pcFillError(kDom, key, 0, 0.0);
+            return;
+        }
+        sc.pcReady(kDom, key, 0, 0.0); // -> Ready
+        if (state == "Claimed")
+            sc.pcClaim(kDom, key, 0, 0.0);
+    }
+
+    /** Fire the canonical event that targets @p to from @p from. */
+    void
+    fireEdge(uint64_t key, const std::string& from, const std::string& to)
+    {
+        SimCheck& sc = SimCheck::get();
+        if (to == "Loading")
+            sc.pcInsert(kDom, key, 0, 0, 0.0);
+        else if (to == "Ready" && from == "Claimed")
+            sc.pcUnclaim(kDom, key, 0, 0.0);
+        else if (to == "Ready")
+            sc.pcReady(kDom, key, 0, 0.0);
+        else if (to == "Error")
+            sc.pcFillError(kDom, key, 0, 0.0);
+        else if (to == "Claimed")
+            sc.pcClaim(kDom, key, 0, 0.0);
+        else // Absent
+            sc.pcRemove(kDom, key, 0, 0.0);
+    }
+
+    static constexpr uint64_t kDom = 7777;
+};
+
+/** The declared table, as "From->To" strings. */
+std::set<std::string>
+declaredEdges()
+{
+    std::set<std::string> out;
+    for (const ap::PteEdge& e : ap::kPteStateMachine)
+        out.insert(std::string(e.from) + "->" + e.to);
+    return out;
+}
+
+TEST_F(PteContractTest, AuditorAcceptsExactlyTheDeclaredEdges)
+{
+    SimCheck& sc = SimCheck::get();
+    std::set<std::string> accepted;
+    uint64_t key = 1000;
+    for (const char* from : kStates) {
+        for (const char* to : kStates) {
+            ++key; // fresh page per probe; shadow state never aliases
+            driveTo(key, from);
+            size_t before = sc.reports().size();
+            fireEdge(key, from, to);
+            if (sc.reports().size() == before)
+                accepted.insert(std::string(from) + "->" + to);
+        }
+    }
+    EXPECT_EQ(accepted, declaredEdges())
+        << "the runtime auditor and ap::kPteStateMachine disagree";
+}
+
+TEST_F(PteContractTest, DeclaredTableHasTheSevenLifecycleEdges)
+{
+    // The table itself is load-bearing for both checkers; pin its
+    // size and a few structurally-critical edges so an accidental
+    // edit is caught even before the probe above runs.
+    std::set<std::string> edges = declaredEdges();
+    EXPECT_EQ(edges.size(),
+              sizeof(ap::kPteStateMachine) / sizeof(ap::PteEdge));
+    EXPECT_EQ(edges.size(), 7u);
+    EXPECT_TRUE(edges.count("Absent->Loading"));
+    EXPECT_TRUE(edges.count("Loading->Error"));
+    EXPECT_TRUE(edges.count("Error->Claimed"));
+    EXPECT_TRUE(edges.count("Claimed->Absent"));
+}
+
+TEST_F(PteContractTest, LegalLifecycleRunsReportFree)
+{
+    // Full happy-path lifecycle: fault in, publish, claim, evict.
+    SimCheck& sc = SimCheck::get();
+    const uint64_t key = 42;
+    sc.pcInsert(kDom, key, 2, 0, 0.0);
+    sc.pcReady(kDom, key, 0, 0.0);
+    sc.pcRefAdjust(kDom, key, -2, 0, 0.0);
+    sc.pcClaim(kDom, key, 0, 0.0);
+    sc.pcRemove(kDom, key, 0, 0.0);
+    // And the error lifecycle: failed fill, poisoned-entry reclaim.
+    sc.pcInsert(kDom, key + 1, 0, 0, 0.0);
+    sc.pcFillError(kDom, key + 1, 0, 0.0);
+    sc.pcClaim(kDom, key + 1, 0, 0.0);
+    sc.pcRemove(kDom, key + 1, 0, 0.0);
+    EXPECT_TRUE(sc.reports().empty());
+}
+
+} // namespace
+} // namespace ap::sim::check

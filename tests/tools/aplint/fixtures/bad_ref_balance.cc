@@ -1,0 +1,34 @@
+// Fixture: refcount pairing violations the typestate walker must
+// catch. readPage forgets the release on its error path (net +1 at
+// the early return); process leaks through an unannotated helper, so
+// the finding must carry the inferred-effect witness chain. Expected:
+// ref-balance (twice). Lint fodder only; never compiled.
+
+struct Cache
+{
+    bool tryRef(int n) AP_ACQUIRES_REF("pc.page");
+    void dropRef(int n) AP_RELEASES_REF("pc.page");
+};
+
+int
+readPage(Cache& c, bool fail) AP_BALANCED
+{
+    if (!c.tryRef(1))
+        return -1; // failure path: no reference held, fine
+    if (fail)
+        return -2; // BUG: holds the reference across the return
+    c.dropRef(1);
+    return 0;
+}
+
+void
+leakyHelper(Cache& c)
+{
+    c.tryRef(1); // net +1, inferred bottom-up
+}
+
+void
+process(Cache& c) AP_BALANCED
+{
+    leakyHelper(c); // BUG: caught via the interprocedural summary
+}

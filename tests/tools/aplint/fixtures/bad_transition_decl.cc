@@ -1,0 +1,20 @@
+// Fixture: broken transition declarations — a malformed edge, an edge
+// absent from the registered machine, an empty list, and a
+// kPteStateMachine initializer that drifted from the directive.
+// Declaration-only methods keep the state-edge witness checks out of
+// the picture. Expected: transition-decl (four times). Lint fodder
+// only.
+
+// aplint: pte-edges: Loading->Ready
+
+PteEdge kPteStateMachine[] = {
+    {"Loading", "Ready"},
+    {"Ready", "Claimed"}, // BUG: not in the directive above
+};
+
+struct Pt
+{
+    void malformedEdge() AP_TRANSITIONS("Loading");       // BUG: no arrow
+    void unregistered() AP_TRANSITIONS("Ready->Loading"); // BUG: no such edge
+    void emptyList() AP_TRANSITIONS();                    // BUG: no edges
+};

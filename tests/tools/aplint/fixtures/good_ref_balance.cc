@@ -1,0 +1,37 @@
+// Fixture: refcount pairing done right — conditional acquire with a
+// compensating release on every path (error branch included), a
+// release wrapper that nets exactly -1, and an acquire wrapper whose
+// failure path returns empty-handed. Must lint clean.
+
+struct Cache
+{
+    bool tryRef(int n) AP_ACQUIRES_REF("pc.page");
+    void dropRef(int n) AP_RELEASES_REF("pc.page");
+};
+
+int
+readPage(Cache& c, bool fail) AP_BALANCED
+{
+    if (!c.tryRef(1))
+        return -1;
+    if (fail) {
+        c.dropRef(1);
+        return -2;
+    }
+    c.dropRef(1);
+    return 0;
+}
+
+void
+dropAll(Cache& c) AP_RELEASES_REF("pc.page")
+{
+    c.dropRef(1);
+}
+
+bool
+refIfPresent(Cache& c, bool present) AP_ACQUIRES_REF("pc.page")
+{
+    if (!present)
+        return false;
+    return c.tryRef(1);
+}

@@ -1,0 +1,16 @@
+// Fixture: transition declarations done right — every edge is
+// well-formed and registered, and the kPteStateMachine initializer
+// matches the directive exactly (content and order). Must lint clean.
+
+// aplint: pte-edges: Loading->Ready, Loading->Error
+
+PteEdge kPteStateMachine[] = {
+    {"Loading", "Ready"},
+    {"Loading", "Error"},
+};
+
+struct Pt
+{
+    void fill() AP_TRANSITIONS("Loading->Ready");
+    void fail() AP_TRANSITIONS("Loading->Ready", "Loading->Error");
+};

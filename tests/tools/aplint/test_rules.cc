@@ -171,7 +171,8 @@ TEST(Rules, EveryKnownRuleHasANegativeFixture)
           "bad_linked_escape.cc", "bad_assert_side_effect.cc",
           "bad_waiver_syntax.cc", "bad_must_check_status.cc",
           "bad_linked_escape_v2.cc", "bad_contract_propagation.cc",
-          "bad_unused_waiver.cc"}) {
+          "bad_unused_waiver.cc", "bad_ref_balance.cc",
+          "bad_state_edge.cc", "bad_transition_decl.cc"}) {
         for (const Finding& f : lintFixture(fx).findings)
             covered.insert(f.rule);
     }

@@ -2,9 +2,11 @@
 
 #include "callgraph.hh"
 #include "dataflow.hh"
+#include "typestate.hh"
 
 #include <algorithm>
 #include <cctype>
+#include <chrono>
 #include <filesystem>
 #include <fstream>
 #include <map>
@@ -177,6 +179,42 @@ loadBaseline(const std::string& path)
     return entries;
 }
 
+/**
+ * Process-wide parse cache: repeated analyze() calls in one process
+ * (the unit-test suite runs dozens) re-tokenize only files whose
+ * content changed. Keyed by on-disk path; the cached model is copied
+ * out with its relative path patched, since findings carry m.path.
+ */
+struct CacheEntry
+{
+    std::string content;
+    FileModel model;
+};
+std::map<std::string, CacheEntry>&
+parseCache()
+{
+    static std::map<std::string, CacheEntry> cache;
+    return cache;
+}
+
+FileModel
+parseCached(const std::string& path, const std::string& rel,
+            Report& report)
+{
+    std::string content = readFile(path);
+    auto& cache = parseCache();
+    auto it = cache.find(path);
+    if (it != cache.end() && it->second.content == content) {
+        ++report.cacheHits;
+        FileModel copy = it->second.model;
+        copy.path = rel;
+        return copy;
+    }
+    FileModel m = parseFile(rel, content);
+    cache[path] = {std::move(content), m};
+    return m;
+}
+
 std::string
 jsonEscape(const std::string& s)
 {
@@ -208,6 +246,7 @@ Report
 analyze(const Options& opts)
 {
     Report report;
+    const auto t0 = std::chrono::steady_clock::now();
     const fs::path root = opts.root;
 
     std::vector<FileModel> models;
@@ -215,7 +254,7 @@ analyze(const Options& opts)
         std::string rel = relativeTo(path, root);
         if (excluded(rel, opts))
             continue;
-        models.push_back(parseFile(rel, readFile(path)));
+        models.push_back(parseCached(path, rel, report));
         ++report.filesScanned;
     }
 
@@ -226,16 +265,26 @@ analyze(const Options& opts)
 
     CallGraph cg;
     Summaries sums;
+    TypestateSummaries tsums;
     if (opts.wpa) {
         cg = buildCallGraph(models);
         sums = propagate(cg, g);
+        tsums = computeRefSummaries(models, g, cg);
     }
     for (const FileModel& m : models) {
+        const auto f0 = std::chrono::steady_clock::now();
         runRules(m, g, report.findings);
         if (opts.wpa)
             runPropagation(m, g, cg, sums, report.findings);
         runDataflow(m, g, opts.wpa ? &sums : nullptr,
                     report.findings);
+        runTypestate(m, g, opts.wpa ? &tsums : nullptr,
+                     report.findings);
+        if (opts.stats) {
+            std::chrono::duration<double, std::milli> d =
+                std::chrono::steady_clock::now() - f0;
+            report.fileMillis.emplace_back(m.path, d.count());
+        }
     }
 
     std::map<const Waiver*, bool> used;
@@ -276,6 +325,9 @@ analyze(const Options& opts)
                              return a.file < b.file;
                          return a.line < b.line;
                      });
+    std::chrono::duration<double, std::milli> total =
+        std::chrono::steady_clock::now() - t0;
+    report.totalMillis = total.count();
     return report;
 }
 
@@ -347,6 +399,67 @@ toBaseline(const Report& r)
            << jsonEscape(f.rule) << "\"}";
     }
     os << (first ? "]" : "\n  ]") << "\n}\n";
+    return os.str();
+}
+
+std::string
+toSarif(const Report& r)
+{
+    std::ostringstream os;
+    os << "{\n"
+       << "  \"version\": \"2.1.0\",\n"
+       << "  \"$schema\": \"https://raw.githubusercontent.com/oasis-"
+          "tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json\",\n"
+       << "  \"runs\": [\n    {\n"
+       << "      \"tool\": {\n        \"driver\": {\n"
+       << "          \"name\": \"aplint\",\n"
+       << "          \"informationUri\": \"docs/ANALYSIS.md\",\n"
+       << "          \"rules\": [";
+    bool first = true;
+    for (const std::string& rule : knownRules()) {
+        os << (first ? "\n" : ",\n");
+        first = false;
+        os << "            {\"id\": \"" << jsonEscape(rule) << "\"}";
+    }
+    os << (first ? "]" : "\n          ]") << "\n        }\n      },\n"
+       << "      \"results\": [";
+    first = true;
+    for (const Finding& f : r.findings) {
+        if (f.waived || f.baselined)
+            continue;
+        os << (first ? "\n" : ",\n");
+        first = false;
+        os << "        {\"ruleId\": \"" << jsonEscape(f.rule)
+           << "\", \"level\": \"" << (f.note ? "note" : "error")
+           << "\", \"message\": {\"text\": \"" << jsonEscape(f.message)
+           << "\"}, \"locations\": [{\"physicalLocation\": "
+              "{\"artifactLocation\": {\"uri\": \""
+           << jsonEscape(f.file)
+           << "\"}, \"region\": {\"startLine\": " << f.line
+           << "}}}]}";
+    }
+    os << (first ? "]" : "\n      ]") << "\n    }\n  ]\n}\n";
+    return os.str();
+}
+
+std::string
+toStats(const Report& r)
+{
+    std::ostringstream os;
+    os << "aplint stats: " << r.filesScanned << " file(s), "
+       << r.cacheHits << " parse-cache hit(s), "
+       << static_cast<long>(r.totalMillis) << " ms total\n";
+    // slowest files first, capped so the summary stays readable
+    std::vector<std::pair<std::string, double>> rows = r.fileMillis;
+    std::stable_sort(rows.begin(), rows.end(),
+                     [](const auto& a, const auto& b) {
+                         return a.second > b.second;
+                     });
+    size_t n = std::min<size_t>(rows.size(), 15);
+    for (size_t i = 0; i < n; ++i)
+        os << "  " << rows[i].first << ": "
+           << static_cast<long>(rows[i].second * 1000) / 1000.0
+           << " ms\n";
     return os.str();
 }
 

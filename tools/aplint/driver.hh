@@ -11,6 +11,7 @@
 #include "rules.hh"
 
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace ap::lint {
@@ -30,12 +31,20 @@ struct Options
     bool strictWaivers = false;
     /** Baseline file of tolerated findings ("" = none). */
     std::string baselinePath;
+    /** Collect per-file parse/analysis timings (see toStats). */
+    bool stats = false;
 };
 
 struct Report
 {
     std::vector<Finding> findings; ///< waived ones have waived=true
     int filesScanned = 0;
+    /** Files served from the process-wide parse cache this run. */
+    int cacheHits = 0;
+    /** Wall-clock for the whole analyze() call, milliseconds. */
+    double totalMillis = 0.0;
+    /** Per-file analysis wall-clock (path, ms); only under stats. */
+    std::vector<std::pair<std::string, double>> fileMillis;
 
     /** Gating findings: not waived, not baselined, not advisory. */
     int unwaivedCount() const
@@ -72,6 +81,16 @@ std::string toJson(const Report& r);
 
 /** Render the unwaived findings in baseline format (see toJson). */
 std::string toBaseline(const Report& r);
+
+/**
+ * Render a report as SARIF 2.1.0 (one run, tool "aplint") for code
+ * scanning UIs. Waived and baselined findings are omitted; notes map
+ * to level "note", everything else to "error".
+ */
+std::string toSarif(const Report& r);
+
+/** Render the timing/cache counters collected under Options::stats. */
+std::string toStats(const Report& r);
 
 } // namespace ap::lint
 

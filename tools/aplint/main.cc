@@ -3,9 +3,9 @@
  * aplint CLI. Exit status is 0 only when the tree has zero unwaived
  * (and non-baselined) findings, so CI can gate on it directly.
  *
- *   aplint [--root DIR] [--json] [--exclude SUBSTR]...
+ *   aplint [--root DIR] [--json | --sarif] [--exclude SUBSTR]...
  *          [--baseline FILE] [--emit-baseline] [--strict-waivers]
- *          [--no-wpa] [path...]
+ *          [--no-wpa] [--stats] [path...]
  */
 
 #include "driver.hh"
@@ -19,6 +19,7 @@ main(int argc, char** argv)
 {
     ap::lint::Options opts;
     bool json = false;
+    bool sarif = false;
     bool emitBaseline = false;
     std::vector<std::string> paths;
 
@@ -26,6 +27,10 @@ main(int argc, char** argv)
         const std::string arg = argv[i];
         if (arg == "--json") {
             json = true;
+        } else if (arg == "--sarif") {
+            sarif = true;
+        } else if (arg == "--stats") {
+            opts.stats = true;
         } else if (arg == "--root" && i + 1 < argc) {
             opts.root = argv[++i];
         } else if (arg == "--exclude" && i + 1 < argc) {
@@ -40,10 +45,10 @@ main(int argc, char** argv)
             opts.wpa = false;
         } else if (arg == "--help" || arg == "-h") {
             std::printf(
-                "usage: aplint [--root DIR] [--json] "
+                "usage: aplint [--root DIR] [--json | --sarif] "
                 "[--exclude SUBSTR]... [--baseline FILE] "
                 "[--emit-baseline] [--strict-waivers] [--no-wpa] "
-                "[path...]\n"
+                "[--stats] [path...]\n"
                 "Lints the ActivePointers tree against the AP_* "
                 "contract annotations.\n"
                 "Default paths (relative to --root): src tests bench "
@@ -52,12 +57,17 @@ main(int argc, char** argv)
                 "only new ones gate\n"
                 "  --emit-baseline   print current unwaived findings "
                 "in baseline format\n"
+                "  --sarif           emit SARIF 2.1.0 instead of text "
+                "(for code-scanning UIs)\n"
+                "  --stats           append per-file timing and "
+                "parse-cache counters\n"
                 "  --strict-waivers  stale (unused) waivers become "
                 "errors, not notes\n"
                 "  --no-wpa          disable the whole-program passes "
                 "(call graph,\n"
                 "                    contract propagation, inferred "
-                "yield invalidation)\n");
+                "yield invalidation,\n"
+                "                    interprocedural ref summaries)\n");
             return 0;
         } else if (!arg.empty() && arg[0] == '-') {
             std::fprintf(stderr, "aplint: unknown option '%s'\n",
@@ -75,8 +85,11 @@ main(int argc, char** argv)
         std::fputs(ap::lint::toBaseline(report).c_str(), stdout);
         return 0;
     }
-    std::string out = json ? ap::lint::toJson(report)
-                           : ap::lint::toText(report);
+    std::string out = sarif ? ap::lint::toSarif(report)
+                     : json ? ap::lint::toJson(report)
+                            : ap::lint::toText(report);
     std::fputs(out.c_str(), stdout);
+    if (opts.stats && !sarif)
+        std::fputs(ap::lint::toStats(report).c_str(), stdout);
     return report.unwaivedCount() == 0 ? 0 : 1;
 }

@@ -10,7 +10,8 @@ const std::set<std::string> kAnnotations = {
     "AP_LOCKSTEP",  "AP_LEADER_ONLY", "AP_ELECTS_LEADER",
     "AP_REQUIRES_LINKED", "AP_ACQUIRES", "AP_NO_YIELD",
     "AP_YIELDS",    "AP_LOCK_LEVEL",  "AP_MUST_CHECK",
-    "AP_RETURNS_LINKED",
+    "AP_RETURNS_LINKED", "AP_ACQUIRES_REF", "AP_RELEASES_REF",
+    "AP_TRANSITIONS", "AP_BALANCED",
 };
 
 /** Keywords that look like calls (`if (...)`) but are not. */
@@ -368,13 +369,30 @@ class Parser
                 break;
             }
             if (kAnnotations.count(s)) {
-                Annotation a{s, "", t.line};
+                Annotation a;
+                a.name = s;
+                a.line = t.line;
                 ++pos;
                 if (at("(")) {
                     ++pos;
                     if (!done())
                         a.arg = unquote(cur().text);
-                    skipToCloseParen();
+                    int depth = 1;
+                    while (!done()) {
+                        if (at("(")) {
+                            ++depth;
+                        } else if (at(")")) {
+                            if (--depth == 0) {
+                                ++pos;
+                                break;
+                            }
+                        } else if (depth == 1 &&
+                                   (cur().kind == Tok::String ||
+                                    cur().kind == Tok::Ident)) {
+                            a.args.push_back(unquote(cur().text));
+                        }
+                        ++pos;
+                    }
                 }
                 if (s == "AP_LOCK_LEVEL")
                     m.locks.push_back({f.name, a.arg, a.line});
@@ -712,6 +730,33 @@ class Parser
                     start = lt + 1;
                 }
                 m.lockOrders.push_back(std::move(order));
+                continue;
+            }
+            if (body.rfind("pte-edges:", 0) == 0) {
+                // "A -> B, C -> D, ..." — normalized to "A->B".
+                std::string rest = body.substr(10);
+                size_t start = 0;
+                while (start <= rest.size()) {
+                    size_t comma = rest.find(',', start);
+                    std::string item = trim(
+                        rest.substr(start, comma == std::string::npos
+                                               ? std::string::npos
+                                               : comma - start));
+                    if (!item.empty()) {
+                        size_t arrow = item.find("->");
+                        if (arrow != std::string::npos) {
+                            std::string from =
+                                trim(item.substr(0, arrow));
+                            std::string to =
+                                trim(item.substr(arrow + 2));
+                            item = from + "->" + to;
+                        }
+                        m.pteEdges.push_back(item);
+                    }
+                    if (comma == std::string::npos)
+                        break;
+                    start = comma + 1;
+                }
                 continue;
             }
             bool fileScope = body.rfind("allow-file(", 0) == 0;

@@ -22,7 +22,9 @@ namespace ap::lint {
 struct Annotation
 {
     std::string name; ///< e.g. "AP_LOCKSTEP"
-    std::string arg;  ///< string argument, unquoted; "" if none
+    std::string arg;  ///< first string argument, unquoted; "" if none
+    /** All string arguments in order (AP_TRANSITIONS takes several). */
+    std::vector<std::string> args;
     int line = 0;
 };
 
@@ -105,6 +107,8 @@ struct FileModel
     std::vector<Waiver> waivers;
     /** Orders from lock-order directive comments (a < b < c lists). */
     std::vector<std::vector<std::string>> lockOrders;
+    /** "A->B" edges from pte-edges directive comments, in order. */
+    std::vector<std::string> pteEdges;
 };
 
 /** Parse one file's source text into the model. */

@@ -409,7 +409,8 @@ knownRules()
         "leader-only",   "lockstep-divergence", "no-yield",
         "lock-order",    "linked-escape",       "assert-side-effect",
         "waiver-syntax", "must-check-status",   "linked-escape-v2",
-        "contract-propagation", "unused-waiver",
+        "contract-propagation", "unused-waiver", "ref-balance",
+        "state-edge",    "transition-decl",
     };
     return kRules;
 }
@@ -441,6 +442,15 @@ buildGlobal(const std::vector<FileModel>& files,
                     g.yields.insert(f.name);
                 else if (a.name == "AP_ACQUIRES")
                     g.acquires[f.name].insert(a.arg);
+                else if (a.name == "AP_ACQUIRES_REF")
+                    g.acquiresRef[f.name] = a.arg;
+                else if (a.name == "AP_RELEASES_REF")
+                    g.releasesRef[f.name] = a.arg;
+                else if (a.name == "AP_BALANCED")
+                    g.balanced.insert(f.name);
+                else if (a.name == "AP_TRANSITIONS")
+                    for (const std::string& e : a.args)
+                        g.transitions[f.name].insert(e);
             }
         }
         for (const LockDecl& l : m.locks)
@@ -455,7 +465,19 @@ buildGlobal(const std::vector<FileModel>& files,
                      false});
             }
         }
+        if (!m.pteEdges.empty()) {
+            if (g.pteEdges.empty()) {
+                g.pteEdges = m.pteEdges;
+            } else if (g.pteEdges != m.pteEdges) {
+                findings.push_back(
+                    {m.path, 0, "transition-decl",
+                     "conflicting pte-edges directives across files",
+                     false});
+            }
+        }
     }
+    for (const std::string& e : g.pteEdges)
+        g.pteEdgeSet.insert(e);
     for (size_t i = 0; i < g.lockOrder.size(); ++i)
         g.lockRank[g.lockOrder[i]] = static_cast<int>(i);
     return g;

@@ -21,6 +21,19 @@
  *   contract-propagation declared contract contradicts the summary
  *                        inferred bottom-up from callees
  *   unused-waiver        a waiver whose rule no longer fires there
+ *
+ * The v3 typestate layer (typestate.hh) adds:
+ *
+ *   ref-balance          net refcount on a tracked resource class
+ *                        violates the function's declared effect
+ *                        (AP_ACQUIRES_REF / AP_RELEASES_REF /
+ *                        AP_BALANCED) on some path
+ *   state-edge           PteState publication outside the function's
+ *                        AP_TRANSITIONS declaration, or a declared
+ *                        edge with no witnessing publication
+ *   transition-decl      malformed AP_TRANSITIONS edge, an edge not in
+ *                        the registered machine, or drift between the
+ *                        pte-edges directive and kPteStateMachine
  */
 
 #ifndef APLINT_RULES_HH
@@ -69,6 +82,17 @@ struct GlobalModel
     /** canonical order, outermost first; empty if no directive. */
     std::vector<std::string> lockOrder;
     std::map<std::string, int> lockRank;
+    /** function name -> resource class it acquires (AP_ACQUIRES_REF). */
+    std::map<std::string, std::string> acquiresRef;
+    /** function name -> resource class it releases (AP_RELEASES_REF). */
+    std::map<std::string, std::string> releasesRef;
+    /** AP_BALANCED functions: every path must net zero refs. */
+    std::set<std::string> balanced;
+    /** function name -> declared "A->B" edges (AP_TRANSITIONS). */
+    std::map<std::string, std::set<std::string>> transitions;
+    /** registered machine from the pte-edges directive, in order. */
+    std::vector<std::string> pteEdges;
+    std::set<std::string> pteEdgeSet;
 };
 
 // ---- helpers shared with the whole-program passes ----------------------

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Typestate verification of the page lifecycle: path-sensitive
+ * abstract interpretation over per-function token streams that checks
+ * the declared resource protocols (see docs/ANALYSIS.md and
+ * DESIGN.md §9.2):
+ *
+ *   ref-balance     Net refcount effect on a tracked resource class
+ *                   ("pc.page", "pc.staging") violates the function's
+ *                   declaration on some return path. AP_ACQUIRES_REF
+ *                   bodies may net 0 (failure path) or +1;
+ *                   AP_RELEASES_REF bodies must net exactly -1 on
+ *                   every path (checked only when the body contains a
+ *                   tracked event — an event-free body is a trusted
+ *                   leaf boundary); AP_BALANCED bodies must net
+ *                   exactly 0 for every class on every path, early
+ *                   returns and error branches included.
+ *
+ *   state-edge      A PteState publication (a `.state =` assignment
+ *                   or a `store(...stateAddr..., ...PteState::S...)`
+ *                   call) not covered by an AP_TRANSITIONS edge
+ *                   `*->S` on the enclosing function, or a declared
+ *                   edge with no witnessing publication in the body
+ *                   or a (transitively) declaring callee.
+ *
+ *   transition-decl Malformed AP_TRANSITIONS edge, an edge absent
+ *                   from the registered machine (the `pte-edges:`
+ *                   comment directive, the static twin of
+ *                   ap::kPteStateMachine), or drift between the
+ *                   directive and the kPteStateMachine initializer.
+ *
+ * The abstract domain is one interval [lo, hi] of net acquisitions
+ * per resource class. Branch join is the interval hull; loops are
+ * widened by a second pass (a bound still moving after the first
+ * body pass goes to +/-infinity); return statements snapshot the
+ * path state for checking and kill the path. Call effects come from
+ * the declarations (AP_ACQUIRES_REF +1, AP_RELEASES_REF -1,
+ * AP_BALANCED 0) or, through the call-graph fixpoint, from inferred
+ * summaries of unannotated helpers — so a helper that leaks a
+ * reference is caught at its annotated caller with a witness chain.
+ */
+
+#ifndef APLINT_TYPESTATE_HH
+#define APLINT_TYPESTATE_HH
+
+#include "callgraph.hh"
+#include "rules.hh"
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace ap::lint {
+
+/** Net-refcount interval; bounds at +/-kInf mean "unbounded". */
+struct Interval
+{
+    static constexpr int kInf = 1 << 20;
+    int lo = 0;
+    int hi = 0;
+    bool operator==(const Interval& o) const
+    {
+        return lo == o.lo && hi == o.hi;
+    }
+    bool operator!=(const Interval& o) const { return !(*this == o); }
+    bool zero() const { return lo == 0 && hi == 0; }
+};
+
+/** Interval hull (branch join). */
+Interval joinIv(Interval a, Interval b);
+
+/** Saturating pointwise sum (sequential composition). */
+Interval addIv(Interval a, Interval b);
+
+/** "+1", "[-1,0]", "[2,+inf]" -- human-readable bounds. */
+std::string ivText(Interval v);
+
+/**
+ * Interprocedural ref-effect summaries, computed bottom-up over the
+ * PR 6 call graph. Annotated functions are fixed boundaries (their
+ * declaration is their effect); unannotated bodies are interpreted
+ * and their joined return-path effect propagated to callers.
+ */
+struct TypestateSummaries
+{
+    /** name -> class -> net effect over all return paths. */
+    std::map<std::string, std::map<std::string, Interval>> effects;
+    /** name -> callee chain explaining a nonzero inferred effect. */
+    std::map<std::string, std::string> witness;
+    /** Declared AP_TRANSITIONS closed transitively over callees. */
+    std::map<std::string, std::set<std::string>> transitions;
+};
+
+/** Worklist fixpoint over every parsed body. */
+TypestateSummaries
+computeRefSummaries(const std::vector<FileModel>& files,
+                    const GlobalModel& g, const CallGraph& cg);
+
+/**
+ * Run the typestate rules over one file. `sums` may be null (unit
+ * tests / --no-wpa): declared annotations alone then drive call
+ * effects and edge witnessing.
+ */
+void runTypestate(const FileModel& m, const GlobalModel& g,
+                  const TypestateSummaries* sums,
+                  std::vector<Finding>& findings);
+
+} // namespace ap::lint
+
+#endif // APLINT_TYPESTATE_HH
