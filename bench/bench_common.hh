@@ -2,18 +2,28 @@
  * @file
  * Shared plumbing for the paper-reproduction bench harnesses: a full
  * simulated stack (device + backing store + host I/O + GPUfs +
- * ActivePointers runtime) and formatting helpers.
+ * ActivePointers runtime), formatting helpers, the versioned
+ * machine-readable result document every bench emits under
+ * `--json <path>` (the input format of scripts/perf_diff), and the
+ * failure ledger that turns validation mismatches into a nonzero
+ * process exit so CI can see them.
  */
 
 #ifndef AP_BENCH_BENCH_COMMON_HH
 #define AP_BENCH_BENCH_COMMON_HH
 
 #include <cstdio>
+#include <fstream>
 #include <iostream>
+#include <map>
 #include <memory>
+#include <sstream>
 #include <string>
+#include <string_view>
 
 #include "core/vm.hh"
+#include "sim/check/simcheck.hh"
+#include "util/json.hh"
 #include "util/stats.hh"
 #include "util/table.hh"
 
@@ -47,11 +57,241 @@ banner(const std::string& title)
     std::cout << "\n=== " << title << " ===\n\n";
 }
 
-/** GB/s implied by bytes moved in a cycle count. */
+/**
+ * True when a cycle count represents an empty run — zero simulated
+ * cycles (nothing executed, or every access was absorbed before it
+ * cost anything), so no rate can be derived from it.
+ */
+inline bool
+emptyRun(sim::Cycles cycles, const sim::CostModel& cm)
+{
+    return !(cm.toSeconds(cycles) > 0.0);
+}
+
+/**
+ * GB/s implied by bytes moved in a cycle count. An empty run (see
+ * emptyRun()) yields 0.0 instead of inf/nan, so rates are always
+ * finite in tables and JSON; use gbPerSecCell() where a table should
+ * show the explicit empty-run marker instead of a misleading 0.
+ */
 inline double
 gbPerSec(double bytes, sim::Cycles cycles, const sim::CostModel& cm)
 {
+    if (emptyRun(cycles, cm))
+        return 0.0;
     return bytes / cm.toSeconds(cycles) / 1e9;
+}
+
+/** Table cell for a GB/s rate: the marker "n/a (0 cycles)" on an
+ * empty run, the formatted rate otherwise. */
+inline std::string
+gbPerSecCell(double bytes, sim::Cycles cycles, const sim::CostModel& cm,
+             int decimals = 2)
+{
+    if (emptyRun(cycles, cm))
+        return "n/a (0 cycles)";
+    return TextTable::num(gbPerSec(bytes, cycles, cm), decimals);
+}
+
+// ---------------------------------------------------------------------
+// Failure ledger: benches historically always exited 0, so a
+// validation mismatch or checker report mid-bench was invisible to
+// CI. Benches call fail() when a self-check fails and return
+// exitCode() from main(); anything recorded (plus any pending
+// simcheck report in an armed build) turns into a nonzero exit.
+// ---------------------------------------------------------------------
+
+namespace detail {
+inline int&
+failureSlot()
+{
+    static int n = 0;
+    return n;
+}
+} // namespace detail
+
+/** Record one bench-level failure (printed immediately to stderr). */
+inline void
+fail(const std::string& what)
+{
+    std::cerr << "BENCH-FAIL: " << what << "\n";
+    ++detail::failureSlot();
+}
+
+/** Failures recorded so far via fail(). */
+inline int
+failures()
+{
+    return detail::failureSlot();
+}
+
+/**
+ * The process exit code a bench main() should return: 0 only when no
+ * failure was recorded and, in a simcheck-armed build, no checker
+ * report is pending (with fail-on-report disabled a report would
+ * otherwise evaporate at exit).
+ */
+inline int
+exitCode()
+{
+    int n = failures();
+    if (sim::check::SimCheck::armed) {
+        size_t reports = sim::check::SimCheck::get().reports().size();
+        if (reports) {
+            std::cerr << "BENCH-FAIL: " << reports
+                      << " simcheck report(s) pending at exit\n";
+            n += static_cast<int>(reports);
+        }
+    }
+    return n ? 1 : 0;
+}
+
+// ---------------------------------------------------------------------
+// Versioned bench-result document (`--json <path>`): the format
+// scripts/perf_diff compares. Every value that matters for
+// regression-gating is a named metric carrying its improvement
+// direction and relative tolerance band, so the baseline file is
+// self-describing — apstat diff needs no out-of-band metric table.
+// Keys are map-sorted and doubles use json::number's round-trip
+// format; two identical seeded runs emit byte-identical documents.
+// ---------------------------------------------------------------------
+
+/** Which direction of change is an improvement for a metric. */
+enum class Better {
+    Lower,  ///< latency-like: regression = value above band
+    Higher, ///< throughput-like: regression = value below band
+    Exact,  ///< deterministic count: any change is a regression
+};
+
+/** One bench's result document. */
+class BenchResult
+{
+  public:
+    /** The document format version scripts/perf_diff understands. */
+    static constexpr int kVersion = 1;
+
+    explicit BenchResult(std::string bench) : bench_(std::move(bench)) {}
+
+    /** Record a numeric configuration datum (context, not compared). */
+    void
+    config(const std::string& key, double v)
+    {
+        std::ostringstream ss;
+        json::number(ss, v);
+        config_[key] = ss.str();
+    }
+
+    /** Record a string configuration datum (context, not compared). */
+    void
+    config(const std::string& key, const std::string& v)
+    {
+        std::ostringstream ss;
+        json::quote(ss, v);
+        config_[key] = ss.str();
+    }
+
+    /**
+     * Record one compared metric. @p tol is the relative tolerance
+     * band (fraction of the baseline value) within which a change is
+     * noise; ignored for Better::Exact, which tolerates none.
+     */
+    void
+    metric(const std::string& name, double value, Better better,
+           double tol)
+    {
+        metrics_[name] = Metric{value, better, tol};
+    }
+
+    /** Emit the document (one line, sorted keys, trailing newline). */
+    void
+    renderDoc(std::ostream& os) const
+    {
+        os << "{\"schema\":\"ap-bench-result\",\"version\":" << kVersion
+           << ",\"bench\":";
+        json::quote(os, bench_);
+        os << ",\"config\":{";
+        bool first = true;
+        for (const auto& [key, rendered] : config_) {
+            if (!first)
+                os << ",";
+            first = false;
+            json::quote(os, key);
+            os << ":" << rendered;
+        }
+        os << "},\"metrics\":{";
+        first = true;
+        for (const auto& [name, m] : metrics_) {
+            if (!first)
+                os << ",";
+            first = false;
+            json::quote(os, name);
+            os << ":{\"better\":\""
+               << (m.better == Better::Lower
+                       ? "lower"
+                       : m.better == Better::Higher ? "higher" : "exact")
+               << "\",\"tol\":";
+            json::number(os, m.better == Better::Exact ? 0.0 : m.tol);
+            os << ",\"value\":";
+            json::number(os, m.value);
+            os << "}";
+        }
+        os << "}}\n";
+    }
+
+    /** The document as a string (JSON-determinism tests diff these). */
+    std::string
+    str() const
+    {
+        std::ostringstream ss;
+        renderDoc(ss);
+        return ss.str();
+    }
+
+    /** Write the document to @p path; records a failure on IO error. */
+    void
+    writeFile(const std::string& path) const
+    {
+        std::ofstream out(path, std::ios::binary);
+        if (!out) {
+            fail("cannot write JSON result to " + path);
+            return;
+        }
+        renderDoc(out);
+        std::cout << "wrote " << path << "\n";
+    }
+
+  private:
+    struct Metric
+    {
+        double value = 0;
+        Better better = Better::Lower;
+        double tol = 0;
+    };
+
+    std::string bench_;
+    std::map<std::string, std::string> config_;
+    std::map<std::string, Metric> metrics_;
+};
+
+/**
+ * Recognize and strip `--json <path>` from an argv (compacting it in
+ * place). Returns the path, or an empty string when absent. Other
+ * arguments are left for the bench's own parser.
+ */
+inline std::string
+jsonPathArg(int& argc, char** argv)
+{
+    std::string path;
+    int out = 1;
+    for (int i = 1; i < argc; ++i) {
+        if (std::string_view(argv[i]) == "--json" && i + 1 < argc) {
+            path = argv[++i];
+            continue;
+        }
+        argv[out++] = argv[i];
+    }
+    argc = out;
+    return path;
 }
 
 /**

@@ -10,7 +10,12 @@
  *  - machine-readable stats (StatGroup::dumpJson) and the Chrome
  *    trace, written next to the binary for apstat / Perfetto.
  *
- * Usage: bench_faultpath [--json stats.json] [--trace trace.json]
+ * Usage: bench_faultpath [--stats stats.json] [--trace trace.json]
+ *                        [--json result.json]
+ *
+ * --stats is the raw StatGroup dump; --json is the versioned
+ * ap-bench-result document for `apstat diff` (scripts/perf_diff).
+ * A stage-sum cross-check mismatch makes the exit status nonzero.
  */
 
 #include <cstring>
@@ -88,14 +93,19 @@ crossCheck(const ap::StatGroup& stats, const char* kind)
     double rel = total->sum() > 0
                      ? stage_sum / total->sum() - 1.0
                      : 0.0;
+    bool ok = std::abs(rel) <= 0.05;
     std::cout << kind << ": stage-sum/total = "
               << TextTable::pct(stage_sum / total->sum(), false, 2)
-              << " (" << (std::abs(rel) <= 0.05 ? "OK" : "MISMATCH")
-              << ", " << total->count() << " faults)\n";
+              << " (" << (ok ? "OK" : "MISMATCH") << ", "
+              << total->count() << " faults)\n";
+    if (!ok)
+        fail(std::string(kind) +
+             ": stage sum does not telescope to the end-to-end total");
 }
 
 int
-run(const char* json_path, const char* trace_path)
+run(const char* stats_path, const char* trace_path,
+    const std::string& result_path)
 {
     auto st = fpStack();
     st->dev->tracer().enable();
@@ -113,14 +123,14 @@ run(const char* json_path, const char* trace_path)
          {"major", "minor", "spec_hit", "spec_fill", "error"})
         crossCheck(st->dev->stats(), kind);
 
-    if (json_path) {
-        std::ofstream js(json_path);
+    if (stats_path) {
+        std::ofstream js(stats_path);
         if (!js) {
-            std::cerr << "cannot write " << json_path << "\n";
+            std::cerr << "cannot write " << stats_path << "\n";
             return 1;
         }
         st->dev->stats().dumpJson(js);
-        std::cout << "\nstats json: " << json_path << "\n";
+        std::cout << "\nstats json: " << stats_path << "\n";
     }
     if (trace_path) {
         std::ofstream tr(trace_path);
@@ -132,7 +142,31 @@ run(const char* json_path, const char* trace_path)
         std::cout << "trace json: " << trace_path
                   << "  (analyze with tools/apstat)\n";
     }
-    return 0;
+
+    if (!result_path.empty()) {
+        BenchResult doc("faultpath");
+        doc.config("blocks", kBlocks);
+        doc.config("warps_per_block", kWarpsPerBlock);
+        doc.config("pages_per_warp", kPagesPerWarp);
+        for (const char* kind : {"major", "minor"}) {
+            const Histogram* h = st->dev->stats().findHistogram(
+                std::string("faultpath.") + kind + ".total");
+            std::string key = kind;
+            if (!h) {
+                fail(key + ": no end-to-end fault histogram");
+                continue;
+            }
+            doc.metric(key + ".count",
+                       static_cast<double>(h->count()), Better::Exact,
+                       0);
+            doc.metric(key + ".mean_cycles", h->mean(), Better::Lower,
+                       0.05);
+            doc.metric(key + ".p95_cycles", h->quantile(0.95),
+                       Better::Lower, 0.10);
+        }
+        doc.writeFile(result_path);
+    }
+    return exitCode();
 }
 
 } // namespace
@@ -141,19 +175,20 @@ run(const char* json_path, const char* trace_path)
 int
 main(int argc, char** argv)
 {
-    const char* json_path = nullptr;
+    std::string result_path = ap::bench::jsonPathArg(argc, argv);
+    const char* stats_path = nullptr;
     const char* trace_path = nullptr;
     for (int i = 1; i < argc; ++i) {
         std::string_view a = argv[i];
-        if (a == "--json" && i + 1 < argc)
-            json_path = argv[++i];
+        if (a == "--stats" && i + 1 < argc)
+            stats_path = argv[++i];
         else if (a == "--trace" && i + 1 < argc)
             trace_path = argv[++i];
         else {
-            std::cerr << "usage: bench_faultpath [--json stats.json] "
-                         "[--trace trace.json]\n";
+            std::cerr << "usage: bench_faultpath [--stats stats.json] "
+                         "[--trace trace.json] [--json result.json]\n";
             return 1;
         }
     }
-    return ap::bench::run(json_path, trace_path);
+    return ap::bench::run(stats_path, trace_path, result_path);
 }

@@ -81,13 +81,17 @@ accessTime(Stack& st, int unique_pages)
 }
 
 void
-run()
+run(const std::string& json_path)
 {
     banner("Figure 7: cycles per page access vs unique pages per "
            "threadblock (lower is better)");
 
     const int unique[] = {1, 2, 4, 8, 16, 32, 64, 128, 256, 512};
     const int tlbs[] = {8, 16, 32, 64, 0}; // 0 = no TLB
+
+    BenchResult doc("fig7");
+    doc.config("warps", kWarps);
+    doc.config("iters_per_warp", kItersPerWarp);
 
     TextTable t;
     std::vector<std::string> head{"TLB \\ unique pages"};
@@ -96,11 +100,19 @@ run()
     t.header(head);
 
     for (int entries : tlbs) {
+        std::string label =
+            entries ? "tlb" + std::to_string(entries) : "notlb";
         std::vector<std::string> row{
             entries ? std::to_string(entries) + " entries" : "no TLB"};
         for (int u : unique) {
             auto st = tlbStack(entries);
-            row.push_back(TextTable::num(accessTime(*st, u), 0));
+            double cyc = accessTime(*st, u);
+            row.push_back(TextTable::num(cyc, 0));
+            // The extremes characterize the curve: full reuse (1
+            // unique page) and full thrash (512).
+            if (u == 1 || u == 512)
+                doc.metric(label + ".cycles_u" + std::to_string(u),
+                           cyc, Better::Lower, 0.02);
         }
         t.row(row);
     }
@@ -109,14 +121,22 @@ run()
     std::cout << "\nPaper reference: the TLB wins at high page reuse "
                  "(few unique pages); past the TLB capacity its miss/"
                  "update overhead makes the TLB-less design faster.\n";
+
+    if (!json_path.empty())
+        doc.writeFile(json_path);
 }
 
 } // namespace
 } // namespace ap::bench
 
 int
-main()
+main(int argc, char** argv)
 {
-    ap::bench::run();
-    return 0;
+    std::string json = ap::bench::jsonPathArg(argc, argv);
+    if (argc != 1) {
+        std::cerr << "usage: bench_fig7_tlb [--json <path>]\n";
+        return 2;
+    }
+    ap::bench::run(json);
+    return ap::bench::exitCode();
 }

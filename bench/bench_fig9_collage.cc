@@ -42,7 +42,7 @@ datasetParams(uint32_t record_size)
 }
 
 void
-runAligned()
+runAligned(BenchResult& doc)
 {
     banner("Figure 9: collage runtime per input block, normalized to "
            "the CPU baseline (lower is better)");
@@ -84,10 +84,10 @@ runAligned()
         CollageResult r_fs = run_fs(false);
         CollageResult r_ap = run_fs(true);
 
-        AP_ASSERT(r_cpu.choice == r_hyb.choice &&
-                      r_cpu.choice == r_fs.choice &&
-                      r_cpu.choice == r_ap.choice,
-                  "implementations disagree on the collage");
+        if (r_cpu.choice != r_hyb.choice ||
+            r_cpu.choice != r_fs.choice || r_cpu.choice != r_ap.choice)
+            fail(std::string(spec.name) +
+                 ": implementations disagree on the collage");
 
         auto norm = [&](const CollageResult& r) {
             return TextTable::num(r.seconds / r_cpu.seconds, 2);
@@ -98,6 +98,11 @@ runAligned()
                "| x" + TextTable::num(r_cpu.seconds / r_fs.seconds, 2),
                "x" + TextTable::num(r_hyb.seconds / r_fs.seconds, 2),
                TextTable::pct(r_ap.seconds / r_fs.seconds - 1, true, 1)});
+
+        doc.metric(std::string(spec.name) + ".gpufs_speedup_vs_cpu",
+                   r_cpu.seconds / r_fs.seconds, Better::Higher, 0.05);
+        doc.metric(std::string(spec.name) + ".aptr_over_gpufs_ratio",
+                   r_ap.seconds / r_fs.seconds, Better::Lower, 0.05);
     }
     t.print(std::cout);
     std::cout << "\nPaper reference: GPUfs averages 1.6x over the CPU "
@@ -106,7 +111,7 @@ runAligned()
 }
 
 void
-runUnaligned()
+runUnaligned(BenchResult& doc)
 {
     banner("Section VI-E, unaligned access: 3 KB records without page "
            "alignment");
@@ -126,8 +131,10 @@ runUnaligned()
     Stack st(core::GvmConfig{}, fscfg, size_t(320) << 20);
     Dataset ds = Dataset::build(st.bs, datasetParams(3072));
     CollageResult r_ap = runGpufs(*st.rt, ds, in, true);
-    AP_ASSERT(r_cpu.choice == r_ap.choice,
-              "unaligned apointer run disagrees with the CPU");
+    if (r_cpu.choice != r_ap.choice)
+        fail("unaligned apointer run disagrees with the CPU");
+    doc.metric("unaligned.aptr_ms", r_ap.seconds * 1e3, Better::Lower,
+               0.05);
 
     std::printf("CPU: %.3f ms, GPUfs+APtr: %.3f ms (identical "
                 "results)\n",
@@ -144,10 +151,15 @@ runUnaligned()
 int
 main(int argc, char** argv)
 {
+    std::string json = ap::bench::jsonPathArg(argc, argv);
     bool unaligned_only =
         argc > 1 && std::strcmp(argv[1], "--unaligned") == 0;
+    ap::bench::BenchResult doc("fig9");
+    doc.config("unaligned_only", unaligned_only ? 1.0 : 0.0);
     if (!unaligned_only)
-        ap::bench::runAligned();
-    ap::bench::runUnaligned();
-    return 0;
+        ap::bench::runAligned(doc);
+    ap::bench::runUnaligned(doc);
+    if (!json.empty())
+        doc.writeFile(json);
+    return ap::bench::exitCode();
 }

@@ -147,12 +147,30 @@ accuracy(const RaPoint& pt)
     return TextTable::num(100.0 * pt.useful / pt.issued, 1) + "%";
 }
 
+/** Metric key for a pattern (table names have spaces). */
+const char*
+patternKey(Pattern p)
+{
+    switch (p) {
+      case Pattern::Sequential:
+        return "sequential";
+      case Pattern::Strided:
+        return "strided";
+      default:
+        return "random";
+    }
+}
+
 void
-run()
+run(const std::string& json_path)
 {
     banner("Adaptive readahead: streaming reads, prefetcher off vs on "
            "(" + std::to_string(kNumWarps) + " warps x " +
            std::to_string(kPagesPerWarp) + " pages)");
+    BenchResult doc("prefetch");
+    doc.config("warps", kNumWarps);
+    doc.config("pages_per_warp", static_cast<double>(kPagesPerWarp));
+
     TextTable t;
     t.header({"pattern", "readahead", "cycles", "speedup", "majors",
               "issued", "useful", "late", "wasted", "thrott", "drop",
@@ -173,6 +191,23 @@ run()
                TextTable::num(double(on.wasted), 0),
                TextTable::num(double(on.throttled), 0),
                TextTable::num(double(on.dropped), 0), accuracy(on)});
+
+        std::string key = patternKey(pat);
+        doc.metric(key + ".off_cycles", off.cycles, Better::Lower,
+                   0.02);
+        doc.metric(key + ".on_cycles", on.cycles, Better::Lower, 0.02);
+        doc.metric(key + ".speedup", off.cycles / on.cycles,
+                   Better::Higher, 0.05);
+        // Deterministic simulator: any drift in the fault/prefetch
+        // counters means the prefetcher's behavior changed.
+        doc.metric(key + ".off_majors",
+                   static_cast<double>(off.majors), Better::Exact, 0);
+        doc.metric(key + ".on_majors", static_cast<double>(on.majors),
+                   Better::Exact, 0);
+        doc.metric(key + ".issued", static_cast<double>(on.issued),
+                   Better::Exact, 0);
+        doc.metric(key + ".useful", static_cast<double>(on.useful),
+                   Better::Exact, 0);
     }
     t.print(std::cout);
 
@@ -187,14 +222,22 @@ run()
            "never produces, so the prefetcher stays silent and the "
            "only cost is stream-table bookkeeping in the fault "
            "path.\n";
+
+    if (!json_path.empty())
+        doc.writeFile(json_path);
 }
 
 } // namespace
 } // namespace ap::bench
 
 int
-main()
+main(int argc, char** argv)
 {
-    ap::bench::run();
-    return 0;
+    std::string json = ap::bench::jsonPathArg(argc, argv);
+    if (argc != 1) {
+        std::cerr << "usage: bench_prefetch [--json <path>]\n";
+        return 2;
+    }
+    ap::bench::run(json);
+    return ap::bench::exitCode();
 }

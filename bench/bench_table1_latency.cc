@@ -147,7 +147,7 @@ cell(double v, double base)
 }
 
 void
-run()
+run(const std::string& json_path)
 {
     banner("Table I: apointer latency in GPU cycles (lower is better)");
 
@@ -155,6 +155,24 @@ run()
     Row compiler = measureAptr(AccessMode::Compiler);
     Row optptx = measureAptr(AccessMode::OptimizedPtx);
     Row prefetch = measureAptr(AccessMode::Prefetch);
+
+    BenchResult doc("table1");
+    doc.config("reps", kReps);
+    auto record = [&](const std::string& impl, const Row& r) {
+        // The simulator is deterministic, so these only move when the
+        // cost model or the aptr instruction sequences change; a tight
+        // band makes either show up in perf_diff.
+        doc.metric(impl + ".read_cycles", r.read, Better::Lower, 0.02);
+        doc.metric(impl + ".inc_cycles", r.inc, Better::Lower, 0.02);
+        doc.metric(impl + ".read_inc_cycles", r.readInc, Better::Lower,
+                   0.02);
+        doc.metric(impl + ".read_inc_rw_cycles", r.readIncRw,
+                   Better::Lower, 0.02);
+    };
+    record("raw", raw);
+    record("compiler", compiler);
+    record("optimized_ptx", optptx);
+    record("prefetch", prefetch);
 
     TextTable t;
     t.header({"Implementation", "read", "inc", "read+inc",
@@ -186,14 +204,22 @@ run()
     p.print(std::cout);
 
     faultBreakdown();
+
+    if (!json_path.empty())
+        doc.writeFile(json_path);
 }
 
 } // namespace
 } // namespace ap::bench
 
 int
-main()
+main(int argc, char** argv)
 {
-    ap::bench::run();
-    return 0;
+    std::string json = ap::bench::jsonPathArg(argc, argv);
+    if (argc != 1) {
+        std::cerr << "usage: bench_table1_latency [--json <path>]\n";
+        return 2;
+    }
+    ap::bench::run(json);
+    return ap::bench::exitCode();
 }

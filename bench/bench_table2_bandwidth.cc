@@ -95,7 +95,7 @@ copyAptr(Stack& st, Addr src, Addr dst, size_t total)
 }
 
 void
-run()
+run(const std::string& json_path)
 {
     banner("Table II: memory-copy bandwidth in GB/s (higher is better)");
     const size_t total =
@@ -137,14 +137,30 @@ run()
                  "(cudaMemcpyDeviceToDevice); Compiler apointers "
                  "99.7 GB/s (65.4%), 97.7 (64.1%) with rw, 148.7 "
                  "(97.6%) with 8-byte accesses.\n";
+
+    if (!json_path.empty()) {
+        BenchResult doc("table2");
+        doc.config("blocks", kBlocks);
+        doc.config("warps_per_block", kWarpsPerBlock);
+        doc.metric("raw_gbps", base, Better::Higher, 0.03);
+        doc.metric("compiler_4b_gbps", a4, Better::Higher, 0.03);
+        doc.metric("compiler_4b_rw_gbps", a4rw, Better::Higher, 0.03);
+        doc.metric("compiler_8b_gbps", a8, Better::Higher, 0.03);
+        doc.writeFile(json_path);
+    }
 }
 
 } // namespace
 } // namespace ap::bench
 
 int
-main()
+main(int argc, char** argv)
 {
-    ap::bench::run();
-    return 0;
+    std::string json = ap::bench::jsonPathArg(argc, argv);
+    if (argc != 1) {
+        std::cerr << "usage: bench_table2_bandwidth [--json <path>]\n";
+        return 2;
+    }
+    ap::bench::run(json);
+    return ap::bench::exitCode();
 }

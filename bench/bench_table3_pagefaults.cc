@@ -117,7 +117,7 @@ fmt(double ov)
 }
 
 void
-run()
+run(const std::string& json_path)
 {
     banner("Table III: apointer page-fault overhead over gmmap "
            "(lower is better)");
@@ -145,14 +145,42 @@ run()
     std::cout << "\nPaper reference: short 20%, long 24%, no-TLB 13% "
                  "minor-fault overhead; no observable overhead with "
                  "major faults (masked by host transfers).\n";
+
+    if (!json_path.empty()) {
+        BenchResult doc("table3");
+        doc.config("blocks", kBlocks);
+        doc.config("warps_per_block", kWarpsPerBlock);
+        doc.config("pages_per_warp", kPagesPerWarp);
+        // Ratios (aptr/baseline, 1.0 = free) rather than overheads:
+        // the majors sit near 0% overhead, where a relative band on
+        // the overhead itself would be vanishingly tight.
+        doc.metric("short_tlb.minor_ratio", 1.0 + s.minor,
+                   Better::Lower, 0.05);
+        doc.metric("long_tlb.minor_ratio", 1.0 + l.minor,
+                   Better::Lower, 0.05);
+        doc.metric("no_tlb.minor_ratio", 1.0 + n.minor, Better::Lower,
+                   0.05);
+        doc.metric("short_tlb.major_ratio", 1.0 + s.major,
+                   Better::Lower, 0.05);
+        doc.metric("long_tlb.major_ratio", 1.0 + l.major,
+                   Better::Lower, 0.05);
+        doc.metric("no_tlb.major_ratio", 1.0 + n.major, Better::Lower,
+                   0.05);
+        doc.writeFile(json_path);
+    }
 }
 
 } // namespace
 } // namespace ap::bench
 
 int
-main()
+main(int argc, char** argv)
 {
-    ap::bench::run();
-    return 0;
+    std::string json = ap::bench::jsonPathArg(argc, argv);
+    if (argc != 1) {
+        std::cerr << "usage: bench_table3_pagefaults [--json <path>]\n";
+        return 2;
+    }
+    ap::bench::run(json);
+    return ap::bench::exitCode();
 }

@@ -13,14 +13,20 @@
 #   4. sanitizers  - tier-1 under ASan+UBSan (via scripts/check.sh),
 #                    plus clang-tidy when installed
 #
+# Rows 1-3 also include the perf gate (scripts/perf_diff): the serving
+# harness and the gated bench binaries re-run with --json and diffed
+# against the committed BENCH_*.json baselines via `apstat diff`.
+#
 # The failure-semantics tests (ctest label `fault`: injector, retry/
 # backoff, fill-error propagation), the readahead tests (ctest label
 # `prefetch`: stream detection, window adaptation, throttle,
 # speculative-page lifecycle), and the observability tests (ctest
 # label `obs`: fault-path recorder, latency histograms, stats export,
-# apstat), and the analyzer's own suite (ctest label `lint`: the two
-# self-host scans plus lexer/parser/rule/call-graph/dataflow units)
-# run inside every tier-1 row; the explicit `--no-tests=error`
+# apstat incl. its diff mode), the serving-harness tests (ctest label
+# `serving`: arrivals, admission control, validation, JSON byte
+# determinism), and the analyzer's own suite (ctest label `lint`: the
+# two self-host scans plus lexer/parser/rule/call-graph/dataflow
+# units) run inside every tier-1 row; the explicit `--no-tests=error`
 # re-runs after each row guard against a label silently going empty.
 #
 # Rows 1-3 (build, test, lint, simcheck) are the tier-1 CI gate and

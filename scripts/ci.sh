@@ -8,10 +8,14 @@
 # Steps:
 #   build     configure + compile the plain tree
 #   test      full ctest, then one --no-tests=error re-run per suite
-#             label (fault, prefetch, obs, lint, simcheck) so a label
-#             silently going empty fails
+#             label (fault, prefetch, obs, lint, serving, simcheck) so
+#             a label silently going empty fails
 #   lint      aplint over the whole tree against the committed (empty)
 #             baseline — any unwaived finding fails
+#   perf      scripts/perf_diff: the gated benches re-run with --json
+#             and compared against the committed BENCH_*.json
+#             baselines (per-metric tolerance bands; any regression
+#             fails; rebaseline with scripts/perf_diff --rebaseline)
 #   simcheck  tier-1 rebuilt and re-run with the race/lock-order/
 #             invariant/page-lifecycle analyses armed, then a one-line
 #             summary of what the gate covered
@@ -24,7 +28,7 @@ cd "$(dirname "$0")/.."
 PLAIN="${1:-build-plain}"
 ARMED="${2:-build-simcheck}"
 JOBS="$(nproc 2>/dev/null || echo 4)"
-LABELS=(fault prefetch obs lint simcheck)
+LABELS=(fault prefetch obs lint serving simcheck)
 
 STEP=""
 step() {
@@ -49,6 +53,9 @@ done
 
 step "lint (baseline: tools/aplint/baseline.json)"
 scripts/lint.sh "${PLAIN}"
+
+step "perf (baselines: BENCH_*.json)"
+scripts/perf_diff "${PLAIN}"
 
 step "simcheck (${ARMED})"
 cmake -B "${ARMED}" -S . -DAP_SIMCHECK=ON \

@@ -22,11 +22,9 @@ constexpr int kCollageWarpsPerBlock = 8;
 constexpr int kHistWords = kBins;
 
 /** Records are streamed with 16-byte vector loads (like the paper's
- * 16-byte batched loads of section VI-B). */
-struct F4
-{
-    float v[4];
-};
+ * 16-byte batched loads of section VI-B); the word type is public so
+ * query-shaped callers share the layout. */
+using F4 = Float4;
 
 /** 16-byte loads per record. */
 constexpr int kRecF4 = kHistWords / 4;
@@ -39,22 +37,11 @@ gridBlocks(uint32_t num_blocks)
         (num_blocks + kCollageWarpsPerBlock - 1) / kCollageWarpsPerBlock);
 }
 
-/** Input pixels + (optionally) the LSH bucket index, on the device. */
-struct DeviceInput
-{
-    Addr pixels = 0;
-    Addr bucketOffs = 0; ///< prefix offsets, tables*numBuckets+1 words
-    Addr bucketIds = 0;
-    sim::Cycles uploadCycles = 0;
-};
+} // namespace
 
-/**
- * Copy the input (and bucket index) into device memory, charging one
- * PCIe transfer per buffer.
- */
 DeviceInput
-upload(sim::Device& dev, const Dataset& ds, const CollageInput& in,
-       bool with_index)
+uploadInput(sim::Device& dev, const Dataset& ds, const CollageInput& in,
+            bool with_index)
 {
     const sim::CostModel& cm = dev.costModel();
     DeviceInput d;
@@ -86,6 +73,8 @@ upload(sim::Device& dev, const Dataset& ds, const CollageInput& in,
     d.uploadCycles = cm.pcieLatency + bytes / cm.pcieBytesPerCycle;
     return d;
 }
+
+namespace {
 
 /**
  * Device stage: read one block's pixels and build its histogram.
@@ -161,6 +150,47 @@ takeBest(uint32_t cand, float dist, uint32_t& best, float& best_dist)
         best = cand;
         best_dist = dist;
     }
+}
+
+/**
+ * The whole apointer pipeline for one query block — histogram, LSH,
+ * candidate lookup, per-candidate strided 16 B scan through @p map —
+ * shared verbatim by the batch kernel (runGpufs) and the serving
+ * QueryContext, so the two paths cannot drift.
+ */
+uint32_t
+serveBlockAptr(Warp& w, const Dataset& ds, AptrVec<F4>& map, Addr pixels,
+               uint32_t blk, uint64_t& scanned)
+{
+    auto hist = kernelBlockHistogram(w, pixels, blk);
+    chargeLsh(w, ds);
+    auto cand = kernelCandidates(w, ds, hist);
+    scanned += cand.size();
+
+    uint32_t best = UINT32_MAX;
+    float best_dist = 0;
+    std::vector<float> rec(kHistWords);
+    for (uint32_t c : cand) {
+        uint64_t roff = ds.recordOffset(c);
+        // Per-lane strided 16 B reads via active pointers.
+        auto q = map.copyUnlinked(w);
+        LaneArray<int64_t> seek;
+        for (int l = 0; l < kWarpSize; ++l)
+            seek[l] = static_cast<int64_t>(roff / 16) + l;
+        q.addPerLane(w, seek);
+        for (int it = 0; it * kWarpSize < kRecF4; ++it) {
+            auto v = q.read(w);
+            for (int l = 0; l < kWarpSize; ++l)
+                for (int k = 0; k < 4; ++k)
+                    rec[(it * kWarpSize + l) * 4 + k] = v[l].v[k];
+            if ((it + 1) * kWarpSize < kRecF4)
+                q.add(w, kWarpSize);
+        }
+        q.destroy(w);
+        float dist = kernelDistance(w, hist, rec);
+        takeBest(c, dist, best, best_dist);
+    }
+    return best;
 }
 
 } // namespace
@@ -241,7 +271,7 @@ runHybrid(sim::Device& dev, const Dataset& ds, const CollageInput& in,
     constexpr uint32_t kChunkBlocks = 128;
 
     // ---- Upload input pixels (no index: the CPU owns the buckets).
-    DeviceInput d = upload(dev, ds, in, /*with_index=*/false);
+    DeviceInput d = uploadInput(dev, ds, in, /*with_index=*/false);
     Addr out = dev.mem().alloc(in.numBlocks * 4, 256);
     // Reusable device blob arena, one chunk's candidates at a time.
     size_t blob_capacity = 0;
@@ -362,7 +392,7 @@ runGpufs(core::GvmRuntime& rt, const Dataset& ds, const CollageInput& in,
     CollageResult r;
     r.choice.resize(in.numBlocks, UINT32_MAX);
 
-    DeviceInput d = upload(dev, ds, in, /*with_index=*/true);
+    DeviceInput d = uploadInput(dev, ds, in, /*with_index=*/true);
     Addr out = dev.mem().alloc(in.numBlocks * 4, 256);
     sim::Cycles total = d.uploadCycles;
 
@@ -374,60 +404,47 @@ runGpufs(core::GvmRuntime& rt, const Dataset& ds, const CollageInput& in,
             uint32_t blk = static_cast<uint32_t>(w.globalWarpId());
             if (blk >= in.numBlocks)
                 return;
+            if (use_aptr) {
+                // The whole dataset is mapped once per warp; the scan
+                // itself is the shared serveBlockAptr pipeline.
+                AptrVec<F4> map = core::gvmmap<F4>(
+                    w, rt, file_bytes, hostio::O_GRDONLY, ds.histFile, 0);
+                uint64_t scanned = 0;
+                uint32_t best = serveBlockAptr(w, ds, map, d.pixels, blk,
+                                               scanned);
+                map.destroy(w);
+                r.candidatesScanned += scanned;
+                w.storeScalar<uint32_t>(out + blk * 4, best);
+                return;
+            }
+
             auto hist = kernelBlockHistogram(w, d.pixels, blk);
             chargeLsh(w, ds);
             auto cand = kernelCandidates(w, ds, hist);
             r.candidatesScanned += cand.size();
-
-            // The whole dataset is mapped once per warp (apointers).
-            AptrVec<F4> map;
-            if (use_aptr)
-                map = core::gvmmap<F4>(w, rt, file_bytes,
-                                       hostio::O_GRDONLY, ds.histFile, 0);
 
             uint32_t best = UINT32_MAX;
             float best_dist = 0;
             std::vector<float> rec(kHistWords);
             for (uint32_t c : cand) {
                 uint64_t roff = ds.recordOffset(c);
-                if (use_aptr) {
-                    // Per-lane strided 16 B reads via active pointers.
-                    auto q = map.copyUnlinked(w);
-                    LaneArray<int64_t> seek;
+                // gmmap the record's page and read it raw.
+                Addr rbase =
+                    fs.gmmap(w, ds.histFile, roff, hostio::O_GRDONLY);
+                for (int it = 0; it * kWarpSize < kRecF4; ++it) {
+                    LaneArray<Addr> a;
                     for (int l = 0; l < kWarpSize; ++l)
-                        seek[l] = static_cast<int64_t>(roff / 16) + l;
-                    q.addPerLane(w, seek);
-                    for (int it = 0; it * kWarpSize < kRecF4; ++it) {
-                        auto v = q.read(w);
-                        for (int l = 0; l < kWarpSize; ++l)
-                            for (int k = 0; k < 4; ++k)
-                                rec[(it * kWarpSize + l) * 4 + k] =
-                                    v[l].v[k];
-                        if ((it + 1) * kWarpSize < kRecF4)
-                            q.add(w, kWarpSize);
-                    }
-                    q.destroy(w);
-                } else {
-                    // gmmap the record's page and read it raw.
-                    Addr rbase =
-                        fs.gmmap(w, ds.histFile, roff, hostio::O_GRDONLY);
-                    for (int it = 0; it * kWarpSize < kRecF4; ++it) {
-                        LaneArray<Addr> a;
-                        for (int l = 0; l < kWarpSize; ++l)
-                            a[l] = rbase + (it * kWarpSize + l) * 16;
-                        auto v = w.loadGlobal<F4>(a);
-                        for (int l = 0; l < kWarpSize; ++l)
-                            for (int k = 0; k < 4; ++k)
-                                rec[(it * kWarpSize + l) * 4 + k] =
-                                    v[l].v[k];
-                    }
-                    fs.gmunmap(w, ds.histFile, roff);
+                        a[l] = rbase + (it * kWarpSize + l) * 16;
+                    auto v = w.loadGlobal<F4>(a);
+                    for (int l = 0; l < kWarpSize; ++l)
+                        for (int k = 0; k < 4; ++k)
+                            rec[(it * kWarpSize + l) * 4 + k] =
+                                v[l].v[k];
                 }
+                fs.gmunmap(w, ds.histFile, roff);
                 float dist = kernelDistance(w, hist, rec);
                 takeBest(c, dist, best, best_dist);
             }
-            if (use_aptr)
-                map.destroy(w);
             w.storeScalar<uint32_t>(out + blk * 4, best);
         });
 
@@ -435,6 +452,28 @@ runGpufs(core::GvmRuntime& rt, const Dataset& ds, const CollageInput& in,
         r.choice[blk] = dev.mem().load<uint32_t>(out + blk * 4);
     r.seconds = gcm.toSeconds(total);
     return r;
+}
+
+QueryContext::QueryContext(Warp& w, core::GvmRuntime& rt,
+                           const Dataset& ds)
+    : ds_(&ds)
+{
+    uint64_t file_bytes =
+        static_cast<uint64_t>(ds.params.numImages) * ds.params.recordSize;
+    map_ = core::gvmmap<Float4>(w, rt, file_bytes, hostio::O_GRDONLY,
+                                ds.histFile, 0);
+}
+
+uint32_t
+QueryContext::serve(Warp& w, const DeviceInput& d, uint32_t blk)
+{
+    return serveBlockAptr(w, *ds_, map_, d.pixels, blk, scanned_);
+}
+
+void
+QueryContext::destroy(Warp& w)
+{
+    map_.destroy(w);
 }
 
 } // namespace ap::collage

@@ -25,6 +25,14 @@
 
 namespace ap::collage {
 
+/** One 16-byte vector-load word of a histogram record; candidate
+ * records are streamed in these units (paper section VI-B's 16-byte
+ * batched loads). */
+struct Float4
+{
+    float v[4];
+};
+
 /** Result of one collage run. */
 struct CollageResult
 {
@@ -67,6 +75,59 @@ CollageResult runHybrid(sim::Device& dev, const Dataset& ds,
  */
 CollageResult runGpufs(core::GvmRuntime& rt, const Dataset& ds,
                        const CollageInput& in, bool use_aptr);
+
+/** Device-resident query input: the uploaded pixel blocks plus
+ * (optionally) the LSH bucket index, as produced by uploadInput(). */
+struct DeviceInput
+{
+    sim::Addr pixels = 0;
+    sim::Addr bucketOffs = 0; ///< prefix offsets, tables*numBuckets+1 words
+    sim::Addr bucketIds = 0;
+    sim::Cycles uploadCycles = 0;
+};
+
+/**
+ * Copy @p in (and, when @p with_index, the LSH bucket index) into
+ * device memory, charging one PCIe transfer per buffer. Host-side
+ * setup — call before launching kernels that serve from the input.
+ */
+DeviceInput uploadInput(sim::Device& dev, const Dataset& ds,
+                        const CollageInput& in, bool with_index);
+
+/**
+ * Per-warp query-serving context: the request-shaped entry point the
+ * serving harness (src/serving) drives. Construction maps the whole
+ * dataset file once with gvmmap; each serve() call then runs the full
+ * section VI-E pipeline for one query block — histogram, LSH keys,
+ * candidate lookup, and the per-candidate apointer scan — against
+ * that long-lived mapping, so consecutive requests served by the same
+ * warp share the page cache and TLB exactly like consecutive blocks
+ * of a batch run. runGpufs(use_aptr=true) executes the same scan
+ * code, so serving results are bit-identical to batch results.
+ */
+class QueryContext
+{
+  public:
+    /** Map the dataset for serving from @p w (one context per warp). */
+    QueryContext(sim::Warp& w, core::GvmRuntime& rt, const Dataset& ds);
+
+    /**
+     * Serve one query: the winning dataset image for block @p blk of
+     * the uploaded input @p d (UINT32_MAX if no candidate).
+     */
+    uint32_t serve(sim::Warp& w, const DeviceInput& d, uint32_t blk);
+
+    /** Candidate records scanned across all serve() calls so far. */
+    uint64_t candidatesScanned() const { return scanned_; }
+
+    /** Unmap; must be called from @p w before the kernel returns. */
+    void destroy(sim::Warp& w);
+
+  private:
+    const Dataset* ds_;
+    core::AptrVec<Float4> map_;
+    uint64_t scanned_ = 0;
+};
 
 } // namespace ap::collage
 

@@ -1,0 +1,318 @@
+#include "serving/serving.hh"
+
+#include <cmath>
+#include <deque>
+#include <queue>
+
+#include "util/logging.hh"
+#include "workloads/workloads.hh"
+
+namespace ap::serving {
+
+namespace {
+
+/** One request's lifetime bookkeeping (host-side only). */
+struct Request
+{
+    double arrival = 0;
+    double claimed = 0;
+    uint32_t client = 0;
+    uint32_t block = 0;     ///< collage query block
+    bool isScan = false;
+    uint64_t scanOff = 0;
+    double scanExpect = 0;  ///< exact host-side scan checksum
+};
+
+/** Host-side reference for workloads::scanQuery, in the same
+ * iteration-major, lane-minor accumulation order — exact equality. */
+double
+scanExpected(uint64_t offset, uint32_t bytes)
+{
+    uint32_t count = bytes / 4;
+    double acc = 0;
+    for (uint32_t i = 0; i < count; ++i)
+        acc += scanValue(offset / 4 + i);
+    return acc;
+}
+
+/**
+ * The host-side request scheduler the worker warps poll. Single
+ * threaded by construction (warp fibers run one at a time), so no
+ * locking; determinism comes from the engine's deterministic fiber
+ * schedule plus seeded RNG draws in creation order.
+ *
+ * Admission control happens in two places:
+ *  - admit(): an arrival finding the pending queue at queueCap is
+ *    shed immediately (the overload signal a real frontend returns
+ *    to its client) — in closed loop the client thinks and retries
+ *    with a fresh request;
+ *  - next(): a claim is deferred while the in-flight window is full
+ *    or the host-IO queue is deeper than ioDepthCap, bounding how
+ *    much concurrent fault traffic serving can pile onto the DMA
+ *    engine.
+ */
+class Scheduler
+{
+  public:
+    enum class Action { Serve, Wait, Done };
+
+    struct Decision
+    {
+        Action action = Action::Done;
+        uint32_t req = 0;
+        double until = 0;
+    };
+
+    Scheduler(const ServingConfig& cfg, const ServingWorkload& wl,
+              uint32_t workers, StatGroup& stats)
+        : cfg_(cfg), wl_(&wl), stats_(&stats),
+          rng_(cfg.seed ^ 0x53455256ULL),
+          maxInFlight_(cfg.maxInFlight ? cfg.maxInFlight : workers)
+    {
+        AP_ASSERT(cfg_.clients > 0 && cfg_.requests > 0,
+                  "a serving run needs clients and requests");
+        reqs_.reserve(cfg_.requests);
+        if (cfg_.arrival == Arrival::Closed) {
+            uint32_t first = std::min(cfg_.clients, cfg_.requests);
+            for (uint32_t c = 0; c < first; ++c)
+                spawn(c, expSample(rng_, cfg_.meanThinkCycles));
+        } else {
+            auto times = openLoopArrivals(cfg_.arrival, cfg_.arrivals,
+                                          cfg_.requests, cfg_.seed);
+            for (uint32_t i = 0; i < cfg_.requests; ++i)
+                spawn(i % cfg_.clients, times[i]);
+        }
+    }
+
+    /** The worker warp's poll: claim a request, wait, or finish. */
+    Decision
+    next(double now, size_t io_depth)
+    {
+        admit(now);
+        if (done())
+            return Decision{Action::Done, 0, 0};
+        if (!queue_.empty() && inFlight_ < maxInFlight_) {
+            if (cfg_.ioDepthCap && io_depth > cfg_.ioDepthCap) {
+                deferrals_++;
+                stats_->inc("serving.io_deferrals");
+                return wait(now + cfg_.pollCycles, now);
+            }
+            uint32_t id = queue_.front();
+            queue_.pop_front();
+            inFlight_++;
+            reqs_[id].claimed = now;
+            stats_->recordValue("serving.queue_wait",
+                                now - reqs_[id].arrival);
+            return Decision{Action::Serve, id, 0};
+        }
+        double until = now + cfg_.pollCycles;
+        if (queue_.empty() && !future_.empty())
+            until = future_.top().first;
+        return wait(until, now);
+    }
+
+    /** Mark @p id finished at @p now; closed loop spawns the client's
+     * next request after a think time. */
+    void
+    complete(uint32_t id, double now)
+    {
+        inFlight_--;
+        completed_++;
+        stats_->inc("serving.completed");
+        stats_->recordValue("serving.e2e", now - reqs_[id].arrival);
+        stats_->recordValue("serving.service", now - reqs_[id].claimed);
+        respawn(reqs_[id].client, now);
+    }
+
+    const Request& request(uint32_t id) const { return reqs_[id]; }
+    uint32_t completed() const { return completed_; }
+    uint32_t shedCount() const { return shed_; }
+    uint64_t deferrals() const { return deferrals_; }
+
+  private:
+    /** All resolved: nothing pending, queued, or yet to be spawned. */
+    bool done() const { return completed_ + shed_ == cfg_.requests; }
+
+    static Decision
+    wait(double until, double now)
+    {
+        return Decision{Action::Wait, 0, std::max(until, now + 1.0)};
+    }
+
+    /** Create request #reqs_.size() for @p client arriving at @p at. */
+    void
+    spawn(uint32_t client, double at)
+    {
+        Request r;
+        r.client = client;
+        r.arrival = at;
+        r.block = static_cast<uint32_t>(
+            rng_.nextBounded(wl_->queries.numBlocks));
+        if (cfg_.scanEvery &&
+            reqs_.size() % cfg_.scanEvery == cfg_.scanEvery - 1) {
+            r.isScan = true;
+            uint64_t pages = (wl_->scanFileBytes - cfg_.scanBytes) / 4096;
+            r.scanOff = rng_.nextBounded(pages + 1) * 4096;
+            r.scanExpect = scanExpected(r.scanOff, cfg_.scanBytes);
+        }
+        uint32_t id = static_cast<uint32_t>(reqs_.size());
+        reqs_.push_back(r);
+        future_.emplace(at, id);
+    }
+
+    /** Closed loop: the client thinks, then issues its next request
+     * (until the run's request budget is spawned). */
+    void
+    respawn(uint32_t client, double now)
+    {
+        if (cfg_.arrival != Arrival::Closed)
+            return;
+        if (reqs_.size() < cfg_.requests)
+            spawn(client, now + expSample(rng_, cfg_.meanThinkCycles));
+    }
+
+    /** Move every due arrival into the pending queue, shedding the
+     * overflow beyond queueCap. */
+    void
+    admit(double now)
+    {
+        while (!future_.empty() && future_.top().first <= now) {
+            uint32_t id = future_.top().second;
+            future_.pop();
+            if (cfg_.queueCap && queue_.size() >= cfg_.queueCap) {
+                shed_++;
+                stats_->inc("serving.shed");
+                respawn(reqs_[id].client, now);
+            } else {
+                queue_.push_back(id);
+            }
+        }
+    }
+
+    ServingConfig cfg_;
+    const ServingWorkload* wl_;
+    StatGroup* stats_;
+    SplitMix64 rng_;
+    uint32_t maxInFlight_;
+
+    std::vector<Request> reqs_;
+    /** (arrival time, request id) min-heap of not-yet-due requests. */
+    std::priority_queue<std::pair<double, uint32_t>,
+                        std::vector<std::pair<double, uint32_t>>,
+                        std::greater<>>
+        future_;
+    std::deque<uint32_t> queue_;
+    uint32_t inFlight_ = 0;
+    uint32_t completed_ = 0;
+    uint32_t shed_ = 0;
+    uint64_t deferrals_ = 0;
+};
+
+} // namespace
+
+ServingWorkload
+makeWorkload(hostio::BackingStore& bs, const collage::Dataset& ds,
+             uint32_t query_blocks, uint64_t seed)
+{
+    ServingWorkload wl;
+    collage::InputParams ip;
+    ip.numBlocks = query_blocks;
+    ip.reuse = 4.0;
+    ip.seed = seed;
+    wl.queries = collage::makeInput(ds, ip);
+
+    wl.expected.resize(query_blocks);
+    std::vector<float> hist(collage::kBins);
+    for (uint32_t b = 0; b < query_blocks; ++b) {
+        collage::blockHistogram(
+            wl.queries.pixels.data() +
+                static_cast<size_t>(b) * collage::kBlockPixels,
+            hist.data());
+        wl.expected[b] = collage::bestCandidate(
+            ds, hist.data(), collage::candidatesOf(ds, hist.data()));
+    }
+
+    wl.scanFileBytes = uint64_t(4) << 20;
+    wl.scanFile = bs.create("serving_scan.bin", wl.scanFileBytes);
+    std::vector<float> page(4096 / 4);
+    for (uint64_t off = 0; off < wl.scanFileBytes; off += 4096) {
+        for (uint32_t k = 0; k < page.size(); ++k)
+            page[k] = scanValue(off / 4 + k);
+        bs.pwrite(wl.scanFile, page.data(), 4096, off);
+    }
+    return wl;
+}
+
+ServingResult
+serve(core::GvmRuntime& rt, const collage::Dataset& ds,
+      const ServingWorkload& wl, const ServingConfig& cfg)
+{
+    sim::Device& dev = rt.fs().device();
+    hostio::HostIoEngine& io = rt.fs().io();
+    const sim::CostModel& cm = dev.costModel();
+    StatGroup& stats = dev.stats();
+
+    collage::DeviceInput d =
+        collage::uploadInput(dev, ds, wl.queries, /*with_index=*/true);
+    uint32_t workers =
+        static_cast<uint32_t>(cfg.numBlocks) * cfg.warpsPerBlock;
+    Scheduler sched(cfg, wl, workers, stats);
+
+    uint32_t val_errors = 0;
+    sim::Cycles kernel = dev.launch(
+        cfg.numBlocks, cfg.warpsPerBlock, [&](sim::Warp& w) {
+            collage::QueryContext qc(w, rt, ds);
+            for (;;) {
+                Scheduler::Decision dec =
+                    sched.next(w.now(), io.queueDepth());
+                if (dec.action == Scheduler::Action::Done)
+                    break;
+                if (dec.action == Scheduler::Action::Wait) {
+                    w.waitUntil(dec.until);
+                    continue;
+                }
+                const Request& rq = sched.request(dec.req);
+                if (rq.isScan) {
+                    double sum = workloads::scanQuery(
+                        w, rt, wl.scanFile, wl.scanFileBytes, rq.scanOff,
+                        cfg.scanBytes);
+                    if (sum != rq.scanExpect)
+                        val_errors++;
+                } else {
+                    uint32_t winner = qc.serve(w, d, rq.block);
+                    if (!wl.expected.empty() &&
+                        winner != wl.expected[rq.block])
+                        val_errors++;
+                }
+                sched.complete(dec.req, w.now());
+            }
+            qc.destroy(w);
+        });
+
+    ServingResult r;
+    r.elapsed = d.uploadCycles + kernel;
+    r.completed = sched.completed();
+    r.shed = sched.shedCount();
+    r.ioDeferrals = sched.deferrals();
+    r.validationErrors = val_errors;
+    if (val_errors)
+        stats.inc("serving.validation_errors", val_errors);
+    double secs = cm.toSeconds(r.elapsed);
+    r.qps = secs > 0 ? r.completed / secs : 0;
+    if (const Histogram* h = stats.findHistogram("serving.e2e")) {
+        r.e2eP50 = h->quantile(0.50);
+        r.e2eP95 = h->quantile(0.95);
+        r.e2eP99 = h->quantile(0.99);
+        r.e2eMean = h->mean();
+        r.e2eMax = h->max();
+    }
+    if (const Histogram* h = stats.findHistogram("serving.queue_wait"))
+        r.queueWaitP95 = h->quantile(0.95);
+    if (const Histogram* h = stats.findHistogram("serving.service"))
+        r.serviceP50 = h->quantile(0.50);
+    r.majorFaults = stats.counter("gpufs.major_faults");
+    r.batchedRequests = stats.counter("hostio.batched_requests");
+    return r;
+}
+
+} // namespace ap::serving

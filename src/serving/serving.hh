@@ -1,0 +1,168 @@
+/**
+ * @file
+ * The closed-loop serving harness (docs/SERVING.md): thousands of
+ * simulated clients issue collage/LSH queries (paper section VI-E)
+ * against one long-running GPU kernel whose worker warps claim
+ * requests from a host-side scheduler. The pieces:
+ *
+ *  - arrival processes (arrival.hh): closed loop with exponential
+ *    think times, open-loop Poisson, and bursty on/off — all
+ *    deterministic under a seed;
+ *  - admission control: a bounded pending queue (overflow is shed and
+ *    counted), a bounded in-flight window, and an optional host-IO
+ *    congestion gate on HostIoEngine::queueDepth() that defers
+ *    dispatch while the DMA queue is deep;
+ *  - cross-request batching: concurrent queries fault through the
+ *    same page cache and their host reads aggregate in the engine's
+ *    existing batching window, so the serving path exercises the
+ *    paper's small-page batching optimization under real concurrency;
+ *  - SLO metrics: end-to-end, queue-wait and service latency recorded
+ *    per request into the device StatGroup's log2 histograms, plus
+ *    throughput over the simulated makespan.
+ *
+ * Every request's answer is validated against a host-side reference
+ * (the collage winner, or the exact scan checksum), so a translation
+ * bug under load is a wrong answer, not a plausible-looking latency.
+ */
+
+#ifndef AP_SERVING_SERVING_HH
+#define AP_SERVING_SERVING_HH
+
+#include <vector>
+
+#include "collage/collage.hh"
+#include "serving/arrival.hh"
+
+namespace ap::serving {
+
+/** One serving experiment's knobs. */
+struct ServingConfig
+{
+    Arrival arrival = Arrival::Closed;
+
+    /** Open-loop arrival knobs (ignored for Closed). */
+    ArrivalParams arrivals;
+
+    /** Simulated clients issuing requests. */
+    uint32_t clients = 1024;
+
+    /** Total requests to resolve (completed + shed) before stopping. */
+    uint32_t requests = 2048;
+
+    /** Closed loop: mean think time between a client's requests. */
+    double meanThinkCycles = 200000;
+
+    /** Pending-queue bound; arrivals beyond it are shed (0 = none). */
+    uint32_t queueCap = 0;
+
+    /** Concurrent in-flight bound (0 = one per worker warp). */
+    uint32_t maxInFlight = 0;
+
+    /** Defer dispatch while HostIoEngine::queueDepth() exceeds this
+     * (0 = gate off). */
+    size_t ioDepthCap = 0;
+
+    /** Re-poll interval for a gated or idle worker warp. */
+    double pollCycles = 2000;
+
+    /** Every Nth request is a sequential file-scan query instead of a
+     * collage query (0 = collage only). */
+    uint32_t scanEvery = 0;
+
+    /** Bytes each scan query streams (multiple of 128). */
+    uint32_t scanBytes = 32768;
+
+    /** Worker kernel geometry. */
+    int numBlocks = 8;
+    int warpsPerBlock = 8;
+
+    uint64_t seed = 1;
+};
+
+/**
+ * The host-side request workload: a pool of query blocks with their
+ * reference answers, plus the side file scan queries stream. Built
+ * once (makeWorkload) and shared by every scenario against the same
+ * dataset.
+ */
+struct ServingWorkload
+{
+    /** Query pool; each request picks one block. */
+    collage::CollageInput queries;
+
+    /** Reference winner per query block (CPU-computed). Tests may
+     * doctor these to prove validation failures reach the exit code. */
+    std::vector<uint32_t> expected;
+
+    /** Side file for scan queries. */
+    hostio::FileId scanFile = -1;
+    uint64_t scanFileBytes = 0;
+};
+
+/** Deterministic content of float word @p i of the scan side file. */
+inline float
+scanValue(uint64_t i)
+{
+    return static_cast<float>((i * 2654435761ULL) & 0x3ff) * 0.25f;
+}
+
+/**
+ * Build the serving workload: a @p query_blocks-block query pool over
+ * @p ds (with host-side reference winners) and the scan side file
+ * written into @p bs.
+ */
+ServingWorkload makeWorkload(hostio::BackingStore& bs,
+                             const collage::Dataset& ds,
+                             uint32_t query_blocks, uint64_t seed);
+
+/** What one serving run measured. */
+struct ServingResult
+{
+    /** Requests resolved: completed + shed == the configured total. */
+    uint32_t completed = 0;
+    uint32_t shed = 0;
+
+    /** Dispatches deferred by the host-IO congestion gate. */
+    uint64_t ioDeferrals = 0;
+
+    /** Answers that disagreed with the host-side reference. */
+    uint32_t validationErrors = 0;
+
+    /** Simulated makespan (upload + kernel). */
+    sim::Cycles elapsed = 0;
+
+    /** Completed queries per simulated second. */
+    double qps = 0;
+
+    /** End-to-end latency (arrival to completion), cycles. */
+    double e2eP50 = 0;
+    double e2eP95 = 0;
+    double e2eP99 = 0;
+    double e2eMean = 0;
+    double e2eMax = 0;
+
+    /** Queue-wait (arrival to claim) p95, cycles. */
+    double queueWaitP95 = 0;
+
+    /** Service (claim to completion) p50, cycles. */
+    double serviceP50 = 0;
+
+    /** Memory-system context: demand major faults and host reads that
+     * rode in a shared DMA batch. */
+    uint64_t majorFaults = 0;
+    uint64_t batchedRequests = 0;
+};
+
+/**
+ * Run one serving experiment: launch the worker kernel on @p rt's
+ * device and drive @p cfg.requests requests from @p wl through it.
+ * Latency histograms land in the device StatGroup under "serving.*"
+ * (so StatGroup::dumpJson exports them); the summary comes back in
+ * the ServingResult.
+ */
+ServingResult serve(core::GvmRuntime& rt, const collage::Dataset& ds,
+                    const ServingWorkload& wl, const ServingConfig& cfg);
+
+} // namespace ap::serving
+
+#endif // AP_SERVING_SERVING_HH

@@ -89,6 +89,48 @@ class Histogram
         return max();
     }
 
+    /**
+     * The value at quantile @p q under the documented *rounding
+     * contract* for offline reconstruction (tools/apstat): the
+     * geometric midpoint sqrt(lo*hi) of the bucket holding the target
+     * rank, clamped to the observed [min,max]. A log2 bucket only
+     * certifies that its samples lie in [2^i, 2^(i+1)); the geometric
+     * midpoint bounds the multiplicative error by sqrt(2) in both
+     * directions, whereas reporting a value near the bucket's upper
+     * bound (what linear interpolation degrades to as the rank
+     * approaches the bucket's last sample) overstates by up to 2x.
+     * Bucket 0 covers [0,2), whose geometric midpoint is taken as 1.
+     * Returns 0 when empty.
+     *
+     * quantile() remains the in-process estimator StatGroup::dumpJson
+     * uses; the two only agree when samples happen to sit at the
+     * interpolated positions, so any golden file must name which
+     * contract it was computed under.
+     */
+    double
+    quantileMid(double q) const
+    {
+        if (!count_)
+            return 0;
+        q = std::clamp(q, 0.0, 1.0);
+        uint64_t rank = static_cast<uint64_t>(
+            std::ceil(q * static_cast<double>(count_)));
+        if (rank < 1)
+            rank = 1;
+        uint64_t seen = 0;
+        for (size_t i = 0; i < kBuckets; i++) {
+            if (!buckets_[i])
+                continue;
+            if (seen + buckets_[i] >= rank) {
+                double mid =
+                    i == 0 ? 1.0 : std::sqrt(bucketLo(i) * bucketHi(i));
+                return std::clamp(mid, min(), max());
+            }
+            seen += buckets_[i];
+        }
+        return max();
+    }
+
     /** Samples in bucket @p i (see bucketLo/bucketHi for its range). */
     uint64_t bucketCount(size_t i) const { return buckets_[i]; }
 

@@ -501,4 +501,33 @@ runWorkload(sim::Device& dev, core::GvmRuntime* rt, Kind kind,
     return runTyped<Float4>(dev, rt, kind, cfg);
 }
 
+double
+scanQuery(Warp& w, GvmRuntime& rt, hostio::FileId f, uint64_t file_bytes,
+          uint64_t offset, uint32_t bytes)
+{
+    AP_ASSERT(offset % 4 == 0 &&
+                  bytes % (static_cast<uint32_t>(kWarpSize) * 4) == 0,
+              "scan queries stream whole warp-width rows of floats");
+    auto p = core::gvmmap<float>(w, rt, file_bytes, hostio::O_GRDONLY,
+                                 f, 0);
+    LaneArray<int64_t> seek;
+    for (int l = 0; l < kWarpSize; ++l)
+        seek[l] = static_cast<int64_t>(offset / 4) + l;
+    p.addPerLane(w, seek);
+    uint32_t count = bytes / 4;
+    double acc = 0;
+    for (uint32_t it = 0; it * kWarpSize < count; ++it) {
+        auto v = p.read(w);
+        // Accumulate in (iteration, lane) order: the host-side
+        // reference reproduces this exact order, so the checksum
+        // comparison is exact, not approximate.
+        for (int l = 0; l < kWarpSize; ++l)
+            acc += v[l];
+        if ((it + 1) * kWarpSize < count)
+            p.add(w, kWarpSize);
+    }
+    p.destroy(w);
+    return acc;
+}
+
 } // namespace ap::workloads

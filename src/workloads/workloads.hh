@@ -81,6 +81,20 @@ struct RunResult
 RunResult runWorkload(sim::Device& dev, core::GvmRuntime* rt, Kind kind,
                       const RunConfig& cfg);
 
+/**
+ * Query-shaped entry point for request-serving callers (src/serving):
+ * stream @p bytes bytes of file @p f starting at @p offset (4-byte
+ * aligned; @p bytes a multiple of one warp-width row of floats)
+ * through a freshly-mapped active pointer from an already-running
+ * warp, and return the sum of the float words in stream order —
+ * iteration-major, lane-minor, so a host-side reference loop over the
+ * known file contents reproduces the value exactly. A translation or
+ * paging bug therefore surfaces as a wrong answer, not just wrong
+ * timing.
+ */
+double scanQuery(sim::Warp& w, core::GvmRuntime& rt, hostio::FileId f,
+                 uint64_t file_bytes, uint64_t offset, uint32_t bytes);
+
 } // namespace ap::workloads
 
 #endif // AP_WORKLOADS_WORKLOADS_HH

@@ -1,0 +1,179 @@
+/**
+ * @file
+ * Units for the shared bench plumbing (bench/bench_common.hh): the
+ * empty-run guard behind gbPerSec(), the versioned --json result
+ * document (golden shape + byte determinism), --json argv handling,
+ * the failure ledger — and two subprocess checks against the real
+ * bench_serving binary: a doctored validation reference must turn
+ * into a nonzero exit, and the same seeded run must emit a
+ * byte-identical JSON document twice (the guarantee the committed
+ * BENCH_*.json baselines and scripts/perf_diff rest on).
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "bench_common.hh"
+
+namespace ap::bench {
+namespace {
+
+TEST(GbPerSec, EmptyRunYieldsZeroNotInf)
+{
+    sim::CostModel cm;
+    EXPECT_TRUE(emptyRun(0, cm));
+    EXPECT_FALSE(emptyRun(1, cm));
+    // The guard: zero cycles means no rate, not a division by zero.
+    EXPECT_EQ(gbPerSec(1e9, 0, cm), 0.0);
+    EXPECT_GT(gbPerSec(1e9, 1000, cm), 0.0);
+}
+
+TEST(GbPerSec, CellShowsExplicitEmptyRunMarker)
+{
+    sim::CostModel cm;
+    EXPECT_EQ(gbPerSecCell(1e9, 0, cm), "n/a (0 cycles)");
+    // A real run renders a number, not the marker.
+    std::string cell = gbPerSecCell(1e9, 1000, cm);
+    EXPECT_EQ(cell.find("n/a"), std::string::npos);
+    EXPECT_NE(cell.find_first_of("0123456789"), std::string::npos);
+}
+
+TEST(BenchResultDoc, GoldenShape)
+{
+    BenchResult doc("demo");
+    doc.config("n", 4.0);
+    doc.config("mode", std::string("fast"));
+    // Dyadic tolerances: json::number's round-trip format prints them
+    // with no excess digits, keeping the golden string readable.
+    doc.metric("lat", 100.5, Better::Lower, 0.25);
+    doc.metric("count", 7, Better::Exact, 0.25); // tol forced to 0
+    doc.metric("rate", 2, Better::Higher, 0.5);
+    EXPECT_EQ(doc.str(),
+              "{\"schema\":\"ap-bench-result\",\"version\":1,"
+              "\"bench\":\"demo\","
+              "\"config\":{\"mode\":\"fast\",\"n\":4},"
+              "\"metrics\":{"
+              "\"count\":{\"better\":\"exact\",\"tol\":0,\"value\":7},"
+              "\"lat\":{\"better\":\"lower\",\"tol\":0.25,"
+              "\"value\":100.5},"
+              "\"rate\":{\"better\":\"higher\",\"tol\":0.5,"
+              "\"value\":2}}}\n");
+}
+
+TEST(BenchResultDoc, InsertionOrderDoesNotChangeTheBytes)
+{
+    BenchResult a("d"), b("d");
+    a.metric("x", 1, Better::Lower, 0.1);
+    a.metric("y", 2, Better::Higher, 0.1);
+    b.metric("y", 2, Better::Higher, 0.1);
+    b.metric("x", 1, Better::Lower, 0.1);
+    EXPECT_EQ(a.str(), b.str()); // map-sorted keys
+}
+
+/** A mutable argv over string literals (jsonPathArg only reorders the
+ * pointer array, never the strings). */
+std::vector<char*>
+argvOf(std::initializer_list<const char*> args)
+{
+    std::vector<char*> v;
+    for (const char* s : args)
+        v.push_back(const_cast<char*>(s));
+    return v;
+}
+
+TEST(JsonPathArg, ExtractsAndCompactsArgv)
+{
+    std::vector<char*> argv =
+        argvOf({"bench", "--smoke", "--json", "out.json", "--other"});
+    int argc = static_cast<int>(argv.size());
+    EXPECT_EQ(jsonPathArg(argc, argv.data()), "out.json");
+    ASSERT_EQ(argc, 3);
+    EXPECT_STREQ(argv[1], "--smoke");
+    EXPECT_STREQ(argv[2], "--other");
+}
+
+TEST(JsonPathArg, AbsentOrDanglingFlagYieldsEmpty)
+{
+    {
+        std::vector<char*> argv = argvOf({"bench", "--smoke"});
+        int argc = static_cast<int>(argv.size());
+        EXPECT_EQ(jsonPathArg(argc, argv.data()), "");
+        EXPECT_EQ(argc, 2);
+    }
+    {
+        // Trailing --json with no path is left for the bench's own
+        // parser to reject.
+        std::vector<char*> argv = argvOf({"bench", "--json"});
+        int argc = static_cast<int>(argv.size());
+        EXPECT_EQ(jsonPathArg(argc, argv.data()), "");
+        EXPECT_EQ(argc, 2);
+    }
+}
+
+TEST(FailureLedger, FailRecordsAndExitCodeReports)
+{
+    int before = failures();
+    EXPECT_EQ(exitCode(), before ? 1 : 0);
+    fail("synthetic failure (test)");
+    EXPECT_EQ(failures(), before + 1);
+    EXPECT_EQ(exitCode(), 1);
+}
+
+// ---------------------------------------------------------------------
+// Subprocess checks against the real bench_serving binary (path baked
+// in by CMake). These are the end-to-end halves of two satellite
+// guarantees: a validation mismatch must reach the process exit code,
+// and a seeded run's --json document must be byte-reproducible.
+// ---------------------------------------------------------------------
+
+int
+runBench(const std::string& args)
+{
+    std::string cmd = std::string(AP_BENCH_SERVING_BIN) + " " + args +
+                      " > /dev/null 2> /dev/null";
+    int rc = std::system(cmd.c_str());
+    EXPECT_NE(rc, -1);
+    return WIFEXITED(rc) ? WEXITSTATUS(rc) : -1;
+}
+
+std::string
+slurp(const std::string& path)
+{
+    std::ifstream in(path, std::ios::binary);
+    EXPECT_TRUE(in.good()) << path;
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
+TEST(BenchServingProcess, ValidationMismatchExitsNonzero)
+{
+    EXPECT_EQ(runBench("--smoke"), 0);
+    EXPECT_NE(runBench("--smoke --corrupt-validation"), 0);
+}
+
+TEST(BenchServingProcess, SeededJsonIsByteIdenticalAcrossRuns)
+{
+    std::string p1 = testing::TempDir() + "serving_run1.json";
+    std::string p2 = testing::TempDir() + "serving_run2.json";
+    ASSERT_EQ(runBench("--smoke --json " + p1), 0);
+    ASSERT_EQ(runBench("--smoke --json " + p2), 0);
+    std::string a = slurp(p1);
+    std::string b = slurp(p2);
+    EXPECT_FALSE(a.empty());
+    EXPECT_EQ(a, b);
+    // And it is the self-describing envelope perf_diff expects.
+    EXPECT_NE(a.find("\"schema\":\"ap-bench-result\""),
+              std::string::npos);
+    EXPECT_NE(a.find("\"bench\":\"serving\""), std::string::npos);
+    std::remove(p1.c_str());
+    std::remove(p2.c_str());
+}
+
+} // namespace
+} // namespace ap::bench

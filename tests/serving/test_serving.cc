@@ -1,0 +1,215 @@
+/**
+ * @file
+ * The serving-harness suite (ctest -L serving, docs/SERVING.md):
+ * arrival-process determinism and shape, admission control (bounded
+ * queue shedding, in-flight window, host-IO deferral), end-to-end
+ * validation against the host reference, and the JSON determinism
+ * guarantee scripts/perf_diff's tolerance bands rest on — the same
+ * seeded workload must serve to bit-identical results twice.
+ */
+
+#include <algorithm>
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "core/vm.hh"
+#include "serving/serving.hh"
+
+namespace ap::serving {
+namespace {
+
+/** A small self-contained stack + dataset + workload for one run. */
+struct Rig
+{
+    hostio::BackingStore bs;
+    std::unique_ptr<sim::Device> dev;
+    std::unique_ptr<hostio::HostIoEngine> io;
+    std::unique_ptr<gpufs::GpuFs> fs;
+    std::unique_ptr<core::GvmRuntime> rt;
+    collage::Dataset ds;
+    ServingWorkload wl;
+
+    Rig()
+    {
+        gpufs::Config fscfg;
+        fscfg.numFrames = 2048;
+        dev = std::make_unique<sim::Device>(sim::CostModel{},
+                                            size_t(128) << 20);
+        io = std::make_unique<hostio::HostIoEngine>(*dev, bs);
+        fs = std::make_unique<gpufs::GpuFs>(*dev, *io, fscfg);
+        rt = std::make_unique<core::GvmRuntime>(*fs, core::GvmConfig{});
+
+        collage::DatasetParams dp;
+        dp.numImages = 256;
+        dp.numBuckets = 64;
+        dp.seed = 5;
+        ds = collage::Dataset::build(bs, dp);
+        wl = makeWorkload(bs, ds, 64, 9);
+    }
+};
+
+ServingConfig
+smallConfig()
+{
+    ServingConfig cfg;
+    cfg.requests = 96;
+    cfg.clients = 64;
+    cfg.numBlocks = 2;
+    cfg.warpsPerBlock = 4;
+    cfg.scanEvery = 6;
+    cfg.scanBytes = 8192;
+    cfg.seed = 3;
+    return cfg;
+}
+
+TEST(Arrivals, PoissonIsSeededAndAscending)
+{
+    ArrivalParams p;
+    p.meanGapCycles = 1000;
+    auto a = openLoopArrivals(Arrival::Poisson, p, 500, 42);
+    auto b = openLoopArrivals(Arrival::Poisson, p, 500, 42);
+    auto c = openLoopArrivals(Arrival::Poisson, p, 500, 43);
+    EXPECT_EQ(a, b); // bit-identical under the same seed
+    EXPECT_NE(a, c);
+    EXPECT_TRUE(std::is_sorted(a.begin(), a.end()));
+    // Mean interarrival gap approaches the configured mean.
+    double mean = a.back() / 500.0;
+    EXPECT_GT(mean, 800.0);
+    EXPECT_LT(mean, 1200.0);
+}
+
+TEST(Arrivals, BurstyArrivalsAvoidOffWindows)
+{
+    ArrivalParams p;
+    p.meanGapCycles = 1000;
+    p.burstOnCycles = 5000;
+    p.burstOffCycles = 20000;
+    p.burstGapScale = 0.25;
+    auto t = openLoopArrivals(Arrival::Bursty, p, 400, 7);
+    double period = p.burstOnCycles + p.burstOffCycles;
+    for (double x : t) {
+        double phase = std::fmod(x, period);
+        EXPECT_LT(phase, p.burstOnCycles) << "arrival in off-window";
+    }
+    EXPECT_TRUE(std::is_sorted(t.begin(), t.end()));
+}
+
+TEST(Arrivals, ExpSampleMatchesMean)
+{
+    SplitMix64 rng(99);
+    double sum = 0;
+    for (int i = 0; i < 20000; ++i)
+        sum += expSample(rng, 500.0);
+    EXPECT_NEAR(sum / 20000.0, 500.0, 25.0);
+}
+
+TEST(Serving, ClosedLoopCompletesAndValidates)
+{
+    Rig rig;
+    ServingConfig cfg = smallConfig();
+    ServingResult r = serve(*rig.rt, rig.ds, rig.wl, cfg);
+    EXPECT_EQ(r.completed, cfg.requests);
+    EXPECT_EQ(r.shed, 0u);
+    EXPECT_EQ(r.validationErrors, 0u);
+    EXPECT_GT(r.qps, 0.0);
+    EXPECT_GT(r.e2eP50, 0.0);
+    EXPECT_LE(r.e2eP50, r.e2eP95);
+    EXPECT_LE(r.e2eP95, r.e2eP99);
+    EXPECT_LE(r.e2eP99, r.e2eMax);
+    EXPECT_GT(r.majorFaults, 0u);
+}
+
+TEST(Serving, DoctoredReferenceIsCaughtByValidation)
+{
+    Rig rig;
+    for (uint32_t& e : rig.wl.expected)
+        e ^= 1u;
+    ServingConfig cfg = smallConfig();
+    cfg.scanEvery = 0; // collage answers only: every one must disagree
+    ServingResult r = serve(*rig.rt, rig.ds, rig.wl, cfg);
+    EXPECT_EQ(r.validationErrors, cfg.requests);
+}
+
+TEST(Serving, BoundedQueueShedsOverloadInstead)
+{
+    // Offered load far above capacity with a tiny admission queue:
+    // the overflow must be shed, and everything must still resolve.
+    Rig rig;
+    ServingConfig cfg = smallConfig();
+    cfg.arrival = Arrival::Bursty;
+    cfg.arrivals.meanGapCycles = 200;
+    cfg.arrivals.burstOnCycles = 30000;
+    cfg.arrivals.burstOffCycles = 90000;
+    cfg.arrivals.burstGapScale = 0.1;
+    cfg.queueCap = 8;
+    ServingResult r = serve(*rig.rt, rig.ds, rig.wl, cfg);
+    EXPECT_GT(r.shed, 0u);
+    EXPECT_EQ(r.completed + r.shed, cfg.requests);
+    EXPECT_EQ(r.validationErrors, 0u);
+
+    // Without the cap, the same offered load sheds nothing and the
+    // tail latency pays for it instead.
+    Rig rig2;
+    ServingConfig uncapped = cfg;
+    uncapped.queueCap = 0;
+    ServingResult r2 = serve(*rig2.rt, rig2.ds, rig2.wl, uncapped);
+    EXPECT_EQ(r2.shed, 0u);
+    EXPECT_EQ(r2.completed, cfg.requests);
+    EXPECT_GT(r2.e2eP99, r.e2eP99);
+}
+
+TEST(Serving, IoDepthGateDefersDispatch)
+{
+    Rig rig;
+    ServingConfig cfg = smallConfig();
+    cfg.arrival = Arrival::Poisson;
+    cfg.arrivals.meanGapCycles = 500; // pile requests up
+    cfg.ioDepthCap = 1;               // gate aggressively
+    ServingResult r = serve(*rig.rt, rig.ds, rig.wl, cfg);
+    EXPECT_GT(r.ioDeferrals, 0u);
+    EXPECT_EQ(r.completed + r.shed, cfg.requests);
+    EXPECT_EQ(r.validationErrors, 0u);
+}
+
+TEST(Serving, MaxInFlightBoundsConcurrency)
+{
+    // With the window forced to 1 the workers serialize; the run must
+    // still drain every request correctly.
+    Rig rig;
+    ServingConfig cfg = smallConfig();
+    cfg.requests = 32;
+    cfg.maxInFlight = 1;
+    ServingResult r = serve(*rig.rt, rig.ds, rig.wl, cfg);
+    EXPECT_EQ(r.completed, 32u);
+    EXPECT_EQ(r.validationErrors, 0u);
+}
+
+TEST(Serving, SameSeedServesBitIdenticalResults)
+{
+    // The determinism guarantee behind the committed BENCH baselines:
+    // identical seeds → identical schedules → identical latencies,
+    // down to the last bit, on fresh stacks.
+    auto once = [] {
+        Rig rig;
+        ServingConfig cfg = smallConfig();
+        cfg.arrival = Arrival::Poisson;
+        return serve(*rig.rt, rig.ds, rig.wl, cfg);
+    };
+    ServingResult a = once();
+    ServingResult b = once();
+    EXPECT_EQ(a.completed, b.completed);
+    EXPECT_EQ(a.shed, b.shed);
+    EXPECT_EQ(a.ioDeferrals, b.ioDeferrals);
+    EXPECT_EQ(a.elapsed, b.elapsed);
+    EXPECT_EQ(a.qps, b.qps);
+    EXPECT_EQ(a.e2eP50, b.e2eP50);
+    EXPECT_EQ(a.e2eP95, b.e2eP95);
+    EXPECT_EQ(a.e2eP99, b.e2eP99);
+    EXPECT_EQ(a.e2eMax, b.e2eMax);
+    EXPECT_EQ(a.majorFaults, b.majorFaults);
+    EXPECT_EQ(a.batchedRequests, b.batchedRequests);
+}
+
+} // namespace
+} // namespace ap::serving

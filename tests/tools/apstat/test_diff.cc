@@ -1,0 +1,261 @@
+/**
+ * @file
+ * Units for apstat's perf-diff core (tools/apstat/diff.hh): envelope
+ * validation, direction-aware tolerance bands, missing/added metric
+ * handling, tol scaling — plus the golden test of the percentile
+ * rounding contract the trace-mode table reports (geometric bucket
+ * midpoints vs exact percentiles of the raw values).
+ */
+
+#include <cmath>
+#include <sstream>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "diff.hh"
+#include "json_reader.hh"
+#include "report.hh"
+
+namespace ap::apstat {
+namespace {
+
+JsonValue
+parseOk(const std::string& text)
+{
+    JsonValue v;
+    std::string err;
+    EXPECT_TRUE(parseJson(text, v, err)) << text << ": " << err;
+    return v;
+}
+
+/** A minimal ap-bench-result doc with one metric. */
+std::string
+oneMetricDoc(const char* better, double tol, double value)
+{
+    std::ostringstream os;
+    os << R"({"schema":"ap-bench-result","version":1,"bench":"b",)"
+       << R"("config":{"n":1},"metrics":{"m":{"better":")" << better
+       << R"(","tol":)" << tol << R"(,"value":)" << value << "}}}";
+    return os.str();
+}
+
+/** Diff two one-metric docs and return the single row. */
+MetricDiff
+diffOne(const char* better, double tol, double base_v, double cur_v,
+        double tol_scale = 1.0)
+{
+    DiffReport d;
+    std::string err;
+    EXPECT_TRUE(d.build(parseOk(oneMetricDoc(better, tol, base_v)),
+                        parseOk(oneMetricDoc(better, tol, cur_v)), err,
+                        tol_scale))
+        << err;
+    EXPECT_EQ(d.rows.size(), 1u);
+    return d.rows.at(0);
+}
+
+TEST(DiffReportTest, LowerBetterBands)
+{
+    // 10% band around 100: ok up to 110, regression above, improved
+    // below 90.
+    EXPECT_EQ(diffOne("lower", 0.10, 100, 109).status,
+              MetricDiff::Status::Ok);
+    EXPECT_EQ(diffOne("lower", 0.10, 100, 111).status,
+              MetricDiff::Status::Regressed);
+    EXPECT_EQ(diffOne("lower", 0.10, 100, 85).status,
+              MetricDiff::Status::Improved);
+}
+
+TEST(DiffReportTest, HigherBetterBands)
+{
+    EXPECT_EQ(diffOne("higher", 0.10, 100, 91).status,
+              MetricDiff::Status::Ok);
+    EXPECT_EQ(diffOne("higher", 0.10, 100, 89).status,
+              MetricDiff::Status::Regressed);
+    EXPECT_EQ(diffOne("higher", 0.10, 100, 115).status,
+              MetricDiff::Status::Improved);
+}
+
+TEST(DiffReportTest, ExactMetricsRegressOnAnyChange)
+{
+    EXPECT_EQ(diffOne("exact", 0, 5, 5).status, MetricDiff::Status::Ok);
+    EXPECT_EQ(diffOne("exact", 0, 5, 6).status,
+              MetricDiff::Status::Regressed);
+    EXPECT_EQ(diffOne("exact", 0, 5, 4).status,
+              MetricDiff::Status::Regressed);
+}
+
+TEST(DiffReportTest, TolScaleWidensTheBand)
+{
+    // 120 regresses at tol 0.10 but passes once the band doubles.
+    EXPECT_EQ(diffOne("lower", 0.10, 100, 120).status,
+              MetricDiff::Status::Regressed);
+    EXPECT_EQ(diffOne("lower", 0.10, 100, 120, 2.0).status,
+              MetricDiff::Status::Ok);
+    // Exact metrics never scale.
+    EXPECT_EQ(diffOne("exact", 0, 5, 6, 100.0).status,
+              MetricDiff::Status::Regressed);
+}
+
+TEST(DiffReportTest, RegressionCountDrivesTheExitDecision)
+{
+    DiffReport d;
+    std::string err;
+    ASSERT_TRUE(d.build(parseOk(oneMetricDoc("lower", 0.10, 100)),
+                        parseOk(oneMetricDoc("lower", 0.10, 150)),
+                        err));
+    EXPECT_EQ(d.regressions, 1u);
+    ASSERT_TRUE(d.build(parseOk(oneMetricDoc("lower", 0.10, 100)),
+                        parseOk(oneMetricDoc("lower", 0.10, 100)),
+                        err));
+    EXPECT_EQ(d.regressions, 0u);
+}
+
+TEST(DiffReportTest, MissingMetricIsARegressionAddedIsNot)
+{
+    const char* base = R"({"schema":"ap-bench-result","version":1,
+        "bench":"b","config":{},"metrics":{
+        "gone":{"better":"lower","tol":0.1,"value":10}}})";
+    const char* cur = R"({"schema":"ap-bench-result","version":1,
+        "bench":"b","config":{},"metrics":{
+        "new":{"better":"lower","tol":0.1,"value":3}}})";
+    DiffReport d;
+    std::string err;
+    ASSERT_TRUE(d.build(parseOk(base), parseOk(cur), err)) << err;
+    ASSERT_EQ(d.rows.size(), 2u);
+    EXPECT_EQ(d.rows[0].name, "gone");
+    EXPECT_EQ(d.rows[0].status, MetricDiff::Status::Missing);
+    EXPECT_EQ(d.rows[1].name, "new");
+    EXPECT_EQ(d.rows[1].status, MetricDiff::Status::Added);
+    EXPECT_EQ(d.regressions, 1u); // only the vanished metric fails
+}
+
+TEST(DiffReportTest, RejectsMismatchedEnvelopes)
+{
+    DiffReport d;
+    std::string err;
+    std::string good = oneMetricDoc("lower", 0.1, 1);
+
+    // Wrong schema.
+    EXPECT_FALSE(d.build(parseOk(R"({"schema":"other","version":1})"),
+                         parseOk(good), err));
+    // Wrong version.
+    EXPECT_FALSE(d.build(
+        parseOk(R"({"schema":"ap-bench-result","version":2,)"
+                R"("bench":"b","metrics":{}})"),
+        parseOk(good), err));
+    // Different bench names.
+    std::string other_bench = good;
+    other_bench.replace(other_bench.find("\"bench\":\"b\""),
+                        std::string("\"bench\":\"b\"").size(),
+                        "\"bench\":\"x\"");
+    EXPECT_FALSE(d.build(parseOk(good), parseOk(other_bench), err));
+    EXPECT_NE(err.find("bench name"), std::string::npos);
+    // Different configs (e.g. smoke vs full run) are not comparable.
+    std::string other_cfg = good;
+    other_cfg.replace(other_cfg.find("{\"n\":1}"),
+                      std::string("{\"n\":1}").size(), "{\"n\":2}");
+    EXPECT_FALSE(d.build(parseOk(good), parseOk(other_cfg), err));
+    EXPECT_NE(err.find("config"), std::string::npos);
+}
+
+TEST(DiffReportTest, PrintTableNamesEveryStatus)
+{
+    const char* base = R"({"schema":"ap-bench-result","version":1,
+        "bench":"b","config":{},"metrics":{
+        "bad":{"better":"lower","tol":0.1,"value":100},
+        "gone":{"better":"lower","tol":0.1,"value":10},
+        "good":{"better":"lower","tol":0.1,"value":100}}})";
+    const char* cur = R"({"schema":"ap-bench-result","version":1,
+        "bench":"b","config":{},"metrics":{
+        "bad":{"better":"lower","tol":0.1,"value":200},
+        "good":{"better":"lower","tol":0.1,"value":100}}})";
+    DiffReport d;
+    std::string err;
+    ASSERT_TRUE(d.build(parseOk(base), parseOk(cur), err)) << err;
+    std::ostringstream os;
+    d.printTable(os);
+    EXPECT_NE(os.str().find("REGRESSED"), std::string::npos);
+    EXPECT_NE(os.str().find("MISSING"), std::string::npos);
+    EXPECT_NE(os.str().find("2 regressions"), std::string::npos);
+}
+
+// --------------------------------------------------------------------
+// The percentile rounding contract (report.hh): reconstructed
+// percentiles report geometric bucket midpoints, bounded within
+// sqrt(2) of the exact value — where the previous linear rule could
+// report the bucket's top edge, overstating by up to 2x.
+// --------------------------------------------------------------------
+
+/** Build a trace whose major.transfer spans have @p durs durations. */
+JsonValue
+traceWith(const std::vector<double>& durs)
+{
+    std::ostringstream os;
+    os << R"({"traceEvents":[)";
+    for (size_t i = 0; i < durs.size(); ++i) {
+        if (i)
+            os << ",";
+        os << R"({"name":"major.transfer","cat":"faultstage","ph":"X",)"
+           << R"("ts":0,"dur":)" << durs[i]
+           << R"(,"pid":0,"tid":1,"args":{"fault":)" << i + 1 << "}}";
+    }
+    os << "]}";
+    return parseOk(os.str());
+}
+
+/** Exact nearest-rank percentile of a sorted value list. */
+double
+exactQuantile(std::vector<double> v, double q)
+{
+    std::sort(v.begin(), v.end());
+    size_t rank = static_cast<size_t>(
+        std::ceil(q * static_cast<double>(v.size())));
+    return v.at(rank ? rank - 1 : 0);
+}
+
+TEST(PercentileContractTest, GoldenMidpointsVsExactTrace)
+{
+    // 1000 spans clustered low in the [1024,2048) bucket plus a tail:
+    // the shape where linear interpolation overstated p50/p95.
+    std::vector<double> durs;
+    for (int i = 0; i < 1000; ++i)
+        durs.push_back(1024 + (i % 50)); // exact p50 = 1049
+    for (int i = 0; i < 20; ++i)
+        durs.push_back(5000); // tail keeps max above the midpoint
+
+    StageReport rep;
+    std::string err;
+    ASSERT_TRUE(rep.build(traceWith(durs), err)) << err;
+    const Histogram& h = rep.stages.at("major").at("transfer");
+    ASSERT_EQ(h.count(), durs.size());
+
+    // Golden values: the p50/p95 ranks land in bucket [1024,2048),
+    // whose geometric midpoint is sqrt(1024*2048); p99 lands in the
+    // tail bucket [4096,8192), midpoint sqrt(4096*8192) clamped to
+    // the observed max of 5000.
+    const double mid10 = std::sqrt(1024.0 * 2048.0);
+    EXPECT_DOUBLE_EQ(h.quantileMid(0.50), mid10);
+    EXPECT_DOUBLE_EQ(h.quantileMid(0.95), mid10);
+    EXPECT_DOUBLE_EQ(h.quantileMid(0.99), 5000.0);
+
+    // The sqrt(2) bound against the exact per-value percentiles.
+    for (double q : {0.50, 0.95, 0.99}) {
+        double exact = exactQuantile(durs, q);
+        double got = h.quantileMid(q);
+        EXPECT_LE(got / exact, std::sqrt(2.0)) << "q=" << q;
+        EXPECT_LE(exact / got, std::sqrt(2.0)) << "q=" << q;
+    }
+
+    // And the table renders the midpoint contract, not the linear
+    // rule: with this shape the linear p50 would exceed the sqrt(2)
+    // bound, so the two must disagree.
+    EXPECT_GT(h.quantile(0.50), std::sqrt(2.0) * 1049.0);
+    std::ostringstream os;
+    rep.printTable(os);
+    EXPECT_NE(os.str().find("transfer"), std::string::npos);
+}
+
+} // namespace
+} // namespace ap::apstat

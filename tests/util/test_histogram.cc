@@ -104,6 +104,62 @@ TEST(Histogram, QuantilesOrderedOnSpreadData)
     EXPECT_LE(p50, 1024.0);
 }
 
+TEST(Histogram, QuantileMidIsGeometricBucketMidpoint)
+{
+    Histogram h;
+    // All mass in bucket [1024, 2048), spread across it so the
+    // observed range straddles the midpoint sqrt(1024*2048) and the
+    // [min,max] clamp stays out of the way.
+    for (int i = 0; i < 100; ++i)
+        h.record(1024 + i * 10);
+    double mid = std::sqrt(1024.0 * 2048.0);
+    EXPECT_DOUBLE_EQ(h.quantileMid(0.50), mid);
+    EXPECT_DOUBLE_EQ(h.quantileMid(0.99), mid);
+    // The sqrt(2) bound: the reported value is within sqrt(2) of any
+    // sample in the bucket, in both directions.
+    EXPECT_LE(mid / 2048.0, std::sqrt(2.0));
+    EXPECT_LE(1024.0 / mid, std::sqrt(2.0));
+}
+
+TEST(Histogram, QuantileMidBucketZeroIsOne)
+{
+    Histogram h;
+    h.record(0.5);
+    h.record(1.5);
+    // Bucket 0 covers [0,2); its geometric midpoint is defined as 1.
+    EXPECT_DOUBLE_EQ(h.quantileMid(0.50), 1.0);
+}
+
+TEST(Histogram, QuantileMidClampsToObservedRange)
+{
+    Histogram h;
+    h.record(1100); // single sample near the bottom of [1024,2048)
+    // sqrt(1024*2048) = 1448 > max: clamp pins to the observed value.
+    EXPECT_DOUBLE_EQ(h.quantileMid(0.50), 1100.0);
+    EXPECT_DOUBLE_EQ(h.quantileMid(0.99), 1100.0);
+    Histogram empty;
+    EXPECT_EQ(empty.quantileMid(0.5), 0.0);
+}
+
+TEST(Histogram, QuantileMidBoundsErrorWhereLinearOverstates)
+{
+    // The motivating case for the rounding contract: samples cluster
+    // at the bottom of a bucket but the target rank sits near the
+    // bucket's end, so linear interpolation reports the top edge —
+    // overstating by ~2x. The geometric midpoint stays within
+    // sqrt(2).
+    Histogram h;
+    for (int i = 0; i < 1000; ++i)
+        h.record(1025);
+    h.record(4096); // max in a later bucket, defeating the clamp
+    double exact_p50 = 1025;
+    double linear = h.quantile(0.50);
+    double geo = h.quantileMid(0.50);
+    EXPECT_GT(linear / exact_p50, 1.48); // overstated by ~1.5x
+    EXPECT_LE(geo / exact_p50, std::sqrt(2.0));
+    EXPECT_LE(exact_p50 / geo, std::sqrt(2.0));
+}
+
 TEST(Histogram, MergeFoldsCountsAndRange)
 {
     Histogram a, b;

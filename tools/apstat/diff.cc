@@ -1,0 +1,203 @@
+#include "diff.hh"
+
+#include <cmath>
+
+#include "util/table.hh"
+
+namespace ap::apstat {
+
+namespace {
+
+/**
+ * Validate the ap-bench-result envelope and return the "metrics"
+ * object, or null with @p err set. @p which names the offending file
+ * role ("baseline" / "current") in messages.
+ */
+const JsonValue*
+metricsOf(const JsonValue& doc, const char* which, std::string& err)
+{
+    if (!doc.isObject()) {
+        err = std::string(which) + " is not a JSON object";
+        return nullptr;
+    }
+    if (doc.stringOr("schema", "") != "ap-bench-result") {
+        err = std::string(which) +
+              " is not an ap-bench-result document (schema mismatch)";
+        return nullptr;
+    }
+    if (doc.numberOr("version", 0) != 1) {
+        err = std::string(which) + " has unsupported version " +
+              std::to_string(doc.numberOr("version", 0));
+        return nullptr;
+    }
+    const JsonValue* m = doc.find("metrics");
+    if (!m || !m->isObject()) {
+        err = std::string(which) + " has no \"metrics\" object";
+        return nullptr;
+    }
+    return m;
+}
+
+/** Deep structural equality (config sections: strings and numbers). */
+bool
+sameValue(const JsonValue& a, const JsonValue& b)
+{
+    if (a.kind != b.kind)
+        return false;
+    switch (a.kind) {
+    case JsonValue::Kind::Null: return true;
+    case JsonValue::Kind::Bool: return a.boolean == b.boolean;
+    case JsonValue::Kind::Number: return a.number == b.number;
+    case JsonValue::Kind::String: return a.str == b.str;
+    case JsonValue::Kind::Array:
+        if (a.arr.size() != b.arr.size())
+            return false;
+        for (size_t i = 0; i < a.arr.size(); ++i)
+            if (!sameValue(a.arr[i], b.arr[i]))
+                return false;
+        return true;
+    case JsonValue::Kind::Object:
+        if (a.obj.size() != b.obj.size())
+            return false;
+        for (size_t i = 0; i < a.obj.size(); ++i)
+            if (a.obj[i].first != b.obj[i].first ||
+                !sameValue(a.obj[i].second, b.obj[i].second))
+                return false;
+        return true;
+    }
+    return false;
+}
+
+const char*
+statusName(MetricDiff::Status s)
+{
+    switch (s) {
+    case MetricDiff::Status::Ok: return "ok";
+    case MetricDiff::Status::Improved: return "improved";
+    case MetricDiff::Status::Regressed: return "REGRESSED";
+    case MetricDiff::Status::Missing: return "MISSING";
+    case MetricDiff::Status::Added: return "added";
+    }
+    return "?";
+}
+
+/** Band check for one metric that exists on both sides. */
+MetricDiff::Status
+judge(const MetricDiff& m)
+{
+    if (m.better == "exact")
+        return m.cur == m.base ? MetricDiff::Status::Ok
+                               : MetricDiff::Status::Regressed;
+    // Band on |base| so a (rare) negative baseline still gets a band
+    // around itself rather than an inverted one.
+    double hi = m.base + m.tol * std::fabs(m.base);
+    double lo = m.base - m.tol * std::fabs(m.base);
+    if (m.better == "lower") {
+        if (m.cur > hi)
+            return MetricDiff::Status::Regressed;
+        return m.cur < lo ? MetricDiff::Status::Improved
+                          : MetricDiff::Status::Ok;
+    }
+    // "higher"; an unknown direction string is judged as higher so a
+    // typo in a baseline still produces band checks, not a free pass.
+    if (m.cur < lo)
+        return MetricDiff::Status::Regressed;
+    return m.cur > hi ? MetricDiff::Status::Improved
+                      : MetricDiff::Status::Ok;
+}
+
+} // namespace
+
+bool
+DiffReport::build(const JsonValue& base, const JsonValue& cur,
+                  std::string& err, double tol_scale)
+{
+    const JsonValue* bm = metricsOf(base, "baseline", err);
+    if (!bm)
+        return false;
+    const JsonValue* cm = metricsOf(cur, "current", err);
+    if (!cm)
+        return false;
+
+    std::string bb(base.stringOr("bench", ""));
+    std::string cb(cur.stringOr("bench", ""));
+    if (bb.empty() || bb != cb) {
+        err = "bench name mismatch: baseline \"" + bb +
+              "\" vs current \"" + cb + "\"";
+        return false;
+    }
+    bench = bb;
+
+    const JsonValue* bcfg = base.find("config");
+    const JsonValue* ccfg = cur.find("config");
+    if ((bcfg == nullptr) != (ccfg == nullptr) ||
+        (bcfg && !sameValue(*bcfg, *ccfg))) {
+        err = "config sections differ — the runs are not comparable "
+              "(rerun the bench with the baseline's configuration, or "
+              "rebaseline)";
+        return false;
+    }
+
+    rows.clear();
+    regressions = 0;
+
+    // Baseline order first (BenchResult sorts its metric map, so this
+    // is deterministic), then current-only additions.
+    for (const auto& [name, bv] : bm->obj) {
+        MetricDiff m;
+        m.name = name;
+        m.better = bv.stringOr("better", "higher");
+        m.tol = bv.numberOr("tol", 0) * tol_scale;
+        m.base = bv.numberOr("value", 0);
+        const JsonValue* cv = cm->find(name);
+        if (!cv) {
+            m.status = MetricDiff::Status::Missing;
+            m.cur = std::nan("");
+        } else {
+            m.cur = cv->numberOr("value", 0);
+            m.status = judge(m);
+        }
+        if (m.status == MetricDiff::Status::Regressed ||
+            m.status == MetricDiff::Status::Missing)
+            regressions++;
+        rows.push_back(std::move(m));
+    }
+    for (const auto& [name, cv] : cm->obj) {
+        if (bm->find(name))
+            continue;
+        MetricDiff m;
+        m.name = name;
+        m.better = cv.stringOr("better", "higher");
+        m.tol = cv.numberOr("tol", 0) * tol_scale;
+        m.base = std::nan("");
+        m.cur = cv.numberOr("value", 0);
+        m.status = MetricDiff::Status::Added;
+        rows.push_back(std::move(m));
+    }
+    return true;
+}
+
+void
+DiffReport::printTable(std::ostream& os) const
+{
+    TextTable t;
+    t.header({"metric", "better", "baseline", "current", "delta%",
+              "tol%", "status"});
+    for (const MetricDiff& m : rows) {
+        std::string delta = "n/a";
+        if (!std::isnan(m.base) && !std::isnan(m.cur) && m.base != 0)
+            delta =
+                TextTable::num((m.cur - m.base) / m.base * 100.0, 2);
+        t.row({m.name, m.better,
+               std::isnan(m.base) ? "-" : TextTable::num(m.base),
+               std::isnan(m.cur) ? "-" : TextTable::num(m.cur), delta,
+               TextTable::num(m.tol * 100.0, 1),
+               statusName(m.status)});
+    }
+    t.print(os);
+    os << "bench \"" << bench << "\": " << rows.size() << " metrics, "
+       << regressions << " regression"
+       << (regressions == 1 ? "" : "s") << "\n";
+}
+
+} // namespace ap::apstat

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * apstat's perf-diff core: compare two "ap-bench-result" documents
+ * (the `--json` output of the bench binaries, committed as BENCH_*.json
+ * baselines) metric by metric, with direction-aware tolerance bands.
+ *
+ * Each metric carries its own contract in the baseline document:
+ *   better=lower   regression when cur > base * (1 + tol)
+ *   better=higher  regression when cur < base * (1 - tol)
+ *   better=exact   regression on any change (determinism counters)
+ * A metric present in the baseline but missing from the current run is
+ * a regression (a bench silently dropping a scenario must not pass);
+ * a metric only the current run has is reported but never fails — new
+ * scenarios land before their baseline does.
+ *
+ * Used by `apstat diff <baseline.json> <current.json>` and by
+ * scripts/perf_diff, which gates CI on the committed baselines.
+ */
+
+#ifndef AP_TOOLS_APSTAT_DIFF_HH
+#define AP_TOOLS_APSTAT_DIFF_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "json_reader.hh"
+
+namespace ap::apstat {
+
+/** One metric's comparison outcome. */
+struct MetricDiff
+{
+    enum class Status {
+        Ok,        ///< inside the tolerance band
+        Improved,  ///< outside the band in the good direction
+        Regressed, ///< outside the band in the bad direction
+        Missing,   ///< in baseline, absent from current (counts as
+                   ///< a regression)
+        Added,     ///< in current only (informational)
+    };
+
+    std::string name;
+    std::string better; ///< "lower" | "higher" | "exact"
+    double tol = 0;     ///< effective tolerance (baseline tol * scale)
+    double base = 0;
+    double cur = 0;
+    Status status = Status::Ok;
+};
+
+/** Comparison of two ap-bench-result documents. */
+struct DiffReport
+{
+    std::string bench;
+    std::vector<MetricDiff> rows;
+    size_t regressions = 0;
+
+    /**
+     * Compare @p base against @p cur. Both must be ap-bench-result
+     * version-1 documents for the same bench with identical "config"
+     * sections — comparing runs of different shapes is meaningless,
+     * so a mismatch fails the build rather than producing a table.
+     * @p tol_scale widens (or tightens) every lower/higher band;
+     * exact metrics are never scaled.
+     * @return false with @p err set when the documents are not
+     *         comparable.
+     */
+    bool build(const JsonValue& base, const JsonValue& cur,
+               std::string& err, double tol_scale = 1.0);
+
+    /** Render the per-metric table plus a one-line verdict. */
+    void printTable(std::ostream& os) const;
+};
+
+} // namespace ap::apstat
+
+#endif // AP_TOOLS_APSTAT_DIFF_HH

@@ -1,22 +1,33 @@
 /**
  * @file
- * apstat: offline fault-path latency analysis (docs/OBSERVABILITY.md).
- * Reads a Chrome trace JSON written by the simulator's Tracer and
- * prints the per-stage latency percentile table — the same numbers
- * StatGroup::dumpJson() reports in-process, recovered from the trace
- * alone, so a saved trace is a self-contained performance artifact.
+ * apstat: offline analysis of the simulator's performance artifacts
+ * (docs/OBSERVABILITY.md).
  *
- * Usage: apstat <trace.json>   ("-" reads stdin)
+ * Trace mode — `apstat <trace.json>` ("-" reads stdin): reads a
+ * Chrome trace written by the simulator's Tracer and prints the
+ * per-stage fault latency table. Counts, min/max, and mean match
+ * StatGroup::dumpJson(); the p50/p95/p99 columns use the geometric-
+ * midpoint rounding contract (Histogram::quantileMid — see
+ * report.hh), bounding the error from log2 bucketing by sqrt(2).
  *
- * Exit status: 0 on success, 1 on usage/IO errors, 2 on malformed
- * JSON, 3 when the trace's flow events are inconsistent (a fault
- * chain with no matching start/end — indicates a truncated trace).
+ * Diff mode — `apstat diff <baseline.json> <current.json>
+ * [--tol-scale X]`: compares two ap-bench-result documents (the
+ * `--json` output of the bench binaries) with per-metric
+ * direction-aware tolerance bands; scripts/perf_diff gates CI on the
+ * committed BENCH_*.json baselines through this mode.
+ *
+ * Exit status: 0 on success, 1 on usage/IO errors, 2 on malformed or
+ * non-comparable input, 3 when a trace's flow events are inconsistent
+ * (a fault chain with no matching start/end — truncated trace),
+ * 4 when diff mode finds at least one regression.
  */
 
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <sstream>
 
+#include "diff.hh"
 #include "report.hh"
 
 namespace {
@@ -39,30 +50,83 @@ readAll(const char* path, std::string& out)
     return true;
 }
 
-} // namespace
-
+/** Read + parse one JSON file, with apstat's usual exit codes. */
 int
-main(int argc, char** argv)
+load(const char* path, ap::apstat::JsonValue& doc)
 {
-    if (argc != 2 || std::string_view(argv[1]) == "--help") {
-        std::cerr << "usage: apstat <trace.json>  (\"-\" for stdin)\n";
-        return 1;
-    }
     std::string text;
-    if (!readAll(argv[1], text)) {
-        std::cerr << "apstat: cannot read " << argv[1] << "\n";
+    if (!readAll(path, text)) {
+        std::cerr << "apstat: cannot read " << path << "\n";
         return 1;
     }
-
-    ap::apstat::JsonValue doc;
     std::string err;
     if (!ap::apstat::parseJson(text, doc, err)) {
-        std::cerr << "apstat: " << argv[1] << ": " << err << "\n";
+        std::cerr << "apstat: " << path << ": " << err << "\n";
         return 2;
     }
+    return 0;
+}
+
+int
+usage()
+{
+    std::cerr
+        << "usage: apstat <trace.json>  (\"-\" for stdin)\n"
+           "       apstat diff <baseline.json> <current.json>"
+           " [--tol-scale X]\n";
+    return 1;
+}
+
+int
+runDiff(int argc, char** argv)
+{
+    double tol_scale = 1.0;
+    const char* paths[2] = {nullptr, nullptr};
+    int npaths = 0;
+    for (int i = 2; i < argc; ++i) {
+        std::string_view a = argv[i];
+        if (a == "--tol-scale" && i + 1 < argc) {
+            char* end = nullptr;
+            tol_scale = std::strtod(argv[++i], &end);
+            if (!end || *end != '\0' || tol_scale <= 0) {
+                std::cerr << "apstat: bad --tol-scale value\n";
+                return 1;
+            }
+        } else if (npaths < 2 && !a.empty() && a[0] != '-') {
+            paths[npaths++] = argv[i];
+        } else {
+            return usage();
+        }
+    }
+    if (npaths != 2)
+        return usage();
+
+    ap::apstat::JsonValue base, cur;
+    if (int rc = load(paths[0], base))
+        return rc;
+    if (int rc = load(paths[1], cur))
+        return rc;
+
+    ap::apstat::DiffReport d;
+    std::string err;
+    if (!d.build(base, cur, err, tol_scale)) {
+        std::cerr << "apstat: " << err << "\n";
+        return 2;
+    }
+    d.printTable(std::cout);
+    return d.regressions != 0 ? 4 : 0;
+}
+
+int
+runTrace(const char* path)
+{
+    ap::apstat::JsonValue doc;
+    if (int rc = load(path, doc))
+        return rc;
     ap::apstat::StageReport report;
+    std::string err;
     if (!report.build(doc, err)) {
-        std::cerr << "apstat: " << argv[1] << ": " << err << "\n";
+        std::cerr << "apstat: " << path << ": " << err << "\n";
         return 2;
     }
 
@@ -80,4 +144,16 @@ main(int argc, char** argv)
         return 3;
     }
     return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    if (argc >= 2 && std::string_view(argv[1]) == "diff")
+        return runDiff(argc, argv);
+    if (argc != 2 || std::string_view(argv[1]) == "--help")
+        return usage();
+    return runTrace(argv[1]);
 }

@@ -141,9 +141,9 @@ StageReport::printTable(std::ostream& os) const
             t.row({kind, stage, std::to_string(h.count()),
                    TextTable::num(h.min()), TextTable::num(h.max()),
                    TextTable::num(h.mean()),
-                   TextTable::num(h.quantile(0.50)),
-                   TextTable::num(h.quantile(0.95)),
-                   TextTable::num(h.quantile(0.99))});
+                   TextTable::num(h.quantileMid(0.50)),
+                   TextTable::num(h.quantileMid(0.95)),
+                   TextTable::num(h.quantileMid(0.99))});
         }
         auto tot = totals.find(kind);
         if (tot != totals.end()) {
@@ -151,9 +151,9 @@ StageReport::printTable(std::ostream& os) const
             t.row({kind, "total", std::to_string(h.count()),
                    TextTable::num(h.min()), TextTable::num(h.max()),
                    TextTable::num(h.mean()),
-                   TextTable::num(h.quantile(0.50)),
-                   TextTable::num(h.quantile(0.95)),
-                   TextTable::num(h.quantile(0.99))});
+                   TextTable::num(h.quantileMid(0.50)),
+                   TextTable::num(h.quantileMid(0.95)),
+                   TextTable::num(h.quantileMid(0.99))});
         }
     }
     t.print(os);

@@ -3,8 +3,19 @@
  * apstat's analysis core: turn a parsed Chrome trace (as written by
  * ap::sim::Tracer, with FaultPath's "faultstage" spans and per-fault
  * flow events) back into the per-stage latency distributions the
- * simulator recorded — same ap::Histogram type, so the printed
- * percentiles match StatGroup::dumpJson() by construction.
+ * simulator recorded — same ap::Histogram type, so counts, min/max,
+ * and mean match StatGroup::dumpJson() exactly.
+ *
+ * Percentile rounding contract: a log2 bucket only certifies that its
+ * samples lie in [2^i, 2^(i+1)), so reconstructed percentiles are
+ * estimates. The table reports the *geometric midpoint* of the hit
+ * bucket (Histogram::quantileMid), which bounds the multiplicative
+ * error by sqrt(2) in both directions; the previous linear
+ * interpolation degraded to the bucket's upper bound and could
+ * overstate p50/p95/p99 by up to 2x. dumpJson's in-process p50/p95/
+ * p99 use Histogram::quantile (linear), so the two outputs agree on
+ * the bucket but may differ inside it — golden files must name which
+ * contract they were computed under.
  */
 
 #ifndef AP_TOOLS_APSTAT_REPORT_HH
