@@ -8,8 +8,8 @@
 # Steps:
 #   build     configure + compile the plain tree
 #   test      full ctest, then one --no-tests=error re-run per suite
-#             label (fault, prefetch, obs, lint, serving, simcheck) so
-#             a label silently going empty fails
+#             label (fault, prefetch, obs, lint, serving, tenant,
+#             simcheck) so a label silently going empty fails
 #   lint      aplint over the whole tree against the committed (empty)
 #             baseline — any unwaived finding fails
 #   perf      scripts/perf_diff: the gated benches re-run with --json
@@ -28,7 +28,7 @@ cd "$(dirname "$0")/.."
 PLAIN="${1:-build-plain}"
 ARMED="${2:-build-simcheck}"
 JOBS="$(nproc 2>/dev/null || echo 4)"
-LABELS=(fault prefetch obs lint serving simcheck)
+LABELS=(fault prefetch obs lint serving tenant simcheck)
 
 STEP=""
 step() {

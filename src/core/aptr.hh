@@ -62,6 +62,7 @@ class AptrVec
             // reports the reason.
             AptrVec p;
             p.rt_ = &rt;
+            p.asid_ = w.tenant();
             p.mapOffset = f_offset;
             p.mapLength = length;
             p.perm = perm;
@@ -85,6 +86,10 @@ class AptrVec
         AptrVec p;
         p.rt_ = &rt;
         p.file = f;
+        // The mapping belongs to the address space of the warp that
+        // created it; the ASID rides in every key and translation the
+        // apointer produces from here on.
+        p.asid_ = w.tenant();
         p.mapOffset = f_offset;
         p.mapLength = length;
         p.perm = perm;
@@ -134,6 +139,7 @@ class AptrVec
         AptrVec p;
         p.rt_ = &rt;
         p.file = kDirectFile;
+        p.asid_ = w.tenant();
         p.directBase = base;
         p.mapOffset = 0;
         p.mapLength = length;
@@ -223,6 +229,7 @@ class AptrVec
         AptrVec p;
         p.rt_ = rt_;
         p.file = file;
+        p.asid_ = asid_;
         p.directBase = directBase;
         p.zeroFill = zeroFill;
         p.mapOffset = mapOffset;
@@ -350,7 +357,7 @@ class AptrVec
                              static_cast<uint32_t>(off % page), perm,
                              false);
         }
-        return packLongUnlinked(off, perm);
+        return packLongUnlinked(off, perm, asid_);
     }
 
     /** True when this apointer maps raw GPU memory (no page cache). */
@@ -370,7 +377,7 @@ class AptrVec
                 static_cast<uint32_t>((frame_addr - frame0) / page);
             return packShort(frame, xpage, off, perm, true);
         }
-        return packLongLinked(frame_addr + off, perm);
+        return packLongLinked(frame_addr + off, perm, asid_);
     }
 
     /** Aphysical address each lane points at (linked lanes only). */
@@ -514,7 +521,8 @@ class AptrVec
                 continue;
             }
 
-            gpufs::PageKey key = gpufs::makePageKey(file, lead_xpage);
+            gpufs::PageKey key =
+                gpufs::makePageKey(asid_, file, lead_xpage);
             sim::Addr frame_addr = 0;
             bool via_tlb = false;
             bool major_fault = false;
@@ -614,7 +622,8 @@ class AptrVec
             int count = sim::popc32(group);
             w.issue(c.aggregationIter);
 
-            gpufs::PageKey key = gpufs::makePageKey(file, lead_xpage);
+            gpufs::PageKey key =
+                gpufs::makePageKey(asid_, file, lead_xpage);
             // Unlink before the reference drop: a page must never look
             // evictable while a lane still holds its translation.
             if (sim::check::SimCheck::armed)
@@ -679,7 +688,7 @@ class AptrVec
                     uint64_t aphys =
                         longPayload(field[l]) +
                         static_cast<uint64_t>(delta[l]);
-                    field[l] = packLongLinked(aphys, perm);
+                    field[l] = packLongLinked(aphys, perm, asid_);
                 }
             } else {
                 field[l] = packUnlinked(new_off[l]);
@@ -696,6 +705,14 @@ class AptrVec
     // --- metadata: local memory, touched only on slow paths ----------
     GvmRuntime* rt_ = nullptr;
     hostio::FileId file = -1;
+    /**
+     * Address space the mapping belongs to (the creating warp's tenant
+     * at map() time). Long translations carry it in the register's
+     * [60:53] asid field; short translations have no spare bits, so
+     * for them the ASID lives only here in apointer metadata and joins
+     * the key on the fault path.
+     */
+    uint16_t asid_ = 0;
     sim::Addr directBase = 0;
     bool zeroFill = false;
     uint64_t mapOffset = 0;

@@ -87,11 +87,58 @@ class GvmRuntime
             return nullptr;
         sim::ThreadBlock& tb = w.block();
         if (!tb.tlbSlot) {
-            tb.tlbSlot = std::make_shared<SoftTlb>(
+            auto tlb = std::make_shared<SoftTlb>(
                 tb, cfg_.tlbEntries, cfg_.kind,
                 w.costModel().scratchLatency);
+            tb.tlbSlot = tlb;
+            // Track every TLB ever created (weakly: blocks own them)
+            // so tenant teardown can audit all of them for stale
+            // translations without re-walking live threadblocks.
+            tlbs_.push_back(tlb);
         }
         return static_cast<SoftTlb*>(tb.tlbSlot.get());
+    }
+
+    /**
+     * Host-side tenant teardown: the full shutdown sequence for one
+     * address space, run after the tenant's warps have quiesced
+     * (kernel finished or all its apointers destroyed).
+     *
+     *  1. assert no TLB still caches one of the tenant's translations
+     *     (quiesced tenants drain their counts; a survivor here means
+     *     a reference leak, the exact bug the shootdown API exists
+     *     to catch),
+     *  2. scrub the tenant's page-cache footprint (Busy if pages are
+     *     still referenced or loading),
+     *  3. release the ASID in the registry (Busy if frames remain).
+     *
+     * @return Ok, or the first failing step's status; nothing is torn
+     *         down unless all steps can succeed
+     */
+    tenant::TenantStatus
+    teardownTenant(tenant::TenantRegistry& reg, tenant::TenantId asid)
+        AP_MUST_CHECK
+    {
+        for (auto it = tlbs_.begin(); it != tlbs_.end();) {
+            std::shared_ptr<SoftTlb> tlb = it->lock();
+            if (!tlb) {
+                it = tlbs_.erase(it);
+                continue;
+            }
+            uint32_t stale = tlb->countAsidEntriesHost(asid);
+            AP_ASSERT(stale == 0, "tenant ", asid, " teardown found ",
+                      stale,
+                      " stale TLB entr(ies): a warp leaked references "
+                      "or skipped the ASID flush");
+            if (stale != 0)
+                return tenant::TenantStatus::Busy;
+            ++it;
+        }
+        tenant::TenantStatus st =
+            fs_->cache().teardownTenantHost(asid);
+        if (st != tenant::TenantStatus::Ok)
+            return st;
+        return reg.releaseTenant(asid);
     }
 
     /**
@@ -122,6 +169,7 @@ class GvmRuntime
     AptrCosts costs_;
     hostio::FileId swapFile = -1;
     std::unique_ptr<prefetch::Prefetcher> prefetcher_;
+    std::vector<std::weak_ptr<SoftTlb>> tlbs_;
 };
 
 } // namespace ap::core

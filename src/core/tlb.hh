@@ -81,8 +81,29 @@ class SoftTlb
     /** Number of entries. */
     uint32_t size() const { return nEntries; }
 
+    /**
+     * Shootdown: discard every cached mapping whose key belongs to
+     * address space @p asid, returning held page-table references. A
+     * nonzero block-private count is force-dropped — the flush runs at
+     * tenant teardown, after the tenant's warps have quiesced, so a
+     * surviving count means the tenant died holding references and the
+     * frames must still be unpinned rather than leaked.
+     *
+     * @return number of entries flushed
+     */
+    uint32_t flushAsid(sim::Warp& w, tenant::TenantId asid,
+                       gpufs::PageCache& cache)
+        AP_ACQUIRES("tlb.entry") AP_LEADER_ONLY;
+
     /** Host-side: block-private count of @p key (tests). */
     int countOfHost(gpufs::PageKey key) const;
+
+    /**
+     * Host-side: entries still caching pages of @p asid. Zero after a
+     * flushAsid — the teardown path asserts exactly that, so a stale
+     * translation can never dangle past its address space.
+     */
+    uint32_t countAsidEntriesHost(tenant::TenantId asid) const;
 
   private:
     struct Entry

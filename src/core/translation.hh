@@ -6,9 +6,13 @@
  * permission bits, and the mapping payload.
  *
  * Long layout (AptrKind::Long):
- *   [63] valid | [62:61] perm | [60:0] payload
+ *   [63] valid | [62:61] perm | [60:53] asid | [52:0] payload
  *   payload = aphysical byte address when linked,
  *             file byte offset (xAddress) when unlinked.
+ *   The asid field tags the translation with its address space
+ *   (tenant), making the register self-describing in a multi-tenant
+ *   process: the fault handler keys the TLB and page table on
+ *   (asid, file, page), so tenants never alias each other's mappings.
  *
  * Short layout (AptrKind::Short):
  *   [63] valid | [62:61] perm | [60:49] in-page offset (12)
@@ -38,8 +42,10 @@ constexpr unsigned kValidBit = 63;
 constexpr unsigned kPermShift = 61;
 constexpr unsigned kPermWidth = 2;
 
-/** Long layout: 61-bit payload. */
-constexpr unsigned kLongPayloadWidth = 61;
+/** Long layout: 53-bit payload below an 8-bit address-space id. */
+constexpr unsigned kLongPayloadWidth = 53;
+constexpr unsigned kLongAsidShift = kLongPayloadWidth;
+constexpr unsigned kLongAsidWidth = 8;
 
 /** Short layout geometry (4 KB pages). */
 constexpr unsigned kShortFrameWidth = 21;
@@ -68,18 +74,20 @@ translationPerm(uint64_t t)
 
 /** Build a linked long translation pointing at @p aphys. */
 constexpr uint64_t
-packLongLinked(uint64_t aphys, uint64_t perm)
+packLongLinked(uint64_t aphys, uint64_t perm, uint64_t asid = 0)
 {
     uint64_t t = insertBits(0, 0, kLongPayloadWidth, aphys);
+    t = insertBits(t, kLongAsidShift, kLongAsidWidth, asid);
     t = insertBits(t, kPermShift, kPermWidth, perm);
     return insertBits(t, kValidBit, 1, 1);
 }
 
 /** Build an unlinked long translation holding file offset @p xaddr. */
 constexpr uint64_t
-packLongUnlinked(uint64_t xaddr, uint64_t perm)
+packLongUnlinked(uint64_t xaddr, uint64_t perm, uint64_t asid = 0)
 {
     uint64_t t = insertBits(0, 0, kLongPayloadWidth, xaddr);
+    t = insertBits(t, kLongAsidShift, kLongAsidWidth, asid);
     return insertBits(t, kPermShift, kPermWidth, perm);
 }
 
@@ -88,6 +96,13 @@ constexpr uint64_t
 longPayload(uint64_t t)
 {
     return bits(t, 0, kLongPayloadWidth);
+}
+
+/** Address-space id of a long translation. */
+constexpr uint64_t
+longAsid(uint64_t t)
+{
+    return bits(t, kLongAsidShift, kLongAsidWidth);
 }
 
 // ---------------------------------------------------------------------

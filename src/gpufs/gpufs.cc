@@ -15,7 +15,7 @@ GpuFs::gread(sim::Warp& w, hostio::FileId f, uint64_t off, size_t len,
         size_t in_page = cur % pageSize();
         size_t chunk = std::min(len - done, pageSize() - in_page);
 
-        PageKey key = makePageKey(f, page_no);
+        PageKey key = makePageKey(w.tenant(), f, page_no);
         AcquireResult r = cache_.acquirePage(w, key, 1, false);
         if (!r.ok())
             return r.status; // no reference held on the failed page
@@ -37,7 +37,7 @@ GpuFs::gwrite(sim::Warp& w, hostio::FileId f, uint64_t off, size_t len,
         size_t in_page = cur % pageSize();
         size_t chunk = std::min(len - done, pageSize() - in_page);
 
-        PageKey key = makePageKey(f, page_no);
+        PageKey key = makePageKey(w.tenant(), f, page_no);
         AcquireResult r = cache_.acquirePage(w, key, 1, true);
         if (!r.ok())
             return r.status; // no reference held on the failed page

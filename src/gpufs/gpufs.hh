@@ -68,7 +68,7 @@ class GpuFs
     {
         uint64_t page_no = offset / pageSize();
         AcquireResult r = cache_.acquirePage(
-            w, makePageKey(f, page_no), 1,
+            w, makePageKey(w.tenant(), f, page_no), 1,
             (prot & hostio::O_GWRONLY) != 0);
         if (status)
             *status = r.status;
@@ -82,7 +82,8 @@ class GpuFs
     gmunmap(sim::Warp& w, hostio::FileId f, uint64_t offset)
         AP_ELECTS_LEADER
     {
-        cache_.releasePage(w, makePageKey(f, offset / pageSize()), 1);
+        cache_.releasePage(
+            w, makePageKey(w.tenant(), f, offset / pageSize()), 1);
     }
 
     /**
@@ -122,7 +123,8 @@ class GpuFs
         uint64_t last = (off + len - 1) / pageSize();
         uint64_t dropped = 0;
         for (uint64_t p = first; p <= last; ++p) {
-            PrefetchResult r = cache_.prefetchPage(w, makePageKey(f, p));
+            PrefetchResult r = cache_.prefetchPage(
+                w, makePageKey(w.tenant(), f, p));
             if (r == PrefetchResult::NoFrame ||
                 r == PrefetchResult::NoEntry)
                 ++dropped;

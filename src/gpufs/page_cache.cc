@@ -221,6 +221,13 @@ PageCache::acquirePage(sim::Warp& w, PageKey key, int count, bool writable,
                 }
             }
             dev->stats().inc("gpufs.minor_faults");
+            if (registry_) {
+                const std::string& pfx =
+                    registry_->statPrefix(pageKeyAsid(key));
+                dev->stats().inc(pfx + "minor_faults");
+                dev->stats().recordValue(pfx + "fault_cycles",
+                                         w.now() - trace_t0);
+            }
             dev->tracer().span(
                 w.globalWarpId(), "fault",
                 "minor pg" + std::to_string(pageKeyPageNo(key)),
@@ -318,6 +325,7 @@ PageCache::acquirePage(sim::Warp& w, PageKey key, int count, bool writable,
                 if (SimCheck::armed)
                     SimCheck::get().pcRemove(checkDomain, recycle_key,
                                              w.globalWarpId(), w.now());
+                noteFrameUnbound(recycle_key);
                 w.chargeGlobalWrite(sizeof(Pte) + sizeof(FrameMeta));
                 dev->stats().inc("gpufs.bucket_evictions");
                 empty = cea;
@@ -338,6 +346,7 @@ PageCache::acquirePage(sim::Warp& w, PageKey key, int count, bool writable,
         fm.flags = writable ? kDirtyFlag : 0;
         w.mem().store(metaAddr(frame), fm);
         w.chargeGlobalWrite(sizeof(Pte) + sizeof(FrameMeta));
+        noteFrameBound(key);
         lk.release(w);
 
         // Writeback and recycling of an overflow victim happen outside
@@ -388,6 +397,13 @@ PageCache::acquirePage(sim::Warp& w, PageKey key, int count, bool writable,
         w.chargeGlobalWrite(4);
         dev->faultPath().stamp(fid, sim::FaultStage::Fill, w.now());
         dev->stats().inc("gpufs.major_faults");
+        if (registry_) {
+            const std::string& pfx =
+                registry_->statPrefix(pageKeyAsid(key));
+            dev->stats().inc(pfx + "major_faults");
+            dev->stats().recordValue(pfx + "fault_cycles",
+                                     w.now() - trace_t0);
+        }
         dev->tracer().span(
             w.globalWarpId(), "fault",
             "major pg" + std::to_string(pageKeyPageNo(key)), trace_t0,
@@ -482,6 +498,9 @@ PageCache::prefetchPage(sim::Warp& w, PageKey key, bool speculative)
     fm.flags = speculative ? kSpecFlag : 0;
     w.mem().store(metaAddr(frame), fm);
     w.chargeGlobalWrite(sizeof(Pte) + sizeof(FrameMeta));
+    // Speculative fills are charged to the tenant they guess for: a
+    // tenant's readahead appetite spends its own share, not the pool's.
+    noteFrameBound(key);
     lk.release(w);
 
     size_t len = std::min<size_t>(cfg.pageSize, io->store().size(f) - off);
@@ -599,6 +618,25 @@ PageCache::settleSpecPage(PageKey key, bool hit, bool late)
 uint32_t
 PageCache::allocFrame(sim::Warp& w)
 {
+    // QoS fast path (registry attached only): an under-share tenant
+    // takes a pre-evicted frame from the reclaim reserve under an
+    // O(1) lock. allocLock is held for whole sweep revolutions by a
+    // streaming over-share tenant, so without this reserve a victim
+    // tenant's occasional demand miss queues behind every antagonist
+    // sweep — an alloc-lock convoy no eviction policy can undo.
+    if (registry_ && !registry_->overShare(w.tenant())) {
+        reserveLock.acquire(w);
+        if (!reserveFrames.empty()) {
+            uint32_t f = reserveFrames.back();
+            reserveFrames.pop_back();
+            w.issue(2);
+            reserveLock.release(w);
+            dev->stats().inc("tenant.reserve_hits");
+            return f;
+        }
+        reserveLock.release(w);
+    }
+
     allocLock.acquire(w);
     if (!freeFrames.empty()) {
         uint32_t f = freeFrames.back();
@@ -607,6 +645,31 @@ PageCache::allocFrame(sim::Warp& w)
         allocLock.release(w);
         return f;
     }
+
+    // A claimed victim awaiting its entry/meta scrub (done after
+    // allocLock is dropped; the refcount -1 claim keeps it inert).
+    struct Claimed
+    {
+        uint32_t frame;
+        PageKey key;
+        sim::Addr ea;
+        uint64_t taggedKey;
+        uint32_t entryRef;
+        bool dirty;
+    };
+    Claimed primary{};
+    bool have_primary = false;
+    Claimed extras[2];
+    size_t n_extras = 0;
+    // While the sweep already holds allocLock with the hand parked on
+    // an evictable region, an attached registry has it pre-evict a few
+    // extra clean victims into the reclaim reserve — the reclaim tax
+    // lands on the tenant churning the cache, and under-share tenants
+    // alloc from the reserve without ever queuing on allocLock.
+    const size_t want_extras =
+        (registry_ && reserveFrames.size() < kReserveTarget)
+            ? std::min<size_t>(2, kReserveTarget - reserveFrames.size())
+            : 0;
 
     // Clock sweep for a refcount-zero resident page.
     const uint64_t limit = 8ULL * cfg.numFrames;
@@ -640,6 +703,28 @@ PageCache::allocFrame(sim::Warp& w)
         if (tries < cfg.numFrames && !(fm.flags & kSpecFlag) &&
             e.state != static_cast<uint32_t>(PteState::Error))
             continue;
+        // Tenant isolation (QoS): through the strict phase of the
+        // sweep, another tenant's frame may be claimed only when that
+        // owner is over its weighted share and the requester is not —
+        // an antagonist churning the cache recycles its own frames and
+        // cannot push a victim tenant below its reserved share. The
+        // final revolutions are unrestricted so policy can never turn
+        // a full cache into the thrashing fatal below.
+        if (registry_ && tries < 6ULL * cfg.numFrames) {
+            tenant::TenantId owner = pageKeyAsid(e.taggedKey - 1);
+            tenant::TenantId self = w.tenant();
+            if (owner != self && !(registry_->overShare(owner) &&
+                                   !registry_->overShare(self))) {
+                dev->stats().inc("tenant.evict_skipped");
+                continue;
+            }
+        }
+        // Reserve extras are clean victims from the strict phase only:
+        // no writeback amplification, and never claimed while the
+        // sweep is in its anything-goes endgame.
+        if (have_primary && ((fm.flags & kDirtyFlag) != 0 ||
+                             tries >= 6ULL * cfg.numFrames))
+            continue;
         sim::Addr rca = PageTable::refcountAddr(ea);
         if (w.atomicCas<int32_t>(rca, 0, -1) != 0)
             continue;
@@ -664,38 +749,66 @@ PageCache::allocFrame(sim::Warp& w)
             SimCheck::get().pcClaim(checkDomain, e.taggedKey - 1,
                                     w.globalWarpId(), w.now());
 
-        // Claimed. A dirty victim is written back BEFORE its entry
-        // disappears: while the claimed (refcount -1) entry is still
-        // visible, concurrent faults on the page spin instead of
-        // re-fetching stale bytes from the backing store — otherwise
-        // the in-flight writeback would be lost.
         PageKey victim_key = e.taggedKey - 1;
         bool dirty = (fm.flags & kDirtyFlag) != 0;
         // A still-tagged victim was never demanded: thrash feedback.
         if (fm.flags & kSpecFlag)
             settleSpecPage(victim_key, false, false);
-        allocLock.release(w);
-        if (dirty)
-            writeback(w, victim_key, f);
+        Claimed c{f, victim_key, ea, fm.taggedKey, fm.entryRef, dirty};
+        if (!have_primary) {
+            primary = c;
+            have_primary = true;
+        } else {
+            extras[n_extras++] = c;
+        }
+        if (n_extras >= want_extras)
+            break;
+    }
+    if (!have_primary)
+        fatal("page cache thrashing: no evictable page among ",
+              cfg.numFrames,
+              " frames (all pages pinned by active references)");
+    allocLock.release(w);
 
-        uint32_t vb = fm.entryRef / cfg.bucketEntries;
+    // Scrub a claimed victim's entry and meta. A dirty victim is
+    // written back BEFORE its entry disappears: while the claimed
+    // (refcount -1) entry is still visible, concurrent faults on the
+    // page spin instead of re-fetching stale bytes from the backing
+    // store — otherwise the in-flight writeback would be lost.
+    auto scrubVictim = [&](const Claimed& c) {
+        if (c.dirty)
+            writeback(w, c.key, c.frame);
+        uint32_t vb = c.entryRef / cfg.bucketEntries;
         sim::DeviceLock& vlk = pt.bucketLock(vb);
         vlk.acquire(w);
-        pt.writeEntry(w, ea, Pte{});
+        pt.writeEntry(w, c.ea, Pte{});
         if (SimCheck::armed)
-            SimCheck::get().pcRemove(checkDomain, victim_key,
+            SimCheck::get().pcRemove(checkDomain, c.key,
                                      w.globalWarpId(), w.now());
+        FrameMeta fm;
         fm.taggedKey = 0;
+        fm.entryRef = c.entryRef;
         fm.flags = 0;
-        w.mem().store(metaAddr(f), fm);
+        w.mem().store(metaAddr(c.frame), fm);
         w.chargeGlobalWrite(sizeof(Pte) + sizeof(FrameMeta));
+        noteFrameUnbound(c.key);
         vlk.release(w);
 
         dev->stats().inc("gpufs.evictions");
-        return f;
+        if (registry_ && pageKeyAsid(c.key) != w.tenant())
+            dev->stats().inc("tenant.cross_evictions");
+    };
+
+    for (size_t i = 0; i < n_extras; ++i) {
+        scrubVictim(extras[i]);
+        reserveLock.acquire(w);
+        reserveFrames.push_back(extras[i].frame);
+        w.issue(2);
+        reserveLock.release(w);
+        dev->stats().inc("tenant.reserve_refills");
     }
-    fatal("page cache thrashing: no evictable page among ", cfg.numFrames,
-          " frames (all pages pinned by active references)");
+    scrubVictim(primary);
+    return primary.frame;
 }
 
 void
@@ -842,6 +955,7 @@ PageCache::reclaimErrorEntry(sim::Warp& w, PageKey key, sim::Addr ea)
                                  w.now());
     w.mem().store(metaAddr(frame), FrameMeta{});
     w.chargeGlobalWrite(sizeof(Pte) + sizeof(FrameMeta));
+    noteFrameUnbound(key);
     lk.release(w);
     freeFrame(w, frame);
     dev->stats().inc("pagecache.poisoned_reclaims");
@@ -911,6 +1025,91 @@ PageCache::flushDirtyHost()
         fm.flags &= ~kDirtyFlag;
         dev->mem().store(metaAddr(f), fm);
     }
+}
+
+tenant::TenantStatus
+PageCache::teardownTenantHost(tenant::TenantId asid)
+{
+    // Pass 1: refuse while any of the tenant's pages is referenced or
+    // still loading — teardown must not yank a frame out from under a
+    // linked apointer or an in-flight DMA. No state is mutated before
+    // this pass completes, so a Busy return leaves the cache intact.
+    for (uint32_t f = 0; f < cfg.numFrames; ++f) {
+        FrameMeta fm = dev->mem().load<FrameMeta>(metaAddr(f));
+        if (fm.taggedKey == 0 || pageKeyAsid(fm.taggedKey - 1) != asid)
+            continue;
+        Pte e = dev->mem().load<Pte>(pt.entryAddrOf(fm.entryRef));
+        if (e.taggedKey != fm.taggedKey || e.frame != f)
+            continue; // stale back-reference; not this page anymore
+        if (e.refcount != 0 ||
+            e.state == static_cast<uint32_t>(PteState::Loading))
+            return tenant::TenantStatus::Busy;
+    }
+
+    // Pass 2: scrub. Dirty pages write back (their file outlives the
+    // address space), entries and frames are reclaimed, the registry
+    // is un-charged. ASIDs are never reused, so nothing can re-fault
+    // these keys afterwards.
+    uint64_t scrubbed = 0;
+    for (uint32_t f = 0; f < cfg.numFrames; ++f) {
+        FrameMeta fm = dev->mem().load<FrameMeta>(metaAddr(f));
+        if (fm.taggedKey == 0)
+            continue;
+        PageKey key = fm.taggedKey - 1;
+        if (pageKeyAsid(key) != asid)
+            continue;
+        sim::Addr ea = pt.entryAddrOf(fm.entryRef);
+        Pte e = dev->mem().load<Pte>(ea);
+        if (e.taggedKey != fm.taggedKey || e.frame != f)
+            continue;
+        if (fm.flags & kDirtyFlag) {
+            hostio::FileId file = pageKeyFile(key);
+            uint64_t off = pageKeyPageNo(key) * cfg.pageSize;
+            size_t len = std::min<size_t>(cfg.pageSize,
+                                          io->store().size(file) - off);
+            if (hooks.preWriteback)
+                hooks.preWriteback(nullptr, key, frameAddr(f), len);
+            if (SimCheck::armed)
+                SimCheck::get().onRead(dev->mem().checkMemId,
+                                       frameAddr(f), len);
+            io->store().pwrite(file, dev->mem().raw(frameAddr(f), len),
+                               len, off);
+        }
+        // An undemanded speculative page dies here: thrash feedback,
+        // same as an unused eviction.
+        if (fm.flags & kSpecFlag)
+            settleSpecPage(key, false, false);
+        if (SimCheck::armed) {
+            // The shadow walks Ready/Error -> Claimed -> Absent like a
+            // normal eviction; warp -1 marks the host actor.
+            SimCheck::get().pcClaim(checkDomain, key, -1,
+                                    dev->engine().now());
+            SimCheck::get().pcRemove(checkDomain, key, -1,
+                                     dev->engine().now());
+        }
+        dev->mem().store<Pte>(ea, Pte{});
+        dev->mem().store(metaAddr(f), FrameMeta{});
+        freeFrames.push_back(f);
+        noteFrameUnbound(key);
+        ++scrubbed;
+    }
+
+    // Swap residue: a torn-down tenant's zero-fill history must not
+    // leak map entries forever (its ASID is never reused).
+    for (auto it = swappedOut.begin(); it != swappedOut.end();) {
+        if (pageKeyAsid(*it) == asid)
+            it = swappedOut.erase(it);
+        else
+            ++it;
+    }
+    dev->stats().inc("tenant.teardown_scrubbed", scrubbed);
+
+    // Residual audit: an armed checker reports any page of this ASID
+    // still tracked in the domain — the scrub must have been complete.
+    if (SimCheck::armed)
+        SimCheck::get().pcTeardownTenant(checkDomain, asid,
+                                         dev->engine().now());
+    return tenant::TenantStatus::Ok;
 }
 
 int32_t

@@ -20,6 +20,7 @@
 
 #include "gpufs/page_table.hh"
 #include "hostio/host_io_engine.hh"
+#include "tenant/tenant.hh"
 #include "util/annotations.hh"
 
 namespace ap::gpufs {
@@ -234,10 +235,52 @@ class PageCache
     /** Install page-fault interposition hooks (see PageHooks). */
     void setHooks(PageHooks h) { hooks = std::move(h); }
 
+    /**
+     * Attach a tenant registry, turning on QoS partitioning: every
+     * frame is charged to the ASID of the page it holds, the eviction
+     * clock refuses to take an under-share tenant's frame for an
+     * over-share requester (see allocFrame), and fault stats fan out
+     * into per-tenant `tenant.tN.*` groups. Null detaches; with no
+     * registry the cache behaves exactly as before (single tenant,
+     * byte-identical sweep decisions).
+     */
+    void
+    setTenantRegistry(tenant::TenantRegistry* reg)
+    {
+        registry_ = reg;
+        if (reg) {
+            reg->attachCacheFrames(cfg.numFrames);
+        } else {
+            // Nobody pops the reclaim reserve once QoS is off; return
+            // parked frames to the ordinary free pool (host-side, no
+            // simulated cost — detach happens between runs).
+            freeFrames.insert(freeFrames.end(), reserveFrames.begin(),
+                              reserveFrames.end());
+            reserveFrames.clear();
+        }
+    }
+
+    /** The attached tenant registry (null when QoS is off). */
+    tenant::TenantRegistry* tenantRegistry() const { return registry_; }
+
+    /**
+     * Host-side teardown of tenant @p asid's page-cache footprint: the
+     * analog of process exit for an address space. Fails with Busy if
+     * any of the tenant's pages still holds references or an in-flight
+     * fill (quiesce first); otherwise writes back its dirty pages,
+     * removes its page-table entries, returns its frames to the free
+     * pool, un-charges the registry, and drops its swap residue. Runs
+     * the simcheck tenant-residual audit afterwards, so an armed build
+     * asserts nothing of the tenant survives.
+     */
+    tenant::TenantStatus teardownTenantHost(tenant::TenantId asid)
+        AP_MUST_CHECK;
+
   private:
     /** Obtain a free frame, evicting a refcount-zero page if needed. */
     uint32_t allocFrame(sim::Warp& w)
-        AP_ACQUIRES("pc.alloc") AP_ACQUIRES("pt.bucket");
+        AP_ACQUIRES("pc.alloc") AP_ACQUIRES("pt.bucket")
+        AP_ACQUIRES("pc.reserve");
 
     /**
      * Obtain a frame from the free pool only — no clock sweep, no
@@ -329,12 +372,29 @@ class PageCache
         return metaBase + static_cast<sim::Addr>(frame) * sizeof(FrameMeta);
     }
 
+    /** Frame-ownership accounting: @p key's page now occupies a frame. */
+    void
+    noteFrameBound(PageKey key)
+    {
+        if (registry_)
+            registry_->noteFrameGained(pageKeyAsid(key));
+    }
+
+    /** Frame-ownership accounting: @p key's page left its frame. */
+    void
+    noteFrameUnbound(PageKey key)
+    {
+        if (registry_)
+            registry_->noteFrameLost(pageKeyAsid(key));
+    }
+
     sim::Device* dev;
     hostio::HostIoEngine* io;
     Config cfg;
     PageTable pt;
     PageHooks hooks;
     SpecObserver* specObs = nullptr;
+    tenant::TenantRegistry* registry_ = nullptr;
 
     sim::Addr framesBase = 0;
     sim::Addr metaBase = 0;
@@ -345,6 +405,15 @@ class PageCache
     std::vector<uint32_t> freeFrames;
     sim::DeviceLock allocLock AP_LOCK_LEVEL("pc.alloc");
     uint64_t clockHand = 0;
+
+    /** QoS reclaim reserve (registry attached only): clean frames
+     * pre-evicted by over-share sweepers, handed to under-share
+     * tenants under an O(1) lock so their demand misses are never
+     * serialized behind a whole-revolution clock sweep holding
+     * allocLock. Never touched on the single-tenant path. */
+    std::vector<uint32_t> reserveFrames;
+    sim::DeviceLock reserveLock AP_LOCK_LEVEL("pc.reserve");
+    static constexpr size_t kReserveTarget = 8;
 
     /** simcheck serial for the per-slot staging handoff channels. */
     const uint64_t checkStagingSerial = sim::check::SimCheck::nextId();

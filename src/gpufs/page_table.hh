@@ -18,6 +18,7 @@
 #include "hostio/backing_store.hh"
 #include "sim/sync.hh"
 #include "sim/warp.hh"
+#include "tenant/asid.hh"
 #include "util/annotations.hh"
 #include "util/rng.hh"
 
@@ -28,25 +29,45 @@ class Device;
 namespace ap::gpufs {
 
 /**
- * Identifies one file page in the backing store: the paper's
- * "xAddress" at page granularity. 24 bits of file id, 40 bits of page
- * number.
+ * Identifies one file page in the backing store, qualified by its
+ * address space: the paper's "xAddress" at page granularity plus the
+ * owning tenant's ASID. 8 bits of ASID, 16 bits of file id, 40 bits
+ * of page number. Two tenants mapping the same file offset get
+ * distinct keys — and therefore distinct TLB entries, page-table
+ * entries, and frames — so tenant teardown can find exactly its own
+ * state and the eviction clock can charge every frame to its owner.
  */
 using PageKey = uint64_t;
 
-/** Build a PageKey from a file and a page number within it. */
+/** Build a PageKey for @p asid's view of (@p f, @p page_no). */
+constexpr PageKey
+makePageKey(tenant::TenantId asid, hostio::FileId f, uint64_t page_no)
+{
+    return (static_cast<uint64_t>(asid) << tenant::kKeyAsidShift) |
+           ((static_cast<uint64_t>(static_cast<uint32_t>(f)) & 0xffff)
+            << 40) |
+           (page_no & ((1ULL << 40) - 1));
+}
+
+/** Default-tenant PageKey (single-tenant workloads and tests). */
 constexpr PageKey
 makePageKey(hostio::FileId f, uint64_t page_no)
 {
-    return (static_cast<uint64_t>(static_cast<uint32_t>(f)) << 40) |
-           (page_no & ((1ULL << 40) - 1));
+    return makePageKey(tenant::kDefaultTenant, f, page_no);
+}
+
+/** Owning tenant of a PageKey. */
+constexpr tenant::TenantId
+pageKeyAsid(PageKey k)
+{
+    return tenant::keyAsid(k);
 }
 
 /** File id component of a PageKey. */
 constexpr hostio::FileId
 pageKeyFile(PageKey k)
 {
-    return static_cast<hostio::FileId>(k >> 40);
+    return static_cast<hostio::FileId>((k >> 40) & 0xffff);
 }
 
 /** Page number component of a PageKey. */

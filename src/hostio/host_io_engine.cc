@@ -97,7 +97,7 @@ HostIoEngine::readToGpu(sim::Warp& w, FileId f, uint64_t off, size_t len,
         IoStatus st = IoStatus::Ok;
         submitRead(Request{f, off, len, gpu_dst, sim::Fiber::current(),
                            &st, nullptr, attempt, false,
-                           w.activeFault()});
+                           w.activeFault(), w.tenant()});
         eng.block();
         if (st != IoStatus::Again) {
             if (st != IoStatus::Ok)
@@ -151,24 +151,48 @@ HostIoEngine::issueUnbatchedRead(Request r)
 void
 HostIoEngine::enqueueBatched(Request r)
 {
-    const sim::CostModel& cm = dev->costModel();
-    sim::Engine& eng = dev->engine();
-    pending.push_back(std::move(r));
+    if (registry_) {
+        // Fair scheduling: queue under the requesting tenant; the
+        // dispatch event drains the queues by deficit round-robin.
+        TenantQueue& q = qosQueues[r.asid];
+        (r.low ? q.spec : q.demand).push_back(std::move(r));
+        ++qosQueued;
+    } else {
+        pending.push_back(std::move(r));
+    }
     // The dispatch event may already be scheduled by an earlier
     // requester; publish this requester's clock into the host channel
     // so the batch that carries its DMA is ordered after it.
     if (sim::check::SimCheck::armed)
         sim::check::SimCheck::get().hostRelease();
-    if (!dispatchScheduled) {
-        dispatchScheduled = true;
-        // Work-conserving aggregation: while a transfer is in flight,
-        // keep accumulating requests and dispatch them as one batch
-        // when the DMA channel frees up (the GPUfs host daemon drains
-        // its whole RPC queue per iteration).
-        sim::Cycles when = std::max(eng.now() + cm.hostBatchWindow,
-                                    pcieToGpu.freeTime());
-        eng.schedule(when, [this] { dispatchBatch(); });
-    }
+    armDispatch();
+}
+
+void
+HostIoEngine::armDispatch()
+{
+    if (dispatchScheduled || (pending.empty() && qosQueued == 0))
+        return;
+    const sim::CostModel& cm = dev->costModel();
+    sim::Engine& eng = dev->engine();
+    dispatchScheduled = true;
+    // Work-conserving aggregation: while a transfer is in flight,
+    // keep accumulating requests and dispatch them as one batch
+    // when the DMA channel frees up (the GPUfs host daemon drains
+    // its whole RPC queue per iteration).
+    sim::Cycles when = std::max(eng.now() + cm.hostBatchWindow,
+                                pcieToGpu.freeTime());
+    eng.schedule(when, [this] { dispatch(); });
+}
+
+void
+HostIoEngine::dispatch()
+{
+    dispatchScheduled = false;
+    if (!pending.empty())
+        dispatchBatch();
+    if (qosQueued > 0)
+        dispatchQos();
 }
 
 void
@@ -176,7 +200,6 @@ HostIoEngine::dispatchBatch()
 {
     const sim::CostModel& cm = dev->costModel();
     sim::Engine& eng = dev->engine();
-    dispatchScheduled = false;
 
     std::vector<Request> reqs = std::move(pending);
     pending.clear();
@@ -242,6 +265,118 @@ HostIoEngine::dispatchBatch()
         });
         i = j;
     }
+}
+
+uint64_t
+HostIoEngine::quantumFor(tenant::TenantId asid) const
+{
+    uint32_t w = registry_->ioWeightOf(asid);
+    if (w == 0)
+        return qos.floorBytes;
+    return static_cast<uint64_t>(w) * qos.quantumBytes;
+}
+
+void
+HostIoEngine::dispatchQos()
+{
+    const sim::CostModel& cm = dev->costModel();
+    sim::Engine& eng = dev->engine();
+
+    // Select the tenant to serve: visit queues in ASID round-robin
+    // order from the cursor, crediting one quantum per visit, until a
+    // tenant's deficit covers its head request. Deficits persist
+    // across visits, so a large request accumulates credit over rounds
+    // and every tenant (floor included) eventually dispatches — the
+    // loop terminates because each visit strictly grows some deficit.
+    TenantQueue* tq = nullptr;
+    tenant::TenantId asid = 0;
+    while (!tq) {
+        auto it = qosQueues.lower_bound(rrCursor);
+        if (it == qosQueues.end())
+            it = qosQueues.begin();
+        size_t seen = 0;
+        while (it->second.empty()) {
+            if (++seen > qosQueues.size())
+                return; // nothing queued (caller checked; be safe)
+            ++it;
+            if (it == qosQueues.end())
+                it = qosQueues.begin();
+        }
+        it->second.deficit += quantumFor(it->first);
+        rrCursor = static_cast<tenant::TenantId>(it->first + 1);
+        if (it->second.deficit >= it->second.front().len) {
+            asid = it->first;
+            tq = &it->second;
+        }
+    }
+
+    // Assemble ONE transfer from this tenant's queue, demand before
+    // speculation, bounded by both the DMA split size and the credit.
+    TenantQueue& q = *tq;
+    std::vector<Request> group;
+    size_t bytes = 0;
+    auto take = [&](std::deque<Request>& dq) {
+        while (!dq.empty()) {
+            size_t len = dq.front().len;
+            if (!group.empty() && bytes + len > cm.maxBatchBytes)
+                break;
+            if (bytes + len > q.deficit)
+                break;
+            bytes += len;
+            group.push_back(std::move(dq.front()));
+            dq.pop_front();
+        }
+    };
+    take(q.demand);
+    take(q.spec);
+    AP_ASSERT(!group.empty(), "DRR selected a tenant it cannot serve");
+    q.deficit -= bytes;
+    qosQueued -= group.size();
+    if (q.empty())
+        q.deficit = 0; // no banking credit while idle (classic DRR)
+
+    // Transfer mechanics identical to the legacy batcher: one staging
+    // gather on the host, one DMA setup for the group.
+    sim::Cycles host_free =
+        eng.now() +
+        static_cast<double>(group.size()) * cm.hostRequestCost;
+    sim::Cycles done = pcieToGpu.acquireWithSetup(
+        host_free, static_cast<double>(bytes), cm.pcieLatency);
+    inflightReads += group.size();
+    dev->stats().inc("hostio.batched_requests", group.size());
+    dev->stats().inc("hostio.qos_dispatches");
+    const std::string& pfx = registry_->statPrefix(asid);
+    dev->stats().inc(pfx + "io_requests", group.size());
+    dev->stats().inc(pfx + "io_bytes", bytes);
+    dev->tracer().span(-2, "dma",
+                       "qos t" + std::to_string(asid) + " x" +
+                           std::to_string(group.size()) + " (" +
+                           std::to_string(bytes) + "B)",
+                       host_free, done,
+                       {{"requests", static_cast<double>(group.size())},
+                        {"bytes", static_cast<double>(bytes)},
+                        {"tenant", static_cast<double>(asid)}});
+    for (const Request& r : group)
+        dev->faultPath().stamp(r.fid, sim::FaultStage::TransferStart,
+                               host_free);
+    // An injected delay on any member holds up the whole DMA.
+    sim::Cycles delay = 0;
+    for (const Request& r : group)
+        delay = std::max(delay, injectedDelay(r));
+    eng.schedule(done + delay, [this, group = std::move(group)] {
+        dev->stats().inc("hostio.transfers");
+        inflightReads -= group.size();
+        for (const Request& r : group) {
+            dev->faultPath().stamp(r.fid, sim::FaultStage::TransferEnd,
+                                   dev->engine().now());
+            completeRead(r);
+        }
+    });
+
+    // One transfer per dispatch event: the next round is a fresh event
+    // ordered behind this DMA, which is what lets another tenant's
+    // requests interleave instead of convoying behind this one.
+    armDispatch();
 }
 
 void
@@ -314,7 +449,7 @@ HostIoEngine::readToGpuAsync(sim::Warp& w, FileId f, uint64_t off,
     w.issue(8);
     submitRead(Request{f, off, len, gpu_dst, nullptr, nullptr,
                        std::move(on_done), 0, low_priority,
-                       w.activeFault()});
+                       w.activeFault(), w.tenant()});
     return IoStatus::Ok;
 }
 
@@ -340,11 +475,17 @@ HostIoEngine::writeFromGpu(sim::Warp& w, FileId f, uint64_t off, size_t len,
             host, static_cast<double>(len), cm.pcieLatency);
         Request r{f, off, len, gpu_src, sim::Fiber::current(), nullptr,
                   nullptr, attempt};
+        r.asid = w.tenant();
         done += injectedDelay(r);
         IoStatus st = IoStatus::Ok;
         r.out = &st;
+        // Writes occupy the host daemon and the bus like reads do, so
+        // they count toward queueDepth() while the DMA is in flight —
+        // the readahead throttle must see writeback pressure too.
+        ++inflightWrites;
         eng.schedule(done, [this, r = std::move(r)] {
             dev->stats().inc("hostio.transfers");
+            --inflightWrites;
             Fault fl = injector ? injector->onWrite(r.file, r.off, r.len,
                                                     r.attempt)
                                 : Fault::None;

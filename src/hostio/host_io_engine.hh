@@ -17,12 +17,15 @@
 #ifndef AP_HOSTIO_HOST_IO_ENGINE_HH
 #define AP_HOSTIO_HOST_IO_ENGINE_HH
 
+#include <deque>
+#include <map>
 #include <vector>
 
 #include "hostio/backing_store.hh"
 #include "hostio/fault_injector.hh"
 #include "hostio/io_result.hh"
 #include "sim/device.hh"
+#include "tenant/tenant.hh"
 #include "util/annotations.hh"
 
 namespace ap::hostio {
@@ -44,6 +47,22 @@ class HostIoEngine
         /** Backoff before retry k is backoffBase << k, capped below. */
         sim::Cycles backoffBase = 2000;
         sim::Cycles backoffCap = 64000;
+    };
+
+    /**
+     * Fair-scheduling knobs for the per-tenant deficit-round-robin
+     * dispatcher, active only while a TenantRegistry is attached.
+     */
+    struct QosConfig
+    {
+        /** Bytes of deficit credit one IO-weight unit earns per
+         * round-robin visit; a tenant with ioWeight w may dispatch up
+         * to w * quantumBytes per round (plus carried-over deficit). */
+        size_t quantumBytes = 16384;
+
+        /** Credit per visit for zero-weight tenants: one page per
+         * round, so best-effort traffic trickles but never starves. */
+        size_t floorBytes = 4096;
     };
 
     /**
@@ -127,12 +146,49 @@ class HostIoEngine
     BackingStore& store() { return *store_; }
 
     /**
-     * Host-side congestion probe: read transfers not yet delivered
-     * (awaiting batch dispatch or with the DMA in flight). The
-     * readahead throttle gates speculation on this so a deep queue of
-     * guesses never builds up in front of demand traffic.
+     * Attach the tenant registry (null detaches; not owned). While
+     * attached, batched reads route through per-tenant queues drained
+     * by deficit round-robin over the registry's IO weights; without
+     * it the engine runs the original single-queue batcher unchanged.
+     * Attach only while no batched reads are queued.
      */
-    size_t queueDepth() const { return pending.size() + inflightReads; }
+    void setTenantRegistry(tenant::TenantRegistry* reg)
+    {
+        registry_ = reg;
+    }
+
+    /** The attached tenant registry, or null. */
+    tenant::TenantRegistry* tenantRegistry() { return registry_; }
+
+    /** Replace the fair-scheduling knobs. */
+    void setQosConfig(const QosConfig& q) { qos = q; }
+
+    /** The fair-scheduling knobs in force. */
+    const QosConfig& qosConfig() const { return qos; }
+
+    /**
+     * Host-side congestion probe: transfers not yet delivered —
+     * batched reads awaiting dispatch (either queue discipline) plus
+     * reads and writes with the DMA in flight. The readahead throttle
+     * gates speculation on this so a deep queue of guesses never
+     * builds up in front of demand traffic; writes count too, since
+     * they occupy the same host daemon and bus as the reads the
+     * throttle is trying to protect.
+     */
+    size_t queueDepth() const
+    {
+        return pending.size() + qosQueued + inflightReads +
+               inflightWrites;
+    }
+
+    /** Batched reads of tenant @p asid still awaiting dispatch. */
+    size_t queueDepthOf(tenant::TenantId asid) const
+    {
+        auto it = qosQueues.find(asid);
+        if (it == qosQueues.end())
+            return 0;
+        return it->second.demand.size() + it->second.spec.size();
+    }
 
   private:
     struct Request
@@ -147,6 +203,22 @@ class HostIoEngine
         int attempt = 0;               ///< retry ordinal (0 = first)
         bool low = false;              ///< low-priority (speculative)
         uint64_t fid = 0;              ///< fault id (0 = untracked)
+        tenant::TenantId asid = 0;     ///< requesting address space
+    };
+
+    /** One tenant's pending batched reads plus its DRR credit. */
+    struct TenantQueue
+    {
+        std::deque<Request> demand;
+        std::deque<Request> spec;  ///< low-priority (readahead)
+        uint64_t deficit = 0;      ///< unspent dispatch credit, bytes
+
+        bool empty() const { return demand.empty() && spec.empty(); }
+
+        const Request& front() const
+        {
+            return demand.empty() ? spec.front() : demand.front();
+        }
     };
 
     /** Backoff before re-issuing attempt @p attempt + 1. */
@@ -177,18 +249,44 @@ class HostIoEngine
      */
     void finish(const Request& r, IoStatus st);
 
+    /** Dispatch-event body: drains whichever queues hold requests. */
+    void dispatch();
+
     void dispatchBatch();
+
+    /**
+     * Deficit round-robin dispatch (registry attached): pick the next
+     * tenant whose accumulated credit covers its head request and ship
+     * ONE transfer of at most maxBatchBytes from its queue, then
+     * re-arm the dispatch event while requests remain. One transfer
+     * per tenant per visit is the isolation mechanism: a tenant
+     * streaming megabytes can no longer convoy the whole aggregation
+     * window into back-to-back DMAs ahead of everyone else.
+     */
+    void dispatchQos();
+
+    /** DRR credit one visit earns tenant @p asid. */
+    uint64_t quantumFor(tenant::TenantId asid) const;
+
+    /** Re-arm the dispatch event if requests remain queued. */
+    void armDispatch();
 
     sim::Device* dev;
     BackingStore* store_;
     FaultInjector* injector = nullptr;
     RetryPolicy retry;
+    QosConfig qos;
+    tenant::TenantRegistry* registry_ = nullptr;
     bool batching;
     sim::BwServer pcieToGpu;
     sim::BwServer pcieToHost;
     std::vector<Request> pending;
+    std::map<tenant::TenantId, TenantQueue> qosQueues;
+    size_t qosQueued = 0;     ///< total requests across qosQueues
+    tenant::TenantId rrCursor = 0; ///< next ASID the DRR visits
     bool dispatchScheduled = false;
     size_t inflightReads = 0; ///< dispatched reads awaiting completion
+    size_t inflightWrites = 0; ///< writes with the DMA in flight
 };
 
 } // namespace ap::hostio

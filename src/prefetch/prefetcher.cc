@@ -5,6 +5,24 @@
 
 namespace ap::prefetch {
 
+namespace {
+
+/**
+ * Stream identifier for the readahead table: the file id qualified by
+ * the owning tenant's ASID (folded into bits above the 16-bit file
+ * field). Two tenants scanning the same file advance independent
+ * streams — otherwise their interleaved faults would look like random
+ * access and neither would ever get ahead.
+ */
+hostio::FileId
+streamIdOf(gpufs::PageKey key)
+{
+    return gpufs::pageKeyFile(key) |
+           (static_cast<hostio::FileId>(gpufs::pageKeyAsid(key)) << 16);
+}
+
+} // namespace
+
 Prefetcher::Prefetcher(gpufs::GpuFs& fs)
     : fs_(&fs), table_(fs.cache().config().readahead)
 {
@@ -24,7 +42,7 @@ Prefetcher::notifyFault(sim::Warp& w, gpufs::PageKey key, bool major)
     // handler's leader lane.
     w.issue(2);
     StreamDecision d =
-        table_.onFault(gpufs::pageKeyFile(key), gpufs::pageKeyPageNo(key));
+        table_.onFault(streamIdOf(key), gpufs::pageKeyPageNo(key));
     if (!d.issue)
         return;
 
@@ -52,7 +70,8 @@ Prefetcher::notifyFault(sim::Warp& w, gpufs::PageKey key, bool major)
         if (page < 0)
             break;
         gpufs::PrefetchResult r = cache.prefetchPage(
-            w, gpufs::makePageKey(gpufs::pageKeyFile(key),
+            w, gpufs::makePageKey(gpufs::pageKeyAsid(key),
+                                  gpufs::pageKeyFile(key),
                                   static_cast<uint64_t>(page)),
             true);
         if (r == gpufs::PrefetchResult::Started) {
@@ -78,19 +97,19 @@ Prefetcher::notifyFault(sim::Warp& w, gpufs::PageKey key, bool major)
 void
 Prefetcher::onSpecHit(gpufs::PageKey key, bool late)
 {
-    table_.onHit(gpufs::pageKeyFile(key), gpufs::pageKeyPageNo(key), late);
+    table_.onHit(streamIdOf(key), gpufs::pageKeyPageNo(key), late);
 }
 
 void
 Prefetcher::onSpecEvictedUnused(gpufs::PageKey key)
 {
-    table_.onThrash(gpufs::pageKeyFile(key), gpufs::pageKeyPageNo(key));
+    table_.onThrash(streamIdOf(key), gpufs::pageKeyPageNo(key));
 }
 
 void
 Prefetcher::onSpecFillError(gpufs::PageKey key)
 {
-    table_.onThrash(gpufs::pageKeyFile(key), gpufs::pageKeyPageNo(key));
+    table_.onThrash(streamIdOf(key), gpufs::pageKeyPageNo(key));
 }
 
 } // namespace ap::prefetch

@@ -4,6 +4,7 @@
 #include <deque>
 #include <queue>
 
+#include "tenant/tenant.hh"
 #include "util/logging.hh"
 #include "workloads/workloads.hh"
 
@@ -20,7 +21,10 @@ struct Request
     uint32_t block = 0;     ///< collage query block
     bool isScan = false;
     uint64_t scanOff = 0;
+    uint32_t scanBytes = 0; ///< this request's scan length
     double scanExpect = 0;  ///< exact host-side scan checksum
+    uint32_t tclass = 0;    ///< traffic-class index (0 single-tenant)
+    uint16_t asid = 0;      ///< ASID the serving warp binds to
 };
 
 /** Host-side reference for workloads::scanQuery, in the same
@@ -63,24 +67,51 @@ class Scheduler
         double until = 0;
     };
 
+    /**
+     * @param traffic the run's traffic classes: cfg.tenants paired
+     *        with their registered ASIDs, or one synthetic class from
+     *        the legacy single-tenant knobs (ASID 0)
+     */
     Scheduler(const ServingConfig& cfg, const ServingWorkload& wl,
-              uint32_t workers, StatGroup& stats)
+              uint32_t workers, StatGroup& stats,
+              std::vector<TenantTraffic> traffic,
+              const std::vector<uint16_t>& asids)
         : cfg_(cfg), wl_(&wl), stats_(&stats),
           rng_(cfg.seed ^ 0x53455256ULL),
-          maxInFlight_(cfg.maxInFlight ? cfg.maxInFlight : workers)
+          maxInFlight_(cfg.maxInFlight ? cfg.maxInFlight : workers),
+          perTenantStats_(cfg.tenants.size() > 0)
     {
-        AP_ASSERT(cfg_.clients > 0 && cfg_.requests > 0,
-                  "a serving run needs clients and requests");
-        reqs_.reserve(cfg_.requests);
+        AP_ASSERT(traffic.size() == asids.size() && !traffic.empty(),
+                  "one ASID per traffic class");
+        for (size_t i = 0; i < traffic.size(); ++i) {
+            TrafficClass tc;
+            tc.t = traffic[i];
+            tc.asid = asids[i];
+            tc.statPrefix =
+                "serving.t" + std::to_string(asids[i]) + ".";
+            AP_ASSERT(tc.t.clients > 0 && tc.t.requests > 0,
+                      "a serving tenant needs clients and requests");
+            totalRequests_ += tc.t.requests;
+            classes_.push_back(std::move(tc));
+        }
+        reqs_.reserve(totalRequests_);
         if (cfg_.arrival == Arrival::Closed) {
-            uint32_t first = std::min(cfg_.clients, cfg_.requests);
-            for (uint32_t c = 0; c < first; ++c)
-                spawn(c, expSample(rng_, cfg_.meanThinkCycles));
+            for (uint32_t x = 0; x < classes_.size(); ++x) {
+                const TenantTraffic& t = classes_[x].t;
+                uint32_t first = std::min(t.clients, t.requests);
+                for (uint32_t c = 0; c < first; ++c)
+                    spawn(x, c,
+                          t.startCycles
+                              + expSample(rng_, t.meanThinkCycles));
+            }
         } else {
+            AP_ASSERT(classes_.size() == 1,
+                      "multi-tenant serving is closed-loop only");
+            const TenantTraffic& t = classes_[0].t;
             auto times = openLoopArrivals(cfg_.arrival, cfg_.arrivals,
-                                          cfg_.requests, cfg_.seed);
-            for (uint32_t i = 0; i < cfg_.requests; ++i)
-                spawn(i % cfg_.clients, times[i]);
+                                          t.requests, cfg_.seed);
+            for (uint32_t i = 0; i < t.requests; ++i)
+                spawn(0, i % t.clients, times[i]);
         }
     }
 
@@ -118,20 +149,39 @@ class Scheduler
     {
         inFlight_--;
         completed_++;
+        TrafficClass& tc = classes_[reqs_[id].tclass];
+        tc.completed++;
         stats_->inc("serving.completed");
         stats_->recordValue("serving.e2e", now - reqs_[id].arrival);
         stats_->recordValue("serving.service", now - reqs_[id].claimed);
-        respawn(reqs_[id].client, now);
+        if (perTenantStats_)
+            stats_->recordValue(tc.statPrefix + "e2e",
+                                now - reqs_[id].arrival);
+        respawn(reqs_[id].tclass, reqs_[id].client, now);
     }
 
     const Request& request(uint32_t id) const { return reqs_[id]; }
     uint32_t completed() const { return completed_; }
+    uint32_t completedOf(uint32_t tclass) const
+    {
+        return classes_[tclass].completed;
+    }
     uint32_t shedCount() const { return shed_; }
     uint64_t deferrals() const { return deferrals_; }
 
   private:
+    /** One tenant's traffic class plus its run-time spawn state. */
+    struct TrafficClass
+    {
+        TenantTraffic t;
+        uint16_t asid = 0;
+        std::string statPrefix;
+        uint32_t spawned = 0;
+        uint32_t completed = 0;
+    };
+
     /** All resolved: nothing pending, queued, or yet to be spawned. */
-    bool done() const { return completed_ + shed_ == cfg_.requests; }
+    bool done() const { return completed_ + shed_ == totalRequests_; }
 
     static Decision
     wait(double until, double now)
@@ -139,36 +189,56 @@ class Scheduler
         return Decision{Action::Wait, 0, std::max(until, now + 1.0)};
     }
 
-    /** Create request #reqs_.size() for @p client arriving at @p at. */
+    /** Create class @p tclass's next request for @p client at @p at. */
     void
-    spawn(uint32_t client, double at)
+    spawn(uint32_t tclass, uint32_t client, double at)
     {
+        TrafficClass& tc = classes_[tclass];
         Request r;
+        r.tclass = tclass;
+        r.asid = tc.asid;
         r.client = client;
         r.arrival = at;
         r.block = static_cast<uint32_t>(
             rng_.nextBounded(wl_->queries.numBlocks));
-        if (cfg_.scanEvery &&
-            reqs_.size() % cfg_.scanEvery == cfg_.scanEvery - 1) {
+        if (tc.t.scanEvery &&
+            tc.spawned % tc.t.scanEvery == tc.t.scanEvery - 1) {
             r.isScan = true;
-            uint64_t pages = (wl_->scanFileBytes - cfg_.scanBytes) / 4096;
-            r.scanOff = rng_.nextBounded(pages + 1) * 4096;
-            r.scanExpect = scanExpected(r.scanOff, cfg_.scanBytes);
+            r.scanBytes = tc.t.scanBytes;
+            // The class's window bounds the offsets: a small window
+            // keeps the tenant's working set cache-resident, the
+            // whole file makes it a streaming antagonist.
+            uint64_t window = wl_->scanFileBytes;
+            bool wide = tc.t.scanWideEvery &&
+                        tc.spawned % tc.t.scanWideEvery ==
+                            tc.t.scanWideEvery - 1;
+            if (tc.t.scanWindowBytes && !wide)
+                window = std::min<uint64_t>(tc.t.scanWindowBytes,
+                                            window);
+            uint64_t pages = (window - tc.t.scanBytes) / 4096;
+            if (tc.t.scanSweep && !wide)
+                r.scanOff = (tc.spawned % (pages + 1)) * 4096;
+            else
+                r.scanOff = rng_.nextBounded(pages + 1) * 4096;
+            r.scanExpect = scanExpected(r.scanOff, tc.t.scanBytes);
         }
+        tc.spawned++;
         uint32_t id = static_cast<uint32_t>(reqs_.size());
         reqs_.push_back(r);
         future_.emplace(at, id);
     }
 
     /** Closed loop: the client thinks, then issues its next request
-     * (until the run's request budget is spawned). */
+     * (until its class's request budget is spawned). */
     void
-    respawn(uint32_t client, double now)
+    respawn(uint32_t tclass, uint32_t client, double now)
     {
         if (cfg_.arrival != Arrival::Closed)
             return;
-        if (reqs_.size() < cfg_.requests)
-            spawn(client, now + expSample(rng_, cfg_.meanThinkCycles));
+        TrafficClass& tc = classes_[tclass];
+        if (tc.spawned < tc.t.requests)
+            spawn(tclass, client,
+                  now + expSample(rng_, tc.t.meanThinkCycles));
     }
 
     /** Move every due arrival into the pending queue, shedding the
@@ -182,7 +252,7 @@ class Scheduler
             if (cfg_.queueCap && queue_.size() >= cfg_.queueCap) {
                 shed_++;
                 stats_->inc("serving.shed");
-                respawn(reqs_[id].client, now);
+                respawn(reqs_[id].tclass, reqs_[id].client, now);
             } else {
                 queue_.push_back(id);
             }
@@ -194,6 +264,9 @@ class Scheduler
     StatGroup* stats_;
     SplitMix64 rng_;
     uint32_t maxInFlight_;
+    bool perTenantStats_;
+    std::vector<TrafficClass> classes_;
+    uint32_t totalRequests_ = 0;
 
     std::vector<Request> reqs_;
     /** (arrival time, request id) min-heap of not-yet-due requests. */
@@ -256,11 +329,61 @@ serve(core::GvmRuntime& rt, const collage::Dataset& ds,
         collage::uploadInput(dev, ds, wl.queries, /*with_index=*/true);
     uint32_t workers =
         static_cast<uint32_t>(cfg.numBlocks) * cfg.warpsPerBlock;
-    Scheduler sched(cfg, wl, workers, stats);
+
+    // Multi-tenant mode: register each traffic class for an ASID and
+    // (with isolation on) attach the registry to the page cache and
+    // the host-IO engine. Single-tenant runs register nothing and one
+    // synthetic traffic class carries the legacy knobs under ASID 0.
+    const bool mt = !cfg.tenants.empty();
+    tenant::TenantRegistry registry;
+    std::vector<TenantTraffic> traffic;
+    std::vector<uint16_t> asids;
+    uint16_t collage_asid = tenant::kDefaultTenant;
+    if (mt) {
+        uint32_t collage_classes = 0;
+        for (const TenantTraffic& t : cfg.tenants) {
+            tenant::TenantSpec spec;
+            spec.name = t.name;
+            spec.cacheWeight = t.cacheWeight;
+            spec.ioWeight = t.ioWeight;
+            tenant::RegisterResult rr = registry.registerTenant(spec);
+            AP_ASSERT(rr.ok(), "tenant registration failed: ",
+                      tenant::tenantStatusName(rr.status));
+            traffic.push_back(t);
+            asids.push_back(rr.id);
+            if (t.scanEvery != 1) {
+                // This class issues collage queries; the per-warp
+                // QueryContext maps its apointers under one ASID, so
+                // only one class may share it.
+                collage_classes++;
+                collage_asid = rr.id;
+            }
+        }
+        AP_ASSERT(collage_classes <= 1,
+                  "at most one tenant may issue collage queries");
+        if (cfg.qosIsolation) {
+            rt.fs().cache().setTenantRegistry(&registry);
+            io.setTenantRegistry(&registry);
+        }
+    } else {
+        TenantTraffic t;
+        t.name = "default";
+        t.clients = cfg.clients;
+        t.requests = cfg.requests;
+        t.meanThinkCycles = cfg.meanThinkCycles;
+        t.scanEvery = cfg.scanEvery;
+        t.scanBytes = cfg.scanBytes;
+        traffic.push_back(t);
+        asids.push_back(tenant::kDefaultTenant);
+    }
+    Scheduler sched(cfg, wl, workers, stats, std::move(traffic), asids);
 
     uint32_t val_errors = 0;
     sim::Cycles kernel = dev.launch(
         cfg.numBlocks, cfg.warpsPerBlock, [&](sim::Warp& w) {
+            // The QueryContext's apointers live for the whole kernel,
+            // so they belong to the (single) collage tenant.
+            w.setTenant(collage_asid);
             collage::QueryContext qc(w, rt, ds);
             for (;;) {
                 Scheduler::Decision dec =
@@ -272,10 +395,13 @@ serve(core::GvmRuntime& rt, const collage::Dataset& ds,
                     continue;
                 }
                 const Request& rq = sched.request(dec.req);
+                // Worker warps are a shared pool: each request runs
+                // under its owner's address space.
+                w.setTenant(rq.asid);
                 if (rq.isScan) {
                     double sum = workloads::scanQuery(
                         w, rt, wl.scanFile, wl.scanFileBytes, rq.scanOff,
-                        cfg.scanBytes);
+                        rq.scanBytes);
                     if (sum != rq.scanExpect)
                         val_errors++;
                 } else {
@@ -286,6 +412,7 @@ serve(core::GvmRuntime& rt, const collage::Dataset& ds,
                 }
                 sched.complete(dec.req, w.now());
             }
+            w.setTenant(collage_asid);
             qc.destroy(w);
         });
 
@@ -312,6 +439,41 @@ serve(core::GvmRuntime& rt, const collage::Dataset& ds,
         r.serviceP50 = h->quantile(0.50);
     r.majorFaults = stats.counter("gpufs.major_faults");
     r.batchedRequests = stats.counter("hostio.batched_requests");
+
+    if (mt) {
+        for (size_t i = 0; i < cfg.tenants.size(); ++i) {
+            TenantResult tr;
+            tr.name = cfg.tenants[i].name;
+            tr.asid = asids[i];
+            tr.completed = sched.completedOf(static_cast<uint32_t>(i));
+            std::string spfx =
+                "serving.t" + std::to_string(asids[i]) + ".";
+            if (const Histogram* h =
+                    stats.findHistogram(spfx + "e2e")) {
+                tr.e2eP50 = h->quantile(0.50);
+                tr.e2eP95 = h->quantile(0.95);
+                tr.e2eP99 = h->quantile(0.99);
+            }
+            const std::string& tpfx = registry.statPrefix(asids[i]);
+            tr.majorFaults = stats.counter(tpfx + "major_faults");
+            tr.ioBytes = stats.counter(tpfx + "io_bytes");
+            r.tenants.push_back(std::move(tr));
+        }
+        // Tear every tenant down: the TLB audit, the page-cache scrub
+        // and the ASID release must all succeed now that the kernel
+        // has quiesced — a Busy here is a leaked reference.
+        for (uint16_t a : asids) {
+            tenant::TenantStatus st = rt.teardownTenant(registry, a);
+            if (st != tenant::TenantStatus::Ok) {
+                r.teardownOk = false;
+                stats.inc("serving.teardown_failures");
+            }
+        }
+        if (cfg.qosIsolation) {
+            rt.fs().cache().setTenantRegistry(nullptr);
+            io.setTenantRegistry(nullptr);
+        }
+    }
     return r;
 }
 

@@ -35,6 +35,63 @@
 
 namespace ap::serving {
 
+/**
+ * One tenant's traffic class in a multi-tenant serving run. Each
+ * tenant is registered in a TenantRegistry for the run's duration,
+ * its requests execute under its own ASID (warps bind per request),
+ * and it is torn down — TLB audit, page-cache scrub, ASID release —
+ * when the run ends.
+ */
+struct TenantTraffic
+{
+    /** Registry name; also labels the per-tenant result row. */
+    std::string name = "tenant";
+
+    /** Clients of this tenant (closed loop). */
+    uint32_t clients = 256;
+
+    /** Requests this tenant contributes to the run. */
+    uint32_t requests = 512;
+
+    /** Mean think time between one client's requests. */
+    double meanThinkCycles = 200000;
+
+    /** This tenant's clients issue nothing before this cycle — e.g.
+     * an antagonist that arrives after the victim has warmed up, so
+     * the measured interference is steady-state, not cold-start. */
+    double startCycles = 0;
+
+    /** Every Nth request is a scan (1 = scan-only, 0 = collage only).
+     * At most one tenant per run may issue collage queries. */
+    uint32_t scanEvery = 0;
+
+    /** Bytes each scan query streams (multiple of 128). */
+    uint32_t scanBytes = 32768;
+
+    /** Scan offsets are drawn from the first this-many bytes of the
+     * scan file (0 = the whole file). A small window makes a
+     * cache-resident, latency-sensitive tenant; the whole file makes
+     * a streaming antagonist that wants every frame. */
+    uint64_t scanWindowBytes = 0;
+
+    /** Walk the window in order instead of sampling it uniformly: the
+     * class's k-th scan starts at page k mod (the window's last legal
+     * start page + 1). A sweeping victim touches every page of its
+     * working set during warm-up, so steady-state misses measure
+     * eviction, not the coupon-collector tail of random sampling. */
+    bool scanSweep = false;
+
+    /** Every Nth scan ignores the window and samples the whole file
+     * (0 = never): a mostly-resident tenant with a steady trickle of
+     * compulsory misses, which is what exposes it to the cache and
+     * host-IO contention QoS is supposed to bound. */
+    uint32_t scanWideEvery = 0;
+
+    /** QoS weights handed to the registry at registration. */
+    uint32_t cacheWeight = 1;
+    uint32_t ioWeight = 1;
+};
+
 /** One serving experiment's knobs. */
 struct ServingConfig
 {
@@ -77,6 +134,24 @@ struct ServingConfig
     int warpsPerBlock = 8;
 
     uint64_t seed = 1;
+
+    /**
+     * Multi-tenant mode: when non-empty, these traffic classes replace
+     * the clients/requests/think/scan knobs above (closed loop only)
+     * and each runs under its own registered ASID. Empty = the
+     * original single-tenant path, nothing registered or attached.
+     */
+    std::vector<TenantTraffic> tenants;
+
+    /**
+     * Attach the registry to the page cache and host-IO engine so the
+     * eviction clock respects weighted frame shares and host reads
+     * dispatch by deficit round-robin. Off = tenants still get ASIDs,
+     * per-tenant metrics, and teardown, but share the cache and bus
+     * with no isolation — the ablation baseline the QoS numbers are
+     * read against.
+     */
+    bool qosIsolation = true;
 };
 
 /**
@@ -115,6 +190,27 @@ ServingWorkload makeWorkload(hostio::BackingStore& bs,
                              const collage::Dataset& ds,
                              uint32_t query_blocks, uint64_t seed);
 
+/** Per-tenant slice of a multi-tenant run's metrics. */
+struct TenantResult
+{
+    std::string name;
+    uint16_t asid = 0;
+    uint32_t completed = 0;
+
+    /** End-to-end latency of this tenant's requests, cycles. */
+    double e2eP50 = 0;
+    double e2eP95 = 0;
+    double e2eP99 = 0;
+
+    /** Demand misses charged to this tenant. */
+    uint64_t majorFaults = 0;
+
+    /** Host-IO bytes the DRR dispatcher shipped for this tenant
+     * (0 when QoS isolation is off — the legacy batcher does not
+     * attribute). */
+    uint64_t ioBytes = 0;
+};
+
 /** What one serving run measured. */
 struct ServingResult
 {
@@ -151,6 +247,13 @@ struct ServingResult
      * rode in a shared DMA batch. */
     uint64_t majorFaults = 0;
     uint64_t batchedRequests = 0;
+
+    /** Per-tenant slices (cfg.tenants order; empty when single-tenant). */
+    std::vector<TenantResult> tenants;
+
+    /** All tenant teardowns (TLB audit + cache scrub + ASID release)
+     * returned Ok. Vacuously true for single-tenant runs. */
+    bool teardownOk = true;
 };
 
 /**

@@ -78,6 +78,7 @@ SimCheck::reset()
     lockGraph.clear();
     pages.clear();
     faults.clear();
+    warpTenants.clear();
     reports_.clear();
     dedup.clear();
     relaxedDepth.clear();
@@ -511,10 +512,61 @@ std::string
 SimCheck::pageName(uint64_t dom, uint64_t key)
 {
     std::ostringstream os;
-    os << "page file=" << (key >> 40)
+    os << "page asid=" << (key >> 56) << " file=" << ((key >> 40) & 0xffff)
        << " pageno=" << (key & ((1ULL << 40) - 1)) << " (domain " << dom
        << ")";
     return os.str();
+}
+
+void
+SimCheck::warpTenant(int warp, uint16_t asid)
+{
+    if (!enabled_)
+        return;
+    warpTenants[warp] = asid;
+}
+
+void
+SimCheck::auditTenant(uint64_t dom, uint64_t key, int warp,
+                      const char* what)
+{
+    if (warp < 0)
+        return; // host-side scrubs and evictions carry no binding
+    uint16_t bound = 0;
+    auto it = warpTenants.find(warp);
+    if (it != warpTenants.end())
+        bound = it->second;
+    uint16_t owner = static_cast<uint16_t>(key >> 56);
+    if (bound == owner)
+        return;
+    report(ReportKind::Invariant,
+           std::string("xtenant:") + what + ":" + std::to_string(dom) +
+               ":" + std::to_string(key) + ":" + std::to_string(warp),
+           std::string("cross-tenant ") + what + ": warp " +
+               std::to_string(warp) + " (tenant " + std::to_string(bound) +
+               ") touched " + pageName(dom, key) +
+               " owned by tenant " + std::to_string(owner) +
+               " — address-space isolation violated");
+}
+
+void
+SimCheck::pcTeardownTenant(uint64_t dom, uint16_t asid, double cycle)
+{
+    if (!enabled_)
+        return;
+    (void)cycle;
+    for (const auto& [id, ps] : pages) {
+        if (id.dom != dom || static_cast<uint16_t>(id.key >> 56) != asid)
+            continue;
+        report(ReportKind::Invariant,
+               "tenantresidual:" + std::to_string(dom) + ":" +
+                   std::to_string(id.key),
+               "tenant " + std::to_string(asid) +
+                   " teardown left residual " + pageName(dom, id.key) +
+                   " (refcount " + std::to_string(ps.rc) + ", " +
+                   std::to_string(ps.links) +
+                   " links) in the page cache");
+    }
 }
 
 SimCheck::PageShadow*
@@ -540,6 +592,8 @@ SimCheck::pcInsert(uint64_t dom, uint64_t key, int64_t rc, int warp,
         return;
     }
     auditEdge(dom, key, "Absent", "Loading");
+    if (rc > 0)
+        auditTenant(dom, key, warp, "demand insert");
     PageShadow ps;
     ps.rc = rc;
     ps.st = PageShadow::Loading;
@@ -637,6 +691,8 @@ SimCheck::pcRefAdjust(uint64_t dom, uint64_t key, int64_t delta, int warp,
                    std::to_string(warp));
         return;
     }
+    if (delta > 0)
+        auditTenant(dom, key, warp, "reference");
     ps->rc += delta;
 }
 
@@ -791,6 +847,7 @@ SimCheck::pcLink(uint64_t dom, uint64_t key, int64_t n, int warp,
                    std::to_string(warp) + ")");
         return;
     }
+    auditTenant(dom, key, warp, "apointer link");
     ps->links += n;
 }
 

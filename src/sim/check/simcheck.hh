@@ -255,6 +255,29 @@ class SimCheck
                   double cycle);
 
     // ------------------------------------------------------------------
+    // Tenant-isolation auditor
+    // ------------------------------------------------------------------
+
+    /**
+     * Warp @p warp now executes on behalf of tenant @p asid. Bindings
+     * persist until rebound; unbound warps default to tenant 0. The
+     * auditor flags any reference, insert, or apointer link a warp
+     * performs against a page keyed to a *different* ASID — a
+     * cross-tenant mapping that would defeat address-space isolation.
+     * Evictions (pcClaim/pcRemove) are exempt: reclaiming another
+     * tenant's cold frame is legal sharing of the physical cache.
+     */
+    void warpTenant(int warp, uint16_t asid);
+
+    /**
+     * Tenant @p asid was torn down in domain @p dom: audit that no
+     * tracked page keyed to that ASID survives. A residual entry means
+     * teardown left stale page-cache state behind, which a later
+     * tenant reusing the ASID could alias.
+     */
+    void pcTeardownTenant(uint64_t dom, uint16_t asid, double cycle);
+
+    // ------------------------------------------------------------------
     // Fault-chain auditor (fault-path observability)
     // ------------------------------------------------------------------
 
@@ -403,6 +426,9 @@ class SimCheck
 
     PageShadow* pageShadow(uint64_t dom, uint64_t key);
     static std::string pageName(uint64_t dom, uint64_t key);
+    /** Flag @p what if @p warp is bound to a tenant other than @p key's. */
+    void auditTenant(uint64_t dom, uint64_t key, int warp,
+                     const char* what);
     /** Report unless from->to is an edge of ap::kPteStateMachine. */
     void auditEdge(uint64_t dom, uint64_t key, const char* from,
                    const char* to);
@@ -443,6 +469,7 @@ class SimCheck
 
     std::unordered_map<PageId, PageShadow, PageIdHash> pages;
     std::unordered_map<uint64_t, FaultShadow> faults;
+    std::unordered_map<int, uint16_t> warpTenants;
 
     std::vector<Report> reports_;
     std::unordered_set<std::string> dedup;

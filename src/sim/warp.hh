@@ -456,6 +456,23 @@ class Warp
      */
     void setActiveFault(uint64_t fid) { activeFault_ = fid; }
 
+    /** The tenant (ASID) this warp currently executes on behalf of. */
+    uint16_t tenant() const { return tenant_; }
+
+    /**
+     * Bind the warp to tenant @p asid: subsequent mappings, faults,
+     * and host-IO requests it issues are keyed and charged to that
+     * address space. Serving workloads rebind per request; the default
+     * binding is tenant 0 so single-tenant code never notices.
+     */
+    void
+    setTenant(uint16_t asid)
+    {
+        tenant_ = asid;
+        if (check::SimCheck::armed)
+            check::SimCheck::get().warpTenant(gid, asid);
+    }
+
   private:
     /** Acquire+release on the sync channel of atomic word @p a. */
     void
@@ -475,6 +492,7 @@ class Warp
     StatGroup* stats_;
     FaultPath* fp_ = nullptr;
     uint64_t activeFault_ = 0;
+    uint16_t tenant_ = 0;
 };
 
 } // namespace ap::sim

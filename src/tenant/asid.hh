@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Address-space identifiers (ASIDs): the tenant tag threaded through
+ * the whole translation stack — the apointer translation field, the
+ * software TLB, the page-table key, and host-IO request attribution.
+ * Per-application memory-manager state is the right granularity for
+ * isolation on a shared GPU (Mosaic / multi-application GPU memory
+ * work); here every PageKey carries its owner, so two tenants mapping
+ * the same file offset get distinct entries and teardown can find
+ * exactly its own state.
+ *
+ * This header is dependency-free on purpose: the simulator's checker
+ * (sim/check) audits tenant isolation and must extract the ASID from a
+ * raw page key without linking against the tenant registry.
+ */
+
+#ifndef AP_TENANT_ASID_HH
+#define AP_TENANT_ASID_HH
+
+#include <cstdint>
+
+namespace ap::tenant {
+
+/** One tenant's address-space id. 0 is the default (pre-registered)
+ * tenant every warp starts bound to. */
+using TenantId = uint16_t;
+
+/** The default address space. */
+constexpr TenantId kDefaultTenant = 0;
+
+/** ASID width in the page key and the long translation field. */
+constexpr unsigned kAsidBits = 8;
+
+/** Tenants per process (ASIDs are never reused within a run). */
+constexpr uint32_t kMaxTenants = 1u << kAsidBits;
+
+/** Bit position of the ASID within a 64-bit gpufs::PageKey. */
+constexpr unsigned kKeyAsidShift = 56;
+
+/** ASID component of a raw 64-bit page key. */
+constexpr TenantId
+keyAsid(uint64_t key)
+{
+    return static_cast<TenantId>(key >> kKeyAsidShift);
+}
+
+} // namespace ap::tenant
+
+#endif // AP_TENANT_ASID_HH

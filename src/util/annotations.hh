@@ -113,11 +113,12 @@ namespace ap {
  * (tests/sim/test_lock_contracts.cc), so the static and dynamic views
  * can never drift apart silently.
  */
-// aplint: lock-order: tlb.entry < pt.bucket < pc.alloc
+// aplint: lock-order: tlb.entry < pt.bucket < pc.alloc < pc.reserve
 inline constexpr const char* kLockOrder[] = {
     "tlb.entry",
     "pt.bucket",
     "pc.alloc",
+    "pc.reserve",
 };
 
 /** One legal PteState transition, named by state identifiers. */

@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Unit tests for the tenant registry (DESIGN.md section 13): ASID
+ * allocation and lifetime, weighted frame shares, and the release
+ * refusals that keep teardown honest.
+ */
+
+#include <gtest/gtest.h>
+
+#include "tenant/tenant.hh"
+
+namespace ap::tenant {
+namespace {
+
+TEST(TenantRegistry, DefaultTenantIsAlwaysRegistered)
+{
+    TenantRegistry reg;
+    EXPECT_TRUE(reg.active(kDefaultTenant));
+    EXPECT_EQ(reg.nameOf(kDefaultTenant), "default");
+    EXPECT_EQ(reg.cacheWeightOf(kDefaultTenant), 1u);
+    EXPECT_EQ(reg.ioWeightOf(kDefaultTenant), 1u);
+    EXPECT_EQ(reg.activeCount(), 1u);
+}
+
+TEST(TenantRegistry, AsidsAllocateSequentiallyFromOne)
+{
+    TenantRegistry reg;
+    RegisterResult a = reg.registerTenant({"alpha", 2, 3});
+    RegisterResult b = reg.registerTenant({"beta", 1, 1});
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    EXPECT_EQ(a.id, 1u);
+    EXPECT_EQ(b.id, 2u);
+    EXPECT_EQ(reg.nameOf(a.id), "alpha");
+    EXPECT_EQ(reg.statPrefix(a.id), "tenant.t1.");
+    EXPECT_EQ(reg.cacheWeightOf(a.id), 2u);
+    EXPECT_EQ(reg.ioWeightOf(a.id), 3u);
+    EXPECT_EQ(reg.activeCount(), 3u);
+}
+
+TEST(TenantRegistry, AsidsAreNeverReused)
+{
+    TenantRegistry reg;
+    RegisterResult a = reg.registerTenant({"a", 1, 1});
+    ASSERT_TRUE(a.ok());
+    EXPECT_EQ(reg.releaseTenant(a.id), TenantStatus::Ok);
+    RegisterResult b = reg.registerTenant({"b", 1, 1});
+    ASSERT_TRUE(b.ok());
+    // The released ASID 1 must not come back: a stale TLB entry or
+    // in-flight IO tagged 1 can then never alias tenant "b".
+    EXPECT_NE(b.id, a.id);
+    EXPECT_FALSE(reg.active(a.id));
+    EXPECT_TRUE(reg.active(b.id));
+}
+
+TEST(TenantRegistry, ReleaseOfUnknownOrStaleAsidFails)
+{
+    TenantRegistry reg;
+    EXPECT_EQ(reg.releaseTenant(42), TenantStatus::Unknown);
+    RegisterResult a = reg.registerTenant({"a", 1, 1});
+    ASSERT_TRUE(a.ok());
+    EXPECT_EQ(reg.releaseTenant(a.id), TenantStatus::Ok);
+    EXPECT_EQ(reg.releaseTenant(a.id), TenantStatus::Unknown);
+}
+
+TEST(TenantRegistry, ReleaseRefusesWhileFramesCharged)
+{
+    TenantRegistry reg;
+    RegisterResult a = reg.registerTenant({"a", 1, 1});
+    ASSERT_TRUE(a.ok());
+    reg.noteFrameGained(a.id);
+    EXPECT_EQ(reg.releaseTenant(a.id), TenantStatus::Busy);
+    EXPECT_TRUE(reg.active(a.id));
+    reg.noteFrameLost(a.id);
+    EXPECT_EQ(reg.releaseTenant(a.id), TenantStatus::Ok);
+}
+
+TEST(TenantRegistry, WeightedFrameShares)
+{
+    TenantRegistry reg;
+    reg.attachCacheFrames(100);
+    RegisterResult heavy = reg.registerTenant({"heavy", 3, 1});
+    RegisterResult light = reg.registerTenant({"light", 1, 1});
+    ASSERT_TRUE(heavy.ok());
+    ASSERT_TRUE(light.ok());
+    // Weights: default 1 + heavy 3 + light 1 = 5.
+    EXPECT_EQ(reg.frameShare(heavy.id), 60u);
+    EXPECT_EQ(reg.frameShare(light.id), 20u);
+
+    for (int i = 0; i < 20; ++i)
+        reg.noteFrameGained(light.id);
+    EXPECT_EQ(reg.framesOf(light.id), 20u);
+    EXPECT_FALSE(reg.overShare(light.id)); // at the share, not over
+    reg.noteFrameGained(light.id);
+    EXPECT_TRUE(reg.overShare(light.id));
+}
+
+TEST(TenantRegistry, ZeroWeightTenantHasNoReservedShare)
+{
+    TenantRegistry reg;
+    reg.attachCacheFrames(64);
+    RegisterResult be = reg.registerTenant({"best-effort", 0, 0});
+    ASSERT_TRUE(be.ok());
+    EXPECT_EQ(reg.frameShare(be.id), 0u);
+    // Any frame it holds is fair game for the eviction clock.
+    reg.noteFrameGained(be.id);
+    EXPECT_TRUE(reg.overShare(be.id));
+}
+
+TEST(TenantRegistry, ReleasedTenantWeighsNothing)
+{
+    TenantRegistry reg;
+    reg.attachCacheFrames(100);
+    RegisterResult a = reg.registerTenant({"a", 4, 4});
+    ASSERT_TRUE(a.ok());
+    EXPECT_EQ(reg.releaseTenant(a.id), TenantStatus::Ok);
+    EXPECT_EQ(reg.cacheWeightOf(a.id), 0u);
+    EXPECT_EQ(reg.ioWeightOf(a.id), 0u);
+    EXPECT_EQ(reg.frameShare(a.id), 0u);
+    // The default tenant's share recovers the whole cache.
+    EXPECT_EQ(reg.frameShare(kDefaultTenant), 100u);
+}
+
+TEST(TenantRegistry, AsidSpaceExhaustionReportsTooMany)
+{
+    TenantRegistry reg;
+    RegisterResult last;
+    // ASID 0 is the default tenant; 1..kMaxTenants-1 are allocatable.
+    for (uint32_t i = 1; i < kMaxTenants; ++i) {
+        last = reg.registerTenant({"t", 1, 1});
+        ASSERT_TRUE(last.ok()) << "register " << i;
+        EXPECT_EQ(last.id, i);
+    }
+    RegisterResult overflow = reg.registerTenant({"t", 1, 1});
+    EXPECT_FALSE(overflow.ok());
+    EXPECT_EQ(overflow.status, TenantStatus::TooMany);
+}
+
+TEST(TenantRegistry, StatPrefixFallsBackForBogusIds)
+{
+    TenantRegistry reg;
+    EXPECT_EQ(reg.statPrefix(7777), "tenant.t?.");
+}
+
+} // namespace
+} // namespace ap::tenant
