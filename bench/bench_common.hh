@@ -20,9 +20,11 @@
 #include <sstream>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "core/vm.hh"
 #include "sim/check/simcheck.hh"
+#include "tenant/tenant.hh"
 #include "util/json.hh"
 #include "util/stats.hh"
 #include "util/table.hh"
@@ -321,6 +323,34 @@ printFaultStageTable(std::ostream& os, const StatGroup& stats)
         os << "(no fault-path samples)\n";
     else
         t.print(os);
+}
+
+/**
+ * Print the per-tenant fault table (docs/OBSERVABILITY.md): one row
+ * per tenant in @p ids with its minor/major fault counts and the
+ * `tenant.t<id>.fault_cycles` latency summary from @p stats. The same
+ * view `apstat stats` rebuilds offline from a stats JSON.
+ */
+inline void
+printTenantFaultTable(std::ostream& os, const StatGroup& stats,
+                      const tenant::TenantRegistry& reg,
+                      const std::vector<tenant::TenantId>& ids)
+{
+    TextTable t;
+    t.header({"tenant", "asid", "minor", "major", "lat_count",
+              "lat_mean", "lat_p50", "lat_p95"});
+    for (tenant::TenantId id : ids) {
+        const std::string& pfx = reg.statPrefix(id);
+        const Histogram* h = stats.findHistogram(pfx + "fault_cycles");
+        t.row({reg.nameOf(id), std::to_string(id),
+               std::to_string(stats.counter(pfx + "minor_faults")),
+               std::to_string(stats.counter(pfx + "major_faults")),
+               h ? std::to_string(h->count()) : "0",
+               h ? TextTable::num(h->mean()) : "-",
+               h ? TextTable::num(h->quantile(0.50)) : "-",
+               h ? TextTable::num(h->quantile(0.95)) : "-"});
+    }
+    t.print(os);
 }
 
 } // namespace ap::bench

@@ -115,11 +115,18 @@ measureAptr(AccessMode mode)
  * one warm (minor) fault actually go, from the always-on fault-path
  * recorder (docs/OBSERVABILITY.md). Table I itself is fault-free, so
  * this is measured on a separate single-warp file-backed stack.
+ *
+ * The same stack runs two registered tenants side by side — one
+ * streaming a contiguous page range, one striding — so the per-tenant
+ * fault tables and the resident-contiguity profile (docs/
+ * OBSERVABILITY.md "Translation telemetry") have distinct shapes to
+ * show, and both land in the JSON document.
  */
 void
-faultBreakdown()
+faultBreakdown(BenchResult& doc)
 {
     banner("Supplementary: single-warp fault stage breakdown (cycles)");
+    tenant::TenantRegistry reg; // must outlive the cache that charges it
     Stack st;
     constexpr size_t kFileBytes = 16 * 4096;
     hostio::FileId f = st.bs.create("t1.bin", kFileBytes);
@@ -135,6 +142,91 @@ faultBreakdown()
         p.destroy(w);
     });
     printFaultStageTable(std::cout, st.dev->stats());
+
+    banner("Supplementary: per-tenant faults and resident contiguity");
+    tenant::RegisterResult stream = reg.registerTenant({"stream", 1, 1});
+    tenant::RegisterResult stride = reg.registerTenant({"stride", 1, 1});
+    if (!stream.ok() || !stride.ok()) {
+        fail("tenant registration failed");
+        return;
+    }
+    st.fs->cache().setTenantRegistry(&reg);
+    hostio::FileId fa = st.bs.create("stream.bin", kFileBytes);
+    hostio::FileId fb = st.bs.create("stride.bin", kFileBytes);
+    st.bs.data(fa, 0, kFileBytes);
+    st.bs.data(fb, 0, kFileBytes);
+    st.dev->launch(1, 2, [&](sim::Warp& w) {
+        bool streaming = w.warpInBlock() == 0;
+        w.setTenant(streaming ? stream.id : stride.id);
+        auto p = core::gvmmap<uint32_t>(w, *st.rt, kFileBytes,
+                                        hostio::O_GRDONLY,
+                                        streaming ? fa : fb, 0);
+        // Tenant "stream" touches pages 0..7 in order (one resident
+        // run); tenant "stride" touches every other page (8 runs of
+        // one page each).
+        for (int i = 0; i < 8; ++i) {
+            auto q = p.copyUnlinked(w);
+            int64_t pg = streaming ? i : 2 * i;
+            q.add(w, pg * (4096 / 4));
+            (void)q.read(w);
+            q.destroy(w);
+        }
+        p.destroy(w);
+    });
+
+    // Snapshot contiguity before teardown scrubs the tenants' frames.
+    st.fs->cache().exportTranslationStatsHost();
+    const StatGroup& s = st.dev->stats();
+
+    printTenantFaultTable(std::cout, s, reg, {stream.id, stride.id});
+    for (tenant::TenantId id : {stream.id, stride.id}) {
+        const std::string& pfx = reg.statPrefix(id);
+        std::string key = "tenant." + reg.nameOf(id);
+        doc.metric(key + ".minor_faults",
+                   double(s.counter(pfx + "minor_faults")),
+                   Better::Exact, 0.0);
+        doc.metric(key + ".major_faults",
+                   double(s.counter(pfx + "major_faults")),
+                   Better::Exact, 0.0);
+        if (const Histogram* h = s.findHistogram(pfx + "fault_cycles"))
+            doc.metric(key + ".fault_cycles_p95", h->quantile(0.95),
+                       Better::Lower, 0.05);
+    }
+
+    TextTable ct;
+    ct.header({"file", "runs", "min", "max", "mean"});
+    for (const auto& [name, h] : s.allHistograms()) {
+        if (name.rfind("contig.", 0) != 0 || name.size() < 5 ||
+            name.compare(name.size() - 5, 5, ".runs") != 0)
+            continue;
+        ct.row({name, std::to_string(h.count()), TextTable::num(h.min()),
+                TextTable::num(h.max()), TextTable::num(h.mean())});
+        // Run-length shape per file: any drift means the residency
+        // pattern (and thus eviction/prefetch behavior) changed.
+        doc.metric(name + ".count", double(h.count()), Better::Exact,
+                   0.0);
+        doc.metric(name + ".max", h.max(), Better::Exact, 0.0);
+    }
+    ct.print(std::cout);
+    std::cout << "resident pages: "
+              << TextTable::num(s.scalar("contig.resident_pages"), 0)
+              << ", resident runs: "
+              << TextTable::num(s.scalar("contig.resident_runs"), 0)
+              << ", longest run ever: "
+              << TextTable::num(s.scalar("contig.max_run"), 0) << "\n";
+
+    // Tear both tenants down; a Busy/Unknown here means the workload
+    // leaked references and the telemetry above is suspect.
+    for (tenant::TenantId id : {stream.id, stride.id}) {
+        if (st.fs->cache().teardownTenantHost(id) !=
+            tenant::TenantStatus::Ok)
+            fail("tenant teardown refused for asid " +
+                 std::to_string(id));
+        if (reg.releaseTenant(id) != tenant::TenantStatus::Ok)
+            fail("tenant release refused for asid " +
+                 std::to_string(id));
+    }
+    st.fs->cache().setTenantRegistry(nullptr);
 }
 
 std::string
@@ -203,7 +295,7 @@ run(const std::string& json_path)
            "435 (+75%)"});
     p.print(std::cout);
 
-    faultBreakdown();
+    faultBreakdown(doc);
 
     if (!json_path.empty())
         doc.writeFile(json_path);

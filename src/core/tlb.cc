@@ -1,16 +1,48 @@
 #include "core/tlb.hh"
 
+#include "sim/check/simcheck.hh"
+#include "sim/device.hh"
+#include "sim/trace.hh"
 #include "util/rng.hh"
 
 namespace ap::core {
 
+namespace {
+
+/** Always-on eviction counters, one per TlbEvictReason value. */
+constexpr const char* kEvictCounter[kTlbEvictReasons] = {
+    "tlb.evict.conflict",
+    "tlb.evict.invalidation",
+    "tlb.evict.shootdown",
+    "tlb.evict.teardown",
+};
+
+/** Dead-on-arrival counters (entry retired with zero hits). */
+constexpr const char* kDoaCounter[kTlbEvictReasons] = {
+    "tlb.doa.conflict",
+    "tlb.doa.invalidation",
+    "tlb.doa.shootdown",
+    "tlb.doa.teardown",
+};
+
+} // namespace
+
+const char*
+tlbEvictReasonName(TlbEvictReason r)
+{
+    constexpr const char* names[kTlbEvictReasons] = {
+        "conflict", "invalidation", "shootdown", "teardown"};
+    return names[static_cast<size_t>(r)];
+}
+
 SoftTlb::SoftTlb(sim::ThreadBlock& tb, uint32_t n_entries, AptrKind kind,
-                 sim::Cycles lock_latency)
-    : nEntries(n_entries)
+                 sim::Cycles lock_latency, sim::Device* dev_)
+    : nEntries(n_entries), dev(dev_)
 {
     AP_ASSERT(n_entries > 0, "TLB needs at least one entry");
     // Scratchpad accounting per paper section IV-D: 12 B (short) /
-    // 20 B (long) per entry plus a 4 B entry lock.
+    // 20 B (long) per entry plus a 4 B entry lock. The telemetry
+    // shadow fields are host-side bookkeeping and charge nothing.
     size_t entry_bytes = (kind == AptrKind::Short ? 12 : 20) + 4;
     tb.scratchAlloc(n_entries * entry_bytes);
     entries.reserve(n_entries);
@@ -20,6 +52,90 @@ SoftTlb::SoftTlb(sim::ThreadBlock& tb, uint32_t n_entries, AptrKind kind,
             "tlb[blk" + std::to_string(tb.id()) + "].entry[" +
             std::to_string(i) + "]";
     }
+    name = "tlb[blk" + std::to_string(tb.id()) + "]";
+    occSeries = "tlb.occupancy.blk" + std::to_string(tb.id());
+}
+
+SoftTlb::~SoftTlb()
+{
+    // Threadblocks (and their TLBs) die at the end of each launch
+    // while the Device lives on: an entry still populated here
+    // survived to kernel exit and retires as Teardown at the current
+    // device clock.
+    for (Entry& e : entries) {
+        if (e.key == 0)
+            continue;
+        if (dev) {
+            retireEntryTelemetry(dev->stats(), e, TlbEvictReason::Teardown,
+                                 dev->engine().now());
+        } else {
+            retiredHits += e.hitCount;
+            liveEntries--;
+        }
+    }
+    // Cross-check: every hit this TLB put into core.tlb_hits must be
+    // accounted on exactly one (now retired) entry — a mismatch means
+    // some eviction path skipped its telemetry retirement.
+    if (sim::check::SimCheck::armed)
+        sim::check::SimCheck::get().tlbHitSumAudit(retiredHits, localHits,
+                                                   name);
+}
+
+void
+SoftTlb::retireEntryTelemetry(StatGroup& st, Entry& e,
+                              TlbEvictReason reason, sim::Cycles now)
+{
+    size_t r = static_cast<size_t>(reason);
+    st.inc(kEvictCounter[r]);
+    if (e.hitCount == 0)
+        st.inc(kDoaCounter[r]);
+    st.recordValue("tlb.entry_lifetime", now - e.insertCycle);
+    if (e.hitCount > 0)
+        st.inc("tlb.entry_hits_retired", e.hitCount);
+    retiredHits += e.hitCount;
+    e.hitCount = 0;
+    e.hitBefore = false;
+    AP_ASSERT(liveEntries > 0, "TLB retired more entries than installed");
+    liveEntries--;
+    maybeEmitOccupancy(now);
+}
+
+void
+SoftTlb::installEntryTelemetry(StatGroup& st, Entry& e, sim::Cycles now)
+{
+    e.insertCycle = now;
+    e.lastHitCycle = now;
+    e.hitBefore = false;
+    e.hitCount = 0;
+    liveEntries++;
+    st.inc("tlb.inserts");
+    maybeEmitOccupancy(now);
+}
+
+void
+SoftTlb::maybeEmitOccupancy(sim::Cycles now)
+{
+    if (!dev)
+        return;
+    sim::Tracer& tr = dev->tracer();
+    if (!tr.enabled())
+        return;
+    if (everEmitted && now - lastEmit < sim::kCounterIntervalCycles)
+        return;
+    everEmitted = true;
+    lastEmit = now;
+    tr.counterEvent(sim::kTelemetryTrack, "telemetry", occSeries, now,
+                    static_cast<double>(liveEntries));
+}
+
+uint64_t
+SoftTlb::liveEntryHitsHost() const
+{
+    uint64_t sum = 0;
+    for (const Entry& e : entries)
+        if (e.key != 0)
+            sum += e.hitCount;
+    return sum;
 }
 
 uint32_t
@@ -50,6 +166,20 @@ SoftTlb::lookupAndRef(sim::Warp& w, gpufs::PageKey key, int n,
     }
     e.count += n;
     frame_addr = e.frameAddr;
+    // Telemetry: reuse distance is the gap since the entry last
+    // proved useful (since install for the first hit) — short
+    // distances say the entry earns its slot, long ones say the
+    // direct-mapped slot is being kept warm for nothing. Sampled
+    // under the entry lock, so it is monotone against the install
+    // and previous-hit stamps taken under the same lock.
+    const sim::Cycles th = w.now();
+    w.stats().recordValue("tlb.reuse_distance",
+                          th - (e.hitBefore ? e.lastHitCycle
+                                            : e.insertCycle));
+    e.hitBefore = true;
+    e.lastHitCycle = th;
+    e.hitCount++;
+    localHits++;
     w.chargeSharedWrite();
     e.entryLock.release(w);
     w.stats().inc("core.tlb_hits");
@@ -88,6 +218,8 @@ SoftTlb::insertAfterAcquire(sim::Warp& w, gpufs::PageKey key,
         // Count-zero victim: return its page-table references and
         // discard the stale mapping.
         AP_ASSERT(e.ptRefs > 0, "counted-out TLB entry without refs");
+        retireEntryTelemetry(w.stats(), e, TlbEvictReason::Conflict,
+                             w.now());
         gpufs::PageKey old_key = e.key - 1;
         int old_refs = e.ptRefs;
         e.key = 0;
@@ -99,6 +231,7 @@ SoftTlb::insertAfterAcquire(sim::Warp& w, gpufs::PageKey key,
     e.frameAddr = frame_addr;
     e.count = n;
     e.ptRefs = n;
+    installEntryTelemetry(w.stats(), e, w.now());
     w.chargeSharedWrite();
     e.entryLock.release(w);
     return true;
@@ -121,6 +254,8 @@ SoftTlb::unref(sim::Warp& w, gpufs::PageKey key, int n,
     if (e.count == 0) {
         // Discard the mapping and return the aggregated references
         // (the proactive-decrement heuristic of section III-B).
+        retireEntryTelemetry(w.stats(), e, TlbEvictReason::Invalidation,
+                             w.now());
         int refs = e.ptRefs;
         gpufs::PageKey k = e.key - 1;
         e.key = 0;
@@ -152,6 +287,8 @@ SoftTlb::flushAsid(sim::Warp& w, tenant::TenantId asid,
         int refs = e.ptRefs;
         if (e.count != 0)
             w.stats().inc("core.tlb_flush_forced", e.count);
+        retireEntryTelemetry(w.stats(), e, TlbEvictReason::Shootdown,
+                             w.now());
         e.key = 0;
         e.count = 0;
         e.ptRefs = 0;

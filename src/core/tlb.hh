@@ -25,7 +25,31 @@
 #include "sim/sync.hh"
 #include "util/annotations.hh"
 
+namespace ap::sim {
+class Device;
+} // namespace ap::sim
+
 namespace ap::core {
+
+/**
+ * Why a cached translation left the TLB — the telemetry taxonomy.
+ * Every retired entry is charged to exactly one reason; an entry
+ * retired with zero hits is additionally counted dead-on-arrival
+ * (tlb.doa.<reason>), the population the range-TLB work needs sized.
+ */
+enum class TlbEvictReason : uint8_t
+{
+    Conflict = 0,     ///< displaced by a conflicting count-zero install
+    Invalidation = 1, ///< count dropped to zero; mapping discarded
+    Shootdown = 2,    ///< flushAsid (tenant teardown)
+    Teardown = 3,     ///< TLB destroyed at launch end with the entry live
+};
+
+/** Number of TlbEvictReason values (table sizing). */
+constexpr size_t kTlbEvictReasons = 4;
+
+/** Printable name of @p r ("conflict", "invalidation", ...). */
+const char* tlbEvictReasonName(TlbEvictReason r);
 
 /** The software TLB of one threadblock. */
 class SoftTlb
@@ -38,9 +62,19 @@ class SoftTlb
      * @param kind     apointer kind (entry size: 12 B short, 20 B long,
      *                 plus a 4 B lock each, per paper section IV-D)
      * @param lock_latency cost of an entry-lock operation
+     * @param dev      device whose stats/clock the destructor uses to
+     *                 retire entries still live at launch end (may be
+     *                 null: teardown telemetry is then skipped)
      */
     SoftTlb(sim::ThreadBlock& tb, uint32_t n_entries, AptrKind kind,
-            sim::Cycles lock_latency);
+            sim::Cycles lock_latency, sim::Device* dev = nullptr);
+
+    /**
+     * Retire any still-live entries as Teardown evictions and, under
+     * simcheck, audit that the per-entry hit counts sum to the hits
+     * this TLB put into core.tlb_hits.
+     */
+    ~SoftTlb();
 
     /**
      * Probe for @p key and, on a hit, add @p n to the block-private
@@ -105,6 +139,18 @@ class SoftTlb
      */
     uint32_t countAsidEntriesHost(tenant::TenantId asid) const;
 
+    /** Host-side: currently populated entries (telemetry occupancy). */
+    uint32_t occupancyHost() const { return liveEntries; }
+
+    /** Host-side: hits recorded on entries already retired. */
+    uint64_t retiredEntryHitsHost() const { return retiredHits; }
+
+    /** Host-side: hits this TLB contributed to core.tlb_hits. */
+    uint64_t recordedHitsHost() const { return localHits; }
+
+    /** Host-side: hits sitting on still-live entries. */
+    uint64_t liveEntryHitsHost() const;
+
   private:
     struct Entry
     {
@@ -118,12 +164,48 @@ class SoftTlb
         int count = 0;   ///< block-private references
         int ptRefs = 0;  ///< page-table references held on behalf
         sim::DeviceLock entryLock AP_LOCK_LEVEL("tlb.entry");
+
+        // Telemetry shadow (host bookkeeping, not scratchpad bytes:
+        // the paper's 12/20+4 B accounting above is unchanged).
+        sim::Cycles insertCycle = 0; ///< when the mapping was installed
+        sim::Cycles lastHitCycle = 0; ///< most recent lookupAndRef hit
+        bool hitBefore = false;       ///< entry has at least one hit
+        uint64_t hitCount = 0;        ///< lookupAndRef hits absorbed
     };
 
     uint32_t slotOf(gpufs::PageKey key) const;
 
+    /**
+     * Telemetry retirement of @p e, charged to @p reason at @p now:
+     * bumps tlb.evict.<reason> (and tlb.doa.<reason> when the entry
+     * never hit), records the entry lifetime histogram, and folds the
+     * entry's hit count into the retired sum the destructor audits.
+     * Call with the entry lock held (or from the single-threaded
+     * destructor), before the caller clears e.key.
+     */
+    void retireEntryTelemetry(StatGroup& st, Entry& e,
+                              TlbEvictReason reason, sim::Cycles now);
+
+    /** Telemetry reset of @p e for a fresh install at @p now. */
+    void installEntryTelemetry(StatGroup& st, Entry& e, sim::Cycles now);
+
+    /**
+     * Throttled Chrome-trace occupancy sample (tlb.occupancy.blk<id>
+     * on the telemetry track); no-op while tracing is off.
+     */
+    void maybeEmitOccupancy(sim::Cycles now);
+
     uint32_t nEntries;
     std::vector<Entry> entries;
+
+    sim::Device* dev = nullptr; ///< teardown stats/clock/trace source
+    std::string name;           ///< "tlb[blk<id>]" for diagnostics
+    std::string occSeries;      ///< trace counter-series name
+    uint32_t liveEntries = 0;   ///< populated entries right now
+    uint64_t localHits = 0;     ///< hits this TLB added to core.tlb_hits
+    uint64_t retiredHits = 0;   ///< hit counts folded in at retirement
+    sim::Cycles lastEmit = 0;   ///< previous occupancy-sample cycle
+    bool everEmitted = false;   ///< first sample bypasses the throttle
 };
 
 } // namespace ap::core

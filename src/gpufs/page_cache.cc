@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "sim/device.hh"
+#include "sim/trace.hh"
 
 namespace ap::gpufs {
 
@@ -15,6 +16,28 @@ constexpr int kPrefetchTrack = -3;
 
 using sim::check::SimCheck;
 
+/** Always-on eviction counters, one per PageEvictReason value. */
+constexpr const char* kPcEvictCounter[kPageEvictReasons] = {
+    "pagecache.evict.clock_sweep",
+    "pagecache.evict.reserve_refill",
+    "pagecache.evict.bucket_overflow",
+    "pagecache.evict.poisoned_reclaim",
+    "pagecache.evict.spec_victim",
+    "pagecache.evict.cross_tenant",
+    "pagecache.evict.teardown",
+};
+
+/** Dead-on-arrival counters (frame retired with zero demand hits). */
+constexpr const char* kPcDoaCounter[kPageEvictReasons] = {
+    "pagecache.doa.clock_sweep",
+    "pagecache.doa.reserve_refill",
+    "pagecache.doa.bucket_overflow",
+    "pagecache.doa.poisoned_reclaim",
+    "pagecache.doa.spec_victim",
+    "pagecache.doa.cross_tenant",
+    "pagecache.doa.teardown",
+};
+
 /** Sync channel of a PTE word (refcount/state) in @p dev's memory. */
 uint64_t
 wordChan(sim::Device* dev, sim::Addr a)
@@ -23,6 +46,16 @@ wordChan(sim::Device* dev, sim::Addr a)
 }
 
 } // namespace
+
+const char*
+pageEvictReasonName(PageEvictReason r)
+{
+    constexpr const char* names[kPageEvictReasons] = {
+        "clock_sweep",      "reserve_refill", "bucket_overflow",
+        "poisoned_reclaim", "spec_victim",    "cross_tenant",
+        "teardown"};
+    return names[static_cast<size_t>(r)];
+}
 
 PageCache::PageCache(sim::Device& dev_, hostio::HostIoEngine& io_,
                      const Config& cfg_)
@@ -43,6 +76,84 @@ PageCache::PageCache(sim::Device& dev_, hostio::HostIoEngine& io_,
     for (uint32_t s = cfg.stagingSlots; s-- > 0;)
         freeStaging.push_back(s);
     allocLock.debugName = "pc.allocLock";
+    frameLife.resize(cfg.numFrames);
+}
+
+void
+PageCache::noteFrameBound(PageKey key, uint32_t frame, sim::Cycles now)
+{
+    if (registry_)
+        registry_->noteFrameGained(pageKeyAsid(key));
+    FrameLife& fl = frameLife[frame];
+    fl.fillCycle = now;
+    fl.firstHitCycle = 0;
+    fl.demandHits = 0;
+    fl.live = true;
+    contigProf.noteResidentPage(dev->stats(), key);
+    dev->stats().inc("pagecache.life.fills");
+    maybeEmitCacheCounters(now);
+}
+
+void
+PageCache::noteFrameUnbound(PageKey key, uint32_t frame,
+                            PageEvictReason reason, sim::Cycles now)
+{
+    if (registry_)
+        registry_->noteFrameLost(pageKeyAsid(key));
+    FrameLife& fl = frameLife[frame];
+    if (fl.live) {
+        const size_t r = static_cast<size_t>(reason);
+        StatGroup& st = dev->stats();
+        st.inc(kPcEvictCounter[r]);
+        if (fl.demandHits == 0)
+            st.inc(kPcDoaCounter[r]);
+        st.recordValue("pagecache.life.lifetime", now - fl.fillCycle);
+        st.recordValue("pagecache.life.demand_hits",
+                       static_cast<double>(fl.demandHits));
+        fl.live = false;
+    }
+    contigProf.noteEvictedPage(dev->stats(), key);
+    maybeEmitCacheCounters(now);
+}
+
+void
+PageCache::noteFrameDemandHit(uint32_t frame, sim::Cycles now)
+{
+    FrameLife& fl = frameLife[frame];
+    if (!fl.live)
+        return; // defensive: a frame recycled mid-flight
+    if (fl.demandHits++ == 0) {
+        fl.firstHitCycle = now;
+        dev->stats().recordValue("pagecache.life.fill_to_first_hit",
+                                 now - fl.fillCycle);
+    }
+}
+
+void
+PageCache::maybeEmitCacheCounters(sim::Cycles now)
+{
+    sim::Tracer& tr = dev->tracer();
+    if (!tr.enabled())
+        return;
+    if (everEmittedCounters &&
+        now - lastCounterEmit < sim::kCounterIntervalCycles)
+        return;
+    everEmittedCounters = true;
+    lastCounterEmit = now;
+    tr.counterEvent(sim::kTelemetryTrack, "telemetry",
+                    "pagecache.free_frames", now,
+                    static_cast<double>(freeFrames.size()));
+    tr.counterEvent(sim::kTelemetryTrack, "telemetry",
+                    "pagecache.reserve_depth", now,
+                    static_cast<double>(reserveFrames.size()));
+    tr.counterEvent(sim::kTelemetryTrack, "telemetry", "contig.max_run",
+                    now, static_cast<double>(contigProf.maxRunNow()));
+}
+
+void
+PageCache::exportTranslationStatsHost()
+{
+    contigProf.exportSnapshot(dev->stats());
 }
 
 bool
@@ -228,6 +339,7 @@ PageCache::acquirePage(sim::Warp& w, PageKey key, int count, bool writable,
                 dev->stats().recordValue(pfx + "fault_cycles",
                                          w.now() - trace_t0);
             }
+            noteFrameDemandHit(e.frame, w.now());
             dev->tracer().span(
                 w.globalWarpId(), "fault",
                 "minor pg" + std::to_string(pageKeyPageNo(key)),
@@ -325,7 +437,8 @@ PageCache::acquirePage(sim::Warp& w, PageKey key, int count, bool writable,
                 if (SimCheck::armed)
                     SimCheck::get().pcRemove(checkDomain, recycle_key,
                                              w.globalWarpId(), w.now());
-                noteFrameUnbound(recycle_key);
+                noteFrameUnbound(recycle_key, e.frame,
+                                 PageEvictReason::BucketOverflow, w.now());
                 w.chargeGlobalWrite(sizeof(Pte) + sizeof(FrameMeta));
                 dev->stats().inc("gpufs.bucket_evictions");
                 empty = cea;
@@ -346,7 +459,7 @@ PageCache::acquirePage(sim::Warp& w, PageKey key, int count, bool writable,
         fm.flags = writable ? kDirtyFlag : 0;
         w.mem().store(metaAddr(frame), fm);
         w.chargeGlobalWrite(sizeof(Pte) + sizeof(FrameMeta));
-        noteFrameBound(key);
+        noteFrameBound(key, frame, w.now());
         lk.release(w);
 
         // Writeback and recycling of an overflow victim happen outside
@@ -404,6 +517,10 @@ PageCache::acquirePage(sim::Warp& w, PageKey key, int count, bool writable,
             dev->stats().recordValue(pfx + "fault_cycles",
                                      w.now() - trace_t0);
         }
+        // The major-faulting warp's own access is the frame's first
+        // demand touch: only frames nobody ever demanded (speculative
+        // fills, poisoned loads) can retire dead-on-arrival.
+        noteFrameDemandHit(frame, w.now());
         dev->tracer().span(
             w.globalWarpId(), "fault",
             "major pg" + std::to_string(pageKeyPageNo(key)), trace_t0,
@@ -500,7 +617,7 @@ PageCache::prefetchPage(sim::Warp& w, PageKey key, bool speculative)
     w.chargeGlobalWrite(sizeof(Pte) + sizeof(FrameMeta));
     // Speculative fills are charged to the tenant they guess for: a
     // tenant's readahead appetite spends its own share, not the pool's.
-    noteFrameBound(key);
+    noteFrameBound(key, frame, w.now());
     lk.release(w);
 
     size_t len = std::min<size_t>(cfg.pageSize, io->store().size(f) - off);
@@ -656,6 +773,8 @@ PageCache::allocFrame(sim::Warp& w)
         uint64_t taggedKey;
         uint32_t entryRef;
         bool dirty;
+        bool spec;  ///< undemanded speculative fill at claim time
+        bool error; ///< poisoned (Error-state) entry at claim time
     };
     Claimed primary{};
     bool have_primary = false;
@@ -754,7 +873,14 @@ PageCache::allocFrame(sim::Warp& w)
         // A still-tagged victim was never demanded: thrash feedback.
         if (fm.flags & kSpecFlag)
             settleSpecPage(victim_key, false, false);
-        Claimed c{f, victim_key, ea, fm.taggedKey, fm.entryRef, dirty};
+        Claimed c{f,
+                  victim_key,
+                  ea,
+                  fm.taggedKey,
+                  fm.entryRef,
+                  dirty,
+                  (fm.flags & kSpecFlag) != 0,
+                  e.state == static_cast<uint32_t>(PteState::Error)};
         if (!have_primary) {
             primary = c;
             have_primary = true;
@@ -775,7 +901,7 @@ PageCache::allocFrame(sim::Warp& w)
     // (refcount -1) entry is still visible, concurrent faults on the
     // page spin instead of re-fetching stale bytes from the backing
     // store — otherwise the in-flight writeback would be lost.
-    auto scrubVictim = [&](const Claimed& c) {
+    auto scrubVictim = [&](const Claimed& c, bool reserve_extra) {
         if (c.dirty)
             writeback(w, c.key, c.frame);
         uint32_t vb = c.entryRef / cfg.bucketEntries;
@@ -791,7 +917,17 @@ PageCache::allocFrame(sim::Warp& w)
         fm.flags = 0;
         w.mem().store(metaAddr(c.frame), fm);
         w.chargeGlobalWrite(sizeof(Pte) + sizeof(FrameMeta));
-        noteFrameUnbound(c.key);
+        // Telemetry classification, most specific condition first: a
+        // poisoned entry over a speculative tag over the QoS reserve
+        // purpose over cross-tenant reclaim over the plain sweep.
+        PageEvictReason reason =
+            c.error         ? PageEvictReason::PoisonedReclaim
+            : c.spec        ? PageEvictReason::SpecVictim
+            : reserve_extra ? PageEvictReason::ReserveRefill
+            : (registry_ && pageKeyAsid(c.key) != w.tenant())
+                ? PageEvictReason::CrossTenant
+                : PageEvictReason::ClockSweep;
+        noteFrameUnbound(c.key, c.frame, reason, w.now());
         vlk.release(w);
 
         dev->stats().inc("gpufs.evictions");
@@ -800,14 +936,14 @@ PageCache::allocFrame(sim::Warp& w)
     };
 
     for (size_t i = 0; i < n_extras; ++i) {
-        scrubVictim(extras[i]);
+        scrubVictim(extras[i], true);
         reserveLock.acquire(w);
         reserveFrames.push_back(extras[i].frame);
         w.issue(2);
         reserveLock.release(w);
         dev->stats().inc("tenant.reserve_refills");
     }
-    scrubVictim(primary);
+    scrubVictim(primary, false);
     return primary.frame;
 }
 
@@ -955,7 +1091,8 @@ PageCache::reclaimErrorEntry(sim::Warp& w, PageKey key, sim::Addr ea)
                                  w.now());
     w.mem().store(metaAddr(frame), FrameMeta{});
     w.chargeGlobalWrite(sizeof(Pte) + sizeof(FrameMeta));
-    noteFrameUnbound(key);
+    noteFrameUnbound(key, frame, PageEvictReason::PoisonedReclaim,
+                     w.now());
     lk.release(w);
     freeFrame(w, frame);
     dev->stats().inc("pagecache.poisoned_reclaims");
@@ -1090,7 +1227,8 @@ PageCache::teardownTenantHost(tenant::TenantId asid)
         dev->mem().store<Pte>(ea, Pte{});
         dev->mem().store(metaAddr(f), FrameMeta{});
         freeFrames.push_back(f);
-        noteFrameUnbound(key);
+        noteFrameUnbound(key, f, PageEvictReason::Teardown,
+                         dev->engine().now());
         ++scrubbed;
     }
 

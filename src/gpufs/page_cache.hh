@@ -18,12 +18,37 @@
 #include <set>
 #include <vector>
 
+#include "gpufs/contig_profiler.hh"
 #include "gpufs/page_table.hh"
 #include "hostio/host_io_engine.hh"
 #include "tenant/tenant.hh"
 #include "util/annotations.hh"
 
 namespace ap::gpufs {
+
+/**
+ * Why a resident page's frame was unbound — the telemetry taxonomy.
+ * Every retired frame is charged to exactly one reason; a frame
+ * retired with zero demand hits additionally counts dead-on-arrival
+ * (pagecache.doa.<reason>) — for speculative victims that is the
+ * readahead-thrash population, for clock victims wasted fill work.
+ */
+enum class PageEvictReason : uint8_t
+{
+    ClockSweep = 0,      ///< ordinary clock-hand victim
+    ReserveRefill = 1,   ///< pre-evicted into the QoS reclaim reserve
+    BucketOverflow = 2,  ///< displaced by a full page-table bucket
+    PoisonedReclaim = 3, ///< Error entry reclaimed (failed fill)
+    SpecVictim = 4,      ///< undemanded speculative page recycled
+    CrossTenant = 5,     ///< claimed by another tenant's sweep (QoS)
+    Teardown = 6,        ///< tenant teardown scrubbed the frame
+};
+
+/** Number of PageEvictReason values (table sizing). */
+constexpr size_t kPageEvictReasons = 7;
+
+/** Printable name of @p r ("clock_sweep", "poisoned_reclaim", ...). */
+const char* pageEvictReasonName(PageEvictReason r);
 
 /** Result of acquiring a page. */
 struct AcquireResult
@@ -276,6 +301,19 @@ class PageCache
     tenant::TenantStatus teardownTenantHost(tenant::TenantId asid)
         AP_MUST_CHECK;
 
+    /**
+     * Host-side: rebuild the snapshot portion of the translation
+     * telemetry in the device StatGroup — the contig.runs aggregate
+     * and per-file run-length histograms plus residency scalars (see
+     * ContigProfiler::exportSnapshot). Call before reading stats or
+     * dumping them to JSON; the always-on counters and lifetime
+     * histograms need no export step.
+     */
+    void exportTranslationStatsHost();
+
+    /** Host-side: the resident-contiguity profiler (tests, benches). */
+    const ContigProfiler& contigHost() const { return contigProf; }
+
   private:
     /** Obtain a free frame, evicting a refcount-zero page if needed. */
     uint32_t allocFrame(sim::Warp& w)
@@ -372,21 +410,35 @@ class PageCache
         return metaBase + static_cast<sim::Addr>(frame) * sizeof(FrameMeta);
     }
 
-    /** Frame-ownership accounting: @p key's page now occupies a frame. */
-    void
-    noteFrameBound(PageKey key)
-    {
-        if (registry_)
-            registry_->noteFrameGained(pageKeyAsid(key));
-    }
+    /**
+     * Frame-ownership accounting and telemetry: @p key's page now
+     * occupies @p frame (charged to the registry, opens the frame's
+     * lifetime record, extends the contiguity runs).
+     */
+    void noteFrameBound(PageKey key, uint32_t frame, sim::Cycles now);
 
-    /** Frame-ownership accounting: @p key's page left its frame. */
-    void
-    noteFrameUnbound(PageKey key)
-    {
-        if (registry_)
-            registry_->noteFrameLost(pageKeyAsid(key));
-    }
+    /**
+     * Frame-ownership accounting and telemetry: @p key's page left
+     * @p frame for @p reason (un-charges the registry, retires the
+     * lifetime record into the pagecache.evict/doa counters and
+     * pagecache.life.* histograms, shrinks the contiguity runs).
+     */
+    void noteFrameUnbound(PageKey key, uint32_t frame,
+                          PageEvictReason reason, sim::Cycles now);
+
+    /**
+     * A demand touch was granted on @p frame (minor fault, or the
+     * major-faulting warp's own first access): bumps the frame's
+     * demand-hit count; the first hit records fill-to-first-hit.
+     */
+    void noteFrameDemandHit(uint32_t frame, sim::Cycles now);
+
+    /**
+     * Throttled Chrome-trace counter samples (free frames, reserve
+     * depth, longest resident run) on the telemetry track; no-op
+     * while tracing is off.
+     */
+    void maybeEmitCacheCounters(sim::Cycles now);
 
     sim::Device* dev;
     hostio::HostIoEngine* io;
@@ -426,6 +478,23 @@ class PageCache
     /** Zero-fill pages that have been written back at least once: a
      * re-fault must read the swap contents, not zero-fill again. */
     std::set<PageKey> swappedOut;
+
+    /** Per-frame lifetime telemetry (host bookkeeping, not device
+     * memory: FrameMeta stays 16 B). */
+    struct FrameLife
+    {
+        sim::Cycles fillCycle = 0;     ///< when the frame was bound
+        sim::Cycles firstHitCycle = 0; ///< first demand touch granted
+        uint64_t demandHits = 0;       ///< demand touches this residency
+        bool live = false;             ///< frame currently bound
+    };
+    std::vector<FrameLife> frameLife;
+
+    /** Resident-contiguity profiler fed by bind/unbind. */
+    ContigProfiler contigProf;
+
+    sim::Cycles lastCounterEmit = 0; ///< previous counter-sample cycle
+    bool everEmittedCounters = false;
 };
 
 } // namespace ap::gpufs

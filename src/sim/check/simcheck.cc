@@ -1003,6 +1003,23 @@ SimCheck::reportHang(const std::string& who)
                  "arrived, or an unbounded retry)");
 }
 
+void
+SimCheck::tlbHitSumAudit(uint64_t entry_hits, uint64_t counter_hits,
+                         const std::string& who)
+{
+    if (!enabled_)
+        return;
+    if (entry_hits == counter_hits)
+        return;
+    report(ReportKind::Invariant, "tlbhitsum:" + who,
+           who + " telemetry hit-sum mismatch: per-entry hit counts "
+                 "total " +
+               std::to_string(entry_hits) +
+               " but the TLB recorded " + std::to_string(counter_hits) +
+               " counter hits (an entry's telemetry was lost or "
+               "double-counted)");
+}
+
 // ----------------------------------------------------------------------
 // Reports
 // ----------------------------------------------------------------------

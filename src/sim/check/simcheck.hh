@@ -324,6 +324,17 @@ class SimCheck
      */
     void reportHang(const std::string& who);
 
+    /**
+     * TLB telemetry cross-check, run by each SoftTlb destructor: the
+     * per-entry hit counts accumulated by the telemetry layer
+     * (@p entry_hits, live + retired) must equal the hits the same TLB
+     * contributed to the core.tlb_hits counter (@p counter_hits). A
+     * mismatch means the telemetry lost or double-counted an entry —
+     * reported as an Invariant violation naming @p who.
+     */
+    void tlbHitSumAudit(uint64_t entry_hits, uint64_t counter_hits,
+                        const std::string& who);
+
     // ------------------------------------------------------------------
     // Reports
     // ------------------------------------------------------------------

@@ -28,7 +28,8 @@ Tracer::push(Event e)
 void
 Tracer::writeJson(std::ostream& os) const
 {
-    os << "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n";
+    os << "{\"displayTimeUnit\":\"ns\",\"droppedEvents\":" << drops
+       << ",\"traceEvents\":[\n";
     bool first = true;
     for (const Event& e : events) {
         if (!first)
@@ -39,7 +40,7 @@ Tracer::writeJson(std::ostream& os) const
         os << ",\"cat\":";
         json::quote(os, e.category);
         os << ",\"ph\":\"" << e.phase << "\"";
-        if (e.phase != 'X') {
+        if (e.phase == 's' || e.phase == 't' || e.phase == 'f') {
             os << ",\"id\":" << e.flowId;
             if (e.phase == 'f')
                 os << ",\"bp\":\"e\"";

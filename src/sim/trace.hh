@@ -29,6 +29,15 @@
 
 namespace ap::sim {
 
+/** Track id for telemetry counter series (warp tracks are >= 0; the
+ * host-IO and prefetch tracks use -2/-3). */
+constexpr int kTelemetryTrack = -4;
+
+/** Minimum cycles between two samples of one telemetry counter
+ * series: emitters hold the previous emission cycle and skip samples
+ * inside the window, bounding trace growth on hot paths. */
+constexpr Cycles kCounterIntervalCycles = 256;
+
 /** A trace-event recorder. One per Device. */
 class Tracer
 {
@@ -135,9 +144,30 @@ class Tracer
     }
 
     /**
+     * Record a counter sample (Chrome phase "C"): the viewer draws one
+     * stacked area chart per @p name with the sampled @p value. The
+     * telemetry layer emits occupancy series this way (TLB entries,
+     * free frames, reserve depth, max resident run); emitters throttle
+     * themselves (see kCounterIntervalCycles) so a hot loop cannot
+     * flood the event buffer with samples.
+     */
+    void
+    counterEvent(int track, const char* category, std::string name,
+                 Cycles at, double value)
+    {
+        if (!on)
+            return;
+        push(Event{track, category, std::move(name), at, at, 'C', 0,
+                   Args{{"value", value}}});
+    }
+
+    /**
      * Serialize as a Chrome trace-event JSON object with a
      * displayTimeUnit so viewers render cycles consistently; cycles
      * map to microseconds 1:1 so one tick in the viewer is one cycle.
+     * The envelope carries "droppedEvents" (events refused past the
+     * cap) so offline consumers — apstat warns when it is nonzero —
+     * can tell a complete trace from a truncated one.
      */
     void writeJson(std::ostream& os) const;
 
@@ -149,7 +179,7 @@ class Tracer
         std::string name;
         Cycles start;
         Cycles end;
-        char phase;      // 'X' span, 's'/'t'/'f' flow start/step/end
+        char phase;      // 'X' span, 's'/'t'/'f' flow, 'C' counter
         uint64_t flowId; // meaningful for 's'/'f' only
         Args args;
     };

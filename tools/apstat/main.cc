@@ -16,12 +16,19 @@
  * direction-aware tolerance bands; scripts/perf_diff gates CI on the
  * committed BENCH_*.json baselines through this mode.
  *
+ * Stats mode — `apstat stats <stats.json>` ("-" reads stdin): reads a
+ * StatGroup::dumpJson() document and rebuilds the translation-
+ * telemetry tables — TLB dead-entry breakdown, page-cache frame
+ * lifetimes, resident-contiguity runs, per-tenant faults (see
+ * statsreport.hh).
+ *
  * Exit status: 0 on success, 1 on usage/IO errors, 2 on malformed or
  * non-comparable input, 3 when a trace's flow events are inconsistent
  * (a fault chain with no matching start/end — truncated trace),
  * 4 when diff mode finds at least one regression.
  */
 
+#include <cstdint>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
@@ -29,6 +36,7 @@
 
 #include "diff.hh"
 #include "report.hh"
+#include "statsreport.hh"
 
 namespace {
 
@@ -73,7 +81,8 @@ usage()
     std::cerr
         << "usage: apstat <trace.json>  (\"-\" for stdin)\n"
            "       apstat diff <baseline.json> <current.json>"
-           " [--tol-scale X]\n";
+           " [--tol-scale X]\n"
+           "       apstat stats <stats.json>\n";
     return 1;
 }
 
@@ -118,6 +127,22 @@ runDiff(int argc, char** argv)
 }
 
 int
+runStats(const char* path)
+{
+    ap::apstat::JsonValue doc;
+    if (int rc = load(path, doc))
+        return rc;
+    ap::apstat::StatsReport report;
+    std::string err;
+    if (!report.build(doc, err)) {
+        std::cerr << "apstat: " << path << ": " << err << "\n";
+        return 2;
+    }
+    report.print(std::cout);
+    return 0;
+}
+
+int
 runTrace(const char* path)
 {
     ap::apstat::JsonValue doc;
@@ -129,6 +154,13 @@ runTrace(const char* path)
         std::cerr << "apstat: " << path << ": " << err << "\n";
         return 2;
     }
+
+    double dropped = doc.numberOr("droppedEvents", 0);
+    if (dropped > 0)
+        std::cerr << "apstat: warning: trace truncated — "
+                  << static_cast<uint64_t>(dropped)
+                  << " events dropped at the event cap; tables below "
+                     "undercount\n";
 
     if (report.spanCount == 0)
         std::cout << "no faultstage spans in trace (run with tracing "
@@ -153,6 +185,8 @@ main(int argc, char** argv)
 {
     if (argc >= 2 && std::string_view(argv[1]) == "diff")
         return runDiff(argc, argv);
+    if (argc == 3 && std::string_view(argv[1]) == "stats")
+        return runStats(argv[2]);
     if (argc != 2 || std::string_view(argv[1]) == "--help")
         return usage();
     return runTrace(argv[1]);

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * apstat's stats mode: rebuild the translation-telemetry tables from a
+ * StatGroup::dumpJson() document — the TLB dead-entry breakdown (which
+ * eviction reasons retire entries that never saw a hit), the
+ * page-cache frame-lifetime breakdown, the resident-contiguity runs
+ * (per file), and the per-tenant fault tables.
+ *
+ * The input carries histogram *summaries* (count/min/max/mean/p50/p95/
+ * p99 as computed in-process by Histogram::quantile), not buckets, so
+ * the tables print those values verbatim — unlike trace mode there is
+ * no reconstruction step and no quantileMid rounding contract.
+ */
+
+#ifndef AP_TOOLS_APSTAT_STATSREPORT_HH
+#define AP_TOOLS_APSTAT_STATSREPORT_HH
+
+#include <map>
+#include <ostream>
+#include <string>
+
+#include "json_reader.hh"
+
+namespace ap::apstat {
+
+/** Translation-telemetry tables recovered from one stats JSON. */
+struct StatsReport
+{
+    /** Histogram summary as exported by StatGroup::dumpJson(). */
+    struct HistSummary
+    {
+        double count = 0;
+        double min = 0;
+        double max = 0;
+        double mean = 0;
+        double p50 = 0;
+        double p95 = 0;
+        double p99 = 0;
+    };
+
+    std::map<std::string, double> counters;
+    std::map<std::string, double> scalars;
+    std::map<std::string, HistSummary> hists;
+
+    /**
+     * Parse @p doc (a StatGroup::dumpJson object with "counters",
+     * "scalars", and "histograms" members).
+     * @return false with @p err set when the document is not a stats
+     *         dump.
+     */
+    bool build(const JsonValue& doc, std::string& err);
+
+    /** True when any tlb.* telemetry is present. */
+    bool hasTlb() const;
+
+    /** True when any pagecache.* lifetime telemetry is present. */
+    bool hasPageCache() const;
+
+    /** True when any contig.* snapshot is present. */
+    bool hasContig() const;
+
+    /** True when any tenant.t<id>.* stats are present. */
+    bool hasTenants() const;
+
+    /** TLB dead-entry table: per-reason evictions, DoA count/rate,
+     * then the entry-lifetime and reuse-distance distributions. */
+    void printTlbTable(std::ostream& os) const;
+
+    /** Page-cache frame-lifetime table: per-reason evictions and DoA,
+     * then lifetime / fill-to-first-hit / demand-hit distributions. */
+    void printPageCacheTable(std::ostream& os) const;
+
+    /** Contiguity table: per-file resident run-length distributions
+     * plus the residency scalars. */
+    void printContigTable(std::ostream& os) const;
+
+    /** Per-tenant fault table: fault counts and latency summaries. */
+    void printTenantTable(std::ostream& os) const;
+
+    /** Print every section that has data (section order fixed). */
+    void print(std::ostream& os) const;
+};
+
+} // namespace ap::apstat
+
+#endif // AP_TOOLS_APSTAT_STATSREPORT_HH
